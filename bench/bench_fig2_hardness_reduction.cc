@@ -1,0 +1,114 @@
+// Regenerates Fig. 2 (the Theorem 1 reduction gadget) and demonstrates the
+// hardness it encodes: the lifted deletion-propagation instances separate
+// the naive greedy baseline from the paper's LowDegTwo-based algorithm by a
+// factor that grows with instance size — consistent with Theorem 1's claim
+// that no constant-factor approximation exists.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "reductions/rbsc_to_vse.h"
+#include "setcover/red_blue_solvers.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/rbsc_reduction_solver.h"
+#include "workload/hardness_family.h"
+#include "workload/random_rbsc.h"
+
+namespace delprop {
+namespace {
+
+int Run() {
+  bench::Header("Fig. 2 — the RBSC -> deletion-propagation gadget");
+  {
+    RbscInstance rbsc;
+    rbsc.red_count = 1;
+    rbsc.blue_count = 3;
+    rbsc.sets = {{{0}, {0}}, {{0}, {1}}, {{0}, {2}}};
+    Result<GeneratedVse> generated = ReduceRbscToVse(rbsc);
+    if (!generated.ok()) return 1;
+    const VseInstance& instance = *generated->instance;
+    std::printf("table T: %zu rows (one per set C1..C3)\n",
+                generated->database->total_tuple_count());
+    for (size_t v = 0; v < instance.view_count(); ++v) {
+      std::printf("  view %-4s: %zu tuple(s)%s\n",
+                  instance.query(v).name().c_str(), instance.view(v).size(),
+                  instance.IsMarkedForDeletion({v, 0}) ? "   [in ΔV]" : "");
+    }
+    ExactSolver exact;
+    Result<VseSolution> solution = exact.Solve(instance);
+    if (!solution.ok()) return 1;
+    std::printf("optimal view side-effect: %.0f  "
+                "(= optimal RBSC cost: cover b1..b3, red r1 is hit)\n",
+                solution->Cost());
+  }
+
+  bench::Header(
+      "Greedy trap family — measured ratios on lifted instances");
+  {
+    TextTable table({"k", "‖V‖", "OPT", "density greedy", "rbsc-lowdeg",
+                     "density ratio", "lowdeg ratio"});
+    for (size_t k : {3, 4, 6, 8, 10, 12}) {
+      RbscInstance trap = GreedyTrapRbsc(k);
+      Result<GeneratedVse> generated = ReduceRbscToVse(trap);
+      if (!generated.ok()) return 1;
+      const VseInstance& instance = *generated->instance;
+      ExactSolver exact;
+      // The density-greedy baseline (Chvátal-style cost/benefit) is the one
+      // the trap family defeats; LowDegTwo's threshold sweep escapes it.
+      RbscReductionSolver density(SolveRbscGreedy, "rbsc-greedy");
+      RbscReductionSolver lowdeg;
+      Result<VseSolution> opt = exact.Solve(instance);
+      Result<VseSolution> g = density.Solve(instance);
+      Result<VseSolution> ld = lowdeg.Solve(instance);
+      if (!opt.ok() || !g.ok() || !ld.ok()) return 1;
+      table.AddRow({std::to_string(k),
+                    std::to_string(instance.TotalViewTuples()),
+                    FmtDouble(opt->Cost(), 0), FmtDouble(g->Cost(), 0),
+                    FmtDouble(ld->Cost(), 0),
+                    FmtRatio(g->Cost(), opt->Cost(), 2),
+                    FmtRatio(ld->Cost(), opt->Cost(), 2)});
+    }
+    table.Print();
+    std::printf("\nShape check: the density-greedy ratio grows ~linearly in "
+                "k (no constant factor exists, Theorem 1); LowDegTwo stays "
+                "at 1 here.\n");
+  }
+
+  bench::Header("Random RBSC lifts — cost equivalence of the reduction");
+  {
+    Rng rng(1);
+    TextTable table({"ρ (reds)", "β (blues)", "|C|", "RBSC OPT",
+                     "lifted VSE OPT", "equal"});
+    for (auto [reds, blues, sets] :
+         {std::tuple<size_t, size_t, size_t>{4, 3, 5},
+          {6, 4, 7},
+          {8, 5, 9},
+          {10, 6, 11}}) {
+      RandomRbscParams params;
+      params.red_count = reds;
+      params.blue_count = blues;
+      params.set_count = sets;
+      RbscInstance rbsc = GenerateRandomRbsc(rng, params);
+      Result<RbscSolution> rbsc_opt = SolveRbscExact(rbsc);
+      Result<GeneratedVse> generated = ReduceRbscToVse(rbsc);
+      if (!rbsc_opt.ok() || !generated.ok()) return 1;
+      ExactSolver exact;
+      Result<VseSolution> vse_opt = exact.Solve(*generated->instance);
+      if (!vse_opt.ok()) return 1;
+      double a = RbscCost(rbsc, *rbsc_opt);
+      double b = vse_opt->Cost();
+      table.AddRow({std::to_string(reds), std::to_string(blues),
+                    std::to_string(sets), FmtDouble(a, 0), FmtDouble(b, 0),
+                    a == b ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace delprop
+
+int main() { return delprop::Run(); }

@@ -1,0 +1,87 @@
+// Proposition 1: Algorithm 1 terminates in O(l·‖ΔV‖²·‖V‖ + ‖V‖⁴) time.
+// google-benchmark scaling sweep of PrimeDualVSE (and the DP for contrast)
+// over growing forest workloads; the shape requirement is polynomial growth.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "solvers/dp_tree_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/primal_dual_tree_solver.h"
+#include "workload/path_schema.h"
+
+namespace delprop {
+namespace {
+
+GeneratedVse MakeTree(size_t levels, size_t fanout) {
+  Rng rng(42 + levels * 10 + fanout);
+  PathSchemaParams params;
+  params.levels = levels;
+  params.roots = 2;
+  params.fanout = fanout;
+  params.deletion_fraction = 0.2;
+  params.query_intervals = {{0, levels - 1}, {1, levels - 1}};
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  if (!generated.ok()) std::abort();
+  return std::move(*generated);
+}
+
+void BM_PrimalDual(benchmark::State& state) {
+  GeneratedVse generated =
+      MakeTree(static_cast<size_t>(state.range(0)), 2);
+  PrimalDualTreeSolver solver;
+  for (auto _ : state) {
+    Result<VseSolution> solution = solver.Solve(*generated.instance);
+    if (!solution.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["view_tuples"] =
+      static_cast<double>(generated.instance->TotalViewTuples());
+  state.counters["delta"] =
+      static_cast<double>(generated.instance->TotalDeletionTuples());
+}
+BENCHMARK(BM_PrimalDual)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+void BM_DpTree(benchmark::State& state) {
+  GeneratedVse generated =
+      MakeTree(static_cast<size_t>(state.range(0)), 2);
+  DpTreeSolver solver;
+  for (auto _ : state) {
+    Result<VseSolution> solution = solver.Solve(*generated.instance);
+    if (!solution.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["view_tuples"] =
+      static_cast<double>(generated.instance->TotalViewTuples());
+}
+BENCHMARK(BM_DpTree)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+void BM_Greedy(benchmark::State& state) {
+  GeneratedVse generated =
+      MakeTree(static_cast<size_t>(state.range(0)), 2);
+  GreedySolver solver;
+  for (auto _ : state) {
+    Result<VseSolution> solution = solver.Solve(*generated.instance);
+    if (!solution.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_Greedy)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+// Evaluation-side baseline: how long materializing the views takes, to put
+// solver runtimes in context.
+void BM_Materialize(benchmark::State& state) {
+  GeneratedVse generated =
+      MakeTree(static_cast<size_t>(state.range(0)), 2);
+  std::vector<const ConjunctiveQuery*> qs;
+  for (const auto& q : generated.queries) qs.push_back(q.get());
+  for (auto _ : state) {
+    Result<VseInstance> instance =
+        VseInstance::Create(*generated.database, qs);
+    if (!instance.ok()) state.SkipWithError("materialize failed");
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_Materialize)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace delprop

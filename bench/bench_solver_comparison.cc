@@ -1,0 +1,94 @@
+// Cross-cutting comparison: every standard-objective solver on every
+// workload family, reporting feasibility, cost and time — the "who wins
+// where" summary that situates the paper's algorithms against the baselines
+// and shows each solver refusing inputs outside its precondition class.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "reductions/rbsc_to_vse.h"
+#include "solvers/solver_registry.h"
+#include "workload/hardness_family.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+void RunFamily(const char* family, const VseInstance& instance) {
+  std::printf("\n-- %s: ‖V‖=%zu ‖ΔV‖=%zu l=%zu %s --\n", family,
+              instance.TotalViewTuples(), instance.TotalDeletionTuples(),
+              instance.max_arity(),
+              instance.all_key_preserving() ? "(key preserving)" : "");
+  TextTable table({"solver", "status", "cost", "|ΔD|", "ms"});
+  std::vector<std::string> names = {"exact",       "greedy",    "local-search",
+                                    "rbsc-greedy", "rbsc-lowdeg",
+                                    "primal-dual", "lowdeg-tree", "dp-tree"};
+  for (const std::string& name : names) {
+    std::unique_ptr<VseSolver> solver = MakeSolver(name);
+    auto [solution, ms] = bench::Timed([&] { return solver->Solve(instance); });
+    if (solution.ok()) {
+      table.AddRow({name, solution->Feasible() ? "ok" : "INFEASIBLE",
+                    FmtDouble(solution->Cost(), 0),
+                    std::to_string(solution->deletion.size()),
+                    FmtDouble(ms, 2)});
+    } else {
+      table.AddRow({name, StatusCodeName(solution.status().code()), "-", "-",
+                    FmtDouble(ms, 2)});
+    }
+  }
+  table.Print();
+}
+
+int Run() {
+  bench::Header("Solver comparison across workload families");
+
+  {
+    Rng rng(1);
+    PathSchemaParams params;
+    params.levels = 4;
+    params.roots = 2;
+    params.fanout = 2;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+    if (!generated.ok()) return 1;
+    RunFamily("hypertree paths (all algorithms apply)", *generated->instance);
+  }
+  {
+    Rng rng(2);
+    StarSchemaParams params;
+    params.dimensions = 3;
+    params.fact_rows = 20;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+    if (!generated.ok()) return 1;
+    RunFamily("star joins (tree solvers must refuse)", *generated->instance);
+  }
+  {
+    Rng rng(3);
+    RandomWorkloadParams params;
+    params.relations = 3;
+    params.rows_per_relation = 10;
+    params.queries = 3;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    if (!generated.ok()) return 1;
+    RunFamily("random project-free multi-query", *generated->instance);
+  }
+  {
+    Result<GeneratedVse> generated = ReduceRbscToVse(GreedyTrapRbsc(10));
+    if (!generated.ok()) return 1;
+    RunFamily("Theorem 1 trap lift (k=10)", *generated->instance);
+  }
+  std::printf(
+      "\nReading guide: 'FailedPrecondition' rows are solvers refusing "
+      "inputs outside their class — the dichotomy boundaries made "
+      "visible.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace delprop
+
+int main() { return delprop::Run(); }

@@ -1,0 +1,120 @@
+// Substrate micro-benchmarks (google-benchmark): the query evaluator, the
+// data-forest builder, and the set-cover solvers — the components every
+// deletion-propagation call rides on. Not tied to a paper table; used to
+// keep the substrate's scaling honest.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "hypergraph/data_forest.h"
+#include "query/evaluator.h"
+#include "setcover/red_blue_solvers.h"
+#include "workload/path_schema.h"
+#include "workload/random_rbsc.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+void BM_EvaluateStarJoin(benchmark::State& state) {
+  Rng rng(1);
+  StarSchemaParams params;
+  params.dimensions = 3;
+  params.dimension_rows = 8;
+  params.fact_rows = static_cast<size_t>(state.range(0));
+  params.query_dimension_sets = {{0, 1, 2}};
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  if (!generated.ok()) std::abort();
+  const Database& db = *generated->database;
+  const ConjunctiveQuery& query = *generated->queries[0];
+  for (auto _ : state) {
+    Result<View> view = Evaluate(db, query);
+    if (!view.ok()) state.SkipWithError("evaluate failed");
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() * params.fact_rows);
+}
+BENCHMARK(BM_EvaluateStarJoin)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DataForestBuild(benchmark::State& state) {
+  Rng rng(2);
+  PathSchemaParams params;
+  params.levels = static_cast<size_t>(state.range(0));
+  params.roots = 2;
+  params.fanout = 2;
+  params.deletion_fraction = 0.2;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  if (!generated.ok()) std::abort();
+  std::vector<const View*> views = generated->instance->ViewPointers();
+  for (auto _ : state) {
+    DataForest forest = DataForest::Build(views);
+    benchmark::DoNotOptimize(forest);
+  }
+  state.counters["nodes"] =
+      static_cast<double>(DataForest::Build(views).node_count());
+}
+BENCHMARK(BM_DataForestBuild)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+
+void BM_FindPivotRoots(benchmark::State& state) {
+  Rng rng(3);
+  PathSchemaParams params;
+  params.levels = static_cast<size_t>(state.range(0));
+  params.roots = 2;
+  params.fanout = 2;
+  params.deletion_fraction = 0.2;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  if (!generated.ok()) std::abort();
+  DataForest forest = DataForest::Build(generated->instance->ViewPointers());
+  for (auto _ : state) {
+    auto pivots = forest.FindPivotRoots();
+    if (!pivots.has_value()) state.SkipWithError("no pivot");
+    benchmark::DoNotOptimize(pivots);
+  }
+}
+BENCHMARK(BM_FindPivotRoots)->DenseRange(4, 7)->Unit(benchmark::kMillisecond);
+
+void BM_RbscGreedy(benchmark::State& state) {
+  Rng rng(4);
+  RandomRbscParams params;
+  params.red_count = static_cast<size_t>(state.range(0));
+  params.blue_count = params.red_count / 2;
+  params.set_count = params.red_count;
+  params.reds_per_set = 3.0;
+  params.blues_per_set = 2.0;
+  RbscInstance instance = GenerateRandomRbsc(rng, params);
+  for (auto _ : state) {
+    Result<RbscSolution> solution = SolveRbscGreedy(instance);
+    if (!solution.ok()) state.SkipWithError("infeasible");
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_RbscGreedy)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RbscLowDegTwo(benchmark::State& state) {
+  Rng rng(4);
+  RandomRbscParams params;
+  params.red_count = static_cast<size_t>(state.range(0));
+  params.blue_count = params.red_count / 2;
+  params.set_count = params.red_count;
+  params.reds_per_set = 3.0;
+  params.blues_per_set = 2.0;
+  RbscInstance instance = GenerateRandomRbsc(rng, params);
+  for (auto _ : state) {
+    Result<RbscSolution> solution = SolveRbscLowDegTwo(instance);
+    if (!solution.ok()) state.SkipWithError("infeasible");
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_RbscLowDegTwo)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace delprop

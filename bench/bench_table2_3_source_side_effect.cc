@@ -1,0 +1,91 @@
+// Tables II + III counterpart: the SOURCE side-effect problem. The paper's
+// landscape says key-preserving inputs are tractable per answer while the
+// multi-tuple optimum is set-cover-shaped. This harness measures (a) greedy
+// vs. exact source-deletion sizes on key-preserving workloads and (b) the
+// runtime scaling of both, exhibiting the tractable/heuristic split.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "solvers/source_side_effect_solver.h"
+#include "workload/path_schema.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+int Run() {
+  bench::Header("Source side-effect: greedy vs exact |ΔD| (path workloads)");
+  {
+    TextTable table({"levels", "fanout", "‖V‖", "‖ΔV‖", "greedy |ΔD|",
+                     "exact |ΔD|", "ratio", "greedy ms", "exact ms"});
+    for (auto [levels, fanout] :
+         {std::pair<size_t, size_t>{3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 2}}) {
+      Rng rng(40 + levels * 10 + fanout);
+      PathSchemaParams params;
+      params.levels = levels;
+      params.roots = 2;
+      params.fanout = fanout;
+      params.deletion_fraction = 0.25;
+      Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+      if (!generated.ok()) return 1;
+      const VseInstance& instance = *generated->instance;
+      SourceSideEffectSolver greedy;
+      SourceSideEffectSolver exact(SourceSideEffectSolver::Mode::kExact);
+      auto [g, g_ms] = bench::Timed([&] { return greedy.Solve(instance); });
+      auto [e, e_ms] = bench::Timed([&] { return exact.Solve(instance); });
+      if (!g.ok() || !e.ok()) return 1;
+      table.AddRow(
+          {std::to_string(levels), std::to_string(fanout),
+           std::to_string(instance.TotalViewTuples()),
+           std::to_string(instance.TotalDeletionTuples()),
+           std::to_string(g->report.source_deletion_count),
+           std::to_string(e->report.source_deletion_count),
+           FmtRatio(static_cast<double>(g->report.source_deletion_count),
+                    static_cast<double>(e->report.source_deletion_count), 2),
+           FmtDouble(g_ms, 2), FmtDouble(e_ms, 2)});
+    }
+    table.Print();
+  }
+
+  bench::Header("Source side-effect on star workloads (shared fact rows)");
+  {
+    TextTable table({"fact rows", "ΔV", "greedy |ΔD|", "exact |ΔD|",
+                     "source tuples touched/ΔV"});
+    for (size_t facts : {10, 20, 40, 80}) {
+      Rng rng(90 + facts);
+      StarSchemaParams params;
+      params.dimensions = 3;
+      params.fact_rows = facts;
+      params.deletion_fraction = 0.2;
+      Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+      if (!generated.ok()) return 1;
+      const VseInstance& instance = *generated->instance;
+      if (instance.TotalDeletionTuples() == 0) continue;
+      SourceSideEffectSolver greedy;
+      SourceSideEffectSolver exact(SourceSideEffectSolver::Mode::kExact);
+      Result<VseSolution> g = greedy.Solve(instance);
+      Result<VseSolution> e = exact.Solve(instance);
+      if (!g.ok() || !e.ok()) return 1;
+      table.AddRow(
+          {std::to_string(facts),
+           std::to_string(instance.TotalDeletionTuples()),
+           std::to_string(g->report.source_deletion_count),
+           std::to_string(e->report.source_deletion_count),
+           FmtRatio(static_cast<double>(e->report.source_deletion_count),
+                    static_cast<double>(instance.TotalDeletionTuples()), 2)});
+    }
+    table.Print();
+    std::printf("\nShape check: one deleted fact row can serve several ΔV "
+                "tuples (ratio < 1), greedy tracks exact closely — the "
+                "PTime-friendly behaviour Tables II/III predict for the "
+                "key-preserving class.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace delprop
+
+int main() { return delprop::Run(); }

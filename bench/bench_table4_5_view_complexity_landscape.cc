@@ -1,0 +1,138 @@
+// Tables IV + V counterpart: the VIEW side-effect complexity landscape,
+// demonstrated empirically.
+//  * Tractable cell (Cong et al. / Table IV): a single answer deletion over
+//    key-preserving views — the linear-time SingleQuerySolver matches the
+//    exact optimum at negligible cost.
+//  * Hard cell (this paper / Table V): multiple queries + multi-tuple ΔV —
+//    the exact search's node count explodes with instance size while the
+//    paper's approximations stay polynomial and close to optimal.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "classify/landscape.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "query/parser.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/rbsc_reduction_solver.h"
+#include "solvers/single_query_solver.h"
+#include "workload/path_schema.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+int PrintLandscapeTables() {
+  bench::Header("Tables II-V — structural classification of example queries");
+  Database db;
+  for (auto [name, arity, keys] :
+       {std::tuple<const char*, size_t, std::vector<size_t>>{"T1", 2, {0}},
+        {"T2", 2, {1}},
+        {"E", 2, {0, 1}},
+        {"R", 2, {0, 1}},
+        {"S", 2, {0, 1}},
+        {"T", 2, {0, 1}},
+        {"A", 1, {0}}}) {
+    if (!db.AddRelation(name, arity, keys).ok()) return 1;
+  }
+  struct Example {
+    const char* label;
+    const char* text;
+  };
+  TextTable table({"query", "pf", "sj-free", "key-pres", "head-dom",
+                   "triad-free", "source SE (Tbl II/III)",
+                   "view SE single (Tbl IV/V)"});
+  for (const Example& e :
+       {Example{"project-free join", "Q(x, y, z) :- E(x, y), R(y, z)"},
+        {"paper §IV.B", "Q(y1, y2) :- T1(y1, x), T2(x, y2)"},
+        {"projected chain", "Q(w) :- A(w), R(x, y), S(y, z), T(z, u)"},
+        {"projected triangle", "Q(w) :- A(w), R(x, y), S(y, z), T(z, x)"},
+        {"self-join path", "Q(x, z) :- E(x, y), E(y, z)"}}) {
+    Result<ConjunctiveQuery> q = ParseQuery(e.text, db.schema(), db.dict());
+    if (!q.ok()) return 1;
+    QueryClassification c = ClassifyQuery(*q, db.schema());
+    table.AddRow({e.label, c.project_free ? "yes" : "no",
+                  c.self_join_free ? "yes" : "no",
+                  c.key_preserving ? "yes" : "no",
+                  c.head_domination ? "yes" : "no",
+                  c.triad_free ? "yes" : "no", c.source_side_effect,
+                  c.view_side_effect_single});
+  }
+  table.Print();
+  return 0;
+}
+
+int Run() {
+  if (int rc = PrintLandscapeTables(); rc != 0) return rc;
+
+  bench::Header("Tractable cell — single deletion, key-preserving views");
+  {
+    TextTable table({"levels", "‖V‖", "single-deletion ms", "exact ms",
+                     "same cost"});
+    for (size_t levels : {3, 4, 5, 6}) {
+      Rng rng(100 + levels);
+      PathSchemaParams params;
+      params.levels = levels;
+      params.roots = 2;
+      params.fanout = 2;
+      params.deletion_fraction = 0.0;
+      Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+      if (!generated.ok()) return 1;
+      VseInstance& instance = *generated->instance;
+      (void)instance.MarkForDeletion(
+          ViewTupleId{0, rng.NextBelow(instance.view(0).size())});
+      SingleQuerySolver fast;
+      ExactSolver exact;
+      auto [f, f_ms] = bench::Timed([&] { return fast.Solve(instance); });
+      auto [e, e_ms] = bench::Timed([&] { return exact.Solve(instance); });
+      if (!f.ok() || !e.ok()) return 1;
+      table.AddRow({std::to_string(levels),
+                    std::to_string(instance.TotalViewTuples()),
+                    FmtDouble(f_ms, 3), FmtDouble(e_ms, 3),
+                    f->Cost() == e->Cost() ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  bench::Header("Hard cell — multiple queries, multi-tuple ΔV (star joins)");
+  {
+    TextTable table({"fact rows", "‖ΔV‖", "exact ms", "approx ms",
+                     "exact cost", "approx cost", "greedy cost"});
+    for (size_t facts : {8, 12, 16, 20, 24}) {
+      Rng rng(200 + facts);
+      StarSchemaParams params;
+      params.dimensions = 3;
+      params.fact_rows = facts;
+      params.deletion_fraction = 0.25;
+      Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+      if (!generated.ok()) return 1;
+      const VseInstance& instance = *generated->instance;
+      if (instance.TotalDeletionTuples() == 0) continue;
+      ExactSolver exact;
+      RbscReductionSolver approx;
+      GreedySolver greedy;
+      auto [e, e_ms] = bench::Timed([&] { return exact.Solve(instance); });
+      auto [a, a_ms] = bench::Timed([&] { return approx.Solve(instance); });
+      Result<VseSolution> g = greedy.Solve(instance);
+      if (!a.ok() || !g.ok()) return 1;
+      table.AddRow({std::to_string(facts),
+                    std::to_string(instance.TotalDeletionTuples()),
+                    e.ok() ? FmtDouble(e_ms, 2) : "budget!",
+                    FmtDouble(a_ms, 2),
+                    e.ok() ? FmtDouble(e->Cost(), 0) : "-",
+                    FmtDouble(a->Cost(), 0), FmtDouble(g->Cost(), 0)});
+    }
+    table.Print();
+    std::printf("\nShape check: the tractable cell is solved optimally in "
+                "~linear time; in the hard cell exact search cost climbs "
+                "steeply with size while the Claim 1 approximation stays "
+                "fast and near-optimal.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace delprop
+
+int main() { return delprop::Run(); }

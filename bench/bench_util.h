@@ -1,0 +1,29 @@
+#ifndef DELPROP_BENCH_BENCH_UTIL_H_
+#define DELPROP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace delprop::bench {
+
+/// Runs `fn` once and returns (result, elapsed milliseconds).
+template <typename Fn>
+auto Timed(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = std::forward<Fn>(fn)();
+  auto end = std::chrono::steady_clock::now();
+  double ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  return std::make_pair(std::move(result), ms);
+}
+
+inline void Header(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace delprop::bench
+
+#endif  // DELPROP_BENCH_BENCH_UTIL_H_

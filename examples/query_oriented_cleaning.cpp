@@ -1,0 +1,68 @@
+// Query-oriented cleaning scenario (Section V, QOCO-style): a batch of
+// expert feedback flags wrong answers across several materialized views of a
+// product catalog; the library translates the whole batch back to source
+// deletions in one shot — the theoretical guarantee the paper contributes —
+// instead of processing feedback one answer at a time.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/primal_dual_tree_solver.h"
+#include "solvers/rbsc_reduction_solver.h"
+#include "workload/path_schema.h"
+
+int main() {
+  using namespace delprop;
+
+  // A 3-level catalog: suppliers -> products -> offers, with two dashboards
+  // (views): full chains, and product-offer pairs.
+  Rng rng(2024);
+  PathSchemaParams params;
+  params.levels = 3;
+  params.roots = 3;
+  params.fanout = 3;
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  VseInstance& instance = *generated->instance;
+  std::printf("Catalog: %zu source tuples, %zu views, %zu view tuples\n",
+              generated->database->total_tuple_count(), instance.view_count(),
+              instance.TotalViewTuples());
+
+  // The crowd flags a batch of wrong answers across both dashboards.
+  size_t flagged = 0;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    for (size_t t = 0; t < instance.view(v).size(); t += 5) {
+      if (instance.MarkForDeletion(ViewTupleId{v, t}).ok()) ++flagged;
+    }
+  }
+  std::printf("Batch feedback: %zu answers flagged as wrong\n", flagged);
+
+  // Batch translation with the paper's tree algorithm (the catalog's dual
+  // graph is a hypertree), versus the naive per-answer greedy.
+  PrimalDualTreeSolver tree_solver;
+  GreedySolver greedy;
+  Result<VseSolution> batched = tree_solver.Solve(instance);
+  Result<VseSolution> naive = greedy.Solve(instance);
+  if (!batched.ok() || !naive.ok()) {
+    std::fprintf(stderr, "solve failed: %s / %s\n",
+                 batched.ok() ? "ok" : batched.status().ToString().c_str(),
+                 naive.ok() ? "ok" : naive.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nPrimeDualVSE (batch, Theorem 3 guarantee):\n");
+  std::printf("  source deletions: %zu, collateral answers lost: %.0f\n",
+              batched->deletion.size(), batched->Cost());
+  std::printf("Greedy per-answer baseline:\n");
+  std::printf("  source deletions: %zu, collateral answers lost: %.0f\n",
+              naive->deletion.size(), naive->Cost());
+  std::printf("\nBoth eliminate every flagged answer: %s / %s\n",
+              batched->Feasible() ? "yes" : "no",
+              naive->Feasible() ? "yes" : "no");
+  return 0;
+}

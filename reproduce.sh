@@ -1,0 +1,13 @@
+#!/bin/sh
+# Builds the library, runs the full test suite, and regenerates every paper
+# table/figure, capturing outputs at the repo root (test_output.txt and
+# bench_output.txt) — the EXPERIMENTS.md workflow in one command.
+set -eu
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,58 @@
+#include "applications/cleaning_session.h"
+
+namespace delprop {
+
+CleaningSession::CleaningSession(
+    const Database& database, std::vector<const ConjunctiveQuery*> queries)
+    : database_(&database), queries_(std::move(queries)) {}
+
+Status CleaningSession::Begin() {
+  Result<VseInstance> instance =
+      VseInstance::Create(*database_, queries_, &applied_);
+  if (!instance.ok()) return instance.status();
+  instance_ = std::make_unique<VseInstance>(std::move(*instance));
+  return Status::Ok();
+}
+
+Status CleaningSession::Flag(size_t view_index,
+                             const std::vector<std::string>& values) {
+  if (instance_ == nullptr) {
+    return Status::FailedPrecondition("call Begin() before Flag()");
+  }
+  return instance_->MarkForDeletionByValues(view_index, values);
+}
+
+size_t CleaningSession::pending_flags() const {
+  return instance_ == nullptr ? 0 : instance_->TotalDeletionTuples();
+}
+
+Result<CleaningSession::RoundOutcome> CleaningSession::ResolveRound(
+    VseSolver& solver) {
+  if (instance_ == nullptr) {
+    return Status::FailedPrecondition("call Begin() before ResolveRound()");
+  }
+  if (instance_->TotalDeletionTuples() == 0) {
+    return Status::FailedPrecondition("no flags in the current round");
+  }
+  Result<VseSolution> solution = solver.Solve(*instance_);
+  if (!solution.ok()) return solution.status();
+
+  RoundOutcome outcome;
+  outcome.deleted = solution->deletion.Sorted();
+  outcome.unresolved_flags = solution->report.surviving_deletions;
+  outcome.collateral = solution->report.killed_preserved;
+  outcome.side_effect_weight = solution->report.side_effect_weight;
+  outcome.solver_name = solution->solver_name;
+
+  // Apply the round's deletions and refresh incrementally.
+  for (const TupleRef& ref : outcome.deleted) applied_.Insert(ref);
+  total_side_effect_ += outcome.side_effect_weight;
+  ++rounds_;
+  Result<VseInstance> refreshed =
+      VseInstance::CreateByFiltering(*instance_, solution->deletion);
+  if (!refreshed.ok()) return refreshed.status();
+  instance_ = std::make_unique<VseInstance>(std::move(*refreshed));
+  return outcome;
+}
+
+}  // namespace delprop

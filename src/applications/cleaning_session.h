@@ -1,0 +1,90 @@
+#ifndef DELPROP_APPLICATIONS_CLEANING_SESSION_H_
+#define DELPROP_APPLICATIONS_CLEANING_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/solver.h"
+#include "dp/vse_instance.h"
+#include "relational/database.h"
+
+namespace delprop {
+
+/// The Section V query-oriented cleaning loop (QOCO-style), as a reusable
+/// application component: rounds of expert/crowd feedback on view answers
+/// are translated to source deletions in batch — the batch processing with
+/// a guarantee is exactly what the paper contributes — and applied, after
+/// which the views are re-materialized for the next round.
+///
+/// Usage:
+///   CleaningSession session(db, queries);
+///   session.Begin();
+///   session.Flag(view, {"John", "XML"});     // any number of flags
+///   auto outcome = session.ResolveRound(*solver);   // translate + apply
+///   ... inspect outcome, flag more answers on the refreshed views ...
+///
+/// The database itself is never rewritten; the session accumulates the
+/// deletions of all rounds as a mask.
+class CleaningSession {
+ public:
+  /// Summary of one resolved feedback round.
+  struct RoundOutcome {
+    /// Source tuples deleted this round.
+    std::vector<TupleRef> deleted;
+    /// Flags that could not be honored (standard solvers: none on success;
+    /// balanced solvers may leave some).
+    std::vector<ViewTupleId> unresolved_flags;
+    /// Preserved answers lost this round (the side-effect).
+    std::vector<ViewTupleId> collateral;
+    double side_effect_weight = 0.0;
+    std::string solver_name;
+  };
+
+  /// `database` and `queries` must outlive the session.
+  CleaningSession(const Database& database,
+                  std::vector<const ConjunctiveQuery*> queries);
+
+  /// (Re-)materializes the views over the database minus all deletions
+  /// applied so far and starts a feedback round. Must be called before
+  /// Flag/ResolveRound, and again after each resolved round (ResolveRound
+  /// does it automatically on success).
+  Status Begin();
+
+  /// Flags the answer with the given values on view `view_index` as wrong.
+  Status Flag(size_t view_index, const std::vector<std::string>& values);
+
+  /// Number of flags in the current round.
+  size_t pending_flags() const;
+
+  /// Translates this round's flags with `solver`, applies the deletion, and
+  /// refreshes the views for the next round — incrementally, by filtering
+  /// the surviving lineage (VseInstance::CreateByFiltering), not by
+  /// re-running the queries.
+  Result<RoundOutcome> ResolveRound(VseSolver& solver);
+
+  /// The current round's instance (flags included); null before Begin.
+  const VseInstance* instance() const { return instance_.get(); }
+
+  /// All source tuples deleted across rounds.
+  const DeletionSet& applied_deletions() const { return applied_; }
+
+  /// Total side-effect weight accumulated across rounds.
+  double total_side_effect() const { return total_side_effect_; }
+
+  /// Number of resolved rounds.
+  size_t rounds_resolved() const { return rounds_; }
+
+ private:
+  const Database* database_;
+  std::vector<const ConjunctiveQuery*> queries_;
+  std::unique_ptr<VseInstance> instance_;
+  DeletionSet applied_;
+  double total_side_effect_ = 0.0;
+  size_t rounds_ = 0;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_APPLICATIONS_CLEANING_SESSION_H_

@@ -1,0 +1,38 @@
+#include "applications/pareto.h"
+
+#include "solvers/exact_solver.h"
+
+namespace delprop {
+
+Result<std::vector<ParetoPoint>> SourceViewParetoFrontier(
+    const VseInstance& instance, size_t max_budget,
+    uint64_t node_budget_per_point) {
+  std::vector<ParetoPoint> frontier;
+  for (size_t k = 0; k <= max_budget; ++k) {
+    BoundedExactSolver solver(k, node_budget_per_point);
+    Result<VseSolution> solution = solver.Solve(instance);
+    if (!solution.ok()) {
+      if (solution.status().code() == StatusCode::kInfeasible) {
+        continue;  // budget too small; try the next one
+      }
+      return solution.status();
+    }
+    double cost = solution->Cost();
+    if (!frontier.empty() && cost >= frontier.back().side_effect) {
+      continue;  // dominated by a smaller budget
+    }
+    ParetoPoint point;
+    point.deletions = k;
+    point.side_effect = cost;
+    point.solution = std::move(*solution);
+    frontier.push_back(std::move(point));
+    if (cost == 0.0) break;  // side-effect free: nothing left to improve
+  }
+  if (frontier.empty()) {
+    return Status::Infeasible(
+        "no budget up to the maximum eliminates all of ΔV");
+  }
+  return frontier;
+}
+
+}  // namespace delprop

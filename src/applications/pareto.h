@@ -1,0 +1,34 @@
+#ifndef DELPROP_APPLICATIONS_PARETO_H_
+#define DELPROP_APPLICATIONS_PARETO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/solution.h"
+#include "dp/vse_instance.h"
+
+namespace delprop {
+
+/// One point of the source-budget / view-damage trade-off.
+struct ParetoPoint {
+  /// The source-deletion budget this point was solved under (and met).
+  size_t deletions = 0;
+  /// Minimum view side-effect achievable within that budget.
+  double side_effect = 0.0;
+  VseSolution solution;
+};
+
+/// Enumerates the Pareto frontier between the two side-effect measures the
+/// literature studies (source: Tables II/III; view: Tables IV/V): for each
+/// budget k = k_min..max_budget, the optimal view side-effect with |ΔD| ≤ k,
+/// via BoundedExactSolver. Dominated points (same cost as a smaller budget)
+/// are dropped, so the result is strictly decreasing in side_effect. k_min
+/// is the smallest feasible budget. Small instances only (exact search).
+Result<std::vector<ParetoPoint>> SourceViewParetoFrontier(
+    const VseInstance& instance, size_t max_budget,
+    uint64_t node_budget_per_point = 20'000'000);
+
+}  // namespace delprop
+
+#endif  // DELPROP_APPLICATIONS_PARETO_H_

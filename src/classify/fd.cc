@@ -1,0 +1,86 @@
+#include "classify/fd.h"
+
+#include <unordered_set>
+
+#include "classify/head_domination.h"
+
+namespace delprop {
+
+std::vector<FunctionalDependency> KeyFds(const Schema& schema) {
+  std::vector<FunctionalDependency> fds;
+  for (RelationId rel = 0; rel < schema.relation_count(); ++rel) {
+    const RelationSchema& r = schema.relation(rel);
+    FunctionalDependency fd;
+    fd.relation = rel;
+    fd.lhs = r.key_positions;
+    for (size_t p = 0; p < r.arity; ++p) fd.rhs.push_back(p);
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+Result<ConjunctiveQuery> FdHeadClosure(
+    const ConjunctiveQuery& query, const Schema& schema,
+    const std::vector<FunctionalDependency>& fds) {
+  for (const FunctionalDependency& fd : fds) {
+    if (fd.relation >= schema.relation_count()) {
+      return Status::InvalidArgument("FD over undeclared relation");
+    }
+    size_t arity = schema.relation(fd.relation).arity;
+    for (size_t p : fd.lhs) {
+      if (p >= arity) return Status::OutOfRange("FD lhs position");
+    }
+    for (size_t p : fd.rhs) {
+      if (p >= arity) return Status::OutOfRange("FD rhs position");
+    }
+  }
+
+  // Clone the query (variable ids preserved by re-adding in id order).
+  ConjunctiveQuery closure(query.name() + "_fdclosure");
+  for (VarId v = 0; v < query.variable_count(); ++v) {
+    closure.AddVariable(query.variable_name(v));
+  }
+  for (const Term& t : query.head()) closure.AddHeadTerm(t);
+  for (const Atom& atom : query.atoms()) closure.AddAtom(atom);
+
+  // Fixpoint of determined variables.
+  std::unordered_set<VarId> determined;
+  for (const Term& t : query.head()) {
+    if (t.is_variable()) determined.insert(t.id);
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Atom& atom : query.atoms()) {
+      for (const FunctionalDependency& fd : fds) {
+        if (fd.relation != atom.relation) continue;
+        bool lhs_fixed = true;
+        for (size_t p : fd.lhs) {
+          const Term& t = atom.terms[p];
+          if (t.is_variable() && determined.count(t.id) == 0) {
+            lhs_fixed = false;
+            break;
+          }
+        }
+        if (!lhs_fixed) continue;
+        for (size_t p : fd.rhs) {
+          const Term& t = atom.terms[p];
+          if (t.is_variable() && determined.insert(t.id).second) {
+            closure.AddHeadTerm(t);
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool HasFdHeadDomination(const ConjunctiveQuery& query, const Schema& schema,
+                         const std::vector<FunctionalDependency>& fds) {
+  Result<ConjunctiveQuery> closure = FdHeadClosure(query, schema, fds);
+  if (!closure.ok()) return false;
+  return HasHeadDomination(*closure);
+}
+
+}  // namespace delprop

@@ -1,0 +1,40 @@
+#ifndef DELPROP_CLASSIFY_FD_H_
+#define DELPROP_CLASSIFY_FD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// A functional dependency lhs → rhs over one relation's attribute
+/// positions. Keys are the special case key → all positions.
+struct FunctionalDependency {
+  RelationId relation = 0;
+  std::vector<size_t> lhs;
+  std::vector<size_t> rhs;
+};
+
+/// The FDs implied by the schema's declared keys (key positions determine
+/// every position of the relation).
+std::vector<FunctionalDependency> KeyFds(const Schema& schema);
+
+/// Kimelfeld's FD-extension (PODS 2012, the 'fd-head domination' dichotomy
+/// of Table IV): starting from the head variables, repeatedly add variables
+/// functionally determined through some atom — if an FD lhs → rhs holds on
+/// atom A and every lhs position of A carries a constant or an
+/// already-determined variable, the rhs variables become determined. The
+/// returned query has the determined variables appended to its head;
+/// fd-head domination is head domination of this closure.
+Result<ConjunctiveQuery> FdHeadClosure(
+    const ConjunctiveQuery& query, const Schema& schema,
+    const std::vector<FunctionalDependency>& fds);
+
+/// Convenience: head domination of the FD closure.
+bool HasFdHeadDomination(const ConjunctiveQuery& query, const Schema& schema,
+                         const std::vector<FunctionalDependency>& fds);
+
+}  // namespace delprop
+
+#endif  // DELPROP_CLASSIFY_FD_H_

@@ -1,0 +1,95 @@
+#include "classify/head_domination.h"
+
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "query/query_properties.h"
+
+namespace delprop {
+namespace {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+bool HasHeadDomination(const ConjunctiveQuery& query) {
+  const auto& atoms = query.atoms();
+  std::unordered_set<VarId> head;
+  for (const Term& t : query.head()) {
+    if (t.is_variable()) head.insert(t.id);
+  }
+
+  // Which atoms carry an existential variable, and the variable sets.
+  std::vector<std::unordered_set<VarId>> vars(atoms.size());
+  std::vector<bool> existential_atom(atoms.size(), false);
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    for (const Term& t : atoms[a].terms) {
+      if (!t.is_variable()) continue;
+      vars[a].insert(t.id);
+      if (head.count(t.id) == 0) existential_atom[a] = true;
+    }
+  }
+
+  // Components of existential atoms connected via shared EXISTENTIAL vars.
+  DisjointSets sets(atoms.size());
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    if (!existential_atom[a]) continue;
+    for (size_t b = a + 1; b < atoms.size(); ++b) {
+      if (!existential_atom[b]) continue;
+      for (VarId v : vars[a]) {
+        if (head.count(v) == 0 && vars[b].count(v) > 0) {
+          sets.Union(a, b);
+          break;
+        }
+      }
+    }
+  }
+
+  // Head variables per component.
+  std::vector<std::unordered_set<VarId>> component_heads(atoms.size());
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    if (!existential_atom[a]) continue;
+    size_t root = sets.Find(a);
+    for (VarId v : vars[a]) {
+      if (head.count(v) > 0) component_heads[root].insert(v);
+    }
+  }
+
+  // Each component's head variables must sit inside one atom.
+  for (size_t root = 0; root < atoms.size(); ++root) {
+    const auto& needed = component_heads[root];
+    if (needed.empty()) continue;
+    bool dominated = false;
+    for (size_t a = 0; a < atoms.size() && !dominated; ++a) {
+      bool contains_all = true;
+      for (VarId v : needed) {
+        if (vars[a].count(v) == 0) {
+          contains_all = false;
+          break;
+        }
+      }
+      dominated = contains_all;
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace delprop

@@ -1,0 +1,25 @@
+#ifndef DELPROP_CLASSIFY_HEAD_DOMINATION_H_
+#define DELPROP_CLASSIFY_HEAD_DOMINATION_H_
+
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Kimelfeld, Vondrák, Williams' dichotomy property for single-query view
+/// side-effect (TODS 2012, Table IV): a CQ has *head domination* iff for
+/// every connected component of its existential-variable structure — atoms
+/// containing existential variables, connected when they share one — some
+/// atom of the query contains every head variable occurring in that
+/// component. sj-free queries with head domination are PTime for single-
+/// tuple deletion propagation; without it there is no PTAS.
+///
+/// Example (Section IV.B of the reproduced paper):
+///   Q(y1, y2) :- T1(y1, x), T2(x, y2)
+/// has one existential component {T1, T2} whose head variables {y1, y2}
+/// appear together in no atom — not head-dominated, yet key preserving when
+/// x keys both relations.
+bool HasHeadDomination(const ConjunctiveQuery& query);
+
+}  // namespace delprop
+
+#endif  // DELPROP_CLASSIFY_HEAD_DOMINATION_H_

@@ -1,0 +1,78 @@
+#include "classify/landscape.h"
+
+#include "hypergraph/dual_graph.h"
+#include "query/query_properties.h"
+
+namespace delprop {
+
+QueryClassification ClassifyQuery(const ConjunctiveQuery& query,
+                                  const Schema& schema) {
+  QueryClassification c;
+  c.project_free = IsProjectFree(query);
+  c.self_join_free = IsSelfJoinFree(query);
+  c.key_preserving = IsKeyPreserving(query, schema);
+  c.head_domination = HasHeadDomination(query);
+  c.triad_free = !FindTriad(query).has_value();
+
+  // Tables II/III: source side-effect.
+  if (c.project_free && c.self_join_free) {
+    c.source_side_effect = "PTime (Buneman et al. 2002)";
+  } else if (c.key_preserving) {
+    c.source_side_effect = "PTime (Cong et al. 2012)";
+  } else if (c.self_join_free && c.triad_free) {
+    c.source_side_effect = "PTime (triad-free, Freire et al. 2015)";
+  } else if (c.self_join_free) {
+    c.source_side_effect = "NP-complete (triad, Freire et al. 2015)";
+  } else {
+    c.source_side_effect = "NP-complete (Cong et al. 2012)";
+  }
+
+  // Tables IV/V: view side-effect, single deletion.
+  if (c.key_preserving) {
+    c.view_side_effect_single = "PTime (key preserving, Cong et al. 2012)";
+  } else if (c.self_join_free && c.head_domination) {
+    c.view_side_effect_single =
+        "PTime (head domination, Kimelfeld et al. 2012)";
+  } else if (c.self_join_free) {
+    c.view_side_effect_single =
+        "NP-complete, no PTAS (Kimelfeld et al. 2012)";
+  } else {
+    c.view_side_effect_single = "NP-complete (Cong et al. 2012)";
+  }
+  return c;
+}
+
+QuerySetClassification ClassifyQuerySet(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const Schema& schema) {
+  QuerySetClassification c;
+  c.single_query = queries.size() == 1;
+  c.all_key_preserving = true;
+  c.all_project_free = true;
+  for (const ConjunctiveQuery* q : queries) {
+    if (!IsKeyPreserving(*q, schema)) c.all_key_preserving = false;
+    if (!IsProjectFree(*q)) c.all_project_free = false;
+  }
+  c.forest_case = AnalyzeDualGraph(schema, queries).forest_case;
+
+  if (c.single_query && c.all_key_preserving) {
+    c.verdict = "PTime per answer (Cong et al. 2012)";
+    c.recommended_solver = "single-deletion / rbsc-lowdeg";
+  } else if (!c.all_key_preserving) {
+    c.verdict = "NP-hard already per query; use general search";
+    c.recommended_solver = "exact (small) / greedy";
+  } else if (c.forest_case) {
+    c.verdict =
+        "forest case: l- and 2*sqrt(|V|)-approximable (Thms 3-4); "
+        "exact DP if a pivot exists (Alg 4)";
+    c.recommended_solver = "dp-tree / primal-dual / lowdeg-tree";
+  } else {
+    c.verdict =
+        "no O(2^log^(1-d)|V|) approximation (Thm 1); "
+        "O(2*sqrt(l*|V|*log|dV|)) via RBSC (Claim 1)";
+    c.recommended_solver = "rbsc-lowdeg";
+  }
+  return c;
+}
+
+}  // namespace delprop

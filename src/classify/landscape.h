@@ -1,0 +1,50 @@
+#ifndef DELPROP_CLASSIFY_LANDSCAPE_H_
+#define DELPROP_CLASSIFY_LANDSCAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/head_domination.h"
+#include "classify/triad.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Structural fingerprint of one query: the properties Tables II-V key on.
+struct QueryClassification {
+  bool project_free = false;
+  bool self_join_free = false;
+  bool key_preserving = false;
+  bool head_domination = false;
+  bool triad_free = false;
+
+  /// Landscape verdicts, rendered as the literature cites them.
+  /// Source side-effect for single answer deletion (Tables II/III).
+  std::string source_side_effect;
+  /// View side-effect for single answer deletion (Tables IV/V).
+  std::string view_side_effect_single;
+};
+
+/// Classifies `query` against the schema's keys and fills the Table II-V
+/// verdict strings.
+QueryClassification ClassifyQuery(const ConjunctiveQuery& query,
+                                  const Schema& schema);
+
+/// Multi-query verdict (this paper's contribution).
+struct QuerySetClassification {
+  bool all_key_preserving = false;
+  bool all_project_free = false;
+  bool forest_case = false;
+  bool single_query = false;
+  /// What the reproduced paper says about minimizing view side-effect for
+  /// this input class, and which solver in this library applies.
+  std::string verdict;
+  std::string recommended_solver;
+};
+
+QuerySetClassification ClassifyQuerySet(
+    const std::vector<const ConjunctiveQuery*>& queries, const Schema& schema);
+
+}  // namespace delprop
+
+#endif  // DELPROP_CLASSIFY_LANDSCAPE_H_

@@ -1,0 +1,83 @@
+#include "classify/triad.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace delprop {
+namespace {
+
+// Existential-variable sets per atom.
+std::vector<std::unordered_set<VarId>> ExistentialVarSets(
+    const ConjunctiveQuery& query) {
+  std::unordered_set<VarId> head;
+  for (const Term& t : query.head()) {
+    if (t.is_variable()) head.insert(t.id);
+  }
+  std::vector<std::unordered_set<VarId>> vars(query.atoms().size());
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    for (const Term& t : query.atoms()[a].terms) {
+      if (t.is_variable() && head.count(t.id) == 0) vars[a].insert(t.id);
+    }
+  }
+  return vars;
+}
+
+// Is there a path from atom `from` to atom `to` where every edge shares an
+// existential variable NOT in `forbidden`, and no intermediate atom is the
+// third triad member? Endpoints and intermediates may not use forbidden
+// variables for their connections.
+bool ConnectedAvoiding(const std::vector<std::unordered_set<VarId>>& vars,
+                       size_t from, size_t to,
+                       const std::unordered_set<VarId>& forbidden,
+                       size_t excluded_atom) {
+  size_t n = vars.size();
+  auto linked = [&](size_t a, size_t b) {
+    for (VarId v : vars[a]) {
+      if (forbidden.count(v) == 0 && vars[b].count(v) > 0) return true;
+    }
+    return false;
+  };
+  std::vector<bool> visited(n, false);
+  std::deque<size_t> queue{from};
+  visited[from] = true;
+  while (!queue.empty()) {
+    size_t a = queue.front();
+    queue.pop_front();
+    if (a == to) return true;
+    for (size_t b = 0; b < n; ++b) {
+      if (visited[b] || b == excluded_atom) continue;
+      if (linked(a, b)) {
+        visited[b] = true;
+        queue.push_back(b);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::array<size_t, 3>> FindTriad(const ConjunctiveQuery& query) {
+  std::vector<std::unordered_set<VarId>> vars = ExistentialVarSets(query);
+  size_t n = vars.size();
+  if (n < 3) return std::nullopt;
+  for (size_t i = 0; i < n; ++i) {
+    if (vars[i].empty()) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (vars[j].empty()) continue;
+      for (size_t k = j + 1; k < n; ++k) {
+        if (vars[k].empty()) continue;
+        bool ij = ConnectedAvoiding(vars, i, j, vars[k], k);
+        bool ik = ConnectedAvoiding(vars, i, k, vars[j], j);
+        bool jk = ConnectedAvoiding(vars, j, k, vars[i], i);
+        if (ij && ik && jk) {
+          return std::array<size_t, 3>{i, j, k};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace delprop

@@ -1,0 +1,28 @@
+#ifndef DELPROP_CLASSIFY_TRIAD_H_
+#define DELPROP_CLASSIFY_TRIAD_H_
+
+#include <optional>
+#include <array>
+
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Freire, Gatterbauer, Immerman, Meliou's structural property for source
+/// side-effect (resilience, PVLDB 2015, Tables II/III): a *triad* is a set
+/// of three atoms {R0, R1, R2} such that for every pair i ≠ j there is a
+/// path from Ri to Rj — consecutive atoms sharing a variable — that uses no
+/// variable of the third atom. sj-free queries without a triad have PTime
+/// resilience; with one, it is NP-complete.
+///
+/// Adaptation: resilience is defined for Boolean queries, so we run the test
+/// on the existential-variable structure (head variables are pinned by the
+/// deleted answer and act as constants).
+///
+/// Returns the atom indices of one triad, or nullopt if the query is
+/// triad-free.
+std::optional<std::array<size_t, 3>> FindTriad(const ConjunctiveQuery& query);
+
+}  // namespace delprop
+
+#endif  // DELPROP_CLASSIFY_TRIAD_H_

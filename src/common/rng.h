@@ -1,0 +1,53 @@
+#ifndef DELPROP_COMMON_RNG_H_
+#define DELPROP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace delprop {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xoshiro256**). All workload
+/// generators take an explicit Rng so experiments are reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on every platform.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k clamped to n), in random
+  /// order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_COMMON_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef DELPROP_COMMON_TEXT_TABLE_H_
+#define DELPROP_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace delprop {
+
+/// Plain-text table renderer used by the bench harnesses to print paper-style
+/// result tables. Columns are sized to the widest cell; numbers are passed
+/// pre-formatted as strings (see Fmt helpers below).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header underline and aligned columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FmtDouble(double value, int digits = 3);
+
+/// Formats a ratio as "x.yzw" or "inf"/"n/a" for degenerate denominators.
+std::string FmtRatio(double numerator, double denominator, int digits = 3);
+
+}  // namespace delprop
+
+#endif  // DELPROP_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,33 @@
+#include "dp/side_effect.h"
+
+namespace delprop {
+
+SideEffectReport EvaluateDeletion(const VseInstance& instance,
+                                  const DeletionSet& deletion) {
+  SideEffectReport report;
+  report.source_deletion_count = deletion.size();
+  report.per_view_side_effect.assign(instance.view_count(), 0);
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    const View& view = instance.view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      ViewTupleId id{v, t};
+      bool survives = view.Survives(t, deletion);
+      if (instance.IsMarkedForDeletion(id)) {
+        if (survives) {
+          report.surviving_deletions.push_back(id);
+          report.balanced_cost += instance.weight(id);
+        }
+      } else if (!survives) {
+        report.killed_preserved.push_back(id);
+        report.side_effect_count += 1;
+        report.side_effect_weight += instance.weight(id);
+        report.balanced_cost += instance.weight(id);
+        report.per_view_side_effect[v] += 1;
+      }
+    }
+  }
+  report.eliminates_all_deletions = report.surviving_deletions.empty();
+  return report;
+}
+
+}  // namespace delprop

@@ -1,0 +1,46 @@
+#ifndef DELPROP_DP_SIDE_EFFECT_H_
+#define DELPROP_DP_SIDE_EFFECT_H_
+
+#include <vector>
+
+#include "dp/vse_instance.h"
+#include "relational/deletion_set.h"
+
+namespace delprop {
+
+/// Full accounting of what a source deletion ΔD does to the views. Computed
+/// from the recorded lineage: a view tuple survives iff some witness is
+/// disjoint from ΔD (correct for monotone CQs).
+struct SideEffectReport {
+  /// Condition (a) of the problem statement: every ΔV tuple eliminated,
+  /// i.e. Qi(D \ ΔD) ⊆ Vi \ ΔVi for all i.
+  bool eliminates_all_deletions = false;
+
+  /// Preserved view tuples (in V \ ΔV) killed by ΔD — the side-effect.
+  std::vector<ViewTupleId> killed_preserved;
+  /// ΔV tuples that survive ΔD (empty iff eliminates_all_deletions).
+  std::vector<ViewTupleId> surviving_deletions;
+
+  /// The standard objective: Σ si as a count, and its weighted value.
+  size_t side_effect_count = 0;
+  double side_effect_weight = 0.0;
+
+  /// The per-view breakdown: si = |Vi \ ΔVi| − |Qi(D \ ΔD)| exactly as the
+  /// problem statement defines it (one entry per view).
+  std::vector<size_t> per_view_side_effect;
+
+  /// The balanced objective (Section III, fixed per DESIGN.md):
+  /// weight(ΔV tuples not eliminated) + weight(preserved tuples eliminated).
+  double balanced_cost = 0.0;
+
+  /// |ΔD| — the source side-effect counterpart (Tables II/III).
+  size_t source_deletion_count = 0;
+};
+
+/// Evaluates the deletion against every view of the instance.
+SideEffectReport EvaluateDeletion(const VseInstance& instance,
+                                  const DeletionSet& deletion);
+
+}  // namespace delprop
+
+#endif  // DELPROP_DP_SIDE_EFFECT_H_

@@ -1,0 +1,6 @@
+#include "dp/solution.h"
+
+// VseSolution is a passive aggregate; its behaviour lives in side_effect.cc
+// and solver.cc. This translation unit pins the header's include graph.
+
+namespace delprop {}  // namespace delprop

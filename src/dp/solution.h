@@ -1,0 +1,26 @@
+#ifndef DELPROP_DP_SOLUTION_H_
+#define DELPROP_DP_SOLUTION_H_
+
+#include <string>
+
+#include "dp/side_effect.h"
+#include "relational/deletion_set.h"
+
+namespace delprop {
+
+/// A solver's output: the source deletion ΔD plus its full side-effect
+/// accounting and provenance of which solver produced it.
+struct VseSolution {
+  DeletionSet deletion;
+  SideEffectReport report;
+  std::string solver_name;
+
+  /// Convenience accessors for the two objectives.
+  double Cost() const { return report.side_effect_weight; }
+  double BalancedCost() const { return report.balanced_cost; }
+  bool Feasible() const { return report.eliminates_all_deletions; }
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_DP_SOLUTION_H_

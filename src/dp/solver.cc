@@ -1,0 +1,16 @@
+#include "dp/solver.h"
+
+#include <utility>
+
+namespace delprop {
+
+VseSolution MakeSolution(const VseInstance& instance, DeletionSet deletion,
+                         std::string solver_name) {
+  VseSolution solution;
+  solution.report = EvaluateDeletion(instance, deletion);
+  solution.deletion = std::move(deletion);
+  solution.solver_name = std::move(solver_name);
+  return solution;
+}
+
+}  // namespace delprop

@@ -1,0 +1,44 @@
+#ifndef DELPROP_DP_SOLVER_H_
+#define DELPROP_DP_SOLVER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dp/solution.h"
+#include "dp/vse_instance.h"
+
+namespace delprop {
+
+/// Which objective a solver optimizes.
+enum class Objective {
+  /// Standard view side-effect: eliminate all of ΔV, minimize the weight of
+  /// killed preserved tuples (hard feasibility constraint).
+  kStandard,
+  /// Balanced deletion propagation: minimize weight(surviving ΔV) +
+  /// weight(killed preserved); always feasible.
+  kBalanced,
+};
+
+/// Interface of all deletion-propagation solvers.
+class VseSolver {
+ public:
+  virtual ~VseSolver() = default;
+
+  /// Short stable identifier ("exact", "rbsc-lowdeg", "primal-dual", ...).
+  virtual std::string name() const = 0;
+
+  /// The objective this solver optimizes.
+  virtual Objective objective() const { return Objective::kStandard; }
+
+  /// Computes a source deletion for the instance's marked ΔV.
+  virtual Result<VseSolution> Solve(const VseInstance& instance) = 0;
+};
+
+/// Builds a VseSolution for `deletion` (evaluates side effects, stamps the
+/// solver name). Used by every solver's final step.
+VseSolution MakeSolution(const VseInstance& instance, DeletionSet deletion,
+                         std::string solver_name);
+
+}  // namespace delprop
+
+#endif  // DELPROP_DP_SOLVER_H_

@@ -1,0 +1,198 @@
+#include "dp/vse_instance.h"
+
+#include <algorithm>
+
+#include "query/query_properties.h"
+
+namespace delprop {
+
+Result<VseInstance> VseInstance::Create(
+    const Database& database, std::vector<const ConjunctiveQuery*> queries,
+    const DeletionSet* mask) {
+  VseInstance instance;
+  instance.database_ = &database;
+  instance.queries_ = std::move(queries);
+  if (instance.queries_.empty()) {
+    return Status::InvalidArgument("VseInstance needs at least one query");
+  }
+  instance.all_key_preserving_ = true;
+  EvalOptions eval_options;
+  eval_options.mask = mask;
+  for (const ConjunctiveQuery* query : instance.queries_) {
+    Result<View> view = Evaluate(database, *query, eval_options);
+    if (!view.ok()) return view.status();
+    instance.views_.push_back(std::move(*view));
+    instance.max_arity_ = std::max(instance.max_arity_, query->arity());
+    if (!IsKeyPreserving(*query, database.schema())) {
+      instance.all_key_preserving_ = false;
+    }
+  }
+  // Kill map: base tuple -> view tuples whose witness contains it.
+  instance.all_unique_witness_ = true;
+  for (size_t v = 0; v < instance.views_.size(); ++v) {
+    const View& view = instance.views_[v];
+    for (size_t t = 0; t < view.size(); ++t) {
+      if (view.tuple(t).witnesses.size() > 1) {
+        instance.all_unique_witness_ = false;
+      }
+      ViewTupleId id{v, t};
+      std::unordered_set<TupleRef, TupleRefHash> seen;
+      for (const Witness& witness : view.tuple(t).witnesses) {
+        for (const TupleRef& ref : witness) {
+          if (seen.insert(ref).second) {
+            instance.kill_map_[ref].push_back(id);
+          }
+        }
+      }
+    }
+  }
+  return instance;
+}
+
+Result<VseInstance> VseInstance::CreateByFiltering(
+    const VseInstance& previous, const DeletionSet& newly_deleted) {
+  VseInstance instance;
+  instance.database_ = previous.database_;
+  instance.queries_ = previous.queries_;
+  instance.max_arity_ = previous.max_arity_;
+  instance.all_key_preserving_ = previous.all_key_preserving_;
+  instance.all_unique_witness_ = true;
+
+  for (size_t v = 0; v < previous.views_.size(); ++v) {
+    const View& old_view = previous.views_[v];
+    View view(&previous.query(v), previous.database_);
+    for (size_t t = 0; t < old_view.size(); ++t) {
+      const ViewTuple& tuple = old_view.tuple(t);
+      for (const Witness& witness : tuple.witnesses) {
+        bool hit = false;
+        for (const TupleRef& ref : witness) {
+          if (newly_deleted.Contains(ref)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) view.AddMatch(tuple.values, witness);
+      }
+    }
+    instance.views_.push_back(std::move(view));
+  }
+
+  for (size_t v = 0; v < instance.views_.size(); ++v) {
+    const View& view = instance.views_[v];
+    for (size_t t = 0; t < view.size(); ++t) {
+      if (view.tuple(t).witnesses.size() > 1) {
+        instance.all_unique_witness_ = false;
+      }
+      ViewTupleId id{v, t};
+      std::unordered_set<TupleRef, TupleRefHash> seen;
+      for (const Witness& witness : view.tuple(t).witnesses) {
+        for (const TupleRef& ref : witness) {
+          if (seen.insert(ref).second) {
+            instance.kill_map_[ref].push_back(id);
+          }
+        }
+      }
+    }
+  }
+  return instance;
+}
+
+Status VseInstance::MarkForDeletion(const ViewTupleId& id) {
+  if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+    return Status::OutOfRange("view tuple id out of range");
+  }
+  if (deletions_.insert(id).second) {
+    deletion_tuples_.push_back(id);
+    std::sort(deletion_tuples_.begin(), deletion_tuples_.end());
+  }
+  return Status::Ok();
+}
+
+Status VseInstance::MarkForDeletionByValues(
+    size_t view_index, const std::vector<std::string>& values) {
+  if (view_index >= views_.size()) {
+    return Status::OutOfRange("view index out of range");
+  }
+  Tuple tuple;
+  tuple.reserve(values.size());
+  const ValueDictionary& dict = database_->dict();
+  for (const std::string& text : values) {
+    std::optional<ValueId> id = dict.Find(text);
+    if (!id.has_value()) {
+      // A constant never interned cannot identify an existing view tuple.
+      return Status::NotFound("unknown constant '" + text + "'");
+    }
+    tuple.push_back(*id);
+  }
+  std::optional<size_t> index = views_[view_index].Find(tuple);
+  if (!index.has_value()) {
+    return Status::NotFound("no view tuple with the given values in view " +
+                            std::to_string(view_index));
+  }
+  return MarkForDeletion(ViewTupleId{view_index, *index});
+}
+
+Status VseInstance::SetWeight(const ViewTupleId& id, double weight) {
+  if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+    return Status::OutOfRange("view tuple id out of range");
+  }
+  if (weight < 0.0) {
+    return Status::InvalidArgument("weights must be non-negative");
+  }
+  weights_[id] = weight;
+  return Status::Ok();
+}
+
+std::vector<const View*> VseInstance::ViewPointers() const {
+  std::vector<const View*> out;
+  out.reserve(views_.size());
+  for (const View& view : views_) out.push_back(&view);
+  return out;
+}
+
+bool VseInstance::IsMarkedForDeletion(const ViewTupleId& id) const {
+  return deletions_.count(id) > 0;
+}
+
+double VseInstance::weight(const ViewTupleId& id) const {
+  auto it = weights_.find(id);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+std::vector<ViewTupleId> VseInstance::PreservedTuples() const {
+  std::vector<ViewTupleId> out;
+  for (size_t v = 0; v < views_.size(); ++v) {
+    for (size_t t = 0; t < views_[v].size(); ++t) {
+      ViewTupleId id{v, t};
+      if (deletions_.count(id) == 0) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+size_t VseInstance::TotalViewTuples() const {
+  size_t n = 0;
+  for (const View& view : views_) n += view.size();
+  return n;
+}
+
+std::vector<TupleRef> VseInstance::CandidateTuples() const {
+  std::unordered_set<TupleRef, TupleRefHash> seen;
+  for (const ViewTupleId& id : deletion_tuples_) {
+    for (const Witness& witness : view_tuple(id).witnesses) {
+      for (const TupleRef& ref : witness) seen.insert(ref);
+    }
+  }
+  std::vector<TupleRef> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<ViewTupleId>& VseInstance::KilledBy(
+    const TupleRef& ref) const {
+  static const std::vector<ViewTupleId> kEmpty;
+  auto it = kill_map_.find(ref);
+  return it == kill_map_.end() ? kEmpty : it->second;
+}
+
+}  // namespace delprop

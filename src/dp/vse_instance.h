@@ -1,0 +1,154 @@
+#ifndef DELPROP_DP_VSE_INSTANCE_H_
+#define DELPROP_DP_VSE_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "query/evaluator.h"
+#include "query/view.h"
+#include "relational/database.h"
+
+namespace delprop {
+
+/// Identifies one view tuple across the multi-view input: (view index, tuple
+/// index within that view).
+struct ViewTupleId {
+  size_t view = 0;
+  size_t tuple = 0;
+
+  friend bool operator==(const ViewTupleId& a, const ViewTupleId& b) {
+    return a.view == b.view && a.tuple == b.tuple;
+  }
+  friend bool operator<(const ViewTupleId& a, const ViewTupleId& b) {
+    return a.view != b.view ? a.view < b.view : a.tuple < b.tuple;
+  }
+};
+
+struct ViewTupleIdHash {
+  size_t operator()(const ViewTupleId& id) const {
+    size_t seed = std::hash<size_t>()(id.view);
+    HashCombine(seed, std::hash<size_t>()(id.tuple));
+    return seed;
+  }
+};
+
+/// A full deletion-propagation problem input (Section II.C): source database
+/// D, queries Q, materialized views V = Q(D), intended deletions ΔV, and
+/// per-view-tuple preservation weights (Section IV's weighted extension).
+///
+/// The instance is built once (views are materialized with lineage at
+/// creation) and then deletions are marked on it; solvers treat it as
+/// read-only.
+class VseInstance {
+ public:
+  /// Materializes Qi(D) for every query. The database and the queries must
+  /// outlive the instance. Fails if a query does not validate.
+  ///
+  /// If `mask` is non-null, views are materialized over D \ mask — used by
+  /// iterative applications (CleaningSession) that apply earlier rounds'
+  /// deletions without physically rewriting the database. The mask is only
+  /// read during construction.
+  static Result<VseInstance> Create(
+      const Database& database, std::vector<const ConjunctiveQuery*> queries,
+      const DeletionSet* mask = nullptr);
+
+  /// Incremental maintenance under deletions: derives the instance for
+  /// D \ (previous's masked rows ∪ newly_deleted) from `previous` WITHOUT
+  /// re-running the queries — monotonicity means surviving answers are
+  /// exactly the previous answers with a witness disjoint from the deletion.
+  /// ΔV marks and weights are NOT carried over (a fresh feedback round).
+  /// Equivalent to a full Create over the combined mask; property-tested.
+  static Result<VseInstance> CreateByFiltering(
+      const VseInstance& previous, const DeletionSet& newly_deleted);
+
+  /// Marks the view tuple as a member of ΔV (idempotent).
+  Status MarkForDeletion(const ViewTupleId& id);
+
+  /// Looks up the view tuple of `view_index` with the given head values
+  /// (interned from text) and marks it. Fails with NotFound if absent.
+  Status MarkForDeletionByValues(size_t view_index,
+                                 const std::vector<std::string>& values);
+
+  /// Sets the preservation weight of a view tuple (default 1). Weights matter
+  /// only for preserved tuples in the standard objective; the balanced
+  /// objective also uses weights of ΔV tuples.
+  Status SetWeight(const ViewTupleId& id, double weight);
+
+  const Database& database() const { return *database_; }
+  const ConjunctiveQuery& query(size_t i) const { return *queries_[i]; }
+  const View& view(size_t i) const { return views_[i]; }
+  size_t view_count() const { return views_.size(); }
+
+  /// Pointers to all views (for DataForest::Build and diagnostics).
+  std::vector<const View*> ViewPointers() const;
+
+  bool IsMarkedForDeletion(const ViewTupleId& id) const;
+  double weight(const ViewTupleId& id) const;
+
+  /// ΔV as a flat list, in (view, tuple) order.
+  const std::vector<ViewTupleId>& deletion_tuples() const {
+    return deletion_tuples_;
+  }
+  /// V \ ΔV as a flat list, in (view, tuple) order.
+  std::vector<ViewTupleId> PreservedTuples() const;
+
+  /// True if every query is key preserving w.r.t. the schema — the paper's
+  /// standing assumption; every view tuple then has exactly one witness.
+  bool all_key_preserving() const { return all_key_preserving_; }
+
+  /// True if every view tuple has exactly one witness (always true for
+  /// key-preserving and project-free queries). The set-cover reductions are
+  /// exact only under this property.
+  bool all_unique_witness() const { return all_unique_witness_; }
+
+  /// The paper's l = max arity(Q) over the query set.
+  size_t max_arity() const { return max_arity_; }
+
+  /// ‖V‖: total number of view tuples across views.
+  size_t TotalViewTuples() const;
+
+  /// ‖ΔV‖: total number of marked deletions.
+  size_t TotalDeletionTuples() const { return deletion_tuples_.size(); }
+
+  /// Base tuples occurring in some witness of some ΔV tuple — the only
+  /// useful deletion candidates (deleting anything else adds pure damage).
+  std::vector<TupleRef> CandidateTuples() const;
+
+  /// View tuples having `ref` in at least one witness (the "kill set" of the
+  /// base tuple). Empty list if the tuple occurs in no witness.
+  const std::vector<ViewTupleId>& KilledBy(const TupleRef& ref) const;
+
+  const ViewTuple& view_tuple(const ViewTupleId& id) const {
+    return views_[id.view].tuple(id.tuple);
+  }
+
+  /// Renders a view tuple as "Qi(a, b)".
+  std::string RenderViewTuple(const ViewTupleId& id) const {
+    return views_[id.view].RenderTuple(id.tuple);
+  }
+
+ private:
+  VseInstance() = default;
+
+  const Database* database_ = nullptr;
+  std::vector<const ConjunctiveQuery*> queries_;
+  std::vector<View> views_;
+  bool all_key_preserving_ = false;
+  bool all_unique_witness_ = false;
+  size_t max_arity_ = 0;
+
+  std::unordered_set<ViewTupleId, ViewTupleIdHash> deletions_;
+  std::vector<ViewTupleId> deletion_tuples_;
+  std::unordered_map<ViewTupleId, double, ViewTupleIdHash> weights_;
+  std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>
+      kill_map_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_DP_VSE_INSTANCE_H_

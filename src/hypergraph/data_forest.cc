@@ -1,0 +1,302 @@
+#include "hypergraph/data_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+#include <set>
+
+namespace delprop {
+namespace {
+
+// Atom pairs of `query` that share at least one variable; witness tuples
+// matched by such atom pairs are adjacent in the data dual graph.
+std::vector<std::pair<size_t, size_t>> JoinedAtomPairs(
+    const ConjunctiveQuery& query) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  const auto& atoms = query.atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      bool shared = false;
+      for (const Term& a : atoms[i].terms) {
+        if (!a.is_variable()) continue;
+        for (const Term& b : atoms[j].terms) {
+          if (b.is_variable() && b.id == a.id) {
+            shared = true;
+            break;
+          }
+        }
+        if (shared) break;
+      }
+      if (shared) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  // Returns false if a and b were already connected.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+DataForest DataForest::Build(const std::vector<const View*>& views) {
+  DataForest forest;
+
+  auto intern_node = [&forest](const TupleRef& ref) {
+    auto [it, inserted] = forest.node_of_.emplace(ref, forest.refs_.size());
+    if (inserted) {
+      forest.refs_.push_back(ref);
+      forest.adjacency_.emplace_back();
+    }
+    return it->second;
+  };
+
+  // First pass: intern nodes and record witnesses.
+  for (size_t v = 0; v < views.size(); ++v) {
+    const View& view = *views[v];
+    for (size_t t = 0; t < view.size(); ++t) {
+      const ViewTuple& tuple = view.tuple(t);
+      for (size_t w = 0; w < tuple.witnesses.size(); ++w) {
+        ForestWitness fw;
+        fw.view_index = v;
+        fw.tuple_index = t;
+        fw.witness_index = w;
+        for (const TupleRef& ref : tuple.witnesses[w]) {
+          fw.nodes.push_back(intern_node(ref));
+        }
+        std::sort(fw.nodes.begin(), fw.nodes.end());
+        fw.nodes.erase(std::unique(fw.nodes.begin(), fw.nodes.end()),
+                       fw.nodes.end());
+        forest.witnesses_.push_back(std::move(fw));
+      }
+    }
+  }
+
+  // Second pass: add edges between tuples matched by joined atoms.
+  DisjointSets sets(forest.refs_.size());
+  std::set<std::pair<size_t, size_t>> edge_set;
+  size_t witness_cursor = 0;
+  for (size_t v = 0; v < views.size(); ++v) {
+    const View& view = *views[v];
+    auto joined_pairs = JoinedAtomPairs(view.query());
+    for (size_t t = 0; t < view.size(); ++t) {
+      const ViewTuple& tuple = view.tuple(t);
+      for (size_t w = 0; w < tuple.witnesses.size(); ++w) {
+        const Witness& witness = tuple.witnesses[w];
+        (void)witness_cursor;
+        for (auto [i, j] : joined_pairs) {
+          size_t a = forest.node_of_.at(witness[i]);
+          size_t b = forest.node_of_.at(witness[j]);
+          if (a == b) continue;
+          auto key = std::minmax(a, b);
+          if (edge_set.count({key.first, key.second}) > 0) continue;
+          edge_set.insert({key.first, key.second});
+          if (!sets.Union(a, b)) forest.is_forest_ = false;
+          forest.adjacency_[a].push_back(b);
+          forest.adjacency_[b].push_back(a);
+        }
+      }
+    }
+  }
+
+  // Component ids, dense.
+  forest.component_.assign(forest.refs_.size(), 0);
+  std::unordered_map<size_t, size_t> dense;
+  for (size_t n = 0; n < forest.refs_.size(); ++n) {
+    size_t root = sets.Find(n);
+    auto [it, inserted] = dense.emplace(root, dense.size());
+    forest.component_[n] = it->second;
+  }
+  forest.component_count_ = dense.size();
+  return forest;
+}
+
+std::optional<size_t> DataForest::NodeOf(const TupleRef& ref) const {
+  auto it = node_of_.find(ref);
+  if (it == node_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+DataForest::Rooting DataForest::RootAt(const std::vector<size_t>& roots) const {
+  Rooting rooting;
+  rooting.parent.assign(node_count(), -1);
+  rooting.depth.assign(node_count(), 0);
+  rooting.roots.assign(component_count_, node_count());
+
+  if (!roots.empty()) {
+    assert(roots.size() == component_count_);
+    for (size_t c = 0; c < roots.size(); ++c) {
+      assert(component_[roots[c]] == c);
+      rooting.roots[c] = roots[c];
+    }
+  } else {
+    // Default: lowest node id per component.
+    for (size_t n = node_count(); n-- > 0;) {
+      rooting.roots[component_[n]] = n;
+    }
+  }
+
+  std::vector<bool> visited(node_count(), false);
+  for (size_t root : rooting.roots) {
+    std::deque<size_t> queue{root};
+    visited[root] = true;
+    while (!queue.empty()) {
+      size_t node = queue.front();
+      queue.pop_front();
+      for (size_t next : adjacency_[node]) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        rooting.parent[next] = static_cast<long>(node);
+        rooting.depth[next] = rooting.depth[node] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return rooting;
+}
+
+size_t DataForest::Lca(const Rooting& rooting, size_t a, size_t b) const {
+  assert(component_[a] == component_[b]);
+  while (a != b) {
+    if (rooting.depth[a] < rooting.depth[b]) std::swap(a, b);
+    a = static_cast<size_t>(rooting.parent[a]);
+  }
+  return a;
+}
+
+bool DataForest::WitnessIsPath(const ForestWitness& witness,
+                               const Rooting& rooting) const {
+  const std::vector<size_t>& nodes = witness.nodes;
+  if (nodes.size() <= 1) return true;
+  // All nodes must share a component.
+  for (size_t n : nodes) {
+    if (component_[n] != component_[nodes[0]]) return false;
+  }
+  // Endpoint x: the deepest node; endpoint y: the node farthest from x.
+  size_t x = nodes[0];
+  for (size_t n : nodes) {
+    if (rooting.depth[n] > rooting.depth[x]) x = n;
+  }
+  auto dist = [&](size_t a, size_t b) {
+    size_t l = Lca(rooting, a, b);
+    return rooting.depth[a] + rooting.depth[b] - 2 * rooting.depth[l];
+  };
+  size_t y = x;
+  for (size_t n : nodes) {
+    if (dist(x, n) > dist(x, y)) y = n;
+  }
+  // S is a path iff every node lies on path(x, y) and the count matches.
+  size_t path_len = dist(x, y);
+  if (nodes.size() != path_len + 1) return false;
+  size_t top = Lca(rooting, x, y);
+  for (size_t n : nodes) {
+    // n on path(x,y) iff (lca(x,n)==n or lca(y,n)==n) and lca(x,y) is an
+    // ancestor of n, i.e. dist(x,n)+dist(n,y)==dist(x,y).
+    if (dist(x, n) + dist(n, y) != path_len) return false;
+    (void)top;
+  }
+  return true;
+}
+
+bool DataForest::WitnessIsVerticalPath(const ForestWitness& witness,
+                                       const Rooting& rooting) const {
+  const std::vector<size_t>& nodes = witness.nodes;
+  if (nodes.size() <= 1) return true;
+  for (size_t n : nodes) {
+    if (component_[n] != component_[nodes[0]]) return false;
+  }
+  // Deepest node d: all others must be ancestors of d at distinct depths
+  // forming a contiguous chain.
+  size_t d = nodes[0];
+  for (size_t n : nodes) {
+    if (rooting.depth[n] > rooting.depth[d]) d = n;
+  }
+  // Collect depths; must be |nodes| consecutive values ending at depth(d),
+  // and each node must be the ancestor of d at its depth.
+  std::vector<size_t> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return rooting.depth[a] > rooting.depth[b];
+  });
+  size_t walker = d;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != walker) return false;
+    if (i + 1 < sorted.size()) {
+      if (rooting.parent[walker] < 0) return false;
+      walker = static_cast<size_t>(rooting.parent[walker]);
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<size_t>> DataForest::FindPivotRoots() const {
+  if (!is_forest_) return std::nullopt;
+
+  // Group nodes and witnesses by component.
+  std::vector<std::vector<size_t>> nodes_by_component(component_count_);
+  for (size_t n = 0; n < node_count(); ++n) {
+    nodes_by_component[component_[n]].push_back(n);
+  }
+  std::vector<std::vector<const ForestWitness*>> witnesses_by_component(
+      component_count_);
+  for (const ForestWitness& w : witnesses_) {
+    if (w.nodes.empty()) continue;
+    size_t c = component_[w.nodes[0]];
+    bool single = std::all_of(w.nodes.begin(), w.nodes.end(),
+                              [&](size_t n) { return component_[n] == c; });
+    if (!single) return std::nullopt;
+    witnesses_by_component[c].push_back(&w);
+  }
+
+  std::vector<size_t> pivots(component_count_);
+  std::vector<size_t> candidate_roots(component_count_);
+  for (size_t c = 0; c < component_count_; ++c) {
+    bool found = false;
+    for (size_t candidate : nodes_by_component[c]) {
+      candidate_roots[c] = candidate;
+      // Root only this component at `candidate`; others at their first node
+      // (their choice does not affect this component's check).
+      std::vector<size_t> roots(component_count_);
+      for (size_t c2 = 0; c2 < component_count_; ++c2) {
+        roots[c2] = (c2 == c) ? candidate : nodes_by_component[c2].front();
+      }
+      Rooting rooting = RootAt(roots);
+      bool all_vertical = true;
+      for (const ForestWitness* w : witnesses_by_component[c]) {
+        if (!WitnessIsVerticalPath(*w, rooting)) {
+          all_vertical = false;
+          break;
+        }
+      }
+      if (all_vertical) {
+        pivots[c] = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return pivots;
+}
+
+}  // namespace delprop

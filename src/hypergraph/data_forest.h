@@ -1,0 +1,93 @@
+#ifndef DELPROP_HYPERGRAPH_DATA_FOREST_H_
+#define DELPROP_HYPERGRAPH_DATA_FOREST_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "query/view.h"
+#include "relational/tuple_ref.h"
+
+namespace delprop {
+
+/// One view tuple's witness mapped onto forest nodes (the paper's "view tuple
+/// as a path in the data dual graph").
+struct ForestWitness {
+  /// Which view (index into the views vector given to Build) and which view
+  /// tuple inside it this witness belongs to.
+  size_t view_index = 0;
+  size_t tuple_index = 0;
+  /// Which witness of the view tuple (key-preserving queries have exactly 1).
+  size_t witness_index = 0;
+  /// Dense node ids of the base tuples in the witness, deduplicated.
+  std::vector<size_t> nodes;
+};
+
+/// The data dual graph of Section IV.E, specialized to the tree algorithms:
+/// vertices are the base tuples occurring in some witness; for every witness,
+/// tuples matched by atoms that share a query variable are connected. The
+/// tree algorithms require the graph to be a forest and witnesses to be
+/// paths.
+class DataForest {
+ public:
+  /// A rooting of the forest: parent node per node (-1 at roots), depths, and
+  /// the chosen root per component.
+  struct Rooting {
+    std::vector<long> parent;
+    std::vector<size_t> depth;
+    /// Root node id per component id.
+    std::vector<size_t> roots;
+  };
+
+  /// Builds the graph from materialized views (all witnesses of all tuples).
+  static DataForest Build(const std::vector<const View*>& views);
+
+  /// True if no cycle was formed (a precondition of Algorithms 1-4).
+  bool is_forest() const { return is_forest_; }
+
+  size_t node_count() const { return refs_.size(); }
+  const TupleRef& node_ref(size_t node) const { return refs_[node]; }
+  std::optional<size_t> NodeOf(const TupleRef& ref) const;
+  const std::vector<size_t>& neighbors(size_t node) const {
+    return adjacency_[node];
+  }
+  size_t component(size_t node) const { return component_[node]; }
+  size_t component_count() const { return component_count_; }
+  const std::vector<ForestWitness>& witnesses() const { return witnesses_; }
+
+  /// Roots every component at the given node (one per component id); if
+  /// `roots` is empty, the lowest node id of each component is used.
+  Rooting RootAt(const std::vector<size_t>& roots = {}) const;
+
+  /// Lowest common ancestor of two nodes in the same component.
+  size_t Lca(const Rooting& rooting, size_t a, size_t b) const;
+
+  /// True if the witness's nodes form a contiguous path in the forest.
+  bool WitnessIsPath(const ForestWitness& witness,
+                     const Rooting& rooting) const;
+
+  /// True if the witness's nodes form an ancestor chain (a vertical path)
+  /// under `rooting` — the pivot-tuple condition of Algorithm 4.
+  bool WitnessIsVerticalPath(const ForestWitness& witness,
+                             const Rooting& rooting) const;
+
+  /// Searches each component for a pivot node whose rooting makes every
+  /// witness of that component vertical. Returns one pivot per component, or
+  /// nullopt if some component has none.
+  std::optional<std::vector<size_t>> FindPivotRoots() const;
+
+ private:
+  DataForest() = default;
+
+  std::vector<TupleRef> refs_;
+  std::unordered_map<TupleRef, size_t, TupleRefHash> node_of_;
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<size_t> component_;
+  size_t component_count_ = 0;
+  bool is_forest_ = true;
+  std::vector<ForestWitness> witnesses_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_HYPERGRAPH_DATA_FOREST_H_

@@ -1,0 +1,32 @@
+#include "hypergraph/dual_graph.h"
+
+namespace delprop {
+
+DualGraphAnalysis AnalyzeDualGraph(
+    const Schema& schema,
+    const std::vector<const ConjunctiveQuery*>& queries) {
+  Hypergraph graph(schema.relation_count());
+  for (const ConjunctiveQuery* query : queries) {
+    std::vector<size_t> vertices;
+    vertices.reserve(query->atoms().size());
+    for (const Atom& atom : query->atoms()) {
+      vertices.push_back(atom.relation);
+    }
+    graph.AddEdge(std::move(vertices));
+  }
+
+  DualGraphAnalysis analysis{std::move(graph), {}, false, false};
+  analysis.components = analysis.graph.EdgeComponents();
+  analysis.alpha_acyclic = IsAlphaAcyclic(analysis.graph);
+  analysis.forest_case = true;
+  for (const auto& component : analysis.components) {
+    Hypergraph sub = analysis.graph.InducedByEdges(component);
+    if (!IsBetaAcyclic(sub)) {
+      analysis.forest_case = false;
+      break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace delprop

@@ -1,0 +1,32 @@
+#ifndef DELPROP_HYPERGRAPH_DUAL_GRAPH_H_
+#define DELPROP_HYPERGRAPH_DUAL_GRAPH_H_
+
+#include <vector>
+
+#include "hypergraph/gyo.h"
+#include "hypergraph/hypergraph.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Result of classifying a query set via its dual hypergraph (Section IV.B):
+/// vertices are the schema's relations, one hyperedge per query containing
+/// the relations in its body.
+struct DualGraphAnalysis {
+  Hypergraph graph;
+  /// Query (edge) ids grouped by connected component.
+  std::vector<std::vector<size_t>> components;
+  /// Whole graph α-acyclic (GYO)?
+  bool alpha_acyclic = false;
+  /// Every connected component a hypertree (β-acyclic)? This is the paper's
+  /// "forest case" precondition for the tree algorithms.
+  bool forest_case = false;
+};
+
+/// Builds and classifies the dual hypergraph H(Q) of `queries` over `schema`.
+DualGraphAnalysis AnalyzeDualGraph(
+    const Schema& schema, const std::vector<const ConjunctiveQuery*>& queries);
+
+}  // namespace delprop
+
+#endif  // DELPROP_HYPERGRAPH_DUAL_GRAPH_H_

@@ -1,0 +1,120 @@
+#include "hypergraph/gyo.h"
+
+#include <algorithm>
+#include <set>
+
+namespace delprop {
+
+bool IsAlphaAcyclic(const Hypergraph& graph, JoinTree* join_tree) {
+  size_t m = graph.edge_count();
+  // Working copies of the edges as sets of vertices.
+  std::vector<std::set<size_t>> edges(m);
+  for (size_t e = 0; e < m; ++e) {
+    edges[e].insert(graph.edge(e).begin(), graph.edge(e).end());
+  }
+  std::vector<bool> removed(m, false);
+  std::vector<long> parent(m, -1);
+
+  // Vertex occurrence counts.
+  std::vector<size_t> occurrences(graph.vertex_count(), 0);
+  for (const auto& edge : edges) {
+    for (size_t v : edge) ++occurrences[v];
+  }
+
+  bool progress = true;
+  size_t remaining = m;
+  while (progress) {
+    progress = false;
+    // Rule 1: delete vertices occurring in exactly one edge.
+    for (size_t e = 0; e < m; ++e) {
+      if (removed[e]) continue;
+      for (auto it = edges[e].begin(); it != edges[e].end();) {
+        if (occurrences[*it] == 1) {
+          --occurrences[*it];
+          it = edges[e].erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Rule 2: delete an edge contained in another (absorb into the witness).
+    for (size_t e = 0; e < m && remaining > 1; ++e) {
+      if (removed[e]) continue;
+      for (size_t f = 0; f < m; ++f) {
+        if (f == e || removed[f]) continue;
+        if (std::includes(edges[f].begin(), edges[f].end(), edges[e].begin(),
+                          edges[e].end())) {
+          removed[e] = true;
+          parent[e] = static_cast<long>(f);
+          for (size_t v : edges[e]) --occurrences[v];
+          edges[e].clear();
+          --remaining;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Acyclic iff at most one non-empty edge per component survives; after the
+  // loop that means every remaining edge must be empty or the unique maximal
+  // edge of its component — equivalently every remaining edge has no shared
+  // vertices left (occurrences all 1 were stripped), i.e. is empty.
+  for (size_t e = 0; e < m; ++e) {
+    if (!removed[e] && !edges[e].empty()) return false;
+  }
+  if (join_tree != nullptr) join_tree->parent = std::move(parent);
+  return true;
+}
+
+bool IsBetaAcyclic(const Hypergraph& graph) {
+  size_t m = graph.edge_count();
+  std::vector<std::set<size_t>> edges(m);
+  for (size_t e = 0; e < m; ++e) {
+    edges[e].insert(graph.edge(e).begin(), graph.edge(e).end());
+  }
+
+  auto incident_chain = [&](size_t v) {
+    // Collect edges containing v; check they are linearly ordered by ⊆.
+    std::vector<const std::set<size_t>*> incident;
+    for (const auto& edge : edges) {
+      if (edge.count(v) > 0) incident.push_back(&edge);
+    }
+    std::sort(incident.begin(), incident.end(),
+              [](const std::set<size_t>* a, const std::set<size_t>* b) {
+                return a->size() < b->size();
+              });
+    for (size_t i = 0; i + 1 < incident.size(); ++i) {
+      if (!std::includes(incident[i + 1]->begin(), incident[i + 1]->end(),
+                         incident[i]->begin(), incident[i]->end())) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Nest-point elimination.
+  std::vector<bool> alive_vertex(graph.vertex_count(), false);
+  for (const auto& edge : edges) {
+    for (size_t v : edge) alive_vertex[v] = true;
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t v = 0; v < graph.vertex_count(); ++v) {
+      if (!alive_vertex[v]) continue;
+      if (incident_chain(v)) {
+        for (auto& edge : edges) edge.erase(v);
+        alive_vertex[v] = false;
+        progress = true;
+      }
+    }
+  }
+  for (const auto& edge : edges) {
+    if (!edge.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace delprop

@@ -1,0 +1,33 @@
+#ifndef DELPROP_HYPERGRAPH_GYO_H_
+#define DELPROP_HYPERGRAPH_GYO_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace delprop {
+
+/// A join tree over hyperedges: parent edge id per edge (-1 for roots).
+struct JoinTree {
+  std::vector<long> parent;
+};
+
+/// Graham/Yu–Ozsoyoglu reduction: true iff the hypergraph is α-acyclic
+/// (Fagin's weakest degree of acyclicity). If `join_tree` is non-null and the
+/// hypergraph is acyclic, a join tree is emitted (edge e's parent is the edge
+/// it was absorbed into).
+bool IsAlphaAcyclic(const Hypergraph& graph, JoinTree* join_tree = nullptr);
+
+/// True iff the hypergraph is β-acyclic: every subset of hyperedges is
+/// α-acyclic. Decided by nest-point elimination: repeatedly delete a vertex
+/// whose incident edges form a chain under inclusion; β-acyclic iff all edges
+/// empty out. This is the notion matching the paper's Fig. 3 "hypertree"
+/// classification (Q2, Q3 hypertrees; Q1 — which hides the triangle
+/// {T1T2},{T1T3},{T2T3} — not).
+bool IsBetaAcyclic(const Hypergraph& graph);
+
+}  // namespace delprop
+
+#endif  // DELPROP_HYPERGRAPH_GYO_H_

@@ -1,0 +1,74 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace delprop {
+namespace {
+
+// Union-find over dense ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+size_t Hypergraph::AddEdge(std::vector<size_t> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  edges_.push_back(std::move(vertices));
+  return edges_.size() - 1;
+}
+
+std::vector<size_t> Hypergraph::VertexComponents() const {
+  DisjointSets sets(vertex_count_);
+  for (const auto& edge : edges_) {
+    for (size_t i = 1; i < edge.size(); ++i) sets.Union(edge[0], edge[i]);
+  }
+  std::vector<size_t> component(vertex_count_);
+  for (size_t v = 0; v < vertex_count_; ++v) component[v] = sets.Find(v);
+  return component;
+}
+
+std::vector<std::vector<size_t>> Hypergraph::EdgeComponents() const {
+  std::vector<size_t> vertex_component = VertexComponents();
+  std::vector<std::vector<size_t>> groups;
+  std::vector<long> group_of_root(vertex_count_, -1);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].empty()) {
+      groups.push_back({e});
+      continue;
+    }
+    size_t root = vertex_component[edges_[e][0]];
+    if (group_of_root[root] < 0) {
+      group_of_root[root] = static_cast<long>(groups.size());
+      groups.emplace_back();
+    }
+    groups[group_of_root[root]].push_back(e);
+  }
+  return groups;
+}
+
+Hypergraph Hypergraph::InducedByEdges(
+    const std::vector<size_t>& edge_ids) const {
+  Hypergraph sub(vertex_count_);
+  for (size_t e : edge_ids) sub.AddEdge(edges_[e]);
+  return sub;
+}
+
+}  // namespace delprop

@@ -1,0 +1,41 @@
+#ifndef DELPROP_HYPERGRAPH_HYPERGRAPH_H_
+#define DELPROP_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace delprop {
+
+/// A finite hypergraph over dense vertex ids [0, vertex_count). Hyperedges
+/// are stored as sorted vertex lists. Used for the paper's dual hypergraph
+/// H(Q) (vertices = relations, hyperedges = query bodies).
+class Hypergraph {
+ public:
+  explicit Hypergraph(size_t vertex_count) : vertex_count_(vertex_count) {}
+
+  /// Adds a hyperedge; vertices are sorted and deduplicated. Returns its id.
+  size_t AddEdge(std::vector<size_t> vertices);
+
+  size_t vertex_count() const { return vertex_count_; }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<size_t>& edge(size_t e) const { return edges_[e]; }
+
+  /// Component id per vertex (vertices connected iff they co-occur in a chain
+  /// of overlapping hyperedges). Isolated vertices get their own component.
+  std::vector<size_t> VertexComponents() const;
+
+  /// Partition of edge ids by connected component.
+  std::vector<std::vector<size_t>> EdgeComponents() const;
+
+  /// The sub-hypergraph induced by an edge subset (vertex ids preserved).
+  Hypergraph InducedByEdges(const std::vector<size_t>& edge_ids) const;
+
+ private:
+  size_t vertex_count_;
+  std::vector<std::vector<size_t>> edges_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,143 @@
+#include "query/containment.h"
+
+#include <string>
+
+#include "query/evaluator.h"
+
+namespace delprop {
+namespace {
+
+/// Builds q's canonical ("frozen") database: each variable becomes a fresh
+/// constant, each atom a row. Keys are relaxed to the full tuple so the
+/// frozen body always inserts (identical atoms collapse). Returns the frozen
+/// head values through `frozen_head`.
+Result<Database> FreezeQuery(const ConjunctiveQuery& query,
+                             const Schema& schema, Tuple* frozen_head) {
+  Database db;
+  // Mirror the schema with key = all positions (classical containment
+  // ignores dependencies).
+  for (RelationId rel = 0; rel < schema.relation_count(); ++rel) {
+    const RelationSchema& r = schema.relation(rel);
+    std::vector<size_t> all_positions;
+    for (size_t p = 0; p < r.arity; ++p) all_positions.push_back(p);
+    Result<RelationId> id = db.AddRelation(r.name, r.arity, all_positions);
+    if (!id.ok()) return id.status();
+  }
+  // Freeze variables to canonical constants "~var<i>"; constants keep their
+  // original text so they unify with the other query's constants.
+  // Constants are frozen by ValueId — both queries must share one
+  // ValueDictionary (see the header contract) so ids identify constants.
+  auto frozen_term = [&db](const Term& t) {
+    if (t.is_constant()) {
+      return db.dict().Intern("~const" + std::to_string(t.id));
+    }
+    return db.dict().Intern("~var" + std::to_string(t.id));
+  };
+  for (const Atom& atom : query.atoms()) {
+    Tuple row;
+    row.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) row.push_back(frozen_term(t));
+    Result<TupleRef> ref = db.Insert(atom.relation, std::move(row));
+    if (!ref.ok() && ref.status().code() != StatusCode::kKeyViolation) {
+      return ref.status();
+    }
+  }
+  frozen_head->clear();
+  for (const Term& t : query.head()) frozen_head->push_back(frozen_term(t));
+  return db;
+}
+
+/// Rewrites q2 so its constants survive freezing: constant c becomes the
+/// frozen constant "~const<c>" of the canonical database's dictionary.
+ConjunctiveQuery RetagConstants(const ConjunctiveQuery& query, Database& db) {
+  ConjunctiveQuery out(query.name());
+  for (VarId v = 0; v < query.variable_count(); ++v) {
+    out.AddVariable(query.variable_name(v));
+  }
+  auto retag = [&db](const Term& t) {
+    if (t.is_constant()) {
+      return Term::Constant(
+          db.dict().Intern("~const" + std::to_string(t.id)));
+    }
+    return t;
+  };
+  for (const Term& t : query.head()) out.AddHeadTerm(retag(t));
+  for (const Atom& atom : query.atoms()) {
+    Atom copy;
+    copy.relation = atom.relation;
+    for (const Term& t : atom.terms) copy.terms.push_back(retag(t));
+    out.AddAtom(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2, const Schema& schema) {
+  if (Status s = q1.Validate(schema); !s.ok()) return s;
+  if (Status s = q2.Validate(schema); !s.ok()) return s;
+  if (q1.arity() != q2.arity()) return false;
+
+  Tuple frozen_head;
+  Result<Database> canonical = FreezeQuery(q1, schema, &frozen_head);
+  if (!canonical.ok()) return canonical.status();
+
+  ConjunctiveQuery retagged = RetagConstants(q2, *canonical);
+  Result<View> result = Evaluate(*canonical, retagged);
+  if (!result.ok()) return result.status();
+  return result->Find(frozen_head).has_value();
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2, const Schema& schema) {
+  Result<bool> forward = IsContainedIn(q1, q2, schema);
+  if (!forward.ok()) return forward;
+  if (!*forward) return false;
+  return IsContainedIn(q2, q1, schema);
+}
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query,
+                                       const Schema& schema) {
+  if (Status s = query.Validate(schema); !s.ok()) return s;
+  ConjunctiveQuery current("");
+  // Working copy.
+  {
+    ConjunctiveQuery clone(query.name());
+    for (VarId v = 0; v < query.variable_count(); ++v) {
+      clone.AddVariable(query.variable_name(v));
+    }
+    for (const Term& t : query.head()) clone.AddHeadTerm(t);
+    for (const Atom& atom : query.atoms()) clone.AddAtom(atom);
+    current = std::move(clone);
+  }
+
+  bool progress = true;
+  while (progress && current.atoms().size() > 1) {
+    progress = false;
+    for (size_t drop = 0; drop < current.atoms().size(); ++drop) {
+      ConjunctiveQuery candidate(current.name());
+      for (VarId v = 0; v < current.variable_count(); ++v) {
+        candidate.AddVariable(current.variable_name(v));
+      }
+      for (const Term& t : current.head()) candidate.AddHeadTerm(t);
+      for (size_t a = 0; a < current.atoms().size(); ++a) {
+        if (a != drop) candidate.AddAtom(current.atoms()[a]);
+      }
+      // Safety: head variables must still occur in the body.
+      if (!candidate.Validate(schema).ok()) continue;
+      // Dropping an atom can only enlarge the result (candidate ⊒ current);
+      // equivalence needs candidate ⊑ current.
+      Result<bool> contained = IsContainedIn(candidate, current, schema);
+      if (!contained.ok()) return contained.status();
+      if (*contained) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace delprop

@@ -1,0 +1,32 @@
+#ifndef DELPROP_QUERY_CONTAINMENT_H_
+#define DELPROP_QUERY_CONTAINMENT_H_
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Classical CQ containment via the Chandra-Merlin homomorphism theorem
+/// (STOC 1977, the paper's reference [9]): q1 ⊑ q2 (q1(D) ⊆ q2(D) on every
+/// instance) iff q2's canonical evaluation over q1's frozen body produces
+/// q1's frozen head. Keys are ignored — this is containment over plain
+/// instances, the classical notion.
+///
+/// Both queries must be over the same schema, and their constants must have
+/// been interned into the same ValueDictionary (constants are compared by
+/// ValueId). Differing arity returns false.
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2, const Schema& schema);
+
+/// q1 ≡ q2: containment both ways.
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2, const Schema& schema);
+
+/// Chandra-Merlin minimization: greedily removes atoms whose removal keeps
+/// the query equivalent; the result is a core (minimal equivalent query).
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query,
+                                       const Schema& schema);
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_CONTAINMENT_H_

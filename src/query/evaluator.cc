@@ -1,0 +1,239 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace delprop {
+namespace {
+
+constexpr ValueId kUnbound = std::numeric_limits<ValueId>::max();
+
+/// Hash index over one attribute position of one relation.
+using PositionIndex = std::unordered_map<ValueId, std::vector<uint32_t>>;
+
+class JoinContext {
+ public:
+  JoinContext(const Database& db, const ConjunctiveQuery& query,
+              const DeletionSet* mask, EvalStats* stats, size_t max_matches,
+              View* out)
+      : db_(db),
+        query_(query),
+        mask_(mask),
+        stats_(stats),
+        max_matches_(max_matches),
+        out_(out) {
+    assignment_.assign(query.variable_count(), kUnbound);
+    witness_.resize(query.atoms().size());
+    OrderAtoms();
+    if (stats_ != nullptr) stats_->atom_order = order_;
+  }
+
+  void Run() { Descend(0); }
+
+  const std::vector<size_t>& order() const { return order_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  /// Greedy ordering: repeatedly pick the unplaced atom with the most terms
+  /// bound by constants or previously placed atoms; break ties towards the
+  /// smaller relation.
+  void OrderAtoms() {
+    const auto& atoms = query_.atoms();
+    std::vector<bool> placed(atoms.size(), false);
+    std::vector<bool> bound(query_.variable_count(), false);
+    for (size_t step = 0; step < atoms.size(); ++step) {
+      size_t best = atoms.size();
+      size_t best_bound = 0;
+      size_t best_rows = 0;
+      for (size_t a = 0; a < atoms.size(); ++a) {
+        if (placed[a]) continue;
+        size_t bound_terms = 0;
+        for (const Term& t : atoms[a].terms) {
+          if (t.is_constant() || bound[t.id]) ++bound_terms;
+        }
+        size_t rows = db_.relation(atoms[a].relation).row_count();
+        if (best == atoms.size() || bound_terms > best_bound ||
+            (bound_terms == best_bound && rows < best_rows)) {
+          best = a;
+          best_bound = bound_terms;
+          best_rows = rows;
+        }
+      }
+      order_.push_back(best);
+      placed[best] = true;
+      for (const Term& t : atoms[best].terms) {
+        if (t.is_variable()) bound[t.id] = true;
+      }
+    }
+  }
+
+  const PositionIndex& IndexFor(RelationId relation, size_t position) {
+    auto key = std::make_pair(relation, position);
+    auto it = indexes_.find(key);
+    if (it != indexes_.end()) return it->second;
+    PositionIndex index;
+    const Relation& rel = db_.relation(relation);
+    for (uint32_t row = 0; row < rel.row_count(); ++row) {
+      index[rel.row(row)[position]].push_back(row);
+    }
+    if (stats_ != nullptr) ++stats_->indexes_built;
+    return indexes_.emplace(key, std::move(index)).first->second;
+  }
+
+  /// Tries to extend the current partial assignment with row `row` of the
+  /// atom at order position `depth`. Returns the list of variables bound by
+  /// this row (to undo on backtrack), or nullopt on mismatch.
+  bool TryBind(const Atom& atom, const Tuple& row,
+               std::vector<VarId>* newly_bound) {
+    for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (t.is_constant()) {
+        if (row[pos] != t.id) return false;
+      } else if (assignment_[t.id] != kUnbound) {
+        if (row[pos] != assignment_[t.id]) return false;
+      } else {
+        assignment_[t.id] = row[pos];
+        newly_bound->push_back(t.id);
+      }
+    }
+    return true;
+  }
+
+  void Undo(const std::vector<VarId>& newly_bound) {
+    for (VarId v : newly_bound) assignment_[v] = kUnbound;
+  }
+
+  void Descend(size_t depth) {
+    if (overflowed_) return;
+    if (depth == order_.size()) {
+      Emit();
+      return;
+    }
+    size_t atom_index = order_[depth];
+    const Atom& atom = query_.atoms()[atom_index];
+    const Relation& rel = db_.relation(atom.relation);
+
+    // Pick a bound position to index on: prefer the one with the smallest
+    // candidate list.
+    const std::vector<uint32_t>* candidates = nullptr;
+    std::vector<uint32_t> empty;
+    bool have_bound_position = false;
+    for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const Term& t = atom.terms[pos];
+      ValueId bound_value;
+      if (t.is_constant()) {
+        bound_value = t.id;
+      } else if (assignment_[t.id] != kUnbound) {
+        bound_value = assignment_[t.id];
+      } else {
+        continue;
+      }
+      have_bound_position = true;
+      const PositionIndex& index = IndexFor(atom.relation, pos);
+      auto it = index.find(bound_value);
+      const std::vector<uint32_t>* list = (it == index.end()) ? &empty : &it->second;
+      if (candidates == nullptr || list->size() < candidates->size()) {
+        candidates = list;
+        if (candidates->empty()) break;
+      }
+    }
+
+    auto try_row = [&](uint32_t row_index) {
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+      TupleRef ref{atom.relation, row_index};
+      if (mask_ != nullptr && mask_->Contains(ref)) return;
+      std::vector<VarId> newly_bound;
+      if (TryBind(atom, rel.row(row_index), &newly_bound)) {
+        witness_[atom_index] = ref;
+        Descend(depth + 1);
+      }
+      Undo(newly_bound);
+    };
+
+    if (have_bound_position) {
+      for (uint32_t row_index : *candidates) try_row(row_index);
+    } else {
+      for (uint32_t row_index = 0; row_index < rel.row_count(); ++row_index) {
+        try_row(row_index);
+      }
+    }
+  }
+
+  void Emit() {
+    if (max_matches_ > 0 && emitted_ >= max_matches_) {
+      overflowed_ = true;
+      return;
+    }
+    ++emitted_;
+    if (stats_ != nullptr) ++stats_->matches;
+    Tuple values;
+    values.reserve(query_.head().size());
+    for (const Term& t : query_.head()) {
+      values.push_back(t.is_constant() ? t.id : assignment_[t.id]);
+    }
+    out_->AddMatch(values, witness_);
+  }
+
+  const Database& db_;
+  const ConjunctiveQuery& query_;
+  const DeletionSet* mask_;
+  EvalStats* stats_;
+  size_t max_matches_;
+  View* out_;
+  size_t emitted_ = 0;
+  bool overflowed_ = false;
+  std::vector<size_t> order_;
+  std::vector<ValueId> assignment_;
+  Witness witness_;
+  std::unordered_map<std::pair<RelationId, size_t>, PositionIndex,
+                     PairHash<RelationId, size_t>>
+      indexes_;
+};
+
+}  // namespace
+
+Result<View> Evaluate(const Database& database, const ConjunctiveQuery& query,
+                      const EvalOptions& options) {
+  if (Status s = query.Validate(database.schema()); !s.ok()) return s;
+  View view(&query, &database);
+  JoinContext context(database, query, options.mask, options.stats,
+                      options.max_matches, &view);
+  context.Run();
+  if (context.overflowed()) {
+    return Status::OutOfRange("query '" + query.name() + "' exceeded " +
+                              std::to_string(options.max_matches) +
+                              " matches");
+  }
+  return view;
+}
+
+std::string ExplainPlan(const Database& database,
+                        const ConjunctiveQuery& query) {
+  View scratch(&query, &database);
+  JoinContext context(database, query, nullptr, nullptr, 0, &scratch);
+  std::string out = "plan for " + query.name() + ":\n";
+  std::vector<bool> bound(query.variable_count(), false);
+  for (size_t step = 0; step < context.order().size(); ++step) {
+    size_t atom_index = context.order()[step];
+    const Atom& atom = query.atoms()[atom_index];
+    const RelationSchema& rel = database.schema().relation(atom.relation);
+    size_t bound_terms = 0;
+    for (const Term& t : atom.terms) {
+      if (t.is_constant() || bound[t.id]) ++bound_terms;
+    }
+    out += "  " + std::to_string(step + 1) + ". " + rel.name + " (" +
+           std::to_string(database.relation(atom.relation).row_count()) +
+           " rows, " + std::to_string(bound_terms) + "/" +
+           std::to_string(atom.terms.size()) + " terms bound, " +
+           (bound_terms > 0 ? "index lookup" : "full scan") + ")\n";
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) bound[t.id] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace delprop

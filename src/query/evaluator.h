@@ -1,0 +1,54 @@
+#ifndef DELPROP_QUERY_EVALUATOR_H_
+#define DELPROP_QUERY_EVALUATOR_H_
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "query/view.h"
+#include "relational/database.h"
+#include "relational/deletion_set.h"
+
+namespace delprop {
+
+/// Counters filled during evaluation (plan + work measures), for tests,
+/// EXPLAIN output, and the substrate benches.
+struct EvalStats {
+  /// The greedy join order chosen, as original atom indices.
+  std::vector<size_t> atom_order;
+  /// Matches emitted (including duplicates collapsing into one view tuple).
+  size_t matches = 0;
+  /// Candidate rows examined across all lookups.
+  size_t rows_scanned = 0;
+  /// Per-(relation, position) hash indexes built on demand.
+  size_t indexes_built = 0;
+};
+
+/// Options for query evaluation.
+struct EvalOptions {
+  /// If set, evaluate against D \ mask (rows in the mask are invisible).
+  const DeletionSet* mask = nullptr;
+  /// If set, filled with plan and work counters.
+  EvalStats* stats = nullptr;
+  /// Guard against runaway results (cartesian products of ad-hoc queries):
+  /// evaluation fails with OutOfRange once this many matches were emitted.
+  /// 0 disables the guard.
+  size_t max_matches = 0;
+};
+
+/// Renders the evaluation plan (join order with per-atom binding info) the
+/// evaluator would choose, without running the query.
+std::string ExplainPlan(const Database& database,
+                        const ConjunctiveQuery& query);
+
+/// Evaluates `query` over `database` and materializes the result with
+/// why-provenance (every match's witness set is recorded on its view tuple).
+///
+/// The evaluator is a backtracking join: atoms are ordered greedily (most
+/// bound terms first), and per-(relation, position) hash indexes accelerate
+/// lookups of partially bound atoms. Works for arbitrary CQs, including
+/// self-joins and repeated head variables.
+Result<View> Evaluate(const Database& database, const ConjunctiveQuery& query,
+                      const EvalOptions& options = {});
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_EVALUATOR_H_

@@ -1,0 +1,184 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace delprop {
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kConstant, kLParen, kRParen, kComma, kTurnstile };
+  Kind kind;
+  std::string text;  // identifier name or constant spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // Returns the next token, std::nullopt at end of input, or an error status.
+  Result<std::optional<Token>> Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return std::optional<Token>();
+    char c = input_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return std::optional<Token>(Token{Token::Kind::kLParen, "("});
+    }
+    if (c == ')') {
+      ++pos_;
+      return std::optional<Token>(Token{Token::Kind::kRParen, ")"});
+    }
+    if (c == ',') {
+      ++pos_;
+      return std::optional<Token>(Token{Token::Kind::kComma, ","});
+    }
+    if (c == ':') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '-') {
+        return Status::InvalidArgument("expected ':-' in query text");
+      }
+      pos_ += 2;
+      return std::optional<Token>(Token{Token::Kind::kTurnstile, ":-"});
+    }
+    if (c == '\'') {
+      size_t end = input_.find('\'', pos_ + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted constant");
+      }
+      Token tok{Token::Kind::kConstant,
+                std::string(input_.substr(pos_ + 1, end - pos_ - 1))};
+      pos_ = end + 1;
+      return std::optional<Token>(tok);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_++;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      return std::optional<Token>(Token{
+          Token::Kind::kConstant, std::string(input_.substr(start, pos_ - start))});
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_++;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      return std::optional<Token>(Token{
+          Token::Kind::kIdent, std::string(input_.substr(start, pos_ - start))});
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in query text");
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const Schema& schema,
+                                    ValueDictionary& dict) {
+  Lexer lexer(text);
+  std::vector<Token> tokens;
+  for (;;) {
+    Result<std::optional<Token>> tok = lexer.Next();
+    if (!tok.ok()) return tok.status();
+    if (!tok->has_value()) break;
+    tokens.push_back(**tok);
+  }
+  size_t i = 0;
+  auto expect = [&](Token::Kind kind, const char* what) -> Status {
+    if (i >= tokens.size() || tokens[i].kind != kind) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " in query text");
+    }
+    ++i;
+    return Status::Ok();
+  };
+
+  if (i >= tokens.size() || tokens[i].kind != Token::Kind::kIdent) {
+    return Status::InvalidArgument("expected query name");
+  }
+  ConjunctiveQuery query(tokens[i++].text);
+
+  auto parse_term = [&]() -> Result<Term> {
+    if (i >= tokens.size()) {
+      return Status::InvalidArgument("unexpected end of query text");
+    }
+    const Token& tok = tokens[i++];
+    if (tok.kind == Token::Kind::kIdent) {
+      return Term::Variable(query.AddVariable(tok.text));
+    }
+    if (tok.kind == Token::Kind::kConstant) {
+      return Term::Constant(dict.Intern(tok.text));
+    }
+    return Status::InvalidArgument("expected a term");
+  };
+
+  // Head term list.
+  if (Status s = expect(Token::Kind::kLParen, "'('"); !s.ok()) return s;
+  for (;;) {
+    Result<Term> term = parse_term();
+    if (!term.ok()) return term.status();
+    query.AddHeadTerm(*term);
+    if (i < tokens.size() && tokens[i].kind == Token::Kind::kComma) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (Status s = expect(Token::Kind::kRParen, "')'"); !s.ok()) return s;
+  if (Status s = expect(Token::Kind::kTurnstile, "':-'"); !s.ok()) return s;
+
+  // Body atoms.
+  for (;;) {
+    if (i >= tokens.size() || tokens[i].kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected relation name in body");
+    }
+    std::string rel_name = tokens[i++].text;
+    std::optional<RelationId> rel = schema.FindRelation(rel_name);
+    if (!rel.has_value()) {
+      return Status::NotFound("undeclared relation '" + rel_name +
+                              "' in query body");
+    }
+    Atom atom;
+    atom.relation = *rel;
+    if (Status s = expect(Token::Kind::kLParen, "'('"); !s.ok()) return s;
+    for (;;) {
+      Result<Term> term = parse_term();
+      if (!term.ok()) return term.status();
+      atom.terms.push_back(*term);
+      if (i < tokens.size() && tokens[i].kind == Token::Kind::kComma) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (Status s = expect(Token::Kind::kRParen, "')'"); !s.ok()) return s;
+    query.AddAtom(std::move(atom));
+    if (i < tokens.size() && tokens[i].kind == Token::Kind::kComma) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i != tokens.size()) {
+    return Status::InvalidArgument("trailing tokens after query body");
+  }
+  if (Status s = query.Validate(schema); !s.ok()) return s;
+  return query;
+}
+
+}  // namespace delprop

@@ -1,0 +1,25 @@
+#ifndef DELPROP_QUERY_PARSER_H_
+#define DELPROP_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// Parses a conjunctive query in the paper's datalog style, e.g.
+///   "Q3(x, z) :- T1(x, y), T2(y, z, w)"
+/// Lexical rules:
+///  * identifiers are variables (e.g. x, y1, topic);
+///  * single-quoted strings ('XML') and bare integer literals (42, -7) are
+///    constants interned into `dict`;
+///  * relation names are resolved against `schema` and must be declared.
+/// The returned query is already validated against `schema`.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const Schema& schema,
+                                    ValueDictionary& dict);
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_PARSER_H_

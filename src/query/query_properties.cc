@@ -1,0 +1,86 @@
+#include "query/query_properties.h"
+
+#include <unordered_set>
+
+namespace delprop {
+namespace {
+
+std::unordered_set<VarId> HeadVariableSet(const ConjunctiveQuery& query) {
+  std::unordered_set<VarId> head;
+  for (const Term& t : query.head()) {
+    if (t.is_variable()) head.insert(t.id);
+  }
+  return head;
+}
+
+}  // namespace
+
+bool IsProjectFree(const ConjunctiveQuery& query) {
+  std::unordered_set<VarId> head = HeadVariableSet(query);
+  for (const Atom& atom : query.atoms()) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && head.count(t.id) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool IsSelfJoinFree(const ConjunctiveQuery& query) {
+  std::unordered_set<RelationId> seen;
+  for (const Atom& atom : query.atoms()) {
+    if (!seen.insert(atom.relation).second) return false;
+  }
+  return true;
+}
+
+bool IsKeyPreserving(const ConjunctiveQuery& query, const Schema& schema) {
+  std::unordered_set<VarId> head = HeadVariableSet(query);
+  for (const Atom& atom : query.atoms()) {
+    const RelationSchema& rel = schema.relation(atom.relation);
+    for (size_t pos : rel.key_positions) {
+      const Term& t = atom.terms[pos];
+      if (t.is_variable() && head.count(t.id) == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<VarId> HeadVariables(const ConjunctiveQuery& query) {
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (const Term& t : query.head()) {
+    if (t.is_variable() && seen.insert(t.id).second) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<VarId> ExistentialVariables(const ConjunctiveQuery& query) {
+  std::unordered_set<VarId> head = HeadVariableSet(query);
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (const Atom& atom : query.atoms()) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && head.count(t.id) == 0 &&
+          seen.insert(t.id).second) {
+        out.push_back(t.id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VarId> KeyVariables(const ConjunctiveQuery& query,
+                                const Schema& schema) {
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (const Atom& atom : query.atoms()) {
+    const RelationSchema& rel = schema.relation(atom.relation);
+    for (size_t pos : rel.key_positions) {
+      const Term& t = atom.terms[pos];
+      if (t.is_variable() && seen.insert(t.id).second) out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace delprop

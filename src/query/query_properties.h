@@ -1,0 +1,39 @@
+#ifndef DELPROP_QUERY_QUERY_PROPERTIES_H_
+#define DELPROP_QUERY_QUERY_PROPERTIES_H_
+
+#include <vector>
+
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// The syntactic query classes the paper's dichotomies are stated over.
+
+/// True if every variable occurring in the body also occurs in the head
+/// (a select-join query; the paper's "project-free" fragment).
+bool IsProjectFree(const ConjunctiveQuery& query);
+
+/// True if no relation symbol occurs twice in the body (sj-free).
+bool IsSelfJoinFree(const ConjunctiveQuery& query);
+
+/// True if the query is key preserving (Section II.B): every variable located
+/// at a key attribute position of any atom occurs in the head. (Constants at
+/// key positions are allowed; project-free queries are always key
+/// preserving.)
+bool IsKeyPreserving(const ConjunctiveQuery& query, const Schema& schema);
+
+/// Head variables Var_h(Q) in first-occurrence order.
+std::vector<VarId> HeadVariables(const ConjunctiveQuery& query);
+
+/// Existential variables Var_∃(Q) (body variables not in the head) in
+/// first-occurrence order.
+std::vector<VarId> ExistentialVariables(const ConjunctiveQuery& query);
+
+/// All key variables (variables at key positions of some atom), deduplicated,
+/// in first-occurrence order.
+std::vector<VarId> KeyVariables(const ConjunctiveQuery& query,
+                                const Schema& schema);
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_QUERY_PROPERTIES_H_

@@ -1,0 +1,200 @@
+#include "query/semijoin.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "hypergraph/gyo.h"
+#include "query/query_properties.h"
+
+namespace delprop {
+namespace {
+
+using ValueKey = std::vector<ValueId>;
+using KeySet = std::unordered_set<ValueKey, VectorHash<ValueId>>;
+
+/// Rows of `atom`'s relation that satisfy the atom's constants and repeated
+/// variables and are not masked.
+std::vector<uint32_t> InitialAliveRows(const Database& db, const Atom& atom,
+                                       const DeletionSet* mask) {
+  const Relation& rel = db.relation(atom.relation);
+  std::vector<uint32_t> alive;
+  for (uint32_t row_index = 0; row_index < rel.row_count(); ++row_index) {
+    if (mask != nullptr && mask->Contains({atom.relation, row_index})) {
+      continue;
+    }
+    const Tuple& row = rel.row(row_index);
+    bool ok = true;
+    // Constants must match; repeated variables must agree.
+    for (size_t p = 0; p < atom.terms.size() && ok; ++p) {
+      const Term& t = atom.terms[p];
+      if (t.is_constant()) {
+        ok = row[p] == t.id;
+        continue;
+      }
+      for (size_t q = p + 1; q < atom.terms.size() && ok; ++q) {
+        const Term& u = atom.terms[q];
+        if (u.is_variable() && u.id == t.id) ok = row[p] == row[q];
+      }
+    }
+    if (ok) alive.push_back(row_index);
+  }
+  return alive;
+}
+
+/// Positions of `atom` holding each variable of `shared` (first occurrence).
+std::vector<size_t> SharedPositions(const Atom& atom,
+                                    const std::vector<VarId>& shared) {
+  std::vector<size_t> positions;
+  for (VarId var : shared) {
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      if (atom.terms[p].is_variable() && atom.terms[p].id == var) {
+        positions.push_back(p);
+        break;
+      }
+    }
+  }
+  return positions;
+}
+
+ValueKey ProjectRow(const Tuple& row, const std::vector<size_t>& positions) {
+  ValueKey key;
+  key.reserve(positions.size());
+  for (size_t p : positions) key.push_back(row[p]);
+  return key;
+}
+
+}  // namespace
+
+Result<View> EvaluateWithSemijoinReduction(const Database& database,
+                                           const ConjunctiveQuery& query,
+                                           const EvalOptions& options,
+                                           SemijoinStats* semijoin_stats) {
+  if (Status s = query.Validate(database.schema()); !s.ok()) return s;
+  if (semijoin_stats != nullptr) {
+    semijoin_stats->rows_pruned.assign(query.atoms().size(), 0);
+    semijoin_stats->acyclic = false;
+  }
+
+  // Self-joins share one relation across atoms, so a per-relation mask
+  // cannot express per-atom pruning — fall back.
+  if (!IsSelfJoinFree(query)) return Evaluate(database, query, options);
+
+  // Join tree over atoms (vertices = variables).
+  Hypergraph graph(query.variable_count());
+  for (const Atom& atom : query.atoms()) {
+    std::vector<size_t> vars;
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) vars.push_back(t.id);
+    }
+    graph.AddEdge(std::move(vars));
+  }
+  JoinTree tree;
+  if (!IsAlphaAcyclic(graph, &tree)) {
+    return Evaluate(database, query, options);
+  }
+  if (semijoin_stats != nullptr) semijoin_stats->acyclic = true;
+
+  const auto& atoms = query.atoms();
+  size_t n = atoms.size();
+  std::vector<std::vector<uint32_t>> alive(n);
+  for (size_t a = 0; a < n; ++a) {
+    alive[a] = InitialAliveRows(database, atoms[a], options.mask);
+  }
+
+  // Shared variables with the parent, per atom.
+  std::vector<std::vector<VarId>> shared(n);
+  for (size_t a = 0; a < n; ++a) {
+    if (tree.parent[a] < 0) continue;
+    size_t p = static_cast<size_t>(tree.parent[a]);
+    std::unordered_set<VarId> parent_vars;
+    for (const Term& t : atoms[p].terms) {
+      if (t.is_variable()) parent_vars.insert(t.id);
+    }
+    std::unordered_set<VarId> seen;
+    for (const Term& t : atoms[a].terms) {
+      if (t.is_variable() && parent_vars.count(t.id) > 0 &&
+          seen.insert(t.id).second) {
+        shared[a].push_back(t.id);
+      }
+    }
+  }
+
+  // Semijoin `target` with `source` on `vars`: keep target rows whose
+  // projection appears among source's alive rows.
+  auto semijoin = [&](size_t target, size_t source,
+                      const std::vector<VarId>& vars) {
+    if (vars.empty()) return;  // cartesian link: nothing to filter on
+    std::vector<size_t> source_pos = SharedPositions(atoms[source], vars);
+    std::vector<size_t> target_pos = SharedPositions(atoms[target], vars);
+    const Relation& source_rel = database.relation(atoms[source].relation);
+    const Relation& target_rel = database.relation(atoms[target].relation);
+    KeySet keys;
+    for (uint32_t row : alive[source]) {
+      keys.insert(ProjectRow(source_rel.row(row), source_pos));
+    }
+    std::vector<uint32_t> kept;
+    for (uint32_t row : alive[target]) {
+      if (keys.count(ProjectRow(target_rel.row(row), target_pos)) > 0) {
+        kept.push_back(row);
+      }
+    }
+    alive[target] = std::move(kept);
+  };
+
+  // Process children before parents: absorption order is already such that
+  // an edge is removed only after everything absorbed into IT — children
+  // have lower "removal time". GYO emits parents during reduction, so a
+  // child was removed before its parent; iterating atoms in any order twice
+  // (up then down) with the parent links is sufficient because the forest
+  // has depth ≤ n: do a fixpoint-free two-phase sweep ordered by depth.
+  std::vector<size_t> depth(n, 0);
+  for (size_t a = 0; a < n; ++a) {
+    size_t walker = a, d = 0;
+    while (tree.parent[walker] >= 0) {
+      walker = static_cast<size_t>(tree.parent[walker]);
+      if (++d > n) break;  // defensive: malformed tree
+    }
+    depth[a] = d;
+  }
+  std::vector<size_t> order(n);
+  for (size_t a = 0; a < n; ++a) order[a] = a;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return depth[a] > depth[b]; });
+
+  // Upward pass: parent ⋉ child, deepest children first.
+  for (size_t a : order) {
+    if (tree.parent[a] >= 0) {
+      semijoin(static_cast<size_t>(tree.parent[a]), a, shared[a]);
+    }
+  }
+  // Downward pass: child ⋉ parent, shallowest first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (tree.parent[*it] >= 0) {
+      semijoin(*it, static_cast<size_t>(tree.parent[*it]), shared[*it]);
+    }
+  }
+
+  // Fold pruned rows into a mask and run the plain evaluator.
+  DeletionSet mask;
+  if (options.mask != nullptr) {
+    for (const TupleRef& ref : *options.mask) mask.Insert(ref);
+  }
+  for (size_t a = 0; a < n; ++a) {
+    const Relation& rel = database.relation(atoms[a].relation);
+    std::unordered_set<uint32_t> alive_set(alive[a].begin(), alive[a].end());
+    for (uint32_t row = 0; row < rel.row_count(); ++row) {
+      if (alive_set.count(row) == 0) {
+        if (mask.Insert({atoms[a].relation, row}) &&
+            semijoin_stats != nullptr) {
+          ++semijoin_stats->rows_pruned[a];
+        }
+      }
+    }
+  }
+  EvalOptions reduced = options;
+  reduced.mask = &mask;
+  return Evaluate(database, query, reduced);
+}
+
+}  // namespace delprop

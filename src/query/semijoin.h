@@ -1,0 +1,36 @@
+#ifndef DELPROP_QUERY_SEMIJOIN_H_
+#define DELPROP_QUERY_SEMIJOIN_H_
+
+#include "common/status.h"
+#include "query/evaluator.h"
+
+namespace delprop {
+
+/// Work counters for the semijoin reduction.
+struct SemijoinStats {
+  /// Rows eliminated as dangling per atom (indexed by atom position).
+  std::vector<size_t> rows_pruned;
+  /// True when the query's atom hypergraph was acyclic and the full
+  /// Yannakakis-style reduction ran; false = fell back to plain evaluation.
+  bool acyclic = false;
+};
+
+/// Yannakakis-style evaluation for acyclic conjunctive queries: builds the
+/// GYO join tree over the atoms (vertices = variables, one hyperedge per
+/// atom), removes dangling rows with an upward then downward semijoin sweep,
+/// and runs the backtracking evaluator on the reduced relations. Produces
+/// exactly the same View (answers AND witnesses) as Evaluate(); for cyclic
+/// queries it transparently falls back to plain evaluation.
+///
+/// The payoff is enumeration work: dangling rows never enter the join. The
+/// differential tests assert result equality; the substrate bench measures
+/// the rows_scanned reduction.
+Result<View> EvaluateWithSemijoinReduction(const Database& database,
+                                           const ConjunctiveQuery& query,
+                                           const EvalOptions& options = {},
+                                           SemijoinStats* semijoin_stats =
+                                               nullptr);
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_SEMIJOIN_H_

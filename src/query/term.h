@@ -1,0 +1,43 @@
+#ifndef DELPROP_QUERY_TERM_H_
+#define DELPROP_QUERY_TERM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace delprop {
+
+/// Dense id of a variable within one ConjunctiveQuery.
+using VarId = uint32_t;
+
+/// One term of an atom or head: either a query variable or a constant from
+/// the shared value dictionary.
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  /// VarId when kind==kVariable, ValueId when kind==kConstant.
+  uint32_t id = 0;
+
+  static Term Variable(VarId var) { return Term{Kind::kVariable, var}; }
+  static Term Constant(ValueId value) { return Term{Kind::kConstant, value}; }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+};
+
+/// One atom `T(term, term, ...)` of a conjunctive query body.
+struct Atom {
+  RelationId relation = 0;
+  std::vector<Term> terms;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_TERM_H_

@@ -1,0 +1,56 @@
+#include "query/view.h"
+
+#include <algorithm>
+
+namespace delprop {
+
+size_t View::AddMatch(const Tuple& values, Witness witness) {
+  auto [it, inserted] = index_by_values_.emplace(values, tuples_.size());
+  if (inserted) {
+    ViewTuple vt;
+    vt.values = values;
+    tuples_.push_back(std::move(vt));
+  }
+  size_t index = it->second;
+  std::vector<Witness>& witnesses = tuples_[index].witnesses;
+  if (std::find(witnesses.begin(), witnesses.end(), witness) ==
+      witnesses.end()) {
+    witnesses.push_back(std::move(witness));
+  }
+  return index;
+}
+
+std::optional<size_t> View::Find(const Tuple& values) const {
+  auto it = index_by_values_.find(values);
+  if (it == index_by_values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool View::Survives(size_t index, const DeletionSet& deletion) const {
+  for (const Witness& witness : tuples_[index].witnesses) {
+    bool hit = false;
+    for (const TupleRef& ref : witness) {
+      if (deletion.Contains(ref)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return true;
+  }
+  return false;
+}
+
+std::string View::RenderTuple(size_t index) const {
+  const ValueDictionary& dict = database_->dict();
+  std::string out = query_->name();
+  out += '(';
+  const Tuple& values = tuples_[index].values;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dict.Text(values[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace delprop

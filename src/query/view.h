@@ -1,0 +1,63 @@
+#ifndef DELPROP_QUERY_VIEW_H_
+#define DELPROP_QUERY_VIEW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/database.h"
+#include "relational/deletion_set.h"
+#include "query/conjunctive_query.h"
+
+namespace delprop {
+
+/// One witness (the paper's match μ restricted to base tuples): the base
+/// tuple matched by each body atom, in atom order.
+using Witness = std::vector<TupleRef>;
+
+/// One answer tuple of a materialized view together with its why-provenance.
+/// For key-preserving queries each view tuple has exactly one witness — the
+/// structural property all of the paper's algorithms rely on.
+struct ViewTuple {
+  /// The head values μ(y1), ..., μ(yq).
+  Tuple values;
+  /// All witnesses producing these head values (deduplicated).
+  std::vector<Witness> witnesses;
+};
+
+/// A materialized query result Q(D) with lineage.
+class View {
+ public:
+  View(const ConjunctiveQuery* query, const Database* database)
+      : query_(query), database_(database) {}
+
+  /// Adds a witness for head values `values`, creating the view tuple if new.
+  /// Returns the view-tuple index.
+  size_t AddMatch(const Tuple& values, Witness witness);
+
+  /// Index of the view tuple with head `values`, if present.
+  std::optional<size_t> Find(const Tuple& values) const;
+
+  /// True if view tuple `index` survives deleting `deletion` from the source:
+  /// some witness is disjoint from the deletion set.
+  bool Survives(size_t index, const DeletionSet& deletion) const;
+
+  /// Renders view tuple `index` as "Q(a, b)".
+  std::string RenderTuple(size_t index) const;
+
+  const ConjunctiveQuery& query() const { return *query_; }
+  const Database& database() const { return *database_; }
+  const ViewTuple& tuple(size_t index) const { return tuples_[index]; }
+  size_t size() const { return tuples_.size(); }
+
+ private:
+  const ConjunctiveQuery* query_;
+  const Database* database_;
+  std::vector<ViewTuple> tuples_;
+  std::unordered_map<Tuple, size_t, VectorHash<ValueId>> index_by_values_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_QUERY_VIEW_H_

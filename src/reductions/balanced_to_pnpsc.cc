@@ -1,0 +1,55 @@
+#include "reductions/balanced_to_pnpsc.h"
+
+#include <unordered_map>
+
+namespace delprop {
+
+Result<BalancedToPnpscMapping> ReduceBalancedToPnpsc(
+    const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return Status::FailedPrecondition("no view deletions marked");
+  }
+  BalancedToPnpscMapping mapping;
+  mapping.set_tuples = instance.CandidateTuples();
+
+  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> positive_id;
+  for (const ViewTupleId& id : instance.deletion_tuples()) {
+    positive_id.emplace(id, mapping.positive_tuples.size());
+    mapping.positive_tuples.push_back(id);
+    mapping.pnpsc.positive_weights.push_back(instance.weight(id));
+  }
+
+  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> negative_id;
+  auto negative_of = [&](const ViewTupleId& id) {
+    auto [it, inserted] = negative_id.emplace(id, mapping.negative_tuples.size());
+    if (inserted) {
+      mapping.negative_tuples.push_back(id);
+      mapping.pnpsc.negative_weights.push_back(instance.weight(id));
+    }
+    return it->second;
+  };
+
+  for (const TupleRef& ref : mapping.set_tuples) {
+    PnpscInstance::Set set;
+    for (const ViewTupleId& id : instance.KilledBy(ref)) {
+      if (instance.IsMarkedForDeletion(id)) {
+        set.positives.push_back(positive_id.at(id));
+      } else {
+        set.negatives.push_back(negative_of(id));
+      }
+    }
+    mapping.pnpsc.sets.push_back(std::move(set));
+  }
+  mapping.pnpsc.positive_count = mapping.positive_tuples.size();
+  mapping.pnpsc.negative_count = mapping.negative_tuples.size();
+  return mapping;
+}
+
+DeletionSet MapPnpscChoiceToDeletion(const BalancedToPnpscMapping& mapping,
+                                     const PnpscSolution& solution) {
+  DeletionSet deletion;
+  for (size_t s : solution.chosen) deletion.Insert(mapping.set_tuples[s]);
+  return deletion;
+}
+
+}  // namespace delprop

@@ -1,0 +1,60 @@
+#include "reductions/pnpsc_to_balanced.h"
+
+#include <string>
+
+namespace delprop {
+
+Result<GeneratedVse> ReducePnpscToBalancedVse(const PnpscInstance& pnpsc) {
+  if (Status s = pnpsc.Validate(); !s.ok()) return s;
+  // Reuse the Theorem 1 table construction with negatives as reds and
+  // positives as blues; the balanced objective of the result equals the ±PSC
+  // objective (positives occurring in no set are dropped — they contribute a
+  // fixed constant to every solution's cost).
+  RbscInstance rbsc;
+  rbsc.red_count = pnpsc.negative_count;
+  rbsc.blue_count = pnpsc.positive_count;
+  rbsc.red_weights.resize(pnpsc.negative_count);
+  for (size_t n = 0; n < pnpsc.negative_count; ++n) {
+    rbsc.red_weights[n] = pnpsc.NegativeWeight(n);
+  }
+  for (const PnpscInstance::Set& set : pnpsc.sets) {
+    RbscInstance::Set rset;
+    rset.reds = set.negatives;
+    rset.blues = set.positives;
+    rbsc.sets.push_back(std::move(rset));
+  }
+
+  Result<GeneratedVse> generated = ReduceRbscToVse(rbsc);
+  if (!generated.ok()) return generated;
+
+  // Transfer positive weights onto the blue views' (single) tuples. Blue
+  // views are named "Qb<positive id>" by the shared construction.
+  VseInstance& instance = *generated->instance;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    const std::string& name = instance.query(v).name();
+    if (name.size() > 2 && name[0] == 'Q' && name[1] == 'b') {
+      size_t positive = std::stoul(name.substr(2));
+      double weight = pnpsc.PositiveWeight(positive);
+      if (weight != 1.0) {
+        if (Status s = instance.SetWeight(ViewTupleId{v, 0}, weight);
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+  }
+  return generated;
+}
+
+PnpscSolution MapDeletionToPnpscChoice(const GeneratedVse& generated,
+                                       const DeletionSet& deletion) {
+  PnpscSolution solution;
+  for (size_t s = 0; s < generated.set_rows.size(); ++s) {
+    if (deletion.Contains(generated.set_rows[s])) {
+      solution.chosen.push_back(s);
+    }
+  }
+  return solution;
+}
+
+}  // namespace delprop

@@ -1,0 +1,22 @@
+#ifndef DELPROP_REDUCTIONS_PNPSC_TO_BALANCED_H_
+#define DELPROP_REDUCTIONS_PNPSC_TO_BALANCED_H_
+
+#include "reductions/rbsc_to_vse.h"
+#include "setcover/pnpsc.h"
+
+namespace delprop {
+
+/// The Theorem 2 hardness reduction ±PSC → balanced deletion propagation.
+/// Identical table/query construction as ReduceRbscToVse (positives play the
+/// blues, negatives the reds); ΔV marks the positive views, and the balanced
+/// objective of the generated instance equals the ±PSC objective:
+/// surviving positives + killed negatives (weights transferred).
+Result<GeneratedVse> ReducePnpscToBalancedVse(const PnpscInstance& pnpsc);
+
+/// Maps a source deletion over the generated instance back to chosen sets.
+PnpscSolution MapDeletionToPnpscChoice(const GeneratedVse& generated,
+                                       const DeletionSet& deletion);
+
+}  // namespace delprop
+
+#endif  // DELPROP_REDUCTIONS_PNPSC_TO_BALANCED_H_

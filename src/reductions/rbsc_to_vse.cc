@@ -1,0 +1,129 @@
+#include "reductions/rbsc_to_vse.h"
+
+#include <string>
+
+namespace delprop {
+namespace {
+
+// Builds the per-element "join path" query over the rows of `containing`.
+std::unique_ptr<ConjunctiveQuery> MakeElementQuery(
+    const std::string& name, const std::vector<size_t>& containing,
+    size_t payload_arity, RelationId relation, ValueDictionary& dict) {
+  auto query = std::make_unique<ConjunctiveQuery>(name);
+  for (size_t k = 0; k < containing.size(); ++k) {
+    Atom atom;
+    atom.relation = relation;
+    atom.terms.push_back(
+        Term::Constant(dict.Intern("C" + std::to_string(containing[k]))));
+    for (size_t p = 0; p < payload_arity; ++p) {
+      VarId var = query->AddVariable("y" + std::to_string(k) + "_" +
+                                     std::to_string(p));
+      atom.terms.push_back(Term::Variable(var));
+      query->AddHeadTerm(Term::Variable(var));
+    }
+    query->AddAtom(std::move(atom));
+  }
+  return query;
+}
+
+}  // namespace
+
+Result<GeneratedVse> ReduceRbscToVse(const RbscInstance& rbsc) {
+  if (Status s = rbsc.Validate(); !s.ok()) return s;
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  size_t payload_arity = rbsc.red_count + rbsc.blue_count;
+  Result<RelationId> relation =
+      db.AddRelation("T", 1 + payload_arity, {0});
+  if (!relation.ok()) return relation.status();
+
+  // One row per set; payload cell = element marker when the element is in
+  // the set, otherwise a freshly invented distinct constant.
+  std::vector<std::vector<size_t>> sets_with_red(rbsc.red_count);
+  std::vector<std::vector<size_t>> sets_with_blue(rbsc.blue_count);
+  for (size_t s = 0; s < rbsc.sets.size(); ++s) {
+    Tuple row;
+    row.reserve(1 + payload_arity);
+    row.push_back(db.dict().Intern("C" + std::to_string(s)));
+    std::vector<ValueId> payload(payload_arity);
+    for (size_t p = 0; p < payload_arity; ++p) {
+      payload[p] = db.dict().FreshValue();
+    }
+    for (size_t r : rbsc.sets[s].reds) {
+      payload[r] = db.dict().Intern("r" + std::to_string(r));
+      sets_with_red[r].push_back(s);
+    }
+    for (size_t b : rbsc.sets[s].blues) {
+      payload[rbsc.red_count + b] = db.dict().Intern("b" + std::to_string(b));
+      sets_with_blue[b].push_back(s);
+    }
+    row.insert(row.end(), payload.begin(), payload.end());
+    Result<TupleRef> ref = db.Insert(*relation, std::move(row));
+    if (!ref.ok()) return ref.status();
+    generated.set_rows.push_back(*ref);
+  }
+
+  // One query per element that occurs in some set; remember which views are
+  // red (with their weight) and which are blue.
+  struct ViewInfo {
+    bool blue = false;
+    double weight = 1.0;
+  };
+  std::vector<ViewInfo> view_infos;
+  for (size_t r = 0; r < rbsc.red_count; ++r) {
+    if (sets_with_red[r].empty()) continue;
+    generated.queries.push_back(
+        MakeElementQuery("Qr" + std::to_string(r), sets_with_red[r],
+                         payload_arity, *relation, db.dict()));
+    view_infos.push_back({false, rbsc.RedWeight(r)});
+  }
+  for (size_t b = 0; b < rbsc.blue_count; ++b) {
+    if (sets_with_blue[b].empty()) continue;
+    generated.queries.push_back(
+        MakeElementQuery("Qb" + std::to_string(b), sets_with_blue[b],
+                         payload_arity, *relation, db.dict()));
+    view_infos.push_back({true, 1.0});
+  }
+  if (generated.queries.empty()) {
+    return Status::InvalidArgument("RBSC instance has no coverable elements");
+  }
+
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> instance = VseInstance::Create(db, query_ptrs);
+  if (!instance.ok()) return instance.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*instance));
+
+  for (size_t v = 0; v < view_infos.size(); ++v) {
+    if (generated.instance->view(v).size() != 1) {
+      return Status::Internal("element view does not have exactly one tuple");
+    }
+    ViewTupleId id{v, 0};
+    if (view_infos[v].blue) {
+      if (Status s = generated.instance->MarkForDeletion(id); !s.ok()) {
+        return s;
+      }
+    } else if (view_infos[v].weight != 1.0) {
+      if (Status s = generated.instance->SetWeight(id, view_infos[v].weight);
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return generated;
+}
+
+RbscSolution MapDeletionToRbscChoice(const GeneratedVse& generated,
+                                     const DeletionSet& deletion) {
+  RbscSolution solution;
+  for (size_t s = 0; s < generated.set_rows.size(); ++s) {
+    if (deletion.Contains(generated.set_rows[s])) {
+      solution.chosen.push_back(s);
+    }
+  }
+  return solution;
+}
+
+}  // namespace delprop

@@ -1,0 +1,45 @@
+#ifndef DELPROP_REDUCTIONS_RBSC_TO_VSE_H_
+#define DELPROP_REDUCTIONS_RBSC_TO_VSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "dp/vse_instance.h"
+#include "relational/database.h"
+#include "setcover/red_blue.h"
+
+namespace delprop {
+
+/// A deletion-propagation instance generated from a combinatorial problem by
+/// one of the hardness reductions. Owns the database and queries the
+/// VseInstance points into — keep it alive while using `instance`. Move-only.
+struct GeneratedVse {
+  std::unique_ptr<Database> database;
+  std::vector<std::unique_ptr<ConjunctiveQuery>> queries;
+  std::unique_ptr<VseInstance> instance;
+  /// Source row of relation T per original set index (deleting it = choosing
+  /// the set).
+  std::vector<TupleRef> set_rows;
+};
+
+/// The Theorem 1 hardness reduction RBSC → view side-effect, following the
+/// paper's construction (Fig. 2):
+///  * one relation T with an id key column plus one payload column per
+///    element of R ∪ B; one row per set (payload = element marker if the
+///    element is in the set, fresh invented value otherwise);
+///  * per element e, a project-free conjunctive query joining the rows of
+///    every set containing e (the "join path"), each atom pinned by the id
+///    constant — so each view has exactly one view tuple whose witness is
+///    exactly the rows of the sets containing e;
+///  * ΔV marks the blue views' tuples.
+/// Deleting row(C) ⇔ choosing set C: feasibility and cost transfer exactly.
+/// Elements contained in no set are skipped (blues would be infeasible).
+Result<GeneratedVse> ReduceRbscToVse(const RbscInstance& rbsc);
+
+/// Maps a source deletion over the generated instance back to chosen sets.
+RbscSolution MapDeletionToRbscChoice(const GeneratedVse& generated,
+                                     const DeletionSet& deletion);
+
+}  // namespace delprop
+
+#endif  // DELPROP_REDUCTIONS_RBSC_TO_VSE_H_

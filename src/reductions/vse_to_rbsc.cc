@@ -1,0 +1,55 @@
+#include "reductions/vse_to_rbsc.h"
+
+#include <unordered_map>
+
+namespace delprop {
+
+Result<VseToRbscMapping> ReduceVseToRbsc(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return Status::FailedPrecondition("no view deletions marked");
+  }
+  VseToRbscMapping mapping;
+  mapping.set_tuples = instance.CandidateTuples();
+
+  // Blue ids for ΔV tuples.
+  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> blue_id;
+  for (const ViewTupleId& id : instance.deletion_tuples()) {
+    blue_id.emplace(id, mapping.blue_tuples.size());
+    mapping.blue_tuples.push_back(id);
+  }
+
+  // Red ids, assigned lazily to preserved tuples touched by candidates.
+  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> red_id;
+  auto red_of = [&](const ViewTupleId& id) {
+    auto [it, inserted] = red_id.emplace(id, mapping.red_tuples.size());
+    if (inserted) {
+      mapping.red_tuples.push_back(id);
+      mapping.rbsc.red_weights.push_back(instance.weight(id));
+    }
+    return it->second;
+  };
+
+  for (const TupleRef& ref : mapping.set_tuples) {
+    RbscInstance::Set set;
+    for (const ViewTupleId& id : instance.KilledBy(ref)) {
+      if (instance.IsMarkedForDeletion(id)) {
+        set.blues.push_back(blue_id.at(id));
+      } else {
+        set.reds.push_back(red_of(id));
+      }
+    }
+    mapping.rbsc.sets.push_back(std::move(set));
+  }
+  mapping.rbsc.blue_count = mapping.blue_tuples.size();
+  mapping.rbsc.red_count = mapping.red_tuples.size();
+  return mapping;
+}
+
+DeletionSet MapRbscChoiceToDeletion(const VseToRbscMapping& mapping,
+                                    const RbscSolution& solution) {
+  DeletionSet deletion;
+  for (size_t s : solution.chosen) deletion.Insert(mapping.set_tuples[s]);
+  return deletion;
+}
+
+}  // namespace delprop

@@ -1,0 +1,68 @@
+#include "relational/database.h"
+
+namespace delprop {
+
+Result<RelationId> Database::AddRelation(std::string_view name, size_t arity,
+                                         std::vector<size_t> key_positions) {
+  Result<RelationId> id =
+      schema_.AddRelation(name, arity, std::move(key_positions));
+  if (!id.ok()) return id;
+  relations_.push_back(std::make_unique<Relation>(&schema_.relation(*id)));
+  return id;
+}
+
+Result<RelationId> Database::AddRelationNamed(
+    std::string_view name, std::vector<std::string> attribute_names,
+    std::vector<size_t> key_positions) {
+  Result<RelationId> id = schema_.AddRelationNamed(
+      name, std::move(attribute_names), std::move(key_positions));
+  if (!id.ok()) return id;
+  relations_.push_back(std::make_unique<Relation>(&schema_.relation(*id)));
+  return id;
+}
+
+Result<TupleRef> Database::Insert(RelationId relation, Tuple tuple) {
+  if (relation >= relations_.size()) {
+    return Status::NotFound("no such relation id " + std::to_string(relation));
+  }
+  Result<uint32_t> row = relations_[relation]->Insert(std::move(tuple));
+  if (!row.ok()) return row.status();
+  return TupleRef{relation, *row};
+}
+
+Result<TupleRef> Database::InsertText(
+    RelationId relation, std::initializer_list<std::string_view> texts) {
+  Tuple tuple;
+  tuple.reserve(texts.size());
+  for (std::string_view t : texts) tuple.push_back(dict_.Intern(t));
+  return Insert(relation, std::move(tuple));
+}
+
+Result<TupleRef> Database::InsertText(RelationId relation,
+                                      const std::vector<std::string>& texts) {
+  Tuple tuple;
+  tuple.reserve(texts.size());
+  for (const std::string& t : texts) tuple.push_back(dict_.Intern(t));
+  return Insert(relation, std::move(tuple));
+}
+
+std::string Database::RenderTuple(const TupleRef& ref) const {
+  const Relation& rel = *relations_[ref.relation];
+  const Tuple& tuple = rel.row(ref.row);
+  std::string out = rel.schema().name;
+  out += '(';
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dict_.Text(tuple[i]);
+  }
+  out += ')';
+  return out;
+}
+
+size_t Database::total_tuple_count() const {
+  size_t n = 0;
+  for (const auto& rel : relations_) n += rel->row_count();
+  return n;
+}
+
+}  // namespace delprop

@@ -1,0 +1,74 @@
+#ifndef DELPROP_RELATIONAL_DATABASE_H_
+#define DELPROP_RELATIONAL_DATABASE_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/deletion_set.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple_ref.h"
+#include "relational/value.h"
+
+namespace delprop {
+
+/// A database instance `D`: a Schema, a shared constant dictionary, and one
+/// Relation per declared relation symbol. Move-only (relations hold pointers
+/// into the schema).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Declares a relation; see Schema::AddRelation for the key contract.
+  Result<RelationId> AddRelation(std::string_view name, size_t arity,
+                                 std::vector<size_t> key_positions);
+
+  /// Declares a relation with named attributes.
+  Result<RelationId> AddRelationNamed(std::string_view name,
+                                      std::vector<std::string> attribute_names,
+                                      std::vector<size_t> key_positions);
+
+  /// Inserts a pre-interned tuple into `relation`.
+  Result<TupleRef> Insert(RelationId relation, Tuple tuple);
+
+  /// Convenience: interns `texts` and inserts the resulting tuple.
+  Result<TupleRef> InsertText(RelationId relation,
+                              std::initializer_list<std::string_view> texts);
+  Result<TupleRef> InsertText(RelationId relation,
+                              const std::vector<std::string>& texts);
+
+  /// The stored tuple a reference points at.
+  const Tuple& TupleAt(const TupleRef& ref) const {
+    return relations_[ref.relation]->row(ref.row);
+  }
+
+  /// Renders a tuple as "Rel(a, b, c)" for diagnostics and examples.
+  std::string RenderTuple(const TupleRef& ref) const;
+
+  /// Total number of stored tuples across all relations (the paper's |D|).
+  size_t total_tuple_count() const;
+
+  const Schema& schema() const { return schema_; }
+  const Relation& relation(RelationId id) const { return *relations_[id]; }
+  size_t relation_count() const { return relations_.size(); }
+  ValueDictionary& dict() { return dict_; }
+  const ValueDictionary& dict() const { return dict_; }
+
+ private:
+  Schema schema_;
+  ValueDictionary dict_;
+  // unique_ptr keeps Relation addresses stable across vector growth.
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_RELATIONAL_DATABASE_H_

@@ -1,0 +1,50 @@
+#ifndef DELPROP_RELATIONAL_DELETION_SET_H_
+#define DELPROP_RELATIONAL_DELETION_SET_H_
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple_ref.h"
+
+namespace delprop {
+
+/// A set of base tuples to delete from the source database (the paper's ΔD).
+/// Logical: the underlying rows are never physically removed, queries are
+/// evaluated against D \ ΔD by masking.
+class DeletionSet {
+ public:
+  DeletionSet() = default;
+  /// Builds from an explicit list (duplicates collapse).
+  explicit DeletionSet(const std::vector<TupleRef>& refs) {
+    for (const TupleRef& r : refs) Insert(r);
+  }
+
+  /// Adds `ref`; returns true if newly inserted.
+  bool Insert(const TupleRef& ref) { return set_.insert(ref).second; }
+
+  /// Removes `ref`; returns true if it was present.
+  bool Erase(const TupleRef& ref) { return set_.erase(ref) > 0; }
+
+  bool Contains(const TupleRef& ref) const { return set_.count(ref) > 0; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void Clear() { set_.clear(); }
+
+  /// Deleted refs in deterministic (sorted) order.
+  std::vector<TupleRef> Sorted() const {
+    std::vector<TupleRef> out(set_.begin(), set_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+ private:
+  std::unordered_set<TupleRef, TupleRefHash> set_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_RELATIONAL_DELETION_SET_H_

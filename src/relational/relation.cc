@@ -1,0 +1,34 @@
+#include "relational/relation.h"
+
+namespace delprop {
+
+Tuple Relation::KeyOf(const Tuple& tuple) const {
+  Tuple key;
+  key.reserve(schema_->key_positions.size());
+  for (size_t pos : schema_->key_positions) key.push_back(tuple[pos]);
+  return key;
+}
+
+Result<uint32_t> Relation::Insert(Tuple tuple) {
+  if (tuple.size() != schema_->arity) {
+    return Status::InvalidArgument("arity mismatch inserting into relation '" +
+                                   schema_->name + "'");
+  }
+  Tuple key = KeyOf(tuple);
+  auto [it, inserted] =
+      rows_by_key_.emplace(std::move(key), static_cast<uint32_t>(rows_.size()));
+  if (!inserted) {
+    return Status::KeyViolation("duplicate key inserting into relation '" +
+                                schema_->name + "'");
+  }
+  rows_.push_back(std::move(tuple));
+  return static_cast<uint32_t>(rows_.size() - 1);
+}
+
+std::optional<uint32_t> Relation::FindByKey(const Tuple& key) const {
+  auto it = rows_by_key_.find(key);
+  if (it == rows_by_key_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace delprop

@@ -1,0 +1,47 @@
+#ifndef DELPROP_RELATIONAL_RELATION_H_
+#define DELPROP_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace delprop {
+
+/// One stored relation instance. Enforces the declared key: no two rows agree
+/// on all key positions. Rows are append-only; logical deletion is handled by
+/// callers via deletion masks so that lineage row indices stay stable.
+class Relation {
+ public:
+  /// Creates an empty instance of `schema` (which must outlive the Relation).
+  explicit Relation(const RelationSchema* schema) : schema_(schema) {}
+
+  /// Inserts `tuple`; fails with InvalidArgument on arity mismatch and with
+  /// KeyViolation if a row with the same key projection exists.
+  Result<uint32_t> Insert(Tuple tuple);
+
+  /// Returns the row index holding `key` (the projection of a tuple onto the
+  /// key positions), if any.
+  std::optional<uint32_t> FindByKey(const Tuple& key) const;
+
+  /// Extracts the key projection of `tuple` under this relation's schema.
+  Tuple KeyOf(const Tuple& tuple) const;
+
+  const Tuple& row(uint32_t index) const { return rows_[index]; }
+  size_t row_count() const { return rows_.size(); }
+  const RelationSchema& schema() const { return *schema_; }
+
+ private:
+  const RelationSchema* schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<Tuple, uint32_t, VectorHash<ValueId>> rows_by_key_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_RELATIONAL_RELATION_H_

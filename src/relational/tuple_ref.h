@@ -1,0 +1,41 @@
+#ifndef DELPROP_RELATIONAL_TUPLE_REF_H_
+#define DELPROP_RELATIONAL_TUPLE_REF_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "common/hash.h"
+#include "relational/schema.h"
+
+namespace delprop {
+
+/// Stable reference to one base tuple: (relation, row index). Row indices are
+/// assigned at insertion time and never reused; deletions are expressed as
+/// sets of TupleRefs, the stored rows are immutable.
+struct TupleRef {
+  RelationId relation = 0;
+  uint32_t row = 0;
+
+  friend bool operator==(const TupleRef& a, const TupleRef& b) {
+    return a.relation == b.relation && a.row == b.row;
+  }
+  friend bool operator!=(const TupleRef& a, const TupleRef& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TupleRef& a, const TupleRef& b) {
+    return std::tie(a.relation, a.row) < std::tie(b.relation, b.row);
+  }
+};
+
+struct TupleRefHash {
+  size_t operator()(const TupleRef& ref) const {
+    size_t seed = std::hash<uint32_t>()(ref.relation);
+    HashCombine(seed, std::hash<uint32_t>()(ref.row));
+    return seed;
+  }
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_RELATIONAL_TUPLE_REF_H_

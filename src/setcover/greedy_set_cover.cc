@@ -1,0 +1,159 @@
+#include "setcover/greedy_set_cover.h"
+
+#include <limits>
+
+namespace delprop {
+
+Status SetCoverInstance::Validate() const {
+  if (!set_costs.empty() && set_costs.size() != sets.size()) {
+    return Status::InvalidArgument("set_costs size mismatch");
+  }
+  for (const auto& set : sets) {
+    for (size_t e : set) {
+      if (e >= element_count) {
+        return Status::OutOfRange("element id out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double SetCoverCost(const SetCoverInstance& instance,
+                    const std::vector<size_t>& chosen) {
+  double cost = 0.0;
+  for (size_t s : chosen) cost += instance.SetCost(s);
+  return cost;
+}
+
+bool SetCoverFeasible(const SetCoverInstance& instance,
+                      const std::vector<size_t>& chosen) {
+  std::vector<bool> covered(instance.element_count, false);
+  for (size_t s : chosen) {
+    for (size_t e : instance.sets[s]) covered[e] = true;
+  }
+  for (bool c : covered) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  std::vector<bool> covered(instance.element_count, false);
+  size_t left = instance.element_count;
+  std::vector<size_t> chosen;
+  while (left > 0) {
+    size_t best = instance.sets.size();
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      size_t fresh = 0;
+      for (size_t e : instance.sets[s]) {
+        if (!covered[e]) ++fresh;
+      }
+      if (fresh == 0) continue;
+      double score = instance.SetCost(s) / static_cast<double>(fresh);
+      if (score < best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    if (best == instance.sets.size()) {
+      return Status::Infeasible("elements cannot all be covered");
+    }
+    chosen.push_back(best);
+    for (size_t e : instance.sets[best]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --left;
+      }
+    }
+  }
+  return chosen;
+}
+
+namespace {
+
+class SetCoverSearch {
+ public:
+  SetCoverSearch(const SetCoverInstance& instance, uint64_t budget)
+      : instance_(instance), budget_(budget) {
+    sets_with_element_.resize(instance.element_count);
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      for (size_t e : instance.sets[s]) sets_with_element_[e].push_back(s);
+    }
+    cover_count_.assign(instance.element_count, 0);
+  }
+
+  void Seed(std::vector<size_t> chosen, double cost) {
+    best_ = std::move(chosen);
+    best_cost_ = cost;
+    seeded_ = true;
+  }
+
+  bool Run() {
+    Descend(0.0);
+    return nodes_ <= budget_;
+  }
+  bool found() const { return seeded_ || !best_.empty(); }
+  const std::vector<size_t>& best() const { return best_; }
+
+ private:
+  void Descend(double cost) {
+    if (++nodes_ > budget_) return;
+    if (cost >= best_cost_) return;
+    size_t pick = instance_.element_count;
+    size_t pick_options = std::numeric_limits<size_t>::max();
+    for (size_t e = 0; e < instance_.element_count; ++e) {
+      if (cover_count_[e] > 0) continue;
+      if (sets_with_element_[e].size() < pick_options) {
+        pick = e;
+        pick_options = sets_with_element_[e].size();
+      }
+    }
+    if (pick == instance_.element_count) {
+      best_cost_ = cost;
+      best_ = chosen_;
+      seeded_ = true;
+      return;
+    }
+    if (pick_options == 0) return;
+    for (size_t s : sets_with_element_[pick]) {
+      for (size_t e : instance_.sets[s]) ++cover_count_[e];
+      chosen_.push_back(s);
+      Descend(cost + instance_.SetCost(s));
+      chosen_.pop_back();
+      for (size_t e : instance_.sets[s]) --cover_count_[e];
+      if (nodes_ > budget_) return;
+    }
+  }
+
+  const SetCoverInstance& instance_;
+  uint64_t budget_;
+  uint64_t nodes_ = 0;
+  std::vector<std::vector<size_t>> sets_with_element_;
+  std::vector<uint32_t> cover_count_;
+  std::vector<size_t> chosen_;
+  std::vector<size_t> best_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  bool seeded_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<size_t>> ExactSetCover(const SetCoverInstance& instance,
+                                          uint64_t node_budget) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  SetCoverSearch search(instance, node_budget);
+  Result<std::vector<size_t>> greedy = GreedySetCover(instance);
+  if (greedy.ok()) search.Seed(*greedy, SetCoverCost(instance, *greedy));
+  if (!search.Run()) {
+    return Status::FailedPrecondition(
+        "exact set cover search exceeded node budget");
+  }
+  if (!search.found()) {
+    return Status::Infeasible("elements cannot all be covered");
+  }
+  return search.best();
+}
+
+}  // namespace delprop

@@ -1,0 +1,44 @@
+#ifndef DELPROP_SETCOVER_GREEDY_SET_COVER_H_
+#define DELPROP_SETCOVER_GREEDY_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace delprop {
+
+/// A classical weighted set cover instance: cover all elements minimizing the
+/// total cost of chosen sets. Used for the *source* side-effect problem
+/// (Tables II/III counterpart), where each deleted base tuple is a set
+/// covering the ΔV tuples it kills and the objective is |ΔD|.
+struct SetCoverInstance {
+  size_t element_count = 0;
+  std::vector<std::vector<size_t>> sets;
+  /// Per-set costs; empty means unit costs.
+  std::vector<double> set_costs;
+
+  double SetCost(size_t s) const {
+    return set_costs.empty() ? 1.0 : set_costs[s];
+  }
+  Status Validate() const;
+};
+
+/// Chvátal's greedy: H_n-approximation for weighted set cover.
+Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance);
+
+/// Exact branch-and-bound (small instances; `node_budget` caps search).
+Result<std::vector<size_t>> ExactSetCover(const SetCoverInstance& instance,
+                                          uint64_t node_budget = 50'000'000);
+
+/// Total cost of chosen sets.
+double SetCoverCost(const SetCoverInstance& instance,
+                    const std::vector<size_t>& chosen);
+
+/// True if every element is covered.
+bool SetCoverFeasible(const SetCoverInstance& instance,
+                      const std::vector<size_t>& chosen);
+
+}  // namespace delprop
+
+#endif  // DELPROP_SETCOVER_GREEDY_SET_COVER_H_

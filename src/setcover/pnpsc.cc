@@ -1,0 +1,183 @@
+#include "setcover/pnpsc.h"
+
+#include <limits>
+
+namespace delprop {
+
+Status PnpscInstance::Validate() const {
+  if (!positive_weights.empty() && positive_weights.size() != positive_count) {
+    return Status::InvalidArgument("positive_weights size mismatch");
+  }
+  if (!negative_weights.empty() && negative_weights.size() != negative_count) {
+    return Status::InvalidArgument("negative_weights size mismatch");
+  }
+  for (const Set& set : sets) {
+    for (size_t p : set.positives) {
+      if (p >= positive_count) {
+        return Status::OutOfRange("positive element id out of range");
+      }
+    }
+    for (size_t n : set.negatives) {
+      if (n >= negative_count) {
+        return Status::OutOfRange("negative element id out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double PnpscCost(const PnpscInstance& instance,
+                 const PnpscSolution& solution) {
+  std::vector<bool> pos_covered(instance.positive_count, false);
+  std::vector<bool> neg_covered(instance.negative_count, false);
+  for (size_t s : solution.chosen) {
+    for (size_t p : instance.sets[s].positives) pos_covered[p] = true;
+    for (size_t n : instance.sets[s].negatives) neg_covered[n] = true;
+  }
+  double cost = 0.0;
+  for (size_t p = 0; p < instance.positive_count; ++p) {
+    if (!pos_covered[p]) cost += instance.PositiveWeight(p);
+  }
+  for (size_t n = 0; n < instance.negative_count; ++n) {
+    if (neg_covered[n]) cost += instance.NegativeWeight(n);
+  }
+  return cost;
+}
+
+RbscInstance ReducePnpscToRbsc(const PnpscInstance& instance) {
+  RbscInstance rbsc;
+  rbsc.blue_count = instance.positive_count;
+  // Reds: negatives first, then one skip-red per positive.
+  rbsc.red_count = instance.negative_count + instance.positive_count;
+  rbsc.red_weights.resize(rbsc.red_count);
+  for (size_t n = 0; n < instance.negative_count; ++n) {
+    rbsc.red_weights[n] = instance.NegativeWeight(n);
+  }
+  for (size_t p = 0; p < instance.positive_count; ++p) {
+    rbsc.red_weights[instance.negative_count + p] = instance.PositiveWeight(p);
+  }
+  for (const PnpscInstance::Set& set : instance.sets) {
+    RbscInstance::Set rset;
+    rset.blues = set.positives;
+    rset.reds = set.negatives;
+    rbsc.sets.push_back(std::move(rset));
+  }
+  for (size_t p = 0; p < instance.positive_count; ++p) {
+    RbscInstance::Set skip;
+    skip.blues = {p};
+    skip.reds = {instance.negative_count + p};
+    rbsc.sets.push_back(std::move(skip));
+  }
+  return rbsc;
+}
+
+PnpscSolution MapRbscSolutionBack(const PnpscInstance& instance,
+                                  const RbscSolution& rbsc_solution) {
+  PnpscSolution solution;
+  for (size_t s : rbsc_solution.chosen) {
+    if (s < instance.sets.size()) solution.chosen.push_back(s);
+  }
+  return solution;
+}
+
+Result<PnpscSolution> SolvePnpsc(
+    const PnpscInstance& instance,
+    const std::function<Result<RbscSolution>(const RbscInstance&)>& solver) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  RbscInstance rbsc = ReducePnpscToRbsc(instance);
+  Result<RbscSolution> rbsc_solution = solver(rbsc);
+  if (!rbsc_solution.ok()) return rbsc_solution.status();
+  return MapRbscSolutionBack(instance, *rbsc_solution);
+}
+
+namespace {
+
+class PnpscExactSearch {
+ public:
+  PnpscExactSearch(const PnpscInstance& instance, uint64_t budget)
+      : instance_(instance), budget_(budget) {
+    pos_cover_count_.assign(instance.positive_count, 0);
+    neg_cover_count_.assign(instance.negative_count, 0);
+    // Largest set index covering each positive (-1 if none): positive p is
+    // still coverable by the suffix starting at `index` iff this is >= index.
+    max_covering_set_.assign(instance.positive_count, -1);
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      for (size_t p : instance.sets[s].positives) {
+        max_covering_set_[p] = static_cast<long>(s);
+      }
+    }
+  }
+
+  bool Run(PnpscSolution* best, double* best_cost) {
+    best_cost_ = std::numeric_limits<double>::infinity();
+    Descend(0, 0.0);
+    if (nodes_ > budget_) return false;
+    *best = PnpscSolution{best_chosen_};
+    *best_cost = best_cost_;
+    return true;
+  }
+
+ private:
+  // Cost so far = weight of covered negatives. At a leaf add uncovered
+  // positives.
+  void Descend(size_t index, double covered_negative_weight) {
+    if (++nodes_ > budget_) return;
+    // Lower bound: covered negatives + positives no remaining set can cover.
+    double lb = covered_negative_weight;
+    for (size_t p = 0; p < instance_.positive_count; ++p) {
+      if (pos_cover_count_[p] > 0) continue;
+      if (max_covering_set_[p] < static_cast<long>(index)) {
+        lb += instance_.PositiveWeight(p);
+      }
+    }
+    if (lb >= best_cost_) return;
+    if (index == instance_.sets.size()) {
+      best_cost_ = lb;
+      best_chosen_ = chosen_;
+      return;
+    }
+    const PnpscInstance::Set& set = instance_.sets[index];
+    // Branch: include the set.
+    double marginal = 0.0;
+    for (size_t n : set.negatives) {
+      if (neg_cover_count_[n] == 0) marginal += instance_.NegativeWeight(n);
+    }
+    for (size_t p : set.positives) ++pos_cover_count_[p];
+    for (size_t n : set.negatives) ++neg_cover_count_[n];
+    chosen_.push_back(index);
+    Descend(index + 1, covered_negative_weight + marginal);
+    chosen_.pop_back();
+    for (size_t p : set.positives) --pos_cover_count_[p];
+    for (size_t n : set.negatives) --neg_cover_count_[n];
+    if (nodes_ > budget_) return;
+    // Branch: exclude the set.
+    Descend(index + 1, covered_negative_weight);
+  }
+
+  const PnpscInstance& instance_;
+  uint64_t budget_;
+  uint64_t nodes_ = 0;
+  std::vector<uint32_t> pos_cover_count_;
+  std::vector<uint32_t> neg_cover_count_;
+  std::vector<long> max_covering_set_;
+  std::vector<size_t> chosen_;
+  std::vector<size_t> best_chosen_;
+  double best_cost_ = 0.0;
+};
+
+}  // namespace
+
+Result<PnpscSolution> SolvePnpscExact(const PnpscInstance& instance,
+                                      uint64_t node_budget) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  PnpscExactSearch search(instance, node_budget);
+  PnpscSolution best;
+  double best_cost = 0.0;
+  if (!search.Run(&best, &best_cost)) {
+    return Status::FailedPrecondition(
+        "exact +-PSC search exceeded node budget");
+  }
+  return best;
+}
+
+}  // namespace delprop

@@ -1,0 +1,75 @@
+#ifndef DELPROP_SETCOVER_PNPSC_H_
+#define DELPROP_SETCOVER_PNPSC_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "setcover/red_blue.h"
+#include "setcover/red_blue_solvers.h"
+
+namespace delprop {
+
+/// An instance of the Positive-Negative Partial Set Cover problem
+/// (Miettinen, IPL 2008): choose sets minimizing
+///   weight(uncovered positives) + weight(covered negatives).
+/// Any sub-collection is feasible (there is no hard covering constraint).
+struct PnpscInstance {
+  struct Set {
+    std::vector<size_t> positives;
+    std::vector<size_t> negatives;
+  };
+
+  size_t positive_count = 0;
+  size_t negative_count = 0;
+  std::vector<Set> sets;
+  /// Optional weights; empty means unit weights.
+  std::vector<double> positive_weights;
+  std::vector<double> negative_weights;
+
+  double PositiveWeight(size_t p) const {
+    return positive_weights.empty() ? 1.0 : positive_weights[p];
+  }
+  double NegativeWeight(size_t n) const {
+    return negative_weights.empty() ? 1.0 : negative_weights[n];
+  }
+
+  Status Validate() const;
+};
+
+/// A solution: indices of chosen sets.
+struct PnpscSolution {
+  std::vector<size_t> chosen;
+};
+
+/// Objective value of a solution.
+double PnpscCost(const PnpscInstance& instance, const PnpscSolution& solution);
+
+/// Miettinen's linear reduction ±PSC → RBSC: blues are the positives; reds
+/// are the negatives plus one fresh red r_p per positive; every original set
+/// keeps its members; a "skip set" {p, r_p} is added per positive so leaving
+/// p uncovered costs exactly one red. RBSC set ids [0, sets.size()) are the
+/// original sets, the remainder are skip sets.
+RbscInstance ReducePnpscToRbsc(const PnpscInstance& instance);
+
+/// Maps an RBSC solution over ReducePnpscToRbsc(instance) back to ±PSC by
+/// dropping the skip sets.
+PnpscSolution MapRbscSolutionBack(const PnpscInstance& instance,
+                                  const RbscSolution& rbsc_solution);
+
+/// Solves ±PSC through the RBSC reduction with the given RBSC solver
+/// (defaults to Peleg's LowDegTwo, giving the paper's Lemma 1 bound).
+Result<PnpscSolution> SolvePnpsc(
+    const PnpscInstance& instance,
+    const std::function<Result<RbscSolution>(const RbscInstance&)>& solver =
+        SolveRbscLowDegTwo);
+
+/// Exact solver by exhaustive branch-and-bound over sets (small instances
+/// only; `node_budget` caps explored nodes).
+Result<PnpscSolution> SolvePnpscExact(const PnpscInstance& instance,
+                                      uint64_t node_budget = 50'000'000);
+
+}  // namespace delprop
+
+#endif  // DELPROP_SETCOVER_PNPSC_H_

@@ -1,0 +1,49 @@
+#include "setcover/red_blue.h"
+
+namespace delprop {
+
+Status RbscInstance::Validate() const {
+  if (!red_weights.empty() && red_weights.size() != red_count) {
+    return Status::InvalidArgument("red_weights size mismatch");
+  }
+  for (const Set& set : sets) {
+    for (size_t r : set.reds) {
+      if (r >= red_count) {
+        return Status::OutOfRange("red element id out of range");
+      }
+    }
+    for (size_t b : set.blues) {
+      if (b >= blue_count) {
+        return Status::OutOfRange("blue element id out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool RbscFeasible(const RbscInstance& instance, const RbscSolution& solution) {
+  std::vector<bool> covered(instance.blue_count, false);
+  for (size_t s : solution.chosen) {
+    for (size_t b : instance.sets[s].blues) covered[b] = true;
+  }
+  for (bool c : covered) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+double RbscCost(const RbscInstance& instance, const RbscSolution& solution) {
+  std::vector<bool> covered(instance.red_count, false);
+  double cost = 0.0;
+  for (size_t s : solution.chosen) {
+    for (size_t r : instance.sets[s].reds) {
+      if (!covered[r]) {
+        covered[r] = true;
+        cost += instance.RedWeight(r);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace delprop

@@ -1,0 +1,50 @@
+#ifndef DELPROP_SETCOVER_RED_BLUE_H_
+#define DELPROP_SETCOVER_RED_BLUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace delprop {
+
+/// An instance of the Red-Blue Set Cover problem (Carr, Doddi, Konjevod,
+/// Marathe — SODA 2002): choose a sub-collection of sets covering every blue
+/// element while minimizing the total weight of covered red elements.
+struct RbscInstance {
+  /// One set of the collection C, split into its red and blue members
+  /// (element ids index into [0, red_count) and [0, blue_count)).
+  struct Set {
+    std::vector<size_t> reds;
+    std::vector<size_t> blues;
+  };
+
+  size_t red_count = 0;
+  size_t blue_count = 0;
+  std::vector<Set> sets;
+  /// Per-red-element weights; empty means unit weights.
+  std::vector<double> red_weights;
+
+  /// Weight of red element `r` (1.0 when unweighted).
+  double RedWeight(size_t r) const {
+    return red_weights.empty() ? 1.0 : red_weights[r];
+  }
+
+  /// Checks element ids are in range and weights, if given, match red_count.
+  Status Validate() const;
+};
+
+/// A solution: indices of chosen sets.
+struct RbscSolution {
+  std::vector<size_t> chosen;
+};
+
+/// True if the chosen sets cover every blue element.
+bool RbscFeasible(const RbscInstance& instance, const RbscSolution& solution);
+
+/// Total weight of red elements covered by the chosen sets (the objective).
+double RbscCost(const RbscInstance& instance, const RbscSolution& solution);
+
+}  // namespace delprop
+
+#endif  // DELPROP_SETCOVER_RED_BLUE_H_

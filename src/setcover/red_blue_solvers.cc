@@ -1,0 +1,204 @@
+#include "setcover/red_blue_solvers.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace delprop {
+namespace {
+
+/// Greedy over the subset of sets with `allowed[s]` true. Returns nullopt if
+/// the allowed sets cannot cover all blues.
+std::optional<RbscSolution> GreedyOverAllowed(const RbscInstance& instance,
+                                              const std::vector<bool>& allowed) {
+  std::vector<bool> blue_covered(instance.blue_count, false);
+  std::vector<bool> red_covered(instance.red_count, false);
+  size_t blues_left = instance.blue_count;
+  RbscSolution solution;
+
+  while (blues_left > 0) {
+    size_t best_set = instance.sets.size();
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t best_new_blues = 0;
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      if (!allowed[s]) continue;
+      size_t new_blues = 0;
+      for (size_t b : instance.sets[s].blues) {
+        if (!blue_covered[b]) ++new_blues;
+      }
+      if (new_blues == 0) continue;
+      double marginal = 0.0;
+      for (size_t r : instance.sets[s].reds) {
+        if (!red_covered[r]) marginal += instance.RedWeight(r);
+      }
+      double score = marginal / static_cast<double>(new_blues);
+      if (score < best_score ||
+          (score == best_score && new_blues > best_new_blues)) {
+        best_score = score;
+        best_set = s;
+        best_new_blues = new_blues;
+      }
+    }
+    if (best_set == instance.sets.size()) return std::nullopt;
+    solution.chosen.push_back(best_set);
+    for (size_t b : instance.sets[best_set].blues) {
+      if (!blue_covered[b]) {
+        blue_covered[b] = true;
+        --blues_left;
+      }
+    }
+    for (size_t r : instance.sets[best_set].reds) red_covered[r] = true;
+  }
+  return solution;
+}
+
+}  // namespace
+
+Result<RbscSolution> SolveRbscGreedy(const RbscInstance& instance) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  std::vector<bool> allowed(instance.sets.size(), true);
+  std::optional<RbscSolution> solution = GreedyOverAllowed(instance, allowed);
+  if (!solution.has_value()) {
+    return Status::Infeasible("blue elements cannot all be covered");
+  }
+  return *solution;
+}
+
+Result<RbscSolution> SolveRbscLowDegTwo(const RbscInstance& instance) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  // Candidate thresholds: the distinct red-degrees of the sets.
+  std::set<size_t> thresholds;
+  for (const RbscInstance::Set& set : instance.sets) {
+    thresholds.insert(set.reds.size());
+  }
+  if (thresholds.empty()) {
+    return Status::Infeasible("empty set collection");
+  }
+
+  std::optional<RbscSolution> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<bool> allowed(instance.sets.size());
+  for (size_t tau : thresholds) {
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      allowed[s] = instance.sets[s].reds.size() <= tau;
+    }
+    std::optional<RbscSolution> solution = GreedyOverAllowed(instance, allowed);
+    if (!solution.has_value()) continue;
+    double cost = RbscCost(instance, *solution);
+    if (!best.has_value() || cost < best_cost) {
+      best = std::move(solution);
+      best_cost = cost;
+    }
+  }
+  if (!best.has_value()) {
+    return Status::Infeasible("blue elements cannot all be covered");
+  }
+  return *best;
+}
+
+namespace {
+
+class ExactSearch {
+ public:
+  ExactSearch(const RbscInstance& instance, uint64_t node_budget)
+      : instance_(instance), budget_(node_budget) {
+    sets_with_blue_.resize(instance.blue_count);
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      for (size_t b : instance.sets[s].blues) {
+        sets_with_blue_[b].push_back(s);
+      }
+    }
+    blue_covered_by_.assign(instance.blue_count, 0);
+    red_covered_by_.assign(instance.red_count, 0);
+  }
+
+  // Seeds the incumbent (upper bound) with a known feasible solution.
+  void Seed(const RbscSolution& solution, double cost) {
+    best_ = solution;
+    best_cost_ = cost;
+  }
+
+  bool Run() {
+    Descend(0.0);
+    return nodes_ <= budget_;
+  }
+
+  const std::optional<RbscSolution>& best() const { return best_; }
+
+ private:
+  void Descend(double cost) {
+    if (++nodes_ > budget_) return;
+    if (cost >= best_cost_) return;
+    // Pick the uncovered blue with the fewest candidate sets.
+    size_t pick = instance_.blue_count;
+    size_t pick_options = std::numeric_limits<size_t>::max();
+    for (size_t b = 0; b < instance_.blue_count; ++b) {
+      if (blue_covered_by_[b] > 0) continue;
+      size_t options = sets_with_blue_[b].size();
+      if (options < pick_options) {
+        pick = b;
+        pick_options = options;
+      }
+    }
+    if (pick == instance_.blue_count) {
+      // Feasible; strictly better than the incumbent by the prune above.
+      best_cost_ = cost;
+      best_ = RbscSolution{chosen_};
+      return;
+    }
+    if (pick_options == 0) return;  // Dead end.
+    for (size_t s : sets_with_blue_[pick]) {
+      double marginal = 0.0;
+      for (size_t r : instance_.sets[s].reds) {
+        if (red_covered_by_[r] == 0) marginal += instance_.RedWeight(r);
+      }
+      Apply(s);
+      chosen_.push_back(s);
+      Descend(cost + marginal);
+      chosen_.pop_back();
+      Unapply(s);
+      if (nodes_ > budget_) return;
+    }
+  }
+
+  void Apply(size_t s) {
+    for (size_t b : instance_.sets[s].blues) ++blue_covered_by_[b];
+    for (size_t r : instance_.sets[s].reds) ++red_covered_by_[r];
+  }
+  void Unapply(size_t s) {
+    for (size_t b : instance_.sets[s].blues) --blue_covered_by_[b];
+    for (size_t r : instance_.sets[s].reds) --red_covered_by_[r];
+  }
+
+  const RbscInstance& instance_;
+  uint64_t budget_;
+  uint64_t nodes_ = 0;
+  std::vector<std::vector<size_t>> sets_with_blue_;
+  std::vector<uint32_t> blue_covered_by_;
+  std::vector<uint32_t> red_covered_by_;
+  std::vector<size_t> chosen_;
+  std::optional<RbscSolution> best_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+Result<RbscSolution> SolveRbscExact(const RbscInstance& instance,
+                                    const RbscExactOptions& options) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  ExactSearch search(instance, options.node_budget);
+  Result<RbscSolution> greedy = SolveRbscGreedy(instance);
+  if (greedy.ok()) {
+    search.Seed(*greedy, RbscCost(instance, *greedy));
+  }
+  bool complete = search.Run();
+  if (!complete) {
+    return Status::FailedPrecondition("exact RBSC search exceeded node budget");
+  }
+  if (!search.best().has_value()) {
+    return Status::Infeasible("blue elements cannot all be covered");
+  }
+  return *search.best();
+}
+
+}  // namespace delprop

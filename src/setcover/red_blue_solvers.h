@@ -1,0 +1,35 @@
+#ifndef DELPROP_SETCOVER_RED_BLUE_SOLVERS_H_
+#define DELPROP_SETCOVER_RED_BLUE_SOLVERS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "setcover/red_blue.h"
+
+namespace delprop {
+
+/// Weighted-greedy baseline: repeatedly picks the set minimizing
+/// (marginal red weight) / (newly covered blues) until all blues are covered.
+/// Returns Infeasible if even the full collection leaves a blue uncovered.
+Result<RbscSolution> SolveRbscGreedy(const RbscInstance& instance);
+
+/// Peleg's LowDegTwo scheme (J. Discrete Algorithms 2007), the subroutine the
+/// paper's Claim 1 and Algorithms 2/3 build on: for every red-degree
+/// threshold τ, discard sets containing more than τ red elements, run the
+/// weighted greedy on the surviving collection, and keep the best solution
+/// found. Achieves the 2·sqrt(|C|·log|B|) bound of the paper.
+Result<RbscSolution> SolveRbscLowDegTwo(const RbscInstance& instance);
+
+/// Exact branch-and-bound over the lowest-id uncovered blue element. `budget`
+/// caps the number of explored search nodes; on exhaustion the best feasible
+/// solution found so far is returned with a FailedPrecondition status if none
+/// was proven optimal. Intended for the ratio benches on small instances.
+struct RbscExactOptions {
+  uint64_t node_budget = 50'000'000;
+};
+Result<RbscSolution> SolveRbscExact(const RbscInstance& instance,
+                                    const RbscExactOptions& options = {});
+
+}  // namespace delprop
+
+#endif  // DELPROP_SETCOVER_RED_BLUE_SOLVERS_H_

@@ -1,0 +1,38 @@
+#ifndef DELPROP_SOLVERS_BALANCED_PNPSC_SOLVER_H_
+#define DELPROP_SOLVERS_BALANCED_PNPSC_SOLVER_H_
+
+#include <functional>
+
+#include "dp/solver.h"
+#include "setcover/pnpsc.h"
+
+namespace delprop {
+
+/// The paper's balanced-variant algorithm (Lemma 1): reduce balanced
+/// deletion propagation to Positive-Negative Partial Set Cover, solve that
+/// through Miettinen's reduction to RBSC with Peleg's LowDegTwo, map back.
+/// Approximation bound: 2·sqrt(l·(‖V‖+‖ΔV‖)·log‖ΔV‖).
+///
+/// Requires unique-witness views (key-preserving / project-free), as the
+/// ±PSC image only models single-witness lineage faithfully.
+class BalancedPnpscSolver : public VseSolver {
+ public:
+  using RbscSolverFn =
+      std::function<Result<RbscSolution>(const RbscInstance&)>;
+
+  explicit BalancedPnpscSolver(RbscSolverFn rbsc_solver = SolveRbscLowDegTwo,
+                               std::string name = "balanced-pnpsc")
+      : rbsc_solver_(std::move(rbsc_solver)), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  Objective objective() const override { return Objective::kBalanced; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  RbscSolverFn rbsc_solver_;
+  std::string name_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_BALANCED_PNPSC_SOLVER_H_

@@ -1,0 +1,137 @@
+#include "solvers/damage_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace delprop {
+
+DamageTracker::DamageTracker(const VseInstance& instance)
+    : instance_(&instance) {
+  view_tuple_base_.resize(instance.view_count());
+  size_t dense = 0;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    view_tuple_base_[v] = dense;
+    dense += instance.view(v).size();
+  }
+  tuples_.resize(dense);
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    const View& view = instance.view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      ViewTupleId id{v, t};
+      TupleState& state = tuples_[view_tuple_base_[v] + t];
+      state.id = id;
+      state.witness_count = view.tuple(t).witnesses.size();
+      state.is_deletion = instance.IsMarkedForDeletion(id);
+      state.weight = instance.weight(id);
+      if (state.is_deletion) {
+        ++unkilled_deletions_;
+        surviving_deletion_weight_ += state.weight;
+      }
+      for (const Witness& witness : view.tuple(t).witnesses) {
+        size_t wid = witness_hits_.size();
+        witness_hits_.push_back(0);
+        witness_owner_.push_back(view_tuple_base_[v] + t);
+        // Deduplicate refs within one witness (self-joins may repeat them).
+        std::vector<TupleRef> refs(witness.begin(), witness.end());
+        std::sort(refs.begin(), refs.end());
+        refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+        for (const TupleRef& ref : refs) {
+          occurrences_[ref].emplace_back(view_tuple_base_[v] + t, wid);
+        }
+      }
+    }
+  }
+  for (auto& [ref, occ] : occurrences_) {
+    std::sort(occ.begin(), occ.end());
+  }
+}
+
+size_t DamageTracker::DenseViewTuple(const ViewTupleId& id) const {
+  return view_tuple_base_[id.view] + id.tuple;
+}
+
+bool DamageTracker::IsDeleted(const TupleRef& ref) const {
+  auto it = deleted_flags_.find(ref);
+  return it != deleted_flags_.end() && it->second;
+}
+
+bool DamageTracker::IsKilled(const ViewTupleId& id) const {
+  const TupleState& state = tuples_[DenseViewTuple(id)];
+  return state.witness_count > 0 && state.dead_witnesses == state.witness_count;
+}
+
+double DamageTracker::Delete(const TupleRef& ref) {
+  assert(!IsDeleted(ref));
+  deleted_flags_[ref] = true;
+  deleted_.push_back(ref);
+  double newly_killed = 0.0;
+  auto it = occurrences_.find(ref);
+  if (it == occurrences_.end()) return 0.0;
+  for (const auto& [dense, wid] : it->second) {
+    if (witness_hits_[wid]++ == 0) {
+      TupleState& state = tuples_[dense];
+      if (++state.dead_witnesses == state.witness_count) {
+        if (state.is_deletion) {
+          --unkilled_deletions_;
+          surviving_deletion_weight_ -= state.weight;
+        } else {
+          killed_preserved_weight_ += state.weight;
+          newly_killed += state.weight;
+        }
+      }
+    }
+  }
+  return newly_killed;
+}
+
+void DamageTracker::Undelete(const TupleRef& ref) {
+  assert(IsDeleted(ref));
+  deleted_flags_[ref] = false;
+  deleted_.erase(std::find(deleted_.begin(), deleted_.end(), ref));
+  auto it = occurrences_.find(ref);
+  if (it == occurrences_.end()) return;
+  for (const auto& [dense, wid] : it->second) {
+    if (--witness_hits_[wid] == 0) {
+      TupleState& state = tuples_[dense];
+      if (state.dead_witnesses-- == state.witness_count) {
+        if (state.is_deletion) {
+          ++unkilled_deletions_;
+          surviving_deletion_weight_ += state.weight;
+        } else {
+          killed_preserved_weight_ -= state.weight;
+        }
+      }
+    }
+  }
+}
+
+double DamageTracker::MarginalDamage(const TupleRef& ref) const {
+  auto it = occurrences_.find(ref);
+  if (it == occurrences_.end()) return 0.0;
+  double damage = 0.0;
+  const auto& occ = it->second;
+  // Occurrences are sorted by dense view tuple; walk runs.
+  for (size_t i = 0; i < occ.size();) {
+    size_t dense = occ[i].first;
+    size_t fresh_dead = 0;
+    while (i < occ.size() && occ[i].first == dense) {
+      if (witness_hits_[occ[i].second] == 0) ++fresh_dead;
+      ++i;
+    }
+    const TupleState& state = tuples_[dense];
+    if (state.is_deletion) continue;
+    if (state.dead_witnesses + fresh_dead == state.witness_count &&
+        state.dead_witnesses < state.witness_count) {
+      damage += state.weight;
+    }
+  }
+  return damage;
+}
+
+DeletionSet DamageTracker::CurrentDeletion() const {
+  DeletionSet out;
+  for (const TupleRef& ref : deleted_) out.Insert(ref);
+  return out;
+}
+
+}  // namespace delprop

@@ -1,0 +1,83 @@
+#ifndef DELPROP_SOLVERS_DAMAGE_TRACKER_H_
+#define DELPROP_SOLVERS_DAMAGE_TRACKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dp/vse_instance.h"
+#include "relational/deletion_set.h"
+
+namespace delprop {
+
+/// Incremental accounting of which view tuples die as base tuples are
+/// deleted, with exact multi-witness semantics: a witness is dead when it
+/// loses any member; a view tuple is killed when all of its witnesses are
+/// dead. Supports O(occurrences) delete/undelete and marginal-damage queries,
+/// shared by the greedy and exact solvers.
+class DamageTracker {
+ public:
+  explicit DamageTracker(const VseInstance& instance);
+
+  /// Deletes `ref` (must not be deleted already). Returns the preserved
+  /// weight newly killed by this deletion.
+  double Delete(const TupleRef& ref);
+
+  /// Reverts a prior Delete of `ref` (order-independent).
+  void Undelete(const TupleRef& ref);
+
+  bool IsDeleted(const TupleRef& ref) const;
+
+  /// Preserved weight that deleting `ref` would newly kill right now.
+  double MarginalDamage(const TupleRef& ref) const;
+
+  /// Number of ΔV tuples not yet killed.
+  size_t unkilled_deletion_count() const { return unkilled_deletions_; }
+
+  /// Weight of preserved tuples killed so far.
+  double killed_preserved_weight() const { return killed_preserved_weight_; }
+
+  /// Weight of ΔV tuples not yet killed (for the balanced objective).
+  double surviving_deletion_weight() const {
+    return surviving_deletion_weight_;
+  }
+
+  bool IsKilled(const ViewTupleId& id) const;
+
+  /// Snapshot of the current deletion as a DeletionSet.
+  DeletionSet CurrentDeletion() const;
+
+  /// Number of deleted base tuples.
+  size_t deleted_count() const { return deleted_.size(); }
+
+ private:
+  struct TupleState {
+    ViewTupleId id;
+    size_t witness_count = 0;
+    size_t dead_witnesses = 0;
+    bool is_deletion = false;
+    double weight = 1.0;
+  };
+
+  // Dense id spaces: view tuples and witnesses.
+  size_t DenseViewTuple(const ViewTupleId& id) const;
+
+  const VseInstance* instance_;
+  std::vector<TupleState> tuples_;
+  std::vector<size_t> view_tuple_base_;  // per view: first dense id
+  std::vector<uint32_t> witness_hits_;   // per witness: deleted members
+  std::vector<size_t> witness_owner_;    // per witness: dense view tuple
+  // Per base tuple: (dense view tuple, witness id) pairs sorted by tuple.
+  std::unordered_map<TupleRef, std::vector<std::pair<size_t, size_t>>,
+                     TupleRefHash>
+      occurrences_;
+  std::unordered_map<TupleRef, bool, TupleRefHash> deleted_flags_;
+  std::vector<TupleRef> deleted_;
+
+  size_t unkilled_deletions_ = 0;
+  double killed_preserved_weight_ = 0.0;
+  double surviving_deletion_weight_ = 0.0;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_DAMAGE_TRACKER_H_

@@ -1,0 +1,158 @@
+#include "solvers/dp_tree_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "solvers/tree_common.h"
+
+namespace delprop {
+namespace {
+
+constexpr double kInf = 1e17;
+
+double SaturatingAdd(double a, double b) {
+  double sum = a + b;
+  return sum >= kInf ? kInf : sum;
+}
+
+/// Per-node list of (top_depth, weight) pairs with suffix sums, answering
+/// "total weight of paths through/ending at this node with top_depth >
+/// a_depth" in O(log).
+struct SuffixByTopDepth {
+  std::vector<size_t> top_depths;  // ascending
+  std::vector<double> suffix_weight;
+
+  void Build(std::vector<std::pair<size_t, double>> entries) {
+    std::sort(entries.begin(), entries.end());
+    top_depths.resize(entries.size());
+    suffix_weight.assign(entries.size() + 1, 0.0);
+    for (size_t i = entries.size(); i-- > 0;) {
+      top_depths[i] = entries[i].first;
+      suffix_weight[i] = suffix_weight[i + 1] + entries[i].second;
+    }
+  }
+
+  /// Σ weight over entries with top_depth > a_depth (a_depth == -1 ⇒ all).
+  double WeightAbove(long a_depth) const {
+    if (a_depth < 0) return suffix_weight[0];
+    size_t i = std::upper_bound(top_depths.begin(), top_depths.end(),
+                                static_cast<size_t>(a_depth)) -
+               top_depths.begin();
+    return suffix_weight[i];
+  }
+
+  /// True if any entry has top_depth > a_depth.
+  bool AnyAbove(long a_depth) const { return WeightAbove(a_depth) > 0.0; }
+};
+
+}  // namespace
+
+Result<VseSolution> DpTreeSolver::Solve(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0 &&
+      objective_ == Objective::kStandard) {
+    return MakeSolution(instance, DeletionSet(), name());
+  }
+  Result<TreeStructure> structure =
+      BuildTreeStructure(instance, TreeMode::kVerticalAll);
+  if (!structure.ok()) return structure.status();
+  const DataForest& forest = structure->forest;
+  const DataForest::Rooting& rooting = structure->rooting;
+  size_t n = forest.node_count();
+
+  // charge(t, a_depth): weight of preserved paths through t not already
+  // killed above (top_depth > a_depth).
+  std::vector<SuffixByTopDepth> charge(n);
+  for (size_t node = 0; node < n; ++node) {
+    std::vector<std::pair<size_t, double>> entries;
+    for (size_t p : structure->preserved_through[node]) {
+      const auto& path = structure->preserved_paths[p];
+      entries.emplace_back(path.top_depth, path.weight);
+    }
+    charge[node].Build(std::move(entries));
+  }
+  // penalty(t, a_depth): ΔV paths with bottom t that are NOT yet killed when
+  // t is kept (top_depth > a_depth) — infeasible (standard) or their weight
+  // (balanced).
+  std::vector<SuffixByTopDepth> delta_bottom(n);
+  {
+    std::vector<std::vector<std::pair<size_t, double>>> per_node(n);
+    for (const auto& path : structure->delta_paths) {
+      per_node[path.bottom_node].emplace_back(path.top_depth, path.weight);
+    }
+    for (size_t node = 0; node < n; ++node) {
+      delta_bottom[node].Build(std::move(per_node[node]));
+    }
+  }
+
+  // Children lists and bottom-up order (deeper nodes first).
+  std::vector<std::vector<size_t>> children(n);
+  for (size_t node = 0; node < n; ++node) {
+    if (rooting.parent[node] >= 0) {
+      children[static_cast<size_t>(rooting.parent[node])].push_back(node);
+    }
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rooting.depth[a] > rooting.depth[b];
+  });
+
+  // dp[node][a_index] with a_index = a_depth + 1 ∈ [0, depth(node)];
+  // delete_choice[node][a_index] records the optimal decision.
+  std::vector<std::vector<double>> dp(n);
+  std::vector<std::vector<bool>> choose_delete(n);
+
+  for (size_t node : order) {
+    size_t states = rooting.depth[node] + 1;
+    dp[node].resize(states);
+    choose_delete[node].resize(states);
+    for (size_t a_index = 0; a_index < states; ++a_index) {
+      long a_depth = static_cast<long>(a_index) - 1;
+      // Option 1: delete node.
+      double del = charge[node].WeightAbove(a_depth);
+      for (size_t c : children[node]) {
+        del = SaturatingAdd(del, dp[c][rooting.depth[node] + 1]);
+      }
+      // Option 2: keep node.
+      double keep;
+      if (objective_ == Objective::kStandard) {
+        keep = delta_bottom[node].AnyAbove(a_depth) ? kInf : 0.0;
+      } else {
+        keep = delta_bottom[node].WeightAbove(a_depth);
+      }
+      for (size_t c : children[node]) {
+        keep = SaturatingAdd(keep, dp[c][a_index]);
+      }
+      if (del < keep) {
+        dp[node][a_index] = del;
+        choose_delete[node][a_index] = true;
+      } else {
+        dp[node][a_index] = keep;
+        choose_delete[node][a_index] = false;
+      }
+    }
+  }
+
+  // Reconstruct: walk top-down from the pivot roots with a_index = 0.
+  DeletionSet deletion;
+  double total = 0.0;
+  std::vector<std::pair<size_t, size_t>> stack;
+  for (size_t root : rooting.roots) {
+    total = SaturatingAdd(total, dp[root][0]);
+    stack.emplace_back(root, 0);
+  }
+  if (total >= kInf) {
+    return Status::Infeasible("no vertical deletion eliminates all of ΔV");
+  }
+  while (!stack.empty()) {
+    auto [node, a_index] = stack.back();
+    stack.pop_back();
+    bool del = choose_delete[node][a_index];
+    if (del) deletion.Insert(forest.node_ref(node));
+    size_t child_a_index = del ? rooting.depth[node] + 1 : a_index;
+    for (size_t c : children[node]) stack.emplace_back(c, child_a_index);
+  }
+  return MakeSolution(instance, std::move(deletion), name());
+}
+
+}  // namespace delprop

@@ -1,0 +1,32 @@
+#ifndef DELPROP_SOLVERS_DP_TREE_SOLVER_H_
+#define DELPROP_SOLVERS_DP_TREE_SOLVER_H_
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Algorithm 4, DPTreeVSE: exact polynomial dynamic programming for forest
+/// cases with a pivot tuple — every witness is a vertical (ancestor-chain)
+/// path under the pivot rooting. States are (node, depth of the closest
+/// deleted strict ancestor); killed view tuples are charged at their first
+/// deleted node top-down, which is well-defined exactly because paths are
+/// vertical. Solves both the standard objective (hard feasibility on ΔV) and
+/// the balanced one (soft penalties) exactly.
+class DpTreeSolver : public VseSolver {
+ public:
+  explicit DpTreeSolver(Objective objective = Objective::kStandard)
+      : objective_(objective) {}
+
+  std::string name() const override {
+    return objective_ == Objective::kStandard ? "dp-tree" : "dp-tree-balanced";
+  }
+  Objective objective() const override { return objective_; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  Objective objective_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_DP_TREE_SOLVER_H_

@@ -1,0 +1,191 @@
+#include "solvers/exact_solver.h"
+
+#include <limits>
+
+#include "solvers/damage_tracker.h"
+#include "solvers/greedy_solver.h"
+
+namespace delprop {
+namespace {
+
+class StandardSearch {
+ public:
+  StandardSearch(const VseInstance& instance, uint64_t budget,
+                 size_t max_deletions = std::numeric_limits<size_t>::max())
+      : instance_(instance),
+        tracker_(instance),
+        budget_(budget),
+        max_deletions_(max_deletions) {}
+
+  void Seed(DeletionSet deletion, double cost) {
+    best_deletion_ = std::move(deletion);
+    best_cost_ = cost;
+    found_ = true;
+  }
+
+  bool Run() {
+    Descend();
+    return nodes_ <= budget_;
+  }
+
+  bool found() const { return found_; }
+  const DeletionSet& best_deletion() const { return best_deletion_; }
+
+ private:
+  // Picks the unkilled ΔV tuple and unhit witness with the fewest undeleted
+  // members; branches on deleting each member.
+  void Descend() {
+    if (++nodes_ > budget_) return;
+    if (tracker_.killed_preserved_weight() >= best_cost_) return;
+    const Witness* branch_witness = nullptr;
+    size_t branch_options = std::numeric_limits<size_t>::max();
+    for (const ViewTupleId& id : instance_.deletion_tuples()) {
+      if (tracker_.IsKilled(id)) continue;
+      for (const Witness& witness : instance_.view_tuple(id).witnesses) {
+        bool hit = false;
+        for (const TupleRef& ref : witness) {
+          if (tracker_.IsDeleted(ref)) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) continue;
+        if (witness.size() < branch_options) {
+          branch_witness = &witness;
+          branch_options = witness.size();
+        }
+      }
+    }
+    if (branch_witness == nullptr) {
+      // All ΔV tuples killed: feasible leaf, strictly better by the prune.
+      best_cost_ = tracker_.killed_preserved_weight();
+      best_deletion_ = tracker_.CurrentDeletion();
+      found_ = true;
+      return;
+    }
+    if (tracker_.deleted_count() >= max_deletions_) return;  // cap reached
+    // Copy: Delete/Undelete does not touch witnesses, but keep it safe
+    // against iterator invalidation from recursion.
+    Witness witness = *branch_witness;
+    for (const TupleRef& ref : witness) {
+      if (tracker_.IsDeleted(ref)) continue;
+      tracker_.Delete(ref);
+      Descend();
+      tracker_.Undelete(ref);
+      if (nodes_ > budget_) return;
+    }
+  }
+
+  const VseInstance& instance_;
+  DamageTracker tracker_;
+  uint64_t budget_;
+  size_t max_deletions_;
+  uint64_t nodes_ = 0;
+  DeletionSet best_deletion_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  bool found_ = false;
+};
+
+}  // namespace
+
+Result<VseSolution> ExactSolver::Solve(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return MakeSolution(instance, DeletionSet(), name());
+  }
+  StandardSearch search(instance, node_budget_);
+  GreedySolver greedy;
+  Result<VseSolution> seed = greedy.Solve(instance);
+  if (seed.ok() && seed->Feasible()) {
+    search.Seed(seed->deletion, seed->Cost());
+  }
+  if (!search.Run()) {
+    return Status::FailedPrecondition("exact search exceeded node budget");
+  }
+  if (!search.found()) {
+    return Status::Infeasible("no deletion eliminates all of ΔV");
+  }
+  return MakeSolution(instance, search.best_deletion(), name());
+}
+
+Result<VseSolution> BoundedExactSolver::Solve(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return MakeSolution(instance, DeletionSet(), name());
+  }
+  StandardSearch search(instance, node_budget_, max_deletions_);
+  // No greedy seed: the greedy may overshoot the cardinality cap, and a
+  // seed above the cap would not be a certificate of feasibility.
+  if (!search.Run()) {
+    return Status::FailedPrecondition(
+        "bounded exact search exceeded node budget");
+  }
+  if (!search.found()) {
+    return Status::Infeasible(
+        "no deletion of at most " + std::to_string(max_deletions_) +
+        " tuples eliminates all of ΔV");
+  }
+  return MakeSolution(instance, search.best_deletion(), name());
+}
+
+namespace {
+
+class BalancedSearch {
+ public:
+  BalancedSearch(const VseInstance& instance, uint64_t budget)
+      : instance_(instance),
+        tracker_(instance),
+        budget_(budget),
+        candidates_(instance.CandidateTuples()) {}
+
+  bool Run() {
+    // The empty deletion is always feasible for the balanced objective.
+    best_cost_ = tracker_.killed_preserved_weight() +
+                 tracker_.surviving_deletion_weight();
+    best_deletion_ = DeletionSet();
+    Descend(0);
+    return nodes_ <= budget_;
+  }
+
+  const DeletionSet& best_deletion() const { return best_deletion_; }
+
+ private:
+  void Descend(size_t index) {
+    if (++nodes_ > budget_) return;
+    // Killed-preserved weight only grows along a branch.
+    if (tracker_.killed_preserved_weight() >= best_cost_) return;
+    double cost = tracker_.killed_preserved_weight() +
+                  tracker_.surviving_deletion_weight();
+    if (cost < best_cost_) {
+      best_cost_ = cost;
+      best_deletion_ = tracker_.CurrentDeletion();
+    }
+    if (index == candidates_.size()) return;
+    // Branch: delete candidate.
+    tracker_.Delete(candidates_[index]);
+    Descend(index + 1);
+    tracker_.Undelete(candidates_[index]);
+    if (nodes_ > budget_) return;
+    // Branch: keep candidate.
+    Descend(index + 1);
+  }
+
+  const VseInstance& instance_;
+  DamageTracker tracker_;
+  uint64_t budget_;
+  uint64_t nodes_ = 0;
+  std::vector<TupleRef> candidates_;
+  DeletionSet best_deletion_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+Result<VseSolution> ExactBalancedSolver::Solve(const VseInstance& instance) {
+  BalancedSearch search(instance, node_budget_);
+  if (!search.Run()) {
+    return Status::FailedPrecondition(
+        "exact balanced search exceeded node budget");
+  }
+  return MakeSolution(instance, search.best_deletion(), name());
+}
+
+}  // namespace delprop

@@ -1,0 +1,66 @@
+#ifndef DELPROP_SOLVERS_EXACT_SOLVER_H_
+#define DELPROP_SOLVERS_EXACT_SOLVER_H_
+
+#include <cstdint>
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Exact branch-and-bound for the standard view side-effect objective.
+/// Branches on the lowest-damage ways to cut an unkilled ΔV tuple's witness,
+/// pruning on the incumbent cost (the greedy solution seeds the incumbent).
+/// Handles general CQs (multi-witness lineage) correctly. Exponential in the
+/// worst case — the paper's Theorem 1 says it must be — so it is intended
+/// for small instances in tests and the ratio benches; `node_budget` caps
+/// the search and the solver fails with FailedPrecondition on exhaustion.
+class ExactSolver : public VseSolver {
+ public:
+  explicit ExactSolver(uint64_t node_budget = 20'000'000)
+      : node_budget_(node_budget) {}
+
+  std::string name() const override { return "exact"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  uint64_t node_budget_;
+};
+
+/// The bounded variant of Table V (Miao et al. 2018: view propagation with
+/// the source deletion bounded in advance): eliminate all of ΔV using at
+/// most `max_deletions` source tuples, minimizing the view side-effect;
+/// Infeasible when no such deletion exists. Exact branch-and-bound with a
+/// cardinality cap.
+class BoundedExactSolver : public VseSolver {
+ public:
+  explicit BoundedExactSolver(size_t max_deletions,
+                              uint64_t node_budget = 20'000'000)
+      : max_deletions_(max_deletions), node_budget_(node_budget) {}
+
+  std::string name() const override { return "bounded-exact"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  size_t max_deletions_;
+  uint64_t node_budget_;
+};
+
+/// Exact branch-and-bound for the balanced objective: include/exclude search
+/// over the candidate base tuples, pruning with the (monotone) killed-
+/// preserved weight plus a surviving-ΔV lower bound.
+class ExactBalancedSolver : public VseSolver {
+ public:
+  explicit ExactBalancedSolver(uint64_t node_budget = 20'000'000)
+      : node_budget_(node_budget) {}
+
+  std::string name() const override { return "exact-balanced"; }
+  Objective objective() const override { return Objective::kBalanced; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  uint64_t node_budget_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_EXACT_SOLVER_H_

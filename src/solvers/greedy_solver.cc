@@ -1,0 +1,59 @@
+#include "solvers/greedy_solver.h"
+
+#include <limits>
+
+#include "solvers/damage_tracker.h"
+
+namespace delprop {
+
+Result<VseSolution> GreedySolver::Solve(const VseInstance& instance) {
+  DamageTracker tracker(instance);
+
+  while (tracker.unkilled_deletion_count() > 0) {
+    // Find an unkilled ΔV tuple and one of its unhit witnesses.
+    const Witness* target = nullptr;
+    for (const ViewTupleId& id : instance.deletion_tuples()) {
+      if (tracker.IsKilled(id)) continue;
+      for (const Witness& witness : instance.view_tuple(id).witnesses) {
+        bool hit = false;
+        for (const TupleRef& ref : witness) {
+          if (tracker.IsDeleted(ref)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          target = &witness;
+          break;
+        }
+      }
+      if (target != nullptr) break;
+    }
+    if (target == nullptr) {
+      return Status::Internal("unkilled deletion without an unhit witness");
+    }
+    // Delete the member with the lowest marginal damage.
+    TupleRef best = (*target)[0];
+    double best_damage = std::numeric_limits<double>::infinity();
+    for (const TupleRef& ref : *target) {
+      if (tracker.IsDeleted(ref)) continue;
+      double damage = tracker.MarginalDamage(ref);
+      if (damage < best_damage) {
+        best_damage = damage;
+        best = ref;
+      }
+    }
+    tracker.Delete(best);
+  }
+
+  // Reverse-delete pass: drop deletions that are no longer needed.
+  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
+    tracker.Undelete(*it);
+    if (tracker.unkilled_deletion_count() > 0) tracker.Delete(*it);
+  }
+
+  return MakeSolution(instance, tracker.CurrentDeletion(), name());
+}
+
+}  // namespace delprop

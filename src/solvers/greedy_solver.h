@@ -1,0 +1,21 @@
+#ifndef DELPROP_SOLVERS_GREEDY_SOLVER_H_
+#define DELPROP_SOLVERS_GREEDY_SOLVER_H_
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Baseline heuristic for the standard objective: while some ΔV tuple
+/// survives, pick one of its unhit witnesses and delete the member with the
+/// lowest marginal damage; finish with a reverse-delete minimality pass.
+/// No approximation guarantee (Theorem 1 rules a constant one out) — used as
+/// the baseline the paper's algorithms are compared against.
+class GreedySolver : public VseSolver {
+ public:
+  std::string name() const override { return "greedy"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_GREEDY_SOLVER_H_

@@ -1,0 +1,131 @@
+#include "solvers/local_search_solver.h"
+
+#include <limits>
+#include <optional>
+
+#include "common/rng.h"
+#include "solvers/damage_tracker.h"
+
+namespace delprop {
+namespace {
+
+// Randomized greedy construction: kill ΔV tuples in random order, always
+// deleting the cheapest member of the first unhit witness.
+void RandomizedGreedy(const VseInstance& instance, Rng& rng,
+                      DamageTracker& tracker) {
+  std::vector<ViewTupleId> order = instance.deletion_tuples();
+  rng.Shuffle(order);
+  for (const ViewTupleId& id : order) {
+    while (!tracker.IsKilled(id)) {
+      const Witness* target = nullptr;
+      for (const Witness& witness : instance.view_tuple(id).witnesses) {
+        bool hit = false;
+        for (const TupleRef& ref : witness) {
+          if (tracker.IsDeleted(ref)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          target = &witness;
+          break;
+        }
+      }
+      if (target == nullptr) break;  // killed by earlier deletions
+      TupleRef best = (*target)[0];
+      double best_damage = std::numeric_limits<double>::infinity();
+      for (const TupleRef& ref : *target) {
+        if (tracker.IsDeleted(ref)) continue;
+        double damage = tracker.MarginalDamage(ref);
+        // Random tie-breaking keeps restarts diverse.
+        if (damage < best_damage ||
+            (damage == best_damage && rng.NextBool(0.5))) {
+          best_damage = damage;
+          best = ref;
+        }
+      }
+      tracker.Delete(best);
+    }
+  }
+}
+
+// Drops unneeded deletions (in random order); returns true on any change.
+bool DropPass(Rng& rng, DamageTracker& tracker) {
+  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  rng.Shuffle(deleted);
+  bool changed = false;
+  for (const TupleRef& ref : deleted) {
+    tracker.Undelete(ref);
+    if (tracker.unkilled_deletion_count() > 0) {
+      tracker.Delete(ref);
+    } else {
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// One swap pass: replace a deleted tuple by an undeleted candidate when that
+// keeps feasibility and strictly lowers the cost. Returns true on change.
+bool SwapPass(const std::vector<TupleRef>& candidates, Rng& rng,
+              DamageTracker& tracker) {
+  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  rng.Shuffle(deleted);
+  bool changed = false;
+  for (const TupleRef& out : deleted) {
+    double current = tracker.killed_preserved_weight();
+    tracker.Undelete(out);
+    if (tracker.unkilled_deletion_count() == 0 &&
+        tracker.killed_preserved_weight() < current) {
+      changed = true;  // plain drop is already an improvement
+      continue;
+    }
+    bool swapped = false;
+    for (const TupleRef& in : candidates) {
+      if (tracker.IsDeleted(in) || in == out) continue;
+      tracker.Delete(in);
+      if (tracker.unkilled_deletion_count() == 0 &&
+          tracker.killed_preserved_weight() < current) {
+        swapped = true;
+        changed = true;
+        break;
+      }
+      tracker.Undelete(in);
+    }
+    if (!swapped) tracker.Delete(out);
+  }
+  return changed;
+}
+
+}  // namespace
+
+Result<VseSolution> LocalSearchSolver::Solve(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return MakeSolution(instance, DeletionSet(), name());
+  }
+  std::vector<TupleRef> candidates = instance.CandidateTuples();
+  Rng rng(options_.seed);
+
+  std::optional<DeletionSet> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t restart = 0; restart < options_.restarts; ++restart) {
+    DamageTracker tracker(instance);
+    RandomizedGreedy(instance, rng, tracker);
+    if (tracker.unkilled_deletion_count() > 0) {
+      return Status::Internal("randomized greedy failed to kill all of ΔV");
+    }
+    for (size_t round = 0; round < options_.max_rounds_per_restart; ++round) {
+      bool dropped = DropPass(rng, tracker);
+      bool swapped = SwapPass(candidates, rng, tracker);
+      if (!dropped && !swapped) break;
+    }
+    double cost = tracker.killed_preserved_weight();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = tracker.CurrentDeletion();
+    }
+  }
+  return MakeSolution(instance, std::move(*best), name());
+}
+
+}  // namespace delprop

@@ -1,0 +1,36 @@
+#ifndef DELPROP_SOLVERS_LOCAL_SEARCH_SOLVER_H_
+#define DELPROP_SOLVERS_LOCAL_SEARCH_SOLVER_H_
+
+#include <cstdint>
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Local-search baseline (not from the paper — an extra comparator for the
+/// benches): start from the greedy solution, then repeatedly try swap moves
+/// — replace one deleted tuple by one undeleted candidate — and drop moves,
+/// accepting strict improvements, with restarts from randomized greedy
+/// orders. No approximation guarantee (Theorem 1 again), but a strong
+/// practical baseline to situate the paper's algorithms against.
+class LocalSearchSolver : public VseSolver {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    size_t restarts = 4;
+    size_t max_rounds_per_restart = 50;
+  };
+
+  LocalSearchSolver() : options_(Options{}) {}
+  explicit LocalSearchSolver(Options options) : options_(options) {}
+
+  std::string name() const override { return "local-search"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_LOCAL_SEARCH_SOLVER_H_

@@ -1,0 +1,25 @@
+#ifndef DELPROP_SOLVERS_LOWDEG_TREE_SOLVER_H_
+#define DELPROP_SOLVERS_LOWDEG_TREE_SOLVER_H_
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Algorithms 2 + 3, LowDegTreeVSE(Two): the 2·sqrt(‖V‖)-approximation for
+/// the forest case (Theorem 4). For every red-degree threshold τ:
+///  * tuples joined into more than τ preserved view tuples become
+///    undeletable (Algorithm 2, step 1);
+///  * preserved view tuples wider than sqrt(‖V‖) are pruned from the LP
+///    (steps 6-7) — they are few (Claim 2: fewer than sqrt(‖V‖)·τ);
+///  * PrimeDualVSE runs on the reduced instance.
+/// The best feasible solution over all τ (by true cost) is returned
+/// (Algorithm 3's outer loop).
+class LowDegTreeSolver : public VseSolver {
+ public:
+  std::string name() const override { return "lowdeg-tree"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_LOWDEG_TREE_SOLVER_H_

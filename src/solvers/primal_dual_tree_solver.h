@@ -1,0 +1,43 @@
+#ifndef DELPROP_SOLVERS_PRIMAL_DUAL_TREE_SOLVER_H_
+#define DELPROP_SOLVERS_PRIMAL_DUAL_TREE_SOLVER_H_
+
+#include <unordered_set>
+
+#include "dp/solver.h"
+#include "solvers/tree_common.h"
+
+namespace delprop {
+
+/// Extra constraints threaded through the primal-dual core so that
+/// LowDegTreeVSE (Algorithm 2) can reuse it.
+struct PrimalDualOptions {
+  /// Forest nodes that may not be deleted (their capacity is infinite).
+  /// Indexed by forest node id; empty means all deletable.
+  std::vector<bool> undeletable;
+  /// Preserved paths whose weight the LP treats as zero (Algorithm 2's prune
+  /// of view tuples wider than sqrt(‖V‖)); indexed by preserved-path id.
+  std::vector<bool> zero_weight;
+  /// Ablation switch: skip the final reverse-delete pass (Algorithm 1,
+  /// lines 7-10). Solutions stay feasible but lose minimality.
+  bool skip_reverse_delete = false;
+};
+
+/// Algorithm 1, PrimeDualVSE: the Garg-Vazirani-Yannakakis-style primal-dual
+/// l-approximation for the forest case (Theorem 3). ΔV witnesses are paths
+/// to cut; each path's dual is raised at its LCA in bottom-up order until a
+/// tuple on it saturates its capacity Σ_{s∈R, t∈s} w_s; saturated tuples are
+/// deleted, and a reverse-delete pass restores minimality.
+class PrimalDualTreeSolver : public VseSolver {
+ public:
+  std::string name() const override { return "primal-dual"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+  /// The core on a prebuilt tree structure; returns the set of deleted
+  /// forest nodes or Infeasible if some ΔV path has no deletable node.
+  static Result<std::vector<size_t>> SolveOnTree(
+      const TreeStructure& structure, const PrimalDualOptions& options);
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_PRIMAL_DUAL_TREE_SOLVER_H_

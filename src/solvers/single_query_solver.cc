@@ -1,0 +1,36 @@
+#include "solvers/single_query_solver.h"
+
+#include <limits>
+
+#include "solvers/damage_tracker.h"
+
+namespace delprop {
+
+Result<VseSolution> SingleQuerySolver::Solve(const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() != 1) {
+    return Status::FailedPrecondition(
+        "single-deletion solver requires exactly one ΔV tuple");
+  }
+  if (!instance.all_unique_witness()) {
+    return Status::FailedPrecondition(
+        "single-deletion solver requires unique-witness views");
+  }
+  const ViewTupleId& target = instance.deletion_tuples()[0];
+  const Witness& witness = instance.view_tuple(target).witnesses[0];
+
+  DamageTracker tracker(instance);
+  TupleRef best = witness[0];
+  double best_damage = std::numeric_limits<double>::infinity();
+  for (const TupleRef& ref : witness) {
+    double damage = tracker.MarginalDamage(ref);
+    if (damage < best_damage) {
+      best_damage = damage;
+      best = ref;
+    }
+  }
+  DeletionSet deletion;
+  deletion.Insert(best);
+  return MakeSolution(instance, std::move(deletion), name());
+}
+
+}  // namespace delprop

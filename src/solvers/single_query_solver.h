@@ -1,0 +1,23 @@
+#ifndef DELPROP_SOLVERS_SINGLE_QUERY_SOLVER_H_
+#define DELPROP_SOLVERS_SINGLE_QUERY_SOLVER_H_
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// The polynomial special case the prior work settled (Cong et al. 2012,
+/// Table IV): a single view tuple deletion over key-preserving views. The
+/// unique witness makes the optimum the witness member with the lowest
+/// damage — computable in linear time (deleting more than one tuple can only
+/// add damage). Fails with FailedPrecondition when ‖ΔV‖ ≠ 1 or witnesses are
+/// not unique; the general solvers cover those cases (and must, per
+/// Theorem 1, pay for it).
+class SingleQuerySolver : public VseSolver {
+ public:
+  std::string name() const override { return "single-deletion"; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_SINGLE_QUERY_SOLVER_H_

@@ -1,0 +1,64 @@
+#include "solvers/solver_registry.h"
+
+#include "setcover/red_blue_solvers.h"
+#include "solvers/balanced_pnpsc_solver.h"
+#include "solvers/dp_tree_solver.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/local_search_solver.h"
+#include "solvers/lowdeg_tree_solver.h"
+#include "solvers/primal_dual_tree_solver.h"
+#include "solvers/rbsc_reduction_solver.h"
+#include "solvers/single_query_solver.h"
+#include "solvers/source_side_effect_solver.h"
+
+namespace delprop {
+
+std::unique_ptr<VseSolver> MakeSolver(const std::string& name) {
+  if (name == "exact") return std::make_unique<ExactSolver>();
+  if (name == "exact-balanced") return std::make_unique<ExactBalancedSolver>();
+  if (name == "greedy") return std::make_unique<GreedySolver>();
+  if (name == "local-search") return std::make_unique<LocalSearchSolver>();
+  if (name == "rbsc-lowdeg") return std::make_unique<RbscReductionSolver>();
+  if (name == "rbsc-greedy") {
+    return std::make_unique<RbscReductionSolver>(SolveRbscGreedy,
+                                                 "rbsc-greedy");
+  }
+  if (name == "balanced-pnpsc") return std::make_unique<BalancedPnpscSolver>();
+  if (name == "primal-dual") return std::make_unique<PrimalDualTreeSolver>();
+  if (name == "lowdeg-tree") return std::make_unique<LowDegTreeSolver>();
+  if (name == "dp-tree") return std::make_unique<DpTreeSolver>();
+  if (name == "dp-tree-balanced") {
+    return std::make_unique<DpTreeSolver>(Objective::kBalanced);
+  }
+  if (name == "source-greedy") {
+    return std::make_unique<SourceSideEffectSolver>();
+  }
+  if (name == "source-exact") {
+    return std::make_unique<SourceSideEffectSolver>(
+        SourceSideEffectSolver::Mode::kExact);
+  }
+  if (name == "single-deletion") return std::make_unique<SingleQuerySolver>();
+  return nullptr;
+}
+
+std::vector<std::string> AllSolverNames() {
+  return {"exact",       "exact-balanced", "greedy",         "local-search",
+          "rbsc-lowdeg", "rbsc-greedy",    "balanced-pnpsc", "primal-dual",
+          "lowdeg-tree", "dp-tree",        "dp-tree-balanced",
+          "source-greedy", "source-exact", "single-deletion"};
+}
+
+std::vector<std::unique_ptr<VseSolver>> StandardApproximationSolvers() {
+  std::vector<std::unique_ptr<VseSolver>> solvers;
+  solvers.push_back(MakeSolver("greedy"));
+  solvers.push_back(MakeSolver("local-search"));
+  solvers.push_back(MakeSolver("rbsc-greedy"));
+  solvers.push_back(MakeSolver("rbsc-lowdeg"));
+  solvers.push_back(MakeSolver("primal-dual"));
+  solvers.push_back(MakeSolver("lowdeg-tree"));
+  solvers.push_back(MakeSolver("dp-tree"));
+  return solvers;
+}
+
+}  // namespace delprop

@@ -1,0 +1,28 @@
+#ifndef DELPROP_SOLVERS_SOLVER_REGISTRY_H_
+#define DELPROP_SOLVERS_SOLVER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// Creates a solver by its stable name:
+///   "exact", "exact-balanced", "greedy", "rbsc-lowdeg", "rbsc-greedy",
+///   "balanced-pnpsc", "primal-dual", "lowdeg-tree", "dp-tree",
+///   "dp-tree-balanced", "source-greedy", "source-exact", "single-deletion".
+/// Returns nullptr for an unknown name.
+std::unique_ptr<VseSolver> MakeSolver(const std::string& name);
+
+/// All solver names, in a stable presentation order.
+std::vector<std::string> AllSolverNames();
+
+/// Instantiates the approximation/heuristic solvers for the standard
+/// objective (everything except the exact, balanced, and source solvers).
+std::vector<std::unique_ptr<VseSolver>> StandardApproximationSolvers();
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_SOLVER_REGISTRY_H_

@@ -1,0 +1,43 @@
+#include "solvers/source_side_effect_solver.h"
+
+#include <unordered_map>
+
+#include "setcover/greedy_set_cover.h"
+
+namespace delprop {
+
+Result<VseSolution> SourceSideEffectSolver::Solve(
+    const VseInstance& instance) {
+  if (instance.TotalDeletionTuples() == 0) {
+    return MakeSolution(instance, DeletionSet(), name());
+  }
+  if (!instance.all_unique_witness()) {
+    return Status::FailedPrecondition(
+        "source side-effect via set cover requires unique-witness views");
+  }
+  // Elements: ΔV tuples; sets: candidate base tuples killing them.
+  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> element_id;
+  for (const ViewTupleId& id : instance.deletion_tuples()) {
+    element_id.emplace(id, element_id.size());
+  }
+  std::vector<TupleRef> candidates = instance.CandidateTuples();
+  SetCoverInstance cover;
+  cover.element_count = element_id.size();
+  for (const TupleRef& ref : candidates) {
+    std::vector<size_t> elements;
+    for (const ViewTupleId& id : instance.KilledBy(ref)) {
+      auto it = element_id.find(id);
+      if (it != element_id.end()) elements.push_back(it->second);
+    }
+    cover.sets.push_back(std::move(elements));
+  }
+  Result<std::vector<size_t>> chosen =
+      mode_ == Mode::kGreedy ? GreedySetCover(cover)
+                             : ExactSetCover(cover, node_budget_);
+  if (!chosen.ok()) return chosen.status();
+  DeletionSet deletion;
+  for (size_t s : *chosen) deletion.Insert(candidates[s]);
+  return MakeSolution(instance, std::move(deletion), name());
+}
+
+}  // namespace delprop

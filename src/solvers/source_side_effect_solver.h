@@ -1,0 +1,35 @@
+#ifndef DELPROP_SOLVERS_SOURCE_SIDE_EFFECT_SOLVER_H_
+#define DELPROP_SOLVERS_SOURCE_SIDE_EFFECT_SOLVER_H_
+
+#include <cstdint>
+
+#include "dp/solver.h"
+
+namespace delprop {
+
+/// The *source* side-effect problem (the Tables II/III counterpart): delete
+/// as few base tuples as possible so that every ΔV tuple is eliminated,
+/// ignoring damage to other view tuples. For unique-witness views this is
+/// classical set cover (elements = ΔV tuples, sets = candidate base tuples);
+/// solved greedily (H_n-approximation) or exactly by branch-and-bound.
+class SourceSideEffectSolver : public VseSolver {
+ public:
+  enum class Mode { kGreedy, kExact };
+
+  explicit SourceSideEffectSolver(Mode mode = Mode::kGreedy,
+                                  uint64_t node_budget = 20'000'000)
+      : mode_(mode), node_budget_(node_budget) {}
+
+  std::string name() const override {
+    return mode_ == Mode::kGreedy ? "source-greedy" : "source-exact";
+  }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+
+ private:
+  Mode mode_;
+  uint64_t node_budget_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_SOURCE_SIDE_EFFECT_SOLVER_H_

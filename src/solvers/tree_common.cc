@@ -1,0 +1,81 @@
+#include "solvers/tree_common.h"
+
+#include <algorithm>
+
+namespace delprop {
+
+Result<TreeStructure> BuildTreeStructure(const VseInstance& instance,
+                                         TreeMode mode) {
+  if (!instance.all_unique_witness()) {
+    return Status::FailedPrecondition(
+        "tree algorithms require unique-witness (key-preserving) views");
+  }
+  TreeStructure structure{DataForest::Build(instance.ViewPointers()),
+                          {}, {}, {}, {}, {}};
+  const DataForest& forest = structure.forest;
+  if (!forest.is_forest()) {
+    return Status::FailedPrecondition(
+        "data dual graph has a cycle: not a tree case");
+  }
+
+  if (mode == TreeMode::kVerticalAll) {
+    std::optional<std::vector<size_t>> pivots = forest.FindPivotRoots();
+    if (!pivots.has_value()) {
+      return Status::FailedPrecondition(
+          "no pivot rooting exists: Algorithm 4 does not apply");
+    }
+    structure.rooting = forest.RootAt(*pivots);
+  } else {
+    structure.rooting = forest.RootAt();
+  }
+
+  structure.delta_through.resize(forest.node_count());
+  structure.preserved_through.resize(forest.node_count());
+
+  for (const ForestWitness& witness : forest.witnesses()) {
+    ViewTupleId id{witness.view_index, witness.tuple_index};
+    bool is_deletion = instance.IsMarkedForDeletion(id);
+
+    if (is_deletion || mode == TreeMode::kVerticalAll) {
+      bool ok = (mode == TreeMode::kVerticalAll)
+                    ? forest.WitnessIsVerticalPath(witness, structure.rooting)
+                    : forest.WitnessIsPath(witness, structure.rooting);
+      if (!ok) {
+        return Status::FailedPrecondition(
+            "witness of " + instance.RenderViewTuple(id) +
+            " is not a path in the data dual graph");
+      }
+    }
+
+    TreeStructure::PathInfo info;
+    info.id = id;
+    info.nodes = witness.nodes;
+    info.weight = instance.weight(id);
+    info.top_depth = structure.rooting.depth[info.nodes[0]];
+    info.bottom_node = info.nodes[0];
+    info.lca_node = info.nodes[0];
+    for (size_t n : info.nodes) {
+      size_t depth = structure.rooting.depth[n];
+      if (depth < info.top_depth) {
+        info.top_depth = depth;
+        info.lca_node = n;
+      }
+      if (depth > structure.rooting.depth[info.bottom_node]) {
+        info.bottom_node = n;
+      }
+    }
+
+    auto& list = is_deletion ? structure.delta_paths
+                             : structure.preserved_paths;
+    size_t path_index = list.size();
+    for (size_t n : info.nodes) {
+      (is_deletion ? structure.delta_through
+                   : structure.preserved_through)[n]
+          .push_back(path_index);
+    }
+    list.push_back(std::move(info));
+  }
+  return structure;
+}
+
+}  // namespace delprop

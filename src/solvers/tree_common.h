@@ -1,0 +1,55 @@
+#ifndef DELPROP_SOLVERS_TREE_COMMON_H_
+#define DELPROP_SOLVERS_TREE_COMMON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dp/vse_instance.h"
+#include "hypergraph/data_forest.h"
+
+namespace delprop {
+
+/// How strictly BuildTreeStructure checks the instance's shape.
+enum class TreeMode {
+  /// Forest + every ΔV witness a path (precondition of Algorithms 1-3; the
+  /// forest is rooted at default roots).
+  kDeltaPaths,
+  /// Forest + a pivot rooting making every witness vertical (precondition of
+  /// Algorithm 4).
+  kVerticalAll,
+};
+
+/// The tree-case view of a VseInstance: the data forest, a rooting, and every
+/// view tuple's witness as a node path with precomputed LCA/top/bottom.
+struct TreeStructure {
+  struct PathInfo {
+    ViewTupleId id;
+    std::vector<size_t> nodes;
+    double weight = 1.0;
+    /// Depth of the shallowest node (the path's top end).
+    size_t top_depth = 0;
+    /// Deepest node of the path.
+    size_t bottom_node = 0;
+    /// Shallowest node of the path (its LCA in the tree).
+    size_t lca_node = 0;
+  };
+
+  DataForest forest;
+  DataForest::Rooting rooting;
+  std::vector<PathInfo> delta_paths;
+  std::vector<PathInfo> preserved_paths;
+  /// Per forest node: indices into delta_paths / preserved_paths of the
+  /// paths containing it.
+  std::vector<std::vector<size_t>> delta_through;
+  std::vector<std::vector<size_t>> preserved_through;
+};
+
+/// Builds the structure, failing with FailedPrecondition when the instance is
+/// not a tree case of the requested mode (multiple witnesses, cycles in the
+/// data dual graph, non-path ΔV witnesses, or no pivot rooting).
+Result<TreeStructure> BuildTreeStructure(const VseInstance& instance,
+                                         TreeMode mode);
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_TREE_COMMON_H_

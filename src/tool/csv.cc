@@ -1,0 +1,170 @@
+#include "tool/csv.h"
+
+#include <cctype>
+#include <optional>
+
+namespace delprop {
+namespace {
+
+std::string_view TrimWs(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Calls `fn(line)` for every non-empty line (handles trailing newline and
+// CRLF); stops early when fn returns a non-OK status.
+template <typename Fn>
+Status ForEachLine(std::string_view text, Fn&& fn) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t newline = text.find('\n', start);
+    std::string_view line = newline == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!TrimWs(line).empty()) {
+      if (Status s = fn(line); !s.ok()) return s;
+    }
+    if (newline == std::string_view::npos) break;
+    start = newline + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter) {
+  std::vector<std::string> fields;
+  size_t i = 0;
+  while (true) {
+    // Skip leading whitespace of the field.
+    while (i < line.size() && line[i] != delimiter &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::string field;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          field += line[i++];
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted CSV field");
+      }
+      // Only whitespace may follow before the delimiter.
+      while (i < line.size() && line[i] != delimiter) {
+        if (!std::isspace(static_cast<unsigned char>(line[i]))) {
+          return Status::InvalidArgument(
+              "garbage after closing quote in CSV field");
+        }
+        ++i;
+      }
+    } else {
+      size_t start = i;
+      while (i < line.size() && line[i] != delimiter) ++i;
+      field = std::string(TrimWs(line.substr(start, i - start)));
+    }
+    fields.push_back(std::move(field));
+    if (i >= line.size()) break;
+    ++i;  // Skip the delimiter.
+    if (i == line.size()) {
+      fields.push_back("");  // Trailing delimiter → empty last field.
+      break;
+    }
+  }
+  return fields;
+}
+
+Result<RelationId> LoadCsvRelation(Database& db, std::string_view name,
+                                   std::string_view csv,
+                                   const CsvOptions& options,
+                                   CsvLoadReport* report) {
+  std::optional<RelationId> relation;
+  CsvLoadReport local_report;
+  Status status = ForEachLine(csv, [&](std::string_view line) -> Status {
+    Result<std::vector<std::string>> fields =
+        ParseCsvLine(line, options.delimiter);
+    if (!fields.ok()) return fields.status();
+    if (!relation.has_value()) {
+      // Header: column names, '*' suffix marks key columns.
+      std::vector<std::string> columns;
+      std::vector<size_t> keys;
+      for (size_t c = 0; c < fields->size(); ++c) {
+        std::string column = (*fields)[c];
+        if (!column.empty() && column.back() == '*') {
+          keys.push_back(c);
+          column.pop_back();
+        }
+        columns.push_back(std::string(TrimWs(column)));
+      }
+      Result<RelationId> id = db.AddRelationNamed(name, columns, keys);
+      if (!id.ok()) return id.status();
+      relation = *id;
+      return Status::Ok();
+    }
+    Result<TupleRef> ref = db.InsertText(*relation, *fields);
+    if (!ref.ok()) {
+      if (ref.status().code() == StatusCode::kKeyViolation &&
+          options.on_key_conflict == CsvOptions::OnKeyConflict::kSkip) {
+        ++local_report.rows_skipped;
+        return Status::Ok();
+      }
+      return ref.status();
+    }
+    ++local_report.rows_inserted;
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  if (!relation.has_value()) {
+    return Status::InvalidArgument("CSV has no header line");
+  }
+  if (report != nullptr) *report = local_report;
+  return *relation;
+}
+
+Result<CsvLoadReport> AppendCsvRows(Database& db, RelationId relation,
+                                    std::string_view csv,
+                                    const CsvOptions& options) {
+  if (relation >= db.relation_count()) {
+    return Status::NotFound("no such relation id");
+  }
+  CsvLoadReport report;
+  Status status = ForEachLine(csv, [&](std::string_view line) -> Status {
+    Result<std::vector<std::string>> fields =
+        ParseCsvLine(line, options.delimiter);
+    if (!fields.ok()) return fields.status();
+    Result<TupleRef> ref = db.InsertText(relation, *fields);
+    if (!ref.ok()) {
+      if (ref.status().code() == StatusCode::kKeyViolation &&
+          options.on_key_conflict == CsvOptions::OnKeyConflict::kSkip) {
+        ++report.rows_skipped;
+        return Status::Ok();
+      }
+      return ref.status();
+    }
+    ++report.rows_inserted;
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return report;
+}
+
+}  // namespace delprop

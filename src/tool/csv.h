@@ -1,0 +1,48 @@
+#ifndef DELPROP_TOOL_CSV_H_
+#define DELPROP_TOOL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace delprop {
+
+/// CSV ingestion options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// What to do when a row repeats an existing key.
+  enum class OnKeyConflict { kError, kSkip } on_key_conflict =
+      OnKeyConflict::kError;
+};
+
+/// Result of a CSV load.
+struct CsvLoadReport {
+  size_t rows_inserted = 0;
+  size_t rows_skipped = 0;
+};
+
+/// Splits one CSV line into fields. Double-quoted fields may contain the
+/// delimiter and use "" to escape a quote; whitespace around unquoted fields
+/// is trimmed.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter = ',');
+
+/// Declares a relation from a CSV header and loads all remaining rows.
+/// The header names the columns; a '*' suffix marks key columns (at least
+/// one required), e.g. "AuName*,Journal*\nJoe,TKDE\n...".
+Result<RelationId> LoadCsvRelation(Database& db, std::string_view name,
+                                   std::string_view csv,
+                                   const CsvOptions& options = {},
+                                   CsvLoadReport* report = nullptr);
+
+/// Appends rows to an existing relation (no header line expected).
+Result<CsvLoadReport> AppendCsvRows(Database& db, RelationId relation,
+                                    std::string_view csv,
+                                    const CsvOptions& options = {});
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_CSV_H_

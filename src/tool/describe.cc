@@ -1,0 +1,59 @@
+#include "tool/describe.h"
+
+#include <sstream>
+
+#include "classify/landscape.h"
+#include "hypergraph/data_forest.h"
+#include "hypergraph/dual_graph.h"
+
+namespace delprop {
+
+std::string DescribeInstance(const VseInstance& instance) {
+  std::ostringstream out;
+  const Database& db = instance.database();
+
+  out << "instance: " << db.relation_count() << " relations, "
+      << db.total_tuple_count() << " source tuples, "
+      << instance.view_count() << " views, " << instance.TotalViewTuples()
+      << " view tuples (" << instance.TotalDeletionTuples()
+      << " marked for deletion)\n";
+  out << "l = max arity: " << instance.max_arity() << "\n";
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    out << "  view " << instance.query(v).name() << ": "
+        << instance.view(v).size() << " tuples\n";
+  }
+
+  out << "key preserving: "
+      << (instance.all_key_preserving() ? "yes" : "no") << "\n";
+  out << "unique witnesses: "
+      << (instance.all_unique_witness() ? "yes" : "no") << "\n";
+
+  std::vector<const ConjunctiveQuery*> queries;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    queries.push_back(&instance.query(v));
+  }
+  DualGraphAnalysis dual = AnalyzeDualGraph(db.schema(), queries);
+  out << "dual hypergraph: " << dual.components.size() << " component(s), "
+      << (dual.forest_case ? "forest case (hypertree components)"
+                           : "not a forest case")
+      << "\n";
+
+  DataForest forest = DataForest::Build(instance.ViewPointers());
+  out << "data dual graph: " << forest.node_count() << " tuples, "
+      << forest.component_count() << " component(s), "
+      << (forest.is_forest() ? "acyclic" : "has cycles") << "\n";
+  if (forest.is_forest()) {
+    out << "pivot rooting: "
+        << (forest.FindPivotRoots().has_value()
+                ? "exists (Algorithm 4 applies)"
+                : "none (Algorithm 4 does not apply)")
+        << "\n";
+  }
+
+  QuerySetClassification verdict = ClassifyQuerySet(queries, db.schema());
+  out << "verdict: " << verdict.verdict << "\n";
+  out << "recommended solver: " << verdict.recommended_solver << "\n";
+  return out.str();
+}
+
+}  // namespace delprop

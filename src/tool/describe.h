@@ -1,0 +1,19 @@
+#ifndef DELPROP_TOOL_DESCRIBE_H_
+#define DELPROP_TOOL_DESCRIBE_H_
+
+#include <string>
+
+#include "dp/vse_instance.h"
+
+namespace delprop {
+
+/// One-stop human-readable summary of a problem instance: sizes, the
+/// structural properties that gate each solver (key preservation, unique
+/// witnesses, forest case, pivot existence), the paper's verdict for the
+/// input class, and the recommended solver. Surfaced by the shell's
+/// `describe` command.
+std::string DescribeInstance(const VseInstance& instance);
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_DESCRIBE_H_

@@ -1,0 +1,143 @@
+#include "tool/dot_export.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+namespace delprop {
+namespace {
+
+// DOT string literal with quotes escaped.
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string BaseNodeId(const TupleRef& ref) {
+  return "t" + std::to_string(ref.relation) + "_" + std::to_string(ref.row);
+}
+
+std::string ViewNodeId(const ViewTupleId& id) {
+  return "v" + std::to_string(id.view) + "_" + std::to_string(id.tuple);
+}
+
+}  // namespace
+
+std::string LineageToDot(const VseInstance& instance) {
+  const Database& db = instance.database();
+  std::ostringstream out;
+  out << "digraph lineage {\n  rankdir=LR;\n";
+
+  // Base tuples that occur in some witness.
+  std::unordered_set<TupleRef, TupleRefHash> bases;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    for (size_t t = 0; t < instance.view(v).size(); ++t) {
+      for (const Witness& w : instance.view(v).tuple(t).witnesses) {
+        for (const TupleRef& ref : w) bases.insert(ref);
+      }
+    }
+  }
+  for (const TupleRef& ref : bases) {
+    out << "  " << BaseNodeId(ref) << " [shape=box, label="
+        << Quote(db.RenderTuple(ref)) << "];\n";
+  }
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    for (size_t t = 0; t < instance.view(v).size(); ++t) {
+      ViewTupleId id{v, t};
+      bool in_delta = instance.IsMarkedForDeletion(id);
+      out << "  " << ViewNodeId(id) << " [shape="
+          << (in_delta ? "doubleoctagon" : "ellipse") << ", label="
+          << Quote(instance.RenderViewTuple(id))
+          << (in_delta ? ", color=red" : "") << "];\n";
+      std::unordered_set<TupleRef, TupleRefHash> seen;
+      for (const Witness& w : instance.view(v).tuple(t).witnesses) {
+        for (const TupleRef& ref : w) {
+          if (seen.insert(ref).second) {
+            out << "  " << BaseNodeId(ref) << " -> " << ViewNodeId(id)
+                << ";\n";
+          }
+        }
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string DataForestToDot(const VseInstance& instance) {
+  const Database& db = instance.database();
+  DataForest forest = DataForest::Build(instance.ViewPointers());
+  std::optional<std::vector<size_t>> pivots;
+  if (forest.is_forest()) pivots = forest.FindPivotRoots();
+
+  std::ostringstream out;
+  out << "graph data_forest {\n";
+  for (size_t c = 0; c < forest.component_count(); ++c) {
+    out << "  subgraph cluster_" << c << " {\n    label=\"component " << c
+        << "\";\n";
+    for (size_t n = 0; n < forest.node_count(); ++n) {
+      if (forest.component(n) != c) continue;
+      bool is_pivot =
+          pivots.has_value() &&
+          std::find(pivots->begin(), pivots->end(), n) != pivots->end();
+      out << "    n" << n << " [label="
+          << Quote(db.RenderTuple(forest.node_ref(n)))
+          << (is_pivot ? ", shape=doublecircle, color=blue" : "") << "];\n";
+    }
+    out << "  }\n";
+  }
+  for (size_t n = 0; n < forest.node_count(); ++n) {
+    for (size_t m : forest.neighbors(n)) {
+      if (n < m) out << "  n" << n << " -- n" << m << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string DualHypergraphToDot(const VseInstance& instance) {
+  const Schema& schema = instance.database().schema();
+  static const char* kColors[] = {"red",    "blue",   "green3", "orange",
+                                  "purple", "brown",  "cyan4",  "magenta"};
+  std::ostringstream out;
+  out << "graph dual_hypergraph {\n";
+  std::unordered_set<RelationId> used;
+  for (size_t q = 0; q < instance.view_count(); ++q) {
+    for (const Atom& atom : instance.query(q).atoms()) {
+      used.insert(atom.relation);
+    }
+  }
+  for (RelationId rel : used) {
+    out << "  r" << rel << " [label=" << Quote(schema.relation(rel).name)
+        << "];\n";
+  }
+  for (size_t q = 0; q < instance.view_count(); ++q) {
+    const char* color = kColors[q % (sizeof(kColors) / sizeof(kColors[0]))];
+    std::vector<RelationId> rels;
+    for (const Atom& atom : instance.query(q).atoms()) {
+      rels.push_back(atom.relation);
+    }
+    std::sort(rels.begin(), rels.end());
+    rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+    for (size_t i = 0; i < rels.size(); ++i) {
+      for (size_t j = i + 1; j < rels.size(); ++j) {
+        out << "  r" << rels[i] << " -- r" << rels[j] << " [color=" << color
+            << ", label=" << Quote(instance.query(q).name()) << "];\n";
+      }
+    }
+    if (rels.size() == 1) {
+      out << "  r" << rels[0] << " -- r" << rels[0] << " [color=" << color
+          << ", label=" << Quote(instance.query(q).name()) << "];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace delprop

@@ -1,0 +1,28 @@
+#ifndef DELPROP_TOOL_DOT_EXPORT_H_
+#define DELPROP_TOOL_DOT_EXPORT_H_
+
+#include <string>
+
+#include "dp/vse_instance.h"
+#include "hypergraph/data_forest.h"
+
+namespace delprop {
+
+/// Graphviz DOT rendering of an instance's lineage graph: one node per view
+/// tuple (ΔV tuples drawn as double octagons, preserved ones as ellipses)
+/// and one per base tuple (boxes); an edge per witness membership. Handy for
+/// inspecting why a deletion has side effects.
+std::string LineageToDot(const VseInstance& instance);
+
+/// DOT rendering of the data dual graph (Section IV.E): base tuples as
+/// nodes, witness-adjacency edges, one subgraph per connected component;
+/// pivot nodes (when they exist) are highlighted.
+std::string DataForestToDot(const VseInstance& instance);
+
+/// DOT rendering of the query set's dual hypergraph: relations as nodes,
+/// one colored clique per query hyperedge.
+std::string DualHypergraphToDot(const VseInstance& instance);
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_DOT_EXPORT_H_

@@ -1,0 +1,185 @@
+#include "tool/provenance.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace delprop {
+
+std::string ProvenanceDnf(const VseInstance& instance,
+                          const ViewTupleId& id) {
+  const Database& db = instance.database();
+  const ViewTuple& tuple = instance.view_tuple(id);
+  std::string out;
+  for (size_t w = 0; w < tuple.witnesses.size(); ++w) {
+    if (w > 0) out += " + ";
+    // Deduplicate refs within the witness (self-joins may repeat them).
+    std::vector<TupleRef> refs(tuple.witnesses[w].begin(),
+                               tuple.witnesses[w].end());
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (i > 0) out += "·";
+      out += db.RenderTuple(refs[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Enumerates minimal hitting sets of `witnesses` (each a deduped ref list).
+void EnumerateTransversals(const std::vector<std::vector<TupleRef>>& witnesses,
+                           size_t index, std::set<TupleRef>& current,
+                           std::vector<std::set<TupleRef>>& out,
+                           size_t limit) {
+  if (out.size() >= limit) return;
+  if (index == witnesses.size()) {
+    // Keep only inclusion-minimal sets.
+    for (const auto& existing : out) {
+      if (std::includes(current.begin(), current.end(), existing.begin(),
+                        existing.end())) {
+        return;  // a subset is already recorded
+      }
+    }
+    out.push_back(current);
+    return;
+  }
+  // Already hit?
+  for (const TupleRef& ref : witnesses[index]) {
+    if (current.count(ref) > 0) {
+      EnumerateTransversals(witnesses, index + 1, current, out, limit);
+      return;
+    }
+  }
+  for (const TupleRef& ref : witnesses[index]) {
+    current.insert(ref);
+    EnumerateTransversals(witnesses, index + 1, current, out, limit);
+    current.erase(ref);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Minimum hitting set size for `families`, using no tuple from `forbidden`;
+// returns nullopt if impossible. Small exhaustive branch-and-bound.
+std::optional<size_t> MinHittingSet(
+    const std::vector<std::vector<TupleRef>>& families,
+    const std::set<TupleRef>& forbidden, std::set<TupleRef>& current,
+    size_t index, size_t best) {
+  if (current.size() >= best) return std::nullopt;
+  if (index == families.size()) return current.size();
+  // Already hit?
+  for (const TupleRef& ref : families[index]) {
+    if (current.count(ref) > 0) {
+      return MinHittingSet(families, forbidden, current, index + 1, best);
+    }
+  }
+  std::optional<size_t> result;
+  for (const TupleRef& ref : families[index]) {
+    if (forbidden.count(ref) > 0) continue;
+    current.insert(ref);
+    std::optional<size_t> sub = MinHittingSet(
+        families, forbidden, current, index + 1, result.value_or(best));
+    current.erase(ref);
+    if (sub.has_value() && (!result.has_value() || *sub < *result)) {
+      result = sub;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double Responsibility(const VseInstance& instance, const ViewTupleId& id,
+                      const TupleRef& ref) {
+  const ViewTuple& tuple = instance.view_tuple(id);
+  std::vector<std::vector<TupleRef>> with_ref, without_ref;
+  for (const Witness& w : tuple.witnesses) {
+    std::vector<TupleRef> refs(w.begin(), w.end());
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    if (std::binary_search(refs.begin(), refs.end(), ref)) {
+      with_ref.push_back(std::move(refs));
+    } else {
+      without_ref.push_back(std::move(refs));
+    }
+  }
+  if (with_ref.empty()) return 0.0;  // not part of any derivation
+  if (without_ref.empty()) return 1.0;
+
+  // A minimum contingency must hit every ref-free witness while leaving
+  // some ref-carrying witness w* intact (its members are forbidden).
+  std::optional<size_t> best;
+  for (const std::vector<TupleRef>& survivor : with_ref) {
+    std::set<TupleRef> forbidden(survivor.begin(), survivor.end());
+    forbidden.insert(ref);
+    std::set<TupleRef> current;
+    std::optional<size_t> gamma =
+        MinHittingSet(without_ref, forbidden, current, 0,
+                      best.value_or(std::numeric_limits<size_t>::max()));
+    if (gamma.has_value() && (!best.has_value() || *gamma < *best)) {
+      best = gamma;
+    }
+  }
+  if (!best.has_value()) return 0.0;  // cannot be made counterfactual
+  return 1.0 / (1.0 + static_cast<double>(*best));
+}
+
+std::string DeletionCertificates(const VseInstance& instance,
+                                 const ViewTupleId& id) {
+  const Database& db = instance.database();
+  const ViewTuple& tuple = instance.view_tuple(id);
+  std::vector<std::vector<TupleRef>> witnesses;
+  for (const Witness& w : tuple.witnesses) {
+    std::vector<TupleRef> refs(w.begin(), w.end());
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    witnesses.push_back(std::move(refs));
+  }
+  std::vector<std::set<TupleRef>> certificates;
+  std::set<TupleRef> current;
+  constexpr size_t kLimit = 64;
+  EnumerateTransversals(witnesses, 0, current, certificates, kLimit);
+
+  // Drop non-minimal sets that slipped in before their subsets were found.
+  std::vector<std::set<TupleRef>> minimal;
+  for (const auto& candidate : certificates) {
+    bool has_subset = false;
+    for (const auto& other : certificates) {
+      if (&other != &candidate && other.size() < candidate.size() &&
+          std::includes(candidate.begin(), candidate.end(), other.begin(),
+                        other.end())) {
+        has_subset = true;
+        break;
+      }
+    }
+    if (!has_subset) minimal.push_back(candidate);
+  }
+  std::sort(minimal.begin(), minimal.end(),
+            [](const std::set<TupleRef>& a, const std::set<TupleRef>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return std::lexicographical_compare(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+            });
+  minimal.erase(std::unique(minimal.begin(), minimal.end()), minimal.end());
+
+  std::string out;
+  for (const auto& certificate : minimal) {
+    out += "- {";
+    bool first = true;
+    for (const TupleRef& ref : certificate) {
+      if (!first) out += ", ";
+      first = false;
+      out += db.RenderTuple(ref);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace delprop

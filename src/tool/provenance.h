@@ -1,0 +1,37 @@
+#ifndef DELPROP_TOOL_PROVENANCE_H_
+#define DELPROP_TOOL_PROVENANCE_H_
+
+#include <string>
+
+#include "dp/vse_instance.h"
+
+namespace delprop {
+
+/// Why-provenance of a view tuple as a positive DNF over base tuples: one
+/// conjunct per witness, e.g.
+///   T1(John, TKDE)·T2(TKDE, XML, 30) + T1(John, TODS)·T2(TODS, XML, 30)
+/// A view tuple survives a deletion ΔD iff the formula stays true when the
+/// deleted tuples are set to false — the semantics View::Survives implements.
+std::string ProvenanceDnf(const VseInstance& instance, const ViewTupleId& id);
+
+/// The minimal "deletion certificates" of a view tuple: the inclusion-
+/// minimal sets of base tuples whose joint deletion eliminates it (for a
+/// unique-witness tuple: each single witness member). Rendered one
+/// certificate per line, prefixed by "- ".
+std::string DeletionCertificates(const VseInstance& instance,
+                                 const ViewTupleId& id);
+
+/// Causal responsibility of base tuple `ref` for view tuple `id` (Meliou et
+/// al., the causality line of work the paper relates to): 1 / (1 + |Γ|)
+/// where Γ is a minimum contingency — a smallest set of other base tuples
+/// whose removal makes `ref` counterfactual (the view tuple survives
+/// deleting Γ but dies with Γ ∪ {ref}). Returns 0 when `ref` is not a cause
+/// (it appears in no witness, or the tuple cannot be made to hinge on it).
+/// For unique-witness (key-preserving) views every witness member has
+/// responsibility 1.
+double Responsibility(const VseInstance& instance, const ViewTupleId& id,
+                      const TupleRef& ref);
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_PROVENANCE_H_

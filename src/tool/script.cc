@@ -1,0 +1,404 @@
+#include "tool/script.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "classify/landscape.h"
+#include "dp/solver.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "solvers/solver_registry.h"
+#include "tool/describe.h"
+#include "tool/dot_export.h"
+#include "tool/provenance.h"
+#include "tool/serialize.h"
+
+namespace delprop {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses "Name(cell, cell, ...)" into name + raw cell texts; `rest` gets
+/// anything after the closing parenthesis.
+Status ParseCall(std::string_view text, std::string* name,
+                 std::vector<std::string>* cells, std::string* rest) {
+  text = Trim(text);
+  size_t open = text.find('(');
+  size_t close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::InvalidArgument("expected Name(...) syntax");
+  }
+  *name = std::string(Trim(text.substr(0, open)));
+  if (name->empty()) return Status::InvalidArgument("missing name");
+  std::string_view body = text.substr(open + 1, close - open - 1);
+  cells->clear();
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t comma = body.find(',', start);
+    std::string_view cell = comma == std::string_view::npos
+                                ? body.substr(start)
+                                : body.substr(start, comma - start);
+    cells->push_back(std::string(Trim(cell)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (cells->size() == 1 && (*cells)[0].empty()) cells->clear();
+  if (rest != nullptr) {
+    *rest = std::string(Trim(text.substr(close + 1)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ScriptSession::EnsureInstance() {
+  if (instance_ != nullptr) return Status::Ok();
+  if (queries_.empty()) {
+    return Status::FailedPrecondition("declare at least one query first");
+  }
+  std::vector<const ConjunctiveQuery*> qs;
+  for (const auto& q : queries_) qs.push_back(q.get());
+  Result<VseInstance> instance = VseInstance::Create(db_, qs);
+  if (!instance.ok()) return instance.status();
+  instance_ = std::make_unique<VseInstance>(std::move(*instance));
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdRelation(std::string_view args) {
+  if (instance_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot declare relations after views are materialized");
+  }
+  std::string name;
+  std::vector<std::string> cells;
+  if (Status s = ParseCall(args, &name, &cells, nullptr); !s.ok()) return s;
+  if (cells.empty()) {
+    return Status::InvalidArgument("relation needs at least one column");
+  }
+  std::vector<std::string> columns;
+  std::vector<size_t> keys;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string column = cells[i];
+    if (!column.empty() && column.back() == '*') {
+      keys.push_back(i);
+      column.pop_back();
+      column = std::string(Trim(column));
+    }
+    columns.push_back(column);
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "mark at least one key column with '*' (every relation has a key)");
+  }
+  Result<RelationId> id = db_.AddRelationNamed(name, columns, keys);
+  return id.ok() ? Status::Ok() : id.status();
+}
+
+Status ScriptSession::CmdInsert(std::string_view args) {
+  if (instance_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot insert after views are materialized");
+  }
+  std::string name;
+  std::vector<std::string> cells;
+  if (Status s = ParseCall(args, &name, &cells, nullptr); !s.ok()) return s;
+  std::optional<RelationId> rel = db_.schema().FindRelation(name);
+  if (!rel.has_value()) {
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  Result<TupleRef> ref = db_.InsertText(*rel, cells);
+  return ref.ok() ? Status::Ok() : ref.status();
+}
+
+Status ScriptSession::CmdQuery(std::string_view args) {
+  if (instance_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot declare queries after views are materialized");
+  }
+  Result<ConjunctiveQuery> query = ParseQuery(args, db_.schema(), db_.dict());
+  if (!query.ok()) return query.status();
+  for (const auto& q : queries_) {
+    if (q->name() == query->name()) {
+      return Status::AlreadyExists("duplicate query name '" + query->name() +
+                                   "'");
+    }
+  }
+  queries_.push_back(std::make_unique<ConjunctiveQuery>(std::move(*query)));
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdViews(std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  for (size_t v = 0; v < instance_->view_count(); ++v) {
+    *out += instance_->query(v).ToString(db_.schema(), db_.dict());
+    *out += "\n";
+    for (size_t t = 0; t < instance_->view(v).size(); ++t) {
+      *out += "  " + instance_->view(v).RenderTuple(t);
+      if (instance_->IsMarkedForDeletion({v, t})) *out += "   [ΔV]";
+      *out += "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Finds the (view, tuple) addressed by "QName(values...)".
+Status LocateViewTuple(const VseInstance& instance, const Database& db,
+                       std::string_view args, ViewTupleId* id,
+                       std::string* rest) {
+  std::string name;
+  std::vector<std::string> cells;
+  if (Status s = ParseCall(args, &name, &cells, rest); !s.ok()) return s;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    if (instance.query(v).name() != name) continue;
+    Tuple values;
+    for (const std::string& cell : cells) {
+      std::optional<ValueId> value = db.dict().Find(cell);
+      if (!value.has_value()) {
+        return Status::NotFound("unknown constant '" + cell + "'");
+      }
+      values.push_back(*value);
+    }
+    std::optional<size_t> index = instance.view(v).Find(values);
+    if (!index.has_value()) {
+      return Status::NotFound("no such answer in view '" + name + "'");
+    }
+    *id = ViewTupleId{v, *index};
+    return Status::Ok();
+  }
+  return Status::NotFound("unknown view '" + name + "'");
+}
+
+}  // namespace
+
+Status ScriptSession::CmdExplain(std::string_view args, std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  ViewTupleId id;
+  if (Status s = LocateViewTuple(*instance_, db_, args, &id, nullptr);
+      !s.ok()) {
+    return s;
+  }
+  const ViewTuple& tuple = instance_->view_tuple(id);
+  *out += instance_->RenderViewTuple(id) + " has " +
+          std::to_string(tuple.witnesses.size()) + " witness(es):\n";
+  for (const Witness& witness : tuple.witnesses) {
+    *out += "  {";
+    for (size_t i = 0; i < witness.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += db_.RenderTuple(witness[i]);
+    }
+    *out += "}\n";
+  }
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdClassify(std::string* out) {
+  if (queries_.empty()) {
+    return Status::FailedPrecondition("declare at least one query first");
+  }
+  std::vector<const ConjunctiveQuery*> qs;
+  for (const auto& q : queries_) qs.push_back(q.get());
+  for (const auto& q : queries_) {
+    QueryClassification c = ClassifyQuery(*q, db_.schema());
+    *out += q->name() + ": ";
+    *out += c.project_free ? "project-free " : "";
+    *out += c.self_join_free ? "sj-free " : "";
+    *out += c.key_preserving ? "key-preserving " : "";
+    *out += c.head_domination ? "head-dominated " : "";
+    *out += c.triad_free ? "triad-free" : "has-triad";
+    *out += "\n  source side-effect: " + c.source_side_effect;
+    *out += "\n  view side-effect (single deletion): " +
+            c.view_side_effect_single + "\n";
+  }
+  QuerySetClassification set = ClassifyQuerySet(qs, db_.schema());
+  *out += "query set: " + set.verdict + "\n";
+  *out += "recommended solver: " + set.recommended_solver + "\n";
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdDelete(std::string_view args) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  ViewTupleId id;
+  if (Status s = LocateViewTuple(*instance_, db_, args, &id, nullptr);
+      !s.ok()) {
+    return s;
+  }
+  return instance_->MarkForDeletion(id);
+}
+
+Status ScriptSession::CmdWeight(std::string_view args) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  ViewTupleId id;
+  std::string rest;
+  if (Status s = LocateViewTuple(*instance_, db_, args, &id, &rest);
+      !s.ok()) {
+    return s;
+  }
+  if (rest.empty()) {
+    return Status::InvalidArgument("weight command needs a numeric weight");
+  }
+  char* end = nullptr;
+  double weight = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str() || !Trim(std::string_view(end)).empty()) {
+    return Status::InvalidArgument("bad weight '" + rest + "'");
+  }
+  return instance_->SetWeight(id, weight);
+}
+
+Status ScriptSession::CmdCertificates(std::string_view args,
+                                      std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  ViewTupleId id;
+  if (Status s = LocateViewTuple(*instance_, db_, args, &id, nullptr);
+      !s.ok()) {
+    return s;
+  }
+  *out += "provenance: " + ProvenanceDnf(*instance_, id) + "\n";
+  *out += "deletion certificates:\n" + DeletionCertificates(*instance_, id);
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdPlan(std::string_view args, std::string* out) {
+  std::string name(Trim(args));
+  for (const auto& query : queries_) {
+    if (query->name() == name) {
+      *out += ExplainPlan(db_, *query);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("unknown query '" + name + "'");
+}
+
+Status ScriptSession::CmdDot(std::string_view args, std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  std::string kind(Trim(args));
+  if (kind == "lineage") {
+    *out += LineageToDot(*instance_);
+  } else if (kind == "forest") {
+    *out += DataForestToDot(*instance_);
+  } else if (kind == "dual") {
+    *out += DualHypergraphToDot(*instance_);
+  } else {
+    return Status::InvalidArgument(
+        "dot wants one of: lineage, forest, dual");
+  }
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdSave(std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  *out += SerializeToScript(*instance_);
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdDescribe(std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  *out += DescribeInstance(*instance_);
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdSolve(std::string_view args, std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  std::string name(Trim(args));
+  if (name.empty()) name = "exact";
+  std::unique_ptr<VseSolver> solver = MakeSolver(name);
+  if (solver == nullptr) {
+    std::string known;
+    for (const std::string& n : AllSolverNames()) known += " " + n;
+    return Status::NotFound("unknown solver '" + name + "'; known:" + known);
+  }
+  Result<VseSolution> solution = solver->Solve(*instance_);
+  if (!solution.ok()) return solution.status();
+
+  std::ostringstream report;
+  report << "solver " << solution->solver_name << ": delete "
+         << solution->deletion.size() << " source tuple(s)\n";
+  for (const TupleRef& ref : solution->deletion.Sorted()) {
+    report << "  - " << db_.RenderTuple(ref) << "\n";
+  }
+  report << "eliminates all of ΔV: "
+         << (solution->Feasible() ? "yes" : "no") << "\n";
+  report << "view side-effect: " << solution->Cost() << " (weighted), "
+         << solution->report.side_effect_count << " tuple(s)\n";
+  for (const ViewTupleId& id : solution->report.killed_preserved) {
+    report << "  collateral: " << instance_->RenderViewTuple(id) << "\n";
+  }
+  for (const ViewTupleId& id : solution->report.surviving_deletions) {
+    report << "  survived:   " << instance_->RenderViewTuple(id) << "\n";
+  }
+  report << "balanced cost: " << solution->BalancedCost() << "\n";
+  last_solution_text_ = report.str();
+  *out += last_solution_text_;
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdReport(std::string* out) {
+  if (last_solution_text_.empty()) {
+    return Status::FailedPrecondition("no solve has run yet");
+  }
+  *out += last_solution_text_;
+  return Status::Ok();
+}
+
+Status ScriptSession::Execute(std::string_view line, std::string* out) {
+  std::string_view trimmed = Trim(line);
+  size_t hash = trimmed.find('#');
+  if (hash != std::string_view::npos) {
+    trimmed = Trim(trimmed.substr(0, hash));
+  }
+  if (trimmed.empty()) return Status::Ok();
+  size_t space = trimmed.find_first_of(" \t");
+  std::string_view command =
+      space == std::string_view::npos ? trimmed : trimmed.substr(0, space);
+  std::string_view args =
+      space == std::string_view::npos ? "" : Trim(trimmed.substr(space + 1));
+
+  if (command == "relation") return CmdRelation(args);
+  if (command == "insert") return CmdInsert(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "views") return CmdViews(out);
+  if (command == "explain") return CmdExplain(args, out);
+  if (command == "classify") return CmdClassify(out);
+  if (command == "delete") return CmdDelete(args);
+  if (command == "weight") return CmdWeight(args);
+  if (command == "certificates") return CmdCertificates(args, out);
+  if (command == "plan") return CmdPlan(args, out);
+  if (command == "dot") return CmdDot(args, out);
+  if (command == "save") return CmdSave(out);
+  if (command == "describe") return CmdDescribe(out);
+  if (command == "solve") return CmdSolve(args, out);
+  if (command == "report") return CmdReport(out);
+  return Status::InvalidArgument("unknown command '" + std::string(command) +
+                                 "'");
+}
+
+Status ScriptSession::Run(std::string_view script, std::string* out) {
+  size_t start = 0;
+  size_t line_number = 0;
+  while (start <= script.size()) {
+    size_t newline = script.find('\n', start);
+    std::string_view line = newline == std::string_view::npos
+                                ? script.substr(start)
+                                : script.substr(start, newline - start);
+    ++line_number;
+    if (Status s = Execute(line, out); !s.ok()) {
+      return Status(s.code(), "line " + std::to_string(line_number) + ": " +
+                                  s.message());
+    }
+    if (newline == std::string_view::npos) break;
+    start = newline + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace delprop

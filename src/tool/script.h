@@ -1,0 +1,79 @@
+#ifndef DELPROP_TOOL_SCRIPT_H_
+#define DELPROP_TOOL_SCRIPT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/vse_instance.h"
+#include "relational/database.h"
+
+namespace delprop {
+
+/// A line-oriented scripting session over the library — the `delprop_shell`
+/// tool is a thin wrapper around it, and tests drive it directly.
+///
+/// Commands ('#' starts a comment):
+///   relation T1(AuName*, Journal*)      declare; '*' marks key columns
+///   insert T1(John, TKDE)               insert a row
+///   query Q3(x, z) :- T1(x, y), T2(y, z, w)
+///   views                               print materialized views
+///   explain Q3(John, XML)               print the answer's witnesses
+///   classify                            Tables II-V fingerprint per query
+///   delete Q3(John, XML)                mark a ΔV tuple
+///   weight Q3(John, CUBE) 5             set a preservation weight
+///   certificates Q3(John, XML)          minimal deletion certificates
+///   plan Q3                             the evaluator's join plan
+///   dot lineage|forest|dual             Graphviz export
+///   save                                dump the instance as a script
+///   describe                            sizes, properties, solver advice
+///   solve exact                         run a registry solver, print ΔD
+///   report                              side-effect report of last solve
+///
+/// Phasing: relations/inserts must precede queries; the views are
+/// materialized on the first command that needs them (views/explain/delete/
+/// weight/solve/classify); inserts after materialization are rejected.
+class ScriptSession {
+ public:
+  ScriptSession() = default;
+
+  /// Executes one command line; appends human-readable output to `out`.
+  Status Execute(std::string_view line, std::string* out);
+
+  /// Runs a whole script; stops at the first error. Output of all executed
+  /// commands is returned even on error.
+  Status Run(std::string_view script, std::string* out);
+
+  const Database& database() const { return db_; }
+  /// Null until the first view-dependent command.
+  const VseInstance* instance() const { return instance_.get(); }
+
+ private:
+  Status EnsureInstance();
+  Status CmdRelation(std::string_view args);
+  Status CmdInsert(std::string_view args);
+  Status CmdQuery(std::string_view args);
+  Status CmdViews(std::string* out);
+  Status CmdExplain(std::string_view args, std::string* out);
+  Status CmdClassify(std::string* out);
+  Status CmdDelete(std::string_view args);
+  Status CmdWeight(std::string_view args);
+  Status CmdCertificates(std::string_view args, std::string* out);
+  Status CmdPlan(std::string_view args, std::string* out);
+  Status CmdDot(std::string_view args, std::string* out);
+  Status CmdSave(std::string* out);
+  Status CmdDescribe(std::string* out);
+  Status CmdSolve(std::string_view args, std::string* out);
+  Status CmdReport(std::string* out);
+
+  Database db_;
+  std::vector<std::unique_ptr<ConjunctiveQuery>> queries_;
+  std::unique_ptr<VseInstance> instance_;
+  std::string last_solution_text_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_SCRIPT_H_

@@ -1,0 +1,22 @@
+#ifndef DELPROP_TOOL_SERIALIZE_H_
+#define DELPROP_TOOL_SERIALIZE_H_
+
+#include <string>
+
+#include "dp/vse_instance.h"
+
+namespace delprop {
+
+/// Serializes a full problem instance into the ScriptSession command
+/// language: relation declarations (keys starred), row inserts, query
+/// declarations, ΔV marks, and non-default weights. Feeding the result back
+/// through ScriptSession::Run reproduces an equivalent instance — the
+/// round-trip is property-tested.
+///
+/// Constants are emitted quoted, so arbitrary value texts survive; variable
+/// names come from the query as-is.
+std::string SerializeToScript(const VseInstance& instance);
+
+}  // namespace delprop
+
+#endif  // DELPROP_TOOL_SERIALIZE_H_

@@ -1,0 +1,115 @@
+#include "workload/author_journal.h"
+
+#include <string>
+
+#include "query/parser.h"
+
+namespace delprop {
+namespace {
+
+Result<GeneratedVse> AssembleInstance(GeneratedVse generated) {
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> instance =
+      VseInstance::Create(*generated.database, query_ptrs);
+  if (!instance.ok()) return instance.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*instance));
+  return generated;
+}
+
+}  // namespace
+
+Result<GeneratedVse> BuildFig1Example() {
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  Result<RelationId> t1 = db.AddRelationNamed(
+      "T1", {"AuName", "Journal"}, {0, 1});
+  if (!t1.ok()) return t1.status();
+  Result<RelationId> t2 = db.AddRelationNamed(
+      "T2", {"Journal", "Topic", "NumPapers"}, {0, 1});
+  if (!t2.ok()) return t2.status();
+
+  for (auto [author, journal] :
+       {std::pair{"Joe", "TKDE"}, {"John", "TKDE"}, {"Tom", "TKDE"},
+        {"John", "TODS"}}) {
+    Result<TupleRef> ref = db.InsertText(*t1, {author, journal});
+    if (!ref.ok()) return ref.status();
+  }
+  for (auto [journal, topic] :
+       {std::pair{"TKDE", "XML"}, {"TKDE", "CUBE"}, {"TODS", "XML"}}) {
+    Result<TupleRef> ref = db.InsertText(*t2, {journal, topic, "30"});
+    if (!ref.ok()) return ref.status();
+  }
+
+  for (const char* text :
+       {"Q3(x, z) :- T1(x, y), T2(y, z, w)",
+        "Q4(x, y, z) :- T1(x, y), T2(y, z, w)"}) {
+    Result<ConjunctiveQuery> query = ParseQuery(text, db.schema(), db.dict());
+    if (!query.ok()) return query.status();
+    generated.queries.push_back(
+        std::make_unique<ConjunctiveQuery>(std::move(*query)));
+  }
+  return AssembleInstance(std::move(generated));
+}
+
+Result<GeneratedVse> GenerateAuthorJournal(Rng& rng,
+                                           const AuthorJournalParams& params) {
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  Result<RelationId> t1 =
+      db.AddRelationNamed("T1", {"AuName", "Journal"}, {0, 1});
+  if (!t1.ok()) return t1.status();
+  Result<RelationId> t2 =
+      db.AddRelationNamed("T2", {"Journal", "Topic", "NumPapers"}, {0, 1});
+  if (!t2.ok()) return t2.status();
+
+  for (size_t a = 0; a < params.authors; ++a) {
+    for (size_t j = 0; j < params.journals; ++j) {
+      if (!rng.NextBool(params.write_probability)) continue;
+      Result<TupleRef> ref = db.InsertText(
+          *t1, {"author" + std::to_string(a), "journal" + std::to_string(j)});
+      if (!ref.ok()) return ref.status();
+    }
+  }
+  for (size_t j = 0; j < params.journals; ++j) {
+    for (size_t t = 0; t < params.topics; ++t) {
+      if (!rng.NextBool(params.cover_probability)) continue;
+      Result<TupleRef> ref = db.InsertText(
+          *t2, {"journal" + std::to_string(j), "topic" + std::to_string(t),
+                std::to_string(10 + rng.NextBelow(90))});
+      if (!ref.ok()) return ref.status();
+    }
+  }
+
+  std::vector<const char*> texts = {"Q3(x, z) :- T1(x, y), T2(y, z, w)"};
+  if (params.include_q4) {
+    texts.push_back("Q4(x, y, z) :- T1(x, y), T2(y, z, w)");
+  }
+  for (const char* text : texts) {
+    Result<ConjunctiveQuery> query = ParseQuery(text, db.schema(), db.dict());
+    if (!query.ok()) return query.status();
+    generated.queries.push_back(
+        std::make_unique<ConjunctiveQuery>(std::move(*query)));
+  }
+  Result<GeneratedVse> assembled = AssembleInstance(std::move(generated));
+  if (!assembled.ok()) return assembled;
+
+  VseInstance& instance = *assembled->instance;
+  if (instance.view_count() > 0) {
+    const View& q3 = instance.view(0);
+    for (size_t t = 0; t < q3.size(); ++t) {
+      if (rng.NextBool(params.deletion_fraction)) {
+        if (Status s = instance.MarkForDeletion(ViewTupleId{0, t}); !s.ok()) {
+          return s;
+        }
+      }
+    }
+  }
+  return assembled;
+}
+
+}  // namespace delprop

@@ -1,0 +1,41 @@
+#ifndef DELPROP_WORKLOAD_AUTHOR_JOURNAL_H_
+#define DELPROP_WORKLOAD_AUTHOR_JOURNAL_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+
+/// Builds the paper's Fig. 1 running example verbatim:
+///   T1(AuName, Journal) with key {AuName, Journal}: Joe/John/Tom rows;
+///   T2(Journal, Topic, #Papers) with key {Journal, Topic}: TKDE/TODS rows;
+///   Q3(x, z) :- T1(x, y), T2(y, z, w)      (not key preserving),
+///   Q4(x, y, z) :- T1(x, y), T2(y, z, w)   (key preserving).
+/// No deletions are marked; callers mark (John, XML) on Q3 or
+/// (John, TKDE, XML) on Q4 to replay the paper's two scenarios.
+Result<GeneratedVse> BuildFig1Example();
+
+/// Parameters for randomized author/journal-style instances (two relations
+/// joined on Journal, same query shapes as Fig. 1).
+struct AuthorJournalParams {
+  size_t authors = 10;
+  size_t journals = 5;
+  size_t topics = 4;
+  /// Probability an (author, journal) pair is present in T1.
+  double write_probability = 0.4;
+  /// Probability a (journal, topic) pair is present in T2.
+  double cover_probability = 0.5;
+  /// Fraction of Q3 view tuples marked for deletion.
+  double deletion_fraction = 0.2;
+  /// Include the key-preserving Q4 view alongside Q3.
+  bool include_q4 = true;
+};
+
+/// Generates a random instance; deletions are marked on the Q3 view.
+Result<GeneratedVse> GenerateAuthorJournal(Rng& rng,
+                                           const AuthorJournalParams& params);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_AUTHOR_JOURNAL_H_

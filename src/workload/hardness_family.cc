@@ -1,0 +1,48 @@
+#include "workload/hardness_family.h"
+
+namespace delprop {
+
+RbscInstance GreedyTrapRbsc(size_t k) {
+  RbscInstance instance;
+  if (k < 2) k = 2;
+  // Reds: r0 is the shared cheap red; r1..r_{k-1} are the big set's reds.
+  instance.red_count = k;
+  instance.blue_count = k;
+  RbscInstance::Set big;
+  for (size_t b = 0; b < k; ++b) big.blues.push_back(b);
+  for (size_t r = 1; r < k; ++r) big.reds.push_back(r);
+  instance.sets.push_back(std::move(big));
+  for (size_t b = 0; b < k; ++b) {
+    RbscInstance::Set single;
+    single.blues = {b};
+    single.reds = {0};
+    instance.sets.push_back(std::move(single));
+  }
+  return instance;
+}
+
+RbscInstance LayeredTrapRbsc(size_t layers, size_t k) {
+  if (layers == 0) layers = 1;
+  if (k < 2) k = 2;
+  RbscInstance instance;
+  // Per layer: one cheap red + (k-1) big-set reds; k blues.
+  instance.red_count = layers * k;
+  instance.blue_count = layers * k;
+  for (size_t layer = 0; layer < layers; ++layer) {
+    size_t red_base = layer * k;
+    size_t blue_base = layer * k;
+    RbscInstance::Set big;
+    for (size_t b = 0; b < k; ++b) big.blues.push_back(blue_base + b);
+    for (size_t r = 1; r < k; ++r) big.reds.push_back(red_base + r);
+    instance.sets.push_back(std::move(big));
+    for (size_t b = 0; b < k; ++b) {
+      RbscInstance::Set single;
+      single.blues = {blue_base + b};
+      single.reds = {red_base};
+      instance.sets.push_back(std::move(single));
+    }
+  }
+  return instance;
+}
+
+}  // namespace delprop

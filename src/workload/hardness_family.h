@@ -1,0 +1,26 @@
+#ifndef DELPROP_WORKLOAD_HARDNESS_FAMILY_H_
+#define DELPROP_WORKLOAD_HARDNESS_FAMILY_H_
+
+#include <cstddef>
+
+#include "setcover/red_blue.h"
+
+namespace delprop {
+
+/// The greedy-trap family (Theorem 1 flavor): k blue elements, one "cheap
+/// looking" set covering all blues at k-1 distinct reds, and k singleton
+/// sets {b_i, r*} sharing a single red. The naive density greedy picks the
+/// big set (ratio (k-1)/k < 1) and pays k-1, while OPT pays 1 through the
+/// singletons; LowDegTwo's τ=1 pass recovers the optimum. Ratio grows
+/// linearly in the instance size, illustrating why no constant factor can
+/// exist for the lifted deletion-propagation instances.
+RbscInstance GreedyTrapRbsc(size_t k);
+
+/// A layered trap chaining `layers` copies of GreedyTrapRbsc(k) over
+/// disjoint blues with a shared cheap red per layer; stresses the threshold
+/// sweep of LowDegTwo.
+RbscInstance LayeredTrapRbsc(size_t layers, size_t k);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_HARDNESS_FAMILY_H_

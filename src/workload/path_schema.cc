@@ -1,0 +1,112 @@
+#include "workload/path_schema.h"
+
+#include <string>
+
+namespace delprop {
+
+Result<GeneratedVse> GeneratePathSchema(Rng& rng,
+                                        const PathSchemaParams& params) {
+  if (params.levels < 2 || params.roots == 0 || params.fanout == 0) {
+    return Status::InvalidArgument("path schema needs levels>=2, roots>=1, "
+                                   "fanout>=1");
+  }
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  // Relations L0(id, payload), Li(id, parent, payload).
+  std::vector<RelationId> levels;
+  for (size_t i = 0; i < params.levels; ++i) {
+    Result<RelationId> rel =
+        (i == 0)
+            ? db.AddRelationNamed("L0", {"id", "payload"}, {0})
+            : db.AddRelationNamed("L" + std::to_string(i),
+                                  {"id", "parent", "payload"}, {0});
+    if (!rel.ok()) return rel.status();
+    levels.push_back(*rel);
+  }
+
+  // Rows, level by level; counts[i] = roots * fanout^i.
+  size_t previous_count = 0;
+  std::vector<size_t> counts(params.levels);
+  for (size_t i = 0; i < params.levels; ++i) {
+    counts[i] = (i == 0) ? params.roots : counts[i - 1] * params.fanout;
+    for (size_t j = 0; j < counts[i]; ++j) {
+      std::string id = "n" + std::to_string(i) + "_" + std::to_string(j);
+      std::string payload = "p" + std::to_string(rng.NextBelow(1000));
+      std::vector<std::string> row;
+      if (i == 0) {
+        row = {id, payload};
+      } else {
+        size_t parent = params.random_parents
+                            ? rng.NextBelow(previous_count)
+                            : j / params.fanout;
+        std::string parent_id =
+            "n" + std::to_string(i - 1) + "_" + std::to_string(parent);
+        row = {id, parent_id, payload};
+      }
+      Result<TupleRef> ref = db.InsertText(levels[i], row);
+      if (!ref.ok()) return ref.status();
+    }
+    previous_count = counts[i];
+  }
+
+  // Queries: one per interval, every variable in the head (project-free).
+  std::vector<std::pair<size_t, size_t>> intervals = params.query_intervals;
+  if (intervals.empty()) {
+    for (size_t a = 0; a + 1 < params.levels; ++a) {
+      intervals.emplace_back(a, params.levels - 1);
+    }
+  }
+  for (size_t q = 0; q < intervals.size(); ++q) {
+    auto [a, b] = intervals[q];
+    if (a > b || b >= params.levels) {
+      return Status::InvalidArgument("bad query interval");
+    }
+    auto query =
+        std::make_unique<ConjunctiveQuery>("Q" + std::to_string(q));
+    std::vector<VarId> id_vars(params.levels);
+    for (size_t i = a; i <= b; ++i) {
+      id_vars[i] = query->AddVariable("x" + std::to_string(i));
+    }
+    for (size_t i = a; i <= b; ++i) {
+      Atom atom;
+      atom.relation = levels[i];
+      atom.terms.push_back(Term::Variable(id_vars[i]));
+      query->AddHeadTerm(Term::Variable(id_vars[i]));
+      if (i > 0) {
+        Term parent_term =
+            (i == a) ? Term::Variable(query->AddVariable("par"))
+                     : Term::Variable(id_vars[i - 1]);
+        atom.terms.push_back(parent_term);
+        if (i == a) query->AddHeadTerm(parent_term);
+      }
+      VarId payload = query->AddVariable("w" + std::to_string(i));
+      atom.terms.push_back(Term::Variable(payload));
+      query->AddHeadTerm(Term::Variable(payload));
+      query->AddAtom(std::move(atom));
+    }
+    generated.queries.push_back(std::move(query));
+  }
+
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> instance = VseInstance::Create(db, query_ptrs);
+  if (!instance.ok()) return instance.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*instance));
+
+  for (size_t v = 0; v < generated.instance->view_count(); ++v) {
+    const View& view = generated.instance->view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      if (rng.NextBool(params.deletion_fraction)) {
+        if (Status s = generated.instance->MarkForDeletion(ViewTupleId{v, t});
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+  }
+  return generated;
+}
+
+}  // namespace delprop

@@ -1,0 +1,42 @@
+#ifndef DELPROP_WORKLOAD_PATH_SCHEMA_H_
+#define DELPROP_WORKLOAD_PATH_SCHEMA_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+
+/// Chain-of-relations workload producing the paper's *forest cases*:
+/// relations L0(id, payload), Li(id, parent, payload) form a tree of tuples
+/// (each row keys a unique parent), and every query joins a contiguous level
+/// interval [a, b] with all variables in the head (project-free, hence key
+/// preserving). Witnesses are vertical paths, so the generated instances
+/// satisfy the preconditions of Algorithms 1-4 with the level-a tuples as
+/// pivots.
+struct PathSchemaParams {
+  /// Number of chained relations (≥ 2).
+  size_t levels = 4;
+  /// Number of tuples in L0.
+  size_t roots = 2;
+  /// Children per tuple at each level (tree fanout).
+  size_t fanout = 2;
+  /// One query per interval; empty means every suffix interval
+  /// {[0,levels-1], [1,levels-1], ..., [levels-2,levels-1]}.
+  std::vector<std::pair<size_t, size_t>> query_intervals;
+  /// Fraction of view tuples (across all views) marked for deletion.
+  double deletion_fraction = 0.2;
+  /// If true, each row picks a uniform random parent instead of the
+  /// deterministic j/fanout layout.
+  bool random_parents = false;
+};
+
+Result<GeneratedVse> GeneratePathSchema(Rng& rng,
+                                        const PathSchemaParams& params);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_PATH_SCHEMA_H_

@@ -1,0 +1,56 @@
+#include "workload/random_rbsc.h"
+
+namespace delprop {
+namespace {
+
+// Adds each element of [0, universe) independently with probability
+// expected/universe.
+std::vector<size_t> SampleMembers(Rng& rng, size_t universe, double expected) {
+  std::vector<size_t> members;
+  if (universe == 0) return members;
+  double p = expected / static_cast<double>(universe);
+  for (size_t e = 0; e < universe; ++e) {
+    if (rng.NextBool(p)) members.push_back(e);
+  }
+  return members;
+}
+
+}  // namespace
+
+RbscInstance GenerateRandomRbsc(Rng& rng, const RandomRbscParams& params) {
+  RbscInstance instance;
+  instance.red_count = params.red_count;
+  instance.blue_count = params.blue_count;
+  instance.sets.resize(params.set_count);
+  for (auto& set : instance.sets) {
+    set.reds = SampleMembers(rng, params.red_count, params.reds_per_set);
+    set.blues = SampleMembers(rng, params.blue_count, params.blues_per_set);
+  }
+  // Guarantee feasibility: drop every uncovered blue into a random set.
+  std::vector<bool> covered(params.blue_count, false);
+  for (const auto& set : instance.sets) {
+    for (size_t b : set.blues) covered[b] = true;
+  }
+  for (size_t b = 0; b < params.blue_count; ++b) {
+    if (!covered[b] && !instance.sets.empty()) {
+      instance.sets[rng.NextBelow(instance.sets.size())].blues.push_back(b);
+    }
+  }
+  return instance;
+}
+
+PnpscInstance GenerateRandomPnpsc(Rng& rng, const RandomPnpscParams& params) {
+  PnpscInstance instance;
+  instance.positive_count = params.positive_count;
+  instance.negative_count = params.negative_count;
+  instance.sets.resize(params.set_count);
+  for (auto& set : instance.sets) {
+    set.positives =
+        SampleMembers(rng, params.positive_count, params.positives_per_set);
+    set.negatives =
+        SampleMembers(rng, params.negative_count, params.negatives_per_set);
+  }
+  return instance;
+}
+
+}  // namespace delprop

@@ -1,0 +1,38 @@
+#ifndef DELPROP_WORKLOAD_RANDOM_RBSC_H_
+#define DELPROP_WORKLOAD_RANDOM_RBSC_H_
+
+#include "common/rng.h"
+#include "setcover/pnpsc.h"
+#include "setcover/red_blue.h"
+
+namespace delprop {
+
+/// Random Red-Blue Set Cover instances for the ratio benches.
+struct RandomRbscParams {
+  size_t red_count = 10;
+  size_t blue_count = 6;
+  size_t set_count = 12;
+  /// Expected red/blue members per set.
+  double reds_per_set = 2.0;
+  double blues_per_set = 2.0;
+};
+
+/// Every blue element is guaranteed to occur in at least one set (feasible
+/// by construction).
+RbscInstance GenerateRandomRbsc(Rng& rng, const RandomRbscParams& params);
+
+/// Random ±PSC instances (same shape; no coverage guarantee is needed, any
+/// solution is feasible).
+struct RandomPnpscParams {
+  size_t positive_count = 6;
+  size_t negative_count = 10;
+  size_t set_count = 12;
+  double positives_per_set = 2.0;
+  double negatives_per_set = 2.0;
+};
+
+PnpscInstance GenerateRandomPnpsc(Rng& rng, const RandomPnpscParams& params);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_RANDOM_RBSC_H_

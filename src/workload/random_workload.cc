@@ -1,0 +1,93 @@
+#include "workload/random_workload.h"
+
+#include <string>
+
+namespace delprop {
+
+Result<GeneratedVse> GenerateRandomWorkload(
+    Rng& rng, const RandomWorkloadParams& params) {
+  if (params.relations == 0 || params.queries == 0 || params.domain == 0) {
+    return Status::InvalidArgument("random workload needs relations, queries "
+                                   "and a non-empty domain");
+  }
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  std::vector<RelationId> relations;
+  for (size_t r = 0; r < params.relations; ++r) {
+    Result<RelationId> rel =
+        db.AddRelation("R" + std::to_string(r), 2, {0, 1});
+    if (!rel.ok()) return rel.status();
+    relations.push_back(*rel);
+    for (size_t row = 0; row < params.rows_per_relation; ++row) {
+      std::string a = "v" + std::to_string(rng.NextBelow(params.domain));
+      std::string b = "v" + std::to_string(rng.NextBelow(params.domain));
+      // Duplicate keys are simply skipped (key = both columns).
+      (void)db.InsertText(*rel, {a, b});
+    }
+  }
+
+  for (size_t q = 0; q < params.queries; ++q) {
+    auto query = std::make_unique<ConjunctiveQuery>("Q" + std::to_string(q));
+    size_t atoms = 1 + rng.NextBelow(params.max_atoms);
+    std::vector<VarId> pool;
+    auto pick_term = [&](bool force_shared) -> Term {
+      if ((force_shared || rng.NextBool(params.share_probability)) &&
+          !pool.empty()) {
+        return Term::Variable(pool[rng.NextBelow(pool.size())]);
+      }
+      VarId var = query->AddVariable("z" + std::to_string(pool.size()));
+      pool.push_back(var);
+      return Term::Variable(var);
+    };
+    for (size_t a = 0; a < atoms; ++a) {
+      Atom atom;
+      atom.relation = relations[rng.NextBelow(relations.size())];
+      // Keep the query connected: from the second atom on, the first term
+      // reuses an existing variable.
+      atom.terms.push_back(pick_term(/*force_shared=*/a > 0));
+      atom.terms.push_back(pick_term(/*force_shared=*/false));
+      query->AddAtom(std::move(atom));
+    }
+    // Project-free: every variable goes into the head.
+    for (VarId var : pool) query->AddHeadTerm(Term::Variable(var));
+    generated.queries.push_back(std::move(query));
+  }
+
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> instance = VseInstance::Create(db, query_ptrs);
+  if (!instance.ok()) return instance.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*instance));
+
+  size_t marked = 0;
+  for (size_t v = 0; v < generated.instance->view_count(); ++v) {
+    const View& view = generated.instance->view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      if (rng.NextBool(params.deletion_fraction)) {
+        if (Status s = generated.instance->MarkForDeletion(ViewTupleId{v, t});
+            !s.ok()) {
+          return s;
+        }
+        ++marked;
+      }
+    }
+  }
+  if (marked == 0) {
+    // Mark one view tuple deterministically so the instance is non-trivial.
+    for (size_t v = 0; v < generated.instance->view_count() && marked == 0;
+         ++v) {
+      if (generated.instance->view(v).size() > 0) {
+        if (Status s = generated.instance->MarkForDeletion(ViewTupleId{v, 0});
+            !s.ok()) {
+          return s;
+        }
+        marked = 1;
+      }
+    }
+  }
+  return generated;
+}
+
+}  // namespace delprop

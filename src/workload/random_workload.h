@@ -1,0 +1,34 @@
+#ifndef DELPROP_WORKLOAD_RANDOM_WORKLOAD_H_
+#define DELPROP_WORKLOAD_RANDOM_WORKLOAD_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+
+/// Fully random multi-query instances for property tests and ratio sweeps:
+/// binary relations over a small constant domain (key = both columns),
+/// project-free connected conjunctive queries (hence key preserving with a
+/// unique witness per view tuple, the paper's input class), random ΔV marks.
+struct RandomWorkloadParams {
+  size_t relations = 3;
+  size_t rows_per_relation = 12;
+  /// Size of the constant domain values are drawn from.
+  size_t domain = 6;
+  size_t queries = 3;
+  /// Atoms per query drawn uniformly from [1, max_atoms].
+  size_t max_atoms = 3;
+  /// Probability that an atom term reuses an existing variable.
+  double share_probability = 0.6;
+  /// Fraction of view tuples marked for deletion (at least one is always
+  /// marked when any view tuple exists).
+  double deletion_fraction = 0.25;
+};
+
+Result<GeneratedVse> GenerateRandomWorkload(Rng& rng,
+                                            const RandomWorkloadParams& params);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_RANDOM_WORKLOAD_H_

@@ -1,0 +1,104 @@
+#include "workload/star_schema.h"
+
+#include <string>
+
+namespace delprop {
+
+Result<GeneratedVse> GenerateStarSchema(Rng& rng,
+                                        const StarSchemaParams& params) {
+  if (params.dimensions == 0 || params.dimension_rows == 0) {
+    return Status::InvalidArgument("star schema needs dimensions and rows");
+  }
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  std::vector<RelationId> dims;
+  for (size_t d = 0; d < params.dimensions; ++d) {
+    Result<RelationId> rel = db.AddRelationNamed(
+        "D" + std::to_string(d), {"id", "payload"}, {0});
+    if (!rel.ok()) return rel.status();
+    dims.push_back(*rel);
+    for (size_t j = 0; j < params.dimension_rows; ++j) {
+      Result<TupleRef> ref = db.InsertText(
+          *rel, {"d" + std::to_string(d) + "_" + std::to_string(j),
+                 "p" + std::to_string(rng.NextBelow(1000))});
+      if (!ref.ok()) return ref.status();
+    }
+  }
+  std::vector<std::string> fact_columns = {"id"};
+  for (size_t d = 0; d < params.dimensions; ++d) {
+    fact_columns.push_back("d" + std::to_string(d));
+  }
+  Result<RelationId> fact = db.AddRelationNamed("F", fact_columns, {0});
+  if (!fact.ok()) return fact.status();
+  for (size_t j = 0; j < params.fact_rows; ++j) {
+    std::vector<std::string> row = {"f" + std::to_string(j)};
+    for (size_t d = 0; d < params.dimensions; ++d) {
+      row.push_back("d" + std::to_string(d) + "_" +
+                    std::to_string(rng.NextBelow(params.dimension_rows)));
+    }
+    Result<TupleRef> ref = db.InsertText(*fact, row);
+    if (!ref.ok()) return ref.status();
+  }
+
+  std::vector<std::vector<size_t>> query_sets = params.query_dimension_sets;
+  if (query_sets.empty()) {
+    std::vector<size_t> all;
+    for (size_t d = 0; d < params.dimensions; ++d) all.push_back(d);
+    query_sets.push_back(all);
+    for (size_t d = 0; d + 1 < params.dimensions; ++d) {
+      query_sets.push_back({d, d + 1});
+    }
+  }
+  for (size_t q = 0; q < query_sets.size(); ++q) {
+    auto query = std::make_unique<ConjunctiveQuery>("Q" + std::to_string(q));
+    // Fact atom: id + one variable per dimension column.
+    Atom fact_atom;
+    fact_atom.relation = *fact;
+    VarId fact_id = query->AddVariable("f");
+    fact_atom.terms.push_back(Term::Variable(fact_id));
+    query->AddHeadTerm(Term::Variable(fact_id));
+    std::vector<VarId> dim_vars(params.dimensions);
+    for (size_t d = 0; d < params.dimensions; ++d) {
+      dim_vars[d] = query->AddVariable("x" + std::to_string(d));
+      fact_atom.terms.push_back(Term::Variable(dim_vars[d]));
+      query->AddHeadTerm(Term::Variable(dim_vars[d]));
+    }
+    query->AddAtom(std::move(fact_atom));
+    for (size_t d : query_sets[q]) {
+      if (d >= params.dimensions) {
+        return Status::InvalidArgument("bad dimension index in query set");
+      }
+      Atom dim_atom;
+      dim_atom.relation = dims[d];
+      dim_atom.terms.push_back(Term::Variable(dim_vars[d]));
+      VarId payload = query->AddVariable("w" + std::to_string(d));
+      dim_atom.terms.push_back(Term::Variable(payload));
+      query->AddHeadTerm(Term::Variable(payload));
+      query->AddAtom(std::move(dim_atom));
+    }
+    generated.queries.push_back(std::move(query));
+  }
+
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> instance = VseInstance::Create(db, query_ptrs);
+  if (!instance.ok()) return instance.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*instance));
+
+  for (size_t v = 0; v < generated.instance->view_count(); ++v) {
+    const View& view = generated.instance->view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      if (rng.NextBool(params.deletion_fraction)) {
+        if (Status s = generated.instance->MarkForDeletion(ViewTupleId{v, t});
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+  }
+  return generated;
+}
+
+}  // namespace delprop

@@ -1,0 +1,33 @@
+#ifndef DELPROP_WORKLOAD_STAR_SCHEMA_H_
+#define DELPROP_WORKLOAD_STAR_SCHEMA_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+
+/// Star-join workload: a fact table F(id, d0, ..., dk-1) plus dimension
+/// tables Di(id, payload); each query joins F with a subset of dimensions,
+/// all variables in the head (project-free / key preserving). Witnesses are
+/// stars — *not* paths — so these instances exercise the general-case
+/// algorithm (Claim 1) where the tree algorithms must refuse.
+struct StarSchemaParams {
+  size_t dimensions = 3;
+  size_t dimension_rows = 4;
+  size_t fact_rows = 20;
+  /// One query per entry: the dimension subsets to join with the fact table;
+  /// empty means {all dimensions} plus each pair {i, i+1}.
+  std::vector<std::vector<size_t>> query_dimension_sets;
+  /// Fraction of view tuples (across all views) marked for deletion.
+  double deletion_fraction = 0.15;
+};
+
+Result<GeneratedVse> GenerateStarSchema(Rng& rng,
+                                        const StarSchemaParams& params);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_STAR_SCHEMA_H_

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+TEST(BoundedExactTest, Fig1NeedsTwoDeletions) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  // (John, XML) has two witnesses: one deletion can never cut both.
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+
+  BoundedExactSolver one(1);
+  EXPECT_EQ(one.Solve(instance).status().code(), StatusCode::kInfeasible);
+
+  BoundedExactSolver two(2);
+  Result<VseSolution> solution = two.Solve(instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_LE(solution->deletion.size(), 2u);
+  EXPECT_DOUBLE_EQ(solution->Cost(), 4.0) << "cap of 2 still reaches OPT";
+}
+
+TEST(BoundedExactTest, LooseCapMatchesUnbounded) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    ExactSolver unbounded;
+    BoundedExactSolver loose(instance.database().total_tuple_count());
+    Result<VseSolution> a = unbounded.Solve(instance);
+    Result<VseSolution> b = loose.Solve(instance);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_DOUBLE_EQ(a->Cost(), b->Cost()) << "trial " << trial;
+  }
+}
+
+TEST(BoundedExactTest, TighterCapCanCostMore) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 9;
+    params.queries = 3;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    ExactSolver unbounded;
+    Result<VseSolution> free = unbounded.Solve(instance);
+    ASSERT_TRUE(free.ok());
+    size_t used = free->deletion.size();
+    if (used <= 1) continue;
+    // The cap at the unconstrained optimum's size is feasible with equal
+    // cost; one less may be infeasible or strictly costlier — never cheaper.
+    BoundedExactSolver at(used);
+    Result<VseSolution> capped = at.Solve(instance);
+    ASSERT_TRUE(capped.ok());
+    EXPECT_DOUBLE_EQ(capped->Cost(), free->Cost());
+    BoundedExactSolver tighter(used - 1);
+    Result<VseSolution> tight = tighter.Solve(instance);
+    if (tight.ok()) {
+      EXPECT_GE(tight->Cost(), free->Cost() - 1e-9) << "trial " << trial;
+      EXPECT_LE(tight->deletion.size(), used - 1);
+    } else {
+      EXPECT_EQ(tight.status().code(), StatusCode::kInfeasible);
+    }
+  }
+}
+
+TEST(BoundedExactTest, ZeroCapOnlyWorksForEmptyDelta) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  BoundedExactSolver zero(0);
+  // Without flags the empty deletion is fine.
+  Result<VseSolution> empty = zero.Solve(instance);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->deletion.size(), 0u);
+  // With a flag it is infeasible.
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  EXPECT_EQ(zero.Solve(instance).status().code(), StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "applications/cleaning_session.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "workload/author_journal.h"
+
+namespace delprop {
+namespace {
+
+class CleaningSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<GeneratedVse> generated = BuildFig1Example();
+    ASSERT_TRUE(generated.ok());
+    generated_ = std::move(*generated);
+    for (const auto& q : generated_.queries) queries_.push_back(q.get());
+  }
+
+  GeneratedVse generated_;
+  std::vector<const ConjunctiveQuery*> queries_;
+};
+
+TEST_F(CleaningSessionTest, RequiresBegin) {
+  CleaningSession session(*generated_.database, queries_);
+  EXPECT_EQ(session.Flag(0, {"John", "XML"}).code(),
+            StatusCode::kFailedPrecondition);
+  ExactSolver solver;
+  EXPECT_EQ(session.ResolveRound(solver).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CleaningSessionTest, SingleRoundMatchesDirectSolve) {
+  CleaningSession session(*generated_.database, queries_);
+  ASSERT_TRUE(session.Begin().ok());
+  ASSERT_TRUE(session.Flag(0, {"John", "XML"}).ok());
+  EXPECT_EQ(session.pending_flags(), 1u);
+
+  ExactSolver solver;
+  Result<CleaningSession::RoundOutcome> outcome = session.ResolveRound(solver);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->unresolved_flags.empty());
+  EXPECT_DOUBLE_EQ(outcome->side_effect_weight, 4.0);
+  EXPECT_EQ(session.rounds_resolved(), 1u);
+  EXPECT_EQ(session.applied_deletions().size(), outcome->deleted.size());
+
+  // After applying, the refreshed views no longer contain the flagged tuple.
+  const VseInstance* refreshed = session.instance();
+  ASSERT_NE(refreshed, nullptr);
+  EXPECT_EQ(refreshed->TotalDeletionTuples(), 0u) << "flags were consumed";
+  auto& dict = generated_.database->dict();
+  Tuple values = {*dict.Find("John"), *dict.Find("XML")};
+  EXPECT_FALSE(refreshed->view(0).Find(values).has_value());
+}
+
+TEST_F(CleaningSessionTest, MultiRoundAccumulates) {
+  CleaningSession session(*generated_.database, queries_);
+  ASSERT_TRUE(session.Begin().ok());
+  ASSERT_TRUE(session.Flag(0, {"John", "XML"}).ok());
+  GreedySolver solver;
+  ASSERT_TRUE(session.ResolveRound(solver).ok());
+
+  // Round 2: flag an answer that survived round 1, if any.
+  const VseInstance* instance = session.instance();
+  ASSERT_NE(instance, nullptr);
+  bool flagged = false;
+  for (size_t v = 0; v < instance->view_count() && !flagged; ++v) {
+    if (instance->view(v).size() > 0) {
+      // Flag the first surviving tuple by value.
+      const Tuple& values = instance->view(v).tuple(0).values;
+      std::vector<std::string> texts;
+      for (ValueId id : values) {
+        texts.push_back(generated_.database->dict().Text(id));
+      }
+      ASSERT_TRUE(session.Flag(v, texts).ok());
+      flagged = true;
+    }
+  }
+  ASSERT_TRUE(flagged);
+  size_t deleted_before = session.applied_deletions().size();
+  Result<CleaningSession::RoundOutcome> outcome = session.ResolveRound(solver);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(session.rounds_resolved(), 2u);
+  EXPECT_GE(session.applied_deletions().size(), deleted_before + 1);
+  EXPECT_GE(session.total_side_effect(), 0.0);
+}
+
+TEST_F(CleaningSessionTest, ResolveWithoutFlagsRejected) {
+  CleaningSession session(*generated_.database, queries_);
+  ASSERT_TRUE(session.Begin().ok());
+  ExactSolver solver;
+  EXPECT_EQ(session.ResolveRound(solver).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CleaningSessionTest, FlagUnknownAnswerRejected) {
+  CleaningSession session(*generated_.database, queries_);
+  ASSERT_TRUE(session.Begin().ok());
+  EXPECT_EQ(session.Flag(0, {"Nobody", "XML"}).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace delprop

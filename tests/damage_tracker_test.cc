@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dp/side_effect.h"
+#include "solvers/damage_tracker.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+class TrackerFig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<GeneratedVse> generated = BuildFig1Example();
+    ASSERT_TRUE(generated.ok());
+    generated_ = std::move(*generated);
+    ASSERT_TRUE(generated_.instance
+                    ->MarkForDeletionByValues(0, {"John", "XML"})
+                    .ok());
+  }
+  TupleRef Row(const char* rel, uint32_t row) {
+    RelationId id = *generated_.database->schema().FindRelation(rel);
+    return TupleRef{id, row};
+  }
+  GeneratedVse generated_;
+};
+
+TEST_F(TrackerFig1Test, InitialStateMatchesInstance) {
+  DamageTracker tracker(*generated_.instance);
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.killed_preserved_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.surviving_deletion_weight(), 1.0);
+  EXPECT_EQ(tracker.deleted_count(), 0u);
+}
+
+TEST_F(TrackerFig1Test, MultiWitnessKillNeedsBothWitnessesHit) {
+  DamageTracker tracker(*generated_.instance);
+  // (John, XML) has witnesses via TKDE and TODS; hitting one is not enough.
+  tracker.Delete(Row("T1", 1));  // (John, TKDE)
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);
+  tracker.Delete(Row("T1", 3));  // (John, TODS)
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 0u);
+}
+
+TEST_F(TrackerFig1Test, DeleteReturnsMarginalAndUndeleteRestores) {
+  DamageTracker tracker(*generated_.instance);
+  double marginal = tracker.MarginalDamage(Row("T1", 1));
+  double killed = tracker.Delete(Row("T1", 1));
+  EXPECT_DOUBLE_EQ(marginal, killed);
+  // (John,TKDE) kills Q3(John,CUBE) (single witness) + Q4(John,TKDE,XML) +
+  // Q4(John,TKDE,CUBE); Q3(John,XML) is a ΔV tuple and not counted.
+  EXPECT_DOUBLE_EQ(killed, 3.0);
+  tracker.Undelete(Row("T1", 1));
+  EXPECT_DOUBLE_EQ(tracker.killed_preserved_weight(), 0.0);
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);
+  EXPECT_FALSE(tracker.IsDeleted(Row("T1", 1)));
+}
+
+TEST_F(TrackerFig1Test, MarginalDamageAccountsForPriorDeletions) {
+  DamageTracker tracker(*generated_.instance);
+  tracker.Delete(Row("T1", 1));
+  // After (John, TKDE), deleting (TKDE, XML, 30) no longer re-kills the
+  // John tuples but still kills Joe/Tom XML rows in Q3 and Q4.
+  double marginal = tracker.MarginalDamage(Row("T2", 0));
+  EXPECT_DOUBLE_EQ(marginal, 4.0);  // Q3(Joe,XML), Q3(Tom,XML) + 2 Q4 rows.
+}
+
+TEST_F(TrackerFig1Test, CurrentDeletionRoundTrips) {
+  DamageTracker tracker(*generated_.instance);
+  tracker.Delete(Row("T1", 1));
+  tracker.Delete(Row("T2", 2));
+  DeletionSet set = tracker.CurrentDeletion();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(Row("T1", 1)));
+  EXPECT_TRUE(set.Contains(Row("T2", 2)));
+}
+
+TEST_F(TrackerFig1Test, UnknownTupleIsHarmless) {
+  DamageTracker tracker(*generated_.instance);
+  // A base tuple in no witness: zero damage, state unchanged.
+  EXPECT_DOUBLE_EQ(tracker.MarginalDamage(TupleRef{0, 77}), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Delete(TupleRef{0, 77}), 0.0);
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);
+  tracker.Undelete(TupleRef{0, 77});
+}
+
+// Property: tracker accounting must agree with EvaluateDeletion for random
+// deletion sets applied in random order with interleaved undeletes.
+TEST(TrackerPropertyTest, AgreesWithSideEffectEvaluation) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 3;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    DamageTracker tracker(instance);
+
+    std::vector<TupleRef> candidates = instance.CandidateTuples();
+    if (candidates.empty()) continue;
+    // Random walk: delete/undelete.
+    for (int step = 0; step < 30; ++step) {
+      const TupleRef& ref = candidates[rng.NextBelow(candidates.size())];
+      if (tracker.IsDeleted(ref)) {
+        tracker.Undelete(ref);
+      } else {
+        tracker.Delete(ref);
+      }
+      SideEffectReport report =
+          EvaluateDeletion(instance, tracker.CurrentDeletion());
+      EXPECT_DOUBLE_EQ(tracker.killed_preserved_weight(),
+                       report.side_effect_weight)
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(tracker.unkilled_deletion_count(),
+                report.surviving_deletions.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delprop

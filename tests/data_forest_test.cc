@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hypergraph/data_forest.h"
+#include "workload/path_schema.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+DataForest BuildFromInstance(const VseInstance& instance) {
+  return DataForest::Build(instance.ViewPointers());
+}
+
+TEST(DataForestTest, PathSchemaIsForestWithVerticalWitnesses) {
+  Rng rng(11);
+  PathSchemaParams params;
+  params.levels = 4;
+  params.roots = 2;
+  params.fanout = 2;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  DataForest forest = BuildFromInstance(*generated->instance);
+  EXPECT_TRUE(forest.is_forest());
+  EXPECT_GT(forest.node_count(), 0u);
+
+  std::optional<std::vector<size_t>> pivots = forest.FindPivotRoots();
+  ASSERT_TRUE(pivots.has_value());
+  DataForest::Rooting rooting = forest.RootAt(*pivots);
+  for (const ForestWitness& witness : forest.witnesses()) {
+    EXPECT_TRUE(forest.WitnessIsVerticalPath(witness, rooting));
+    EXPECT_TRUE(forest.WitnessIsPath(witness, rooting));
+  }
+}
+
+TEST(DataForestTest, PathSchemaComponentsMatchRootTrees) {
+  Rng rng(12);
+  PathSchemaParams params;
+  params.levels = 3;
+  params.roots = 3;
+  params.fanout = 2;
+  params.query_intervals = {{0, 2}};
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  DataForest forest = BuildFromInstance(*generated->instance);
+  EXPECT_EQ(forest.component_count(), 3u);
+}
+
+TEST(DataForestTest, StarWitnessesAreNotPaths) {
+  Rng rng(13);
+  StarSchemaParams params;
+  params.dimensions = 3;
+  params.fact_rows = 10;
+  params.query_dimension_sets = {{0, 1, 2}};
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  DataForest forest = BuildFromInstance(*generated->instance);
+  DataForest::Rooting rooting = forest.RootAt();
+  bool some_non_path = false;
+  for (const ForestWitness& witness : forest.witnesses()) {
+    if (witness.nodes.size() >= 4 &&
+        !forest.WitnessIsPath(witness, rooting)) {
+      some_non_path = true;
+    }
+  }
+  EXPECT_TRUE(some_non_path) << "a 3-dimension star witness is not a path";
+}
+
+TEST(DataForestTest, NodeOfRoundTrips) {
+  Rng rng(14);
+  PathSchemaParams params;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  DataForest forest = BuildFromInstance(*generated->instance);
+  for (size_t n = 0; n < forest.node_count(); ++n) {
+    std::optional<size_t> back = forest.NodeOf(forest.node_ref(n));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, n);
+  }
+  EXPECT_FALSE(forest.NodeOf(TupleRef{99, 99}).has_value());
+}
+
+TEST(DataForestTest, LcaOnChain) {
+  // Build a tiny manual chain via the path generator (1 root, fanout 1).
+  Rng rng(15);
+  PathSchemaParams params;
+  params.levels = 5;
+  params.roots = 1;
+  params.fanout = 1;
+  params.query_intervals = {{0, 4}};
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  DataForest forest = BuildFromInstance(*generated->instance);
+  ASSERT_EQ(forest.node_count(), 5u);
+  DataForest::Rooting rooting = forest.RootAt();
+  // On a rooted chain, the LCA of any two nodes is the shallower one.
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 0; b < 5; ++b) {
+      size_t lca = forest.Lca(rooting, a, b);
+      size_t expected =
+          rooting.depth[a] <= rooting.depth[b] ? a : b;
+      EXPECT_EQ(lca, expected);
+    }
+  }
+}
+
+TEST(DataForestTest, RandomParentsStillForest) {
+  Rng rng(16);
+  PathSchemaParams params;
+  params.levels = 4;
+  params.roots = 3;
+  params.fanout = 3;
+  params.random_parents = true;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  DataForest forest = BuildFromInstance(*generated->instance);
+  EXPECT_TRUE(forest.is_forest())
+      << "unique parents cannot create cycles even when chosen randomly";
+  EXPECT_TRUE(forest.FindPivotRoots().has_value());
+}
+
+}  // namespace
+}  // namespace delprop

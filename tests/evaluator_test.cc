@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/evaluator.h"
+#include "query/parser.h"
+
+namespace delprop {
+namespace {
+
+// Builds the Fig. 1 database from the paper.
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddRelation("T1", 2, {0, 1}).ok());
+    ASSERT_TRUE(db_.AddRelation("T2", 3, {0, 1}).ok());
+    for (auto [a, j] : {std::pair{"Joe", "TKDE"}, {"John", "TKDE"},
+                        {"Tom", "TKDE"}, {"John", "TODS"}}) {
+      ASSERT_TRUE(db_.InsertText(0, {a, j}).ok());
+    }
+    for (auto [j, t] : {std::pair{"TKDE", "XML"}, {"TKDE", "CUBE"},
+                        {"TODS", "XML"}}) {
+      ASSERT_TRUE(db_.InsertText(1, {j, t, "30"}).ok());
+    }
+  }
+
+  View Eval(const ConjunctiveQuery& q, const DeletionSet* mask = nullptr) {
+    EvalOptions options;
+    options.mask = mask;
+    Result<View> view = Evaluate(db_, q, options);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    return std::move(*view);
+  }
+
+  Tuple Values(std::initializer_list<const char*> texts) {
+    Tuple t;
+    for (const char* s : texts) t.push_back(db_.dict().Intern(s));
+    return t;
+  }
+
+  Database db_;
+};
+
+TEST_F(EvaluatorTest, Fig1Q3HasSixTuples) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  EXPECT_EQ(view.size(), 6u);
+  EXPECT_TRUE(view.Find(Values({"John", "XML"})).has_value());
+  EXPECT_TRUE(view.Find(Values({"Joe", "CUBE"})).has_value());
+  EXPECT_FALSE(view.Find(Values({"Joe", "Nope"})).has_value());
+}
+
+TEST_F(EvaluatorTest, Fig1Q4HasSevenTuples) {
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "Q4(x, y, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  EXPECT_EQ(view.size(), 7u);
+}
+
+TEST_F(EvaluatorTest, JohnXmlHasTwoWitnesses) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  std::optional<size_t> index = view.Find(Values({"John", "XML"}));
+  ASSERT_TRUE(index.has_value());
+  // (John,TKDE)+(TKDE,XML,30) and (John,TODS)+(TODS,XML,30).
+  EXPECT_EQ(view.tuple(*index).witnesses.size(), 2u);
+  std::optional<size_t> joe = view.Find(Values({"Joe", "XML"}));
+  ASSERT_TRUE(joe.has_value());
+  EXPECT_EQ(view.tuple(*joe).witnesses.size(), 1u);
+}
+
+TEST_F(EvaluatorTest, KeyPreservingQ4HasUniqueWitnesses) {
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "Q4(x, y, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  for (size_t t = 0; t < view.size(); ++t) {
+    EXPECT_EQ(view.tuple(t).witnesses.size(), 1u) << view.RenderTuple(t);
+  }
+}
+
+TEST_F(EvaluatorTest, WitnessesAreActualRows) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  for (size_t t = 0; t < view.size(); ++t) {
+    for (const Witness& w : view.tuple(t).witnesses) {
+      ASSERT_EQ(w.size(), 2u);
+      EXPECT_EQ(w[0].relation, 0u);
+      EXPECT_EQ(w[1].relation, 1u);
+      // The join column must match between the two rows.
+      EXPECT_EQ(db_.TupleAt(w[0])[1], db_.TupleAt(w[1])[0]);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, ConstantSelection) {
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "Q(x) :- T1(x, 'TODS')", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.RenderTuple(0), "Q(John)");
+}
+
+TEST_F(EvaluatorTest, MaskHidesRows) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  // Delete (John, TKDE) — row 1 of T1 — and (TODS, XML, 30) — row 2 of T2.
+  DeletionSet mask;
+  mask.Insert({0, 1});
+  mask.Insert({1, 2});
+  View view = Eval(*q, &mask);
+  // John loses both XML derivations and CUBE.
+  EXPECT_FALSE(view.Find(Values({"John", "XML"})).has_value());
+  EXPECT_FALSE(view.Find(Values({"John", "CUBE"})).has_value());
+  EXPECT_TRUE(view.Find(Values({"Joe", "XML"})).has_value());
+  EXPECT_EQ(view.size(), 4u);
+}
+
+TEST_F(EvaluatorTest, MaskMatchesSurvivesSemantics) {
+  // Evaluating under a mask must agree with View::Survives on the unmasked
+  // lineage (monotone queries).
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View full = Eval(*q);
+  DeletionSet mask;
+  mask.Insert({0, 0});
+  mask.Insert({1, 1});
+  View masked = Eval(*q, &mask);
+  for (size_t t = 0; t < full.size(); ++t) {
+    bool survived = masked.Find(full.tuple(t).values).has_value();
+    EXPECT_EQ(survived, full.Survives(t, mask)) << full.RenderTuple(t);
+  }
+}
+
+TEST_F(EvaluatorTest, SelfJoin) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation("E", 2, {0, 1}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"a", "b"}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"b", "c"}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"c", "a"}).ok());
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "Path2(x, y, z) :- E(x, y), E(y, z)", db.schema(), db.dict());
+  ASSERT_TRUE(q.ok());
+  Result<View> view = Evaluate(db, *q);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 3u);  // a-b-c, b-c-a, c-a-b.
+}
+
+TEST_F(EvaluatorTest, CartesianProductWhenNoSharedVariables) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation("A", 1, {0}).ok());
+  ASSERT_TRUE(db.AddRelation("B", 1, {0}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"a1"}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"a2"}).ok());
+  ASSERT_TRUE(db.InsertText(1, {"b1"}).ok());
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(x, y) :- A(x), B(y)", db.schema(), db.dict());
+  ASSERT_TRUE(q.ok());
+  Result<View> view = Evaluate(db, *q);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+}
+
+TEST_F(EvaluatorTest, EmptyResultOnEmptyJoin) {
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "Q(x) :- T1(x, 'Nowhere')", db_.schema(), db_.dict());
+  ASSERT_TRUE(q.ok());
+  View view = Eval(*q);
+  EXPECT_EQ(view.size(), 0u);
+}
+
+TEST_F(EvaluatorTest, RepeatedVariableWithinAtom) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation("E", 2, {0, 1}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"a", "a"}).ok());
+  ASSERT_TRUE(db.InsertText(0, {"a", "b"}).ok());
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Loop(x) :- E(x, x)", db.schema(), db.dict());
+  ASSERT_TRUE(q.ok());
+  Result<View> view = Evaluate(db, *q);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->size(), 1u);
+  EXPECT_EQ(view->RenderTuple(0), "Loop(a)");
+}
+
+}  // namespace
+}  // namespace delprop

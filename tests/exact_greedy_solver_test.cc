@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/rbsc_reduction_solver.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+TEST(ExactSolverTest, Fig1ScenarioOneOptimumIsOne) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  // Q3-only deletion; but the instance carries both views, so the true
+  // optimum pays Q4 collateral too. Build a Q3-only instance instead.
+  std::vector<const ConjunctiveQuery*> q3 = {generated->queries[0].get()};
+  Result<VseInstance> q3_instance =
+      VseInstance::Create(*generated->database, q3);
+  ASSERT_TRUE(q3_instance.ok());
+  ASSERT_TRUE(q3_instance->MarkForDeletionByValues(0, {"John", "XML"}).ok());
+
+  ExactSolver solver;
+  Result<VseSolution> solution = solver.Solve(*q3_instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_DOUBLE_EQ(solution->Cost(), 1.0)
+      << "the paper's minimum view side-effect for ΔV=(John, XML)";
+  (void)instance;
+}
+
+TEST(ExactSolverTest, Fig1BothViewsOptimum) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  ExactSolver solver;
+  Result<VseSolution> solution = solver.Solve(instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->Feasible());
+  // Any way to kill Q3(John,XML) needs ≥2 deletions (two witnesses) and
+  // kills Q3(John,CUBE) + 3 Q4 tuples at best.
+  EXPECT_DOUBLE_EQ(solution->Cost(), 4.0);
+}
+
+TEST(ExactSolverTest, EmptyDeltaVIsFree) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  ExactSolver solver;
+  Result<VseSolution> solution = solver.Solve(*generated->instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->deletion.size(), 0u);
+  EXPECT_DOUBLE_EQ(solution->Cost(), 0.0);
+}
+
+TEST(ExactSolverTest, BudgetExhaustionReported) {
+  Rng rng(51);
+  RandomWorkloadParams params;
+  params.relations = 3;
+  params.rows_per_relation = 15;
+  params.queries = 4;
+  Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+  ASSERT_TRUE(generated.ok());
+  ExactSolver solver(/*node_budget=*/1);
+  Result<VseSolution> solution = solver.Solve(*generated->instance);
+  EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GreedySolverTest, AlwaysFeasibleOnFig1) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"Tom", "CUBE"}).ok());
+  GreedySolver solver;
+  Result<VseSolution> solution = solver.Solve(instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->Feasible());
+}
+
+TEST(GreedySolverTest, ReverseDeleteKeepsSolutionMinimal) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  GreedySolver solver;
+  Result<VseSolution> solution = solver.Solve(instance);
+  ASSERT_TRUE(solution.ok());
+  // Minimality: removing any single deleted tuple breaks feasibility.
+  for (const TupleRef& ref : solution->deletion.Sorted()) {
+    DeletionSet smaller = solution->deletion;
+    smaller.Erase(ref);
+    SideEffectReport report = EvaluateDeletion(instance, smaller);
+    EXPECT_FALSE(report.eliminates_all_deletions);
+  }
+}
+
+TEST(SolverComparisonTest, ExactNeverWorseThanHeuristics) {
+  Rng rng(52);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    params.max_atoms = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+
+    ExactSolver exact;
+    GreedySolver greedy;
+    Result<VseSolution> exact_solution = exact.Solve(instance);
+    Result<VseSolution> greedy_solution = greedy.Solve(instance);
+    ASSERT_TRUE(exact_solution.ok()) << exact_solution.status().ToString();
+    ASSERT_TRUE(greedy_solution.ok());
+    ASSERT_TRUE(exact_solution->Feasible());
+    ASSERT_TRUE(greedy_solution->Feasible());
+    EXPECT_LE(exact_solution->Cost(), greedy_solution->Cost() + 1e-9)
+        << "trial " << trial;
+
+    if (instance.all_unique_witness()) {
+      RbscReductionSolver rbsc;
+      Result<VseSolution> rbsc_solution = rbsc.Solve(instance);
+      ASSERT_TRUE(rbsc_solution.ok()) << rbsc_solution.status().ToString();
+      EXPECT_TRUE(rbsc_solution->Feasible());
+      EXPECT_LE(exact_solution->Cost(), rbsc_solution->Cost() + 1e-9);
+    }
+  }
+}
+
+TEST(RbscReductionSolverTest, RefusesMultiWitnessInstances) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  RbscReductionSolver solver;
+  EXPECT_EQ(solver.Solve(instance).status().code(),
+            StatusCode::kFailedPrecondition)
+      << "Q3's (John, XML) has two witnesses";
+}
+
+TEST(RbscReductionSolverTest, SolvesKeyPreservingView) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  std::vector<const ConjunctiveQuery*> q4 = {generated->queries[1].get()};
+  Result<VseInstance> instance =
+      VseInstance::Create(*generated->database, q4);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(
+      instance->MarkForDeletionByValues(0, {"John", "TKDE", "XML"}).ok());
+  RbscReductionSolver solver;
+  Result<VseSolution> solution = solver.Solve(*instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  // Optimal here: delete (John, TKDE), collateral = Q4(John, TKDE, CUBE).
+  EXPECT_DOUBLE_EQ(solution->Cost(), 1.0);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,121 @@
+// Robustness fuzzing: the parser, the CSV reader and the script interpreter
+// must return error statuses — never crash or accept garbage silently — on
+// random and adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "query/parser.h"
+#include "tool/csv.h"
+#include "tool/script.h"
+
+namespace delprop {
+namespace {
+
+std::string RandomText(Rng& rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcxyz012 ,()'*:-_\"\n\t#QT";
+  size_t len = rng.NextBelow(max_len);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzTest, ParserNeverCrashes) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("T1", 2, {0}).ok());
+  ASSERT_TRUE(schema.AddRelation("T2", 3, {0, 1}).ok());
+  ValueDictionary dict;
+  Rng rng(424242);
+  size_t parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string text = RandomText(rng, 60);
+    Result<ConjunctiveQuery> q = ParseQuery(text, schema, dict);
+    if (q.ok()) {
+      ++parsed_ok;
+      // Whatever parses must validate.
+      EXPECT_TRUE(q->Validate(schema).ok()) << text;
+    }
+  }
+  // Overwhelmingly garbage; a handful may parse by chance.
+  EXPECT_LT(parsed_ok, 100u);
+}
+
+TEST(FuzzTest, ParserMutationsOfValidQuery) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("T1", 2, {0}).ok());
+  ASSERT_TRUE(schema.AddRelation("T2", 3, {0, 1}).ok());
+  ValueDictionary dict;
+  const std::string base = "Q3(x, z) :- T1(x, y), T2(y, z, w)";
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    size_t edits = 1 + rng.NextBelow(3);
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, "(),:-'x"[rng.NextBelow(7)]);
+          break;
+        default:
+          mutated[pos] = "(),:-'x"[rng.NextBelow(7)];
+      }
+      if (mutated.empty()) break;
+    }
+    (void)ParseQuery(mutated, schema, dict);  // must not crash
+  }
+}
+
+TEST(FuzzTest, CsvParserNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string line = RandomText(rng, 50);
+    (void)ParseCsvLine(line);
+  }
+}
+
+TEST(FuzzTest, CsvLoaderNeverCrashes) {
+  Rng rng(100);
+  for (int trial = 0; trial < 500; ++trial) {
+    Database db;
+    std::string csv = RandomText(rng, 120);
+    (void)LoadCsvRelation(db, "R", csv);
+  }
+}
+
+TEST(FuzzTest, ScriptSessionNeverCrashes) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 400; ++trial) {
+    ScriptSession session;
+    std::string out;
+    std::string script = RandomText(rng, 200);
+    (void)session.Run(script, &out);
+  }
+}
+
+TEST(FuzzTest, ScriptSessionCommandMutations) {
+  const std::string base =
+      "relation T1(a*, b)\n"
+      "insert T1(x, y)\n"
+      "query Q(a, b) :- T1(a, b)\n"
+      "delete Q(x, y)\n"
+      "solve greedy\n";
+  Rng rng(3141);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] = static_cast<char>('!' + rng.NextBelow(90));
+    ScriptSession session;
+    std::string out;
+    (void)session.Run(mutated, &out);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hypergraph/dual_graph.h"
+#include "hypergraph/gyo.h"
+#include "hypergraph/hypergraph.h"
+#include "query/parser.h"
+
+namespace delprop {
+namespace {
+
+TEST(HypergraphTest, AddEdgeSortsAndDedupes) {
+  Hypergraph g(5);
+  size_t e = g.AddEdge({3, 1, 3, 2});
+  EXPECT_EQ(g.edge(e), (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(HypergraphTest, VertexComponents) {
+  Hypergraph g(5);
+  g.AddEdge({0, 1});
+  g.AddEdge({1, 2});
+  g.AddEdge({3});
+  std::vector<size_t> comp = g.VertexComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(HypergraphTest, EdgeComponents) {
+  Hypergraph g(6);
+  g.AddEdge({0, 1});
+  g.AddEdge({2, 3});
+  g.AddEdge({1, 4});
+  std::vector<std::vector<size_t>> groups = g.EdgeComponents();
+  ASSERT_EQ(groups.size(), 2u);
+  // Edges 0 and 2 share vertex 1.
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1}));
+}
+
+TEST(GyoTest, SingleEdgeIsAcyclic) {
+  Hypergraph g(3);
+  g.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(g));
+  EXPECT_TRUE(IsBetaAcyclic(g));
+}
+
+TEST(GyoTest, TriangleIsCyclic) {
+  Hypergraph g(3);
+  g.AddEdge({0, 1});
+  g.AddEdge({1, 2});
+  g.AddEdge({0, 2});
+  EXPECT_FALSE(IsAlphaAcyclic(g));
+  EXPECT_FALSE(IsBetaAcyclic(g));
+}
+
+TEST(GyoTest, TriangleWithBigEdgeIsAlphaButNotBeta) {
+  // The classic separator of the two acyclicity degrees: adding {0,1,2} to
+  // the triangle makes it α-acyclic but β-cyclicity persists.
+  Hypergraph g(3);
+  g.AddEdge({0, 1, 2});
+  g.AddEdge({0, 1});
+  g.AddEdge({1, 2});
+  g.AddEdge({0, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(g));
+  EXPECT_FALSE(IsBetaAcyclic(g));
+}
+
+TEST(GyoTest, PathIsBetaAcyclic) {
+  Hypergraph g(4);
+  g.AddEdge({0, 1});
+  g.AddEdge({1, 2});
+  g.AddEdge({2, 3});
+  EXPECT_TRUE(IsAlphaAcyclic(g));
+  EXPECT_TRUE(IsBetaAcyclic(g));
+}
+
+TEST(GyoTest, JoinTreeParentsAreValid) {
+  Hypergraph g(4);
+  g.AddEdge({0, 1, 2});
+  g.AddEdge({0, 1});
+  g.AddEdge({2, 3});
+  JoinTree tree;
+  ASSERT_TRUE(IsAlphaAcyclic(g, &tree));
+  ASSERT_EQ(tree.parent.size(), 3u);
+  // Edge 1 ⊆ edge 0 so it must have been absorbed into it.
+  EXPECT_EQ(tree.parent[1], 0);
+}
+
+TEST(GyoTest, DuplicateEdgesAcyclic) {
+  Hypergraph g(2);
+  g.AddEdge({0, 1});
+  g.AddEdge({0, 1});
+  EXPECT_TRUE(IsAlphaAcyclic(g));
+  EXPECT_TRUE(IsBetaAcyclic(g));
+}
+
+// Property sweep: random acyclic hypergraphs (grown by attaching edges that
+// intersect an existing edge in a subset) must pass GYO with a join tree
+// satisfying the running-intersection property; planting a triangle over
+// fresh vertices must break both acyclicity notions.
+class AcyclicSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcyclicSweep, GrownHypertreesAreAcyclic) {
+  Rng rng(GetParam());
+  size_t vertex_count = 12;
+  Hypergraph g(vertex_count);
+  std::vector<std::vector<size_t>> edges;
+  // Seed edge.
+  edges.push_back({0, 1, 2});
+  size_t next_vertex = 3;
+  for (int step = 0; step < 6 && next_vertex < vertex_count; ++step) {
+    // New edge = random subset of a random existing edge + fresh vertices.
+    const auto& base = edges[rng.NextBelow(edges.size())];
+    std::vector<size_t> edge;
+    for (size_t v : base) {
+      if (rng.NextBool(0.5)) edge.push_back(v);
+    }
+    if (edge.empty()) edge.push_back(base[0]);
+    size_t fresh = 1 + rng.NextBelow(2);
+    for (size_t f = 0; f < fresh && next_vertex < vertex_count; ++f) {
+      edge.push_back(next_vertex++);
+    }
+    edges.push_back(edge);
+  }
+  for (const auto& edge : edges) g.AddEdge(edge);
+  JoinTree tree;
+  EXPECT_TRUE(IsAlphaAcyclic(g, &tree));
+  EXPECT_TRUE(IsBetaAcyclic(g))
+      << "subset-attached growth cannot create β-cycles";
+}
+
+TEST_P(AcyclicSweep, PlantedTriangleBreaksAcyclicity) {
+  Rng rng(GetParam() + 100);
+  Hypergraph g(9);
+  g.AddEdge({0, 1, 2});
+  g.AddEdge({rng.NextBelow(3), 3});
+  // Triangle over fresh vertices 4,5,6 — joined to the rest via vertex 0 so
+  // everything is one component.
+  g.AddEdge({0, 4});
+  g.AddEdge({4, 5});
+  g.AddEdge({5, 6});
+  g.AddEdge({6, 4});
+  EXPECT_FALSE(IsAlphaAcyclic(g));
+  EXPECT_FALSE(IsBetaAcyclic(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// Fig. 3 of the paper: queries over relations T1..T4 (vertices 0..3),
+//   Q1 :- T1,T2,T3   Q2 :- T1,T2,T4   Q3 :- T1,T2   Q4 :- T1,T3   Q5 :- T2,T3
+// Query set 1 {Q1,Q3,Q4,Q5} is NOT a hypertree; sets 2 {Q1,Q3,Q5} and
+// 3 {Q1,Q2,Q5} are.
+class Fig3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"T1", "T2", "T3", "T4"}) {
+      ASSERT_TRUE(db_.AddRelation(name, 1, {0}).ok());
+    }
+    const char* texts[] = {
+        "Q1(x, y, z) :- T1(x), T2(y), T3(z)",
+        "Q2(x, y, w) :- T1(x), T2(y), T4(w)",
+        "Q3(x, y) :- T1(x), T2(y)",
+        "Q4(x, z) :- T1(x), T3(z)",
+        "Q5(y, z) :- T2(y), T3(z)",
+    };
+    for (const char* text : texts) {
+      Result<ConjunctiveQuery> q = ParseQuery(text, db_.schema(), db_.dict());
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      queries_.push_back(std::make_unique<ConjunctiveQuery>(std::move(*q)));
+    }
+  }
+
+  DualGraphAnalysis Analyze(std::initializer_list<int> ids) {
+    std::vector<const ConjunctiveQuery*> qs;
+    for (int i : ids) qs.push_back(queries_[i].get());
+    return AnalyzeDualGraph(db_.schema(), qs);
+  }
+
+  Database db_;
+  std::vector<std::unique_ptr<ConjunctiveQuery>> queries_;
+};
+
+TEST_F(Fig3Test, QuerySet1IsNotForestCase) {
+  DualGraphAnalysis a = Analyze({0, 2, 3, 4});  // {Q1, Q3, Q4, Q5}
+  EXPECT_TRUE(a.alpha_acyclic) << "Q1 absorbs the triangle under GYO";
+  EXPECT_FALSE(a.forest_case) << "the hidden triangle {T1T2,T1T3,T2T3}";
+}
+
+TEST_F(Fig3Test, QuerySet2IsForestCase) {
+  DualGraphAnalysis a = Analyze({0, 2, 4});  // {Q1, Q3, Q5}
+  EXPECT_TRUE(a.forest_case);
+}
+
+TEST_F(Fig3Test, QuerySet3IsForestCase) {
+  DualGraphAnalysis a = Analyze({0, 1, 4});  // {Q1, Q2, Q5}
+  EXPECT_TRUE(a.forest_case);
+}
+
+TEST_F(Fig3Test, ComponentsGroupQueries) {
+  DualGraphAnalysis a = Analyze({2, 3});  // Q3 over {T1,T2}, Q4 over {T1,T3}.
+  ASSERT_EQ(a.components.size(), 1u) << "share T1";
+  DualGraphAnalysis b = Analyze({2});
+  EXPECT_EQ(b.components.size(), 1u);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,135 @@
+// CreateByFiltering must be observationally equivalent to a full
+// re-materialization over the combined mask.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "dp/vse_instance.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+using ViewMap = std::map<Tuple, std::set<std::vector<TupleRef>>>;
+
+ViewMap ToMap(const View& view) {
+  ViewMap map;
+  for (size_t t = 0; t < view.size(); ++t) {
+    for (const Witness& w : view.tuple(t).witnesses) {
+      map[view.tuple(t).values].insert(w);
+    }
+  }
+  return map;
+}
+
+void ExpectEquivalent(const VseInstance& a, const VseInstance& b) {
+  ASSERT_EQ(a.view_count(), b.view_count());
+  for (size_t v = 0; v < a.view_count(); ++v) {
+    EXPECT_EQ(ToMap(a.view(v)), ToMap(b.view(v))) << "view " << v;
+  }
+  EXPECT_EQ(a.all_unique_witness(), b.all_unique_witness());
+  EXPECT_EQ(a.TotalViewTuples(), b.TotalViewTuples());
+}
+
+TEST(IncrementalTest, Fig1FilteringMatchesRematerialization) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  const VseInstance& full = *generated->instance;
+
+  DeletionSet deletion;
+  RelationId t1 = *generated->database->schema().FindRelation("T1");
+  deletion.Insert({t1, 1});  // (John, TKDE)
+
+  Result<VseInstance> filtered = VseInstance::CreateByFiltering(full, deletion);
+  ASSERT_TRUE(filtered.ok());
+  std::vector<const ConjunctiveQuery*> qs;
+  for (const auto& q : generated->queries) qs.push_back(q.get());
+  Result<VseInstance> remade =
+      VseInstance::Create(*generated->database, qs, &deletion);
+  ASSERT_TRUE(remade.ok());
+  ExpectEquivalent(*filtered, *remade);
+}
+
+TEST(IncrementalTest, ChainedFiltersEqualCombinedMask) {
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 9;
+    params.queries = 3;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& full = *generated->instance;
+
+    // Two waves of random deletions, applied incrementally.
+    DeletionSet wave1, wave2, combined;
+    const Database& db = *generated->database;
+    for (RelationId rel = 0; rel < db.relation_count(); ++rel) {
+      for (uint32_t row = 0; row < db.relation(rel).row_count(); ++row) {
+        if (rng.NextBool(0.15)) {
+          wave1.Insert({rel, row});
+          combined.Insert({rel, row});
+        } else if (rng.NextBool(0.15)) {
+          wave2.Insert({rel, row});
+          combined.Insert({rel, row});
+        }
+      }
+    }
+    Result<VseInstance> step1 = VseInstance::CreateByFiltering(full, wave1);
+    ASSERT_TRUE(step1.ok());
+    Result<VseInstance> step2 = VseInstance::CreateByFiltering(*step1, wave2);
+    ASSERT_TRUE(step2.ok());
+
+    std::vector<const ConjunctiveQuery*> qs;
+    for (const auto& q : generated->queries) qs.push_back(q.get());
+    Result<VseInstance> remade = VseInstance::Create(db, qs, &combined);
+    ASSERT_TRUE(remade.ok());
+    ExpectEquivalent(*step2, *remade);
+  }
+}
+
+TEST(IncrementalTest, KillMapRebuilt) {
+  Rng rng(32);
+  StarSchemaParams params;
+  params.fact_rows = 12;
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  const VseInstance& full = *generated->instance;
+  DeletionSet deletion;
+  RelationId fact = *generated->database->schema().FindRelation("F");
+  deletion.Insert({fact, 0});
+  Result<VseInstance> filtered =
+      VseInstance::CreateByFiltering(full, deletion);
+  ASSERT_TRUE(filtered.ok());
+  // The deleted fact row must no longer appear in any kill set.
+  EXPECT_TRUE(filtered->KilledBy({fact, 0}).empty());
+  // A surviving fact row's kill set is consistent with its witnesses.
+  for (uint32_t row = 1; row < 3; ++row) {
+    for (const ViewTupleId& id : filtered->KilledBy({fact, row})) {
+      bool found = false;
+      for (const Witness& w : filtered->view_tuple(id).witnesses) {
+        for (const TupleRef& ref : w) {
+          if (ref == TupleRef{fact, row}) found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(IncrementalTest, EmptyDeletionIsIdentity) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  Result<VseInstance> filtered =
+      VseInstance::CreateByFiltering(*generated->instance, DeletionSet());
+  ASSERT_TRUE(filtered.ok());
+  ExpectEquivalent(*filtered, *generated->instance);
+}
+
+}  // namespace
+}  // namespace delprop

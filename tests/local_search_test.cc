@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/local_search_solver.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+TEST(LocalSearchTest, Fig1FindsOptimum) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  LocalSearchSolver solver;
+  Result<VseSolution> solution = solver.Solve(instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_DOUBLE_EQ(solution->Cost(), 4.0) << "the two-view optimum";
+}
+
+TEST(LocalSearchTest, FeasibleAndAtLeastOptimal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    LocalSearchSolver local;
+    ExactSolver exact;
+    Result<VseSolution> l = local.Solve(instance);
+    Result<VseSolution> e = exact.Solve(instance);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(l->Feasible()) << "trial " << trial;
+    EXPECT_LE(e->Cost(), l->Cost() + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LocalSearchTest, NeverWorseThanGreedyOnStars) {
+  // Swap moves should let local search at least match the greedy.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    StarSchemaParams params;
+    params.dimensions = 3;
+    params.fact_rows = 15;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    if (instance.TotalDeletionTuples() == 0) continue;
+    LocalSearchSolver local;
+    GreedySolver greedy;
+    Result<VseSolution> l = local.Solve(instance);
+    Result<VseSolution> g = greedy.Solve(instance);
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(g.ok());
+    EXPECT_LE(l->Cost(), g->Cost() + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearchTest, DeterministicForSeed) {
+  Rng rng(11);
+  RandomWorkloadParams params;
+  Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+  ASSERT_TRUE(generated.ok());
+  LocalSearchSolver::Options options;
+  options.seed = 99;
+  LocalSearchSolver a(options), b(options);
+  Result<VseSolution> x = a.Solve(*generated->instance);
+  Result<VseSolution> y = b.Solve(*generated->instance);
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ(x->Cost(), y->Cost());
+  EXPECT_EQ(x->deletion.Sorted(), y->deletion.Sorted());
+}
+
+TEST(LocalSearchTest, EmptyDeltaV) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  LocalSearchSolver solver;
+  Result<VseSolution> solution = solver.Solve(*generated->instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->deletion.size(), 0u);
+}
+
+}  // namespace
+}  // namespace delprop

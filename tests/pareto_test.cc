@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "applications/pareto.h"
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "solvers/source_side_effect_solver.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+TEST(ParetoTest, Fig1Frontier) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  Result<std::vector<ParetoPoint>> frontier =
+      SourceViewParetoFrontier(instance, 6);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  ASSERT_FALSE(frontier->empty());
+  // Two witnesses: the smallest feasible budget is 2, and cost 4 is already
+  // the unconstrained optimum, so the frontier is the single point (2, 4).
+  EXPECT_EQ(frontier->front().deletions, 2u);
+  EXPECT_DOUBLE_EQ(frontier->front().side_effect, 4.0);
+  EXPECT_EQ(frontier->size(), 1u);
+}
+
+TEST(ParetoTest, FrontierIsStrictlyDecreasing) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    Result<std::vector<ParetoPoint>> frontier =
+        SourceViewParetoFrontier(instance, 8);
+    if (!frontier.ok()) continue;  // needs more than 8 deletions
+    for (size_t i = 0; i + 1 < frontier->size(); ++i) {
+      EXPECT_LT((*frontier)[i].deletions, (*frontier)[i + 1].deletions);
+      EXPECT_GT((*frontier)[i].side_effect, (*frontier)[i + 1].side_effect);
+    }
+    for (const ParetoPoint& point : *frontier) {
+      EXPECT_TRUE(point.solution.Feasible());
+      EXPECT_LE(point.solution.deletion.size(), point.deletions);
+    }
+  }
+}
+
+TEST(ParetoTest, EndpointsMatchTheTwoObjectives) {
+  // The last frontier point's side-effect equals the unconstrained view
+  // optimum; the first point's budget is the minimum-source-deletion size.
+  Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    if (!instance.all_unique_witness()) continue;
+    Result<std::vector<ParetoPoint>> frontier =
+        SourceViewParetoFrontier(instance, 12);
+    if (!frontier.ok()) continue;
+    ExactSolver view_exact;
+    Result<VseSolution> view_opt = view_exact.Solve(instance);
+    ASSERT_TRUE(view_opt.ok());
+    EXPECT_DOUBLE_EQ(frontier->back().side_effect, view_opt->Cost())
+        << "trial " << trial;
+    SourceSideEffectSolver source_exact(SourceSideEffectSolver::Mode::kExact);
+    Result<VseSolution> source_opt = source_exact.Solve(instance);
+    ASSERT_TRUE(source_opt.ok());
+    EXPECT_EQ(frontier->front().deletions,
+              source_opt->report.source_deletion_count)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "setcover/pnpsc.h"
+#include "workload/random_rbsc.h"
+
+namespace delprop {
+namespace {
+
+PnpscInstance TinyInstance() {
+  // Positives {0,1}, negatives {0,1,2}.
+  // Set 0 covers both positives but negatives {0,1}; set 1 covers p0 with
+  // n2; set 2 covers p1 cleanly.
+  PnpscInstance instance;
+  instance.positive_count = 2;
+  instance.negative_count = 3;
+  instance.sets = {{{0, 1}, {0, 1}}, {{0}, {2}}, {{1}, {}}};
+  return instance;
+}
+
+TEST(PnpscTest, CostAccounting) {
+  PnpscInstance instance = TinyInstance();
+  // Choose nothing: both positives uncovered.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{}}), 2.0);
+  // Choose set 0: no uncovered positives, two covered negatives.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{0}}), 2.0);
+  // Choose sets 1+2: one covered negative.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{1, 2}}), 1.0);
+  // Choose set 2 only: p0 uncovered (1) + no negatives = 1.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{2}}), 1.0);
+}
+
+TEST(PnpscTest, WeightedCost) {
+  PnpscInstance instance = TinyInstance();
+  instance.positive_weights = {10.0, 1.0};
+  instance.negative_weights = {1.0, 1.0, 0.25};
+  // Set 2 only: p0 uncovered → 10.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{2}}), 10.0);
+  // Sets 1+2: n2 covered → 0.25.
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, PnpscSolution{{1, 2}}), 0.25);
+}
+
+TEST(PnpscTest, ExactFindsOptimum) {
+  PnpscInstance instance = TinyInstance();
+  Result<PnpscSolution> exact = SolvePnpscExact(instance);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, *exact), 1.0);
+}
+
+TEST(PnpscTest, ReductionToRbscPreservesCosts) {
+  PnpscInstance instance = TinyInstance();
+  RbscInstance rbsc = ReducePnpscToRbsc(instance);
+  ASSERT_TRUE(rbsc.Validate().ok());
+  EXPECT_EQ(rbsc.blue_count, instance.positive_count);
+  EXPECT_EQ(rbsc.red_count,
+            instance.negative_count + instance.positive_count);
+  EXPECT_EQ(rbsc.sets.size(),
+            instance.sets.size() + instance.positive_count);
+
+  // The RBSC optimum equals the ±PSC optimum.
+  Result<RbscSolution> rbsc_exact = SolveRbscExact(rbsc);
+  Result<PnpscSolution> pnpsc_exact = SolvePnpscExact(instance);
+  ASSERT_TRUE(rbsc_exact.ok());
+  ASSERT_TRUE(pnpsc_exact.ok());
+  EXPECT_DOUBLE_EQ(RbscCost(rbsc, *rbsc_exact),
+                   PnpscCost(instance, *pnpsc_exact));
+
+  // Mapping the RBSC solution back gives a ±PSC solution of the same cost.
+  PnpscSolution mapped = MapRbscSolutionBack(instance, *rbsc_exact);
+  EXPECT_DOUBLE_EQ(PnpscCost(instance, mapped), RbscCost(rbsc, *rbsc_exact));
+}
+
+TEST(PnpscTest, SolveViaReductionIsFeasibleAndSane) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomPnpscParams params;
+    params.positive_count = 5;
+    params.negative_count = 7;
+    params.set_count = 9;
+    PnpscInstance instance = GenerateRandomPnpsc(rng, params);
+    Result<PnpscSolution> approx = SolvePnpsc(instance);
+    Result<PnpscSolution> exact = SolvePnpscExact(instance);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(PnpscCost(instance, *exact),
+              PnpscCost(instance, *approx) + 1e-9);
+    // Trivially, doing nothing costs |P|; the approximation must not exceed
+    // the number of elements.
+    EXPECT_LE(PnpscCost(instance, *approx),
+              static_cast<double>(params.positive_count +
+                                  params.negative_count) +
+                  1e-9);
+  }
+}
+
+TEST(PnpscTest, RandomReductionEquivalence) {
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomPnpscParams params;
+    params.positive_count = 4;
+    params.negative_count = 5;
+    params.set_count = 6;
+    PnpscInstance instance = GenerateRandomPnpsc(rng, params);
+    RbscInstance rbsc = ReducePnpscToRbsc(instance);
+    Result<RbscSolution> rbsc_exact = SolveRbscExact(rbsc);
+    Result<PnpscSolution> pnpsc_exact = SolvePnpscExact(instance);
+    ASSERT_TRUE(rbsc_exact.ok());
+    ASSERT_TRUE(pnpsc_exact.ok());
+    EXPECT_NEAR(RbscCost(rbsc, *rbsc_exact),
+                PnpscCost(instance, *pnpsc_exact), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(PnpscTest, ValidateCatchesOutOfRange) {
+  PnpscInstance bad;
+  bad.positive_count = 1;
+  bad.negative_count = 1;
+  bad.sets = {{{3}, {}}};
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+}  // namespace
+}  // namespace delprop

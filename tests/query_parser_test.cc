@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace delprop {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("T1", 2, {0}).ok());
+    ASSERT_TRUE(schema_.AddRelation("T2", 3, {0, 1}).ok());
+  }
+  Schema schema_;
+  ValueDictionary dict_;
+};
+
+TEST_F(ParserTest, ParsesFig1StyleQuery) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q3(x, z) :- T1(x, y), T2(y, z, w)", schema_, dict_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->name(), "Q3");
+  EXPECT_EQ(q->arity(), 2u);
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_EQ(q->variable_count(), 4u);
+  EXPECT_EQ(q->ToString(schema_, dict_), "Q3(x, z) :- T1(x, y), T2(y, z, w)");
+}
+
+TEST_F(ParserTest, ParsesConstants) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(x) :- T2('TKDE', x, 30)", schema_, dict_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Atom& atom = q->atoms()[0];
+  EXPECT_TRUE(atom.terms[0].is_constant());
+  EXPECT_EQ(dict_.Text(atom.terms[0].id), "TKDE");
+  EXPECT_TRUE(atom.terms[1].is_variable());
+  EXPECT_TRUE(atom.terms[2].is_constant());
+  EXPECT_EQ(dict_.Text(atom.terms[2].id), "30");
+}
+
+TEST_F(ParserTest, RepeatedHeadVariablesShareIds) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(y, y) :- T1(y, x)", schema_, dict_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->head()[0].id, q->head()[1].id);
+}
+
+TEST_F(ParserTest, SelfJoinAllowed) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(a, b, c) :- T1(a, b), T1(b, c)", schema_, dict_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_EQ(q->atoms()[0].relation, q->atoms()[1].relation);
+}
+
+TEST_F(ParserTest, RejectsUndeclaredRelation) {
+  Result<ConjunctiveQuery> q = ParseQuery("Q(x) :- Nope(x)", schema_, dict_);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, RejectsArityMismatch) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- T1(x)", schema_, dict_).ok());
+  EXPECT_FALSE(ParseQuery("Q(x) :- T1(x, y, z)", schema_, dict_).ok());
+}
+
+TEST_F(ParserTest, RejectsUnsafeHead) {
+  // Head variable q does not occur in the body.
+  Result<ConjunctiveQuery> q = ParseQuery("Q(q) :- T1(x, y)", schema_, dict_);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("Q(x) : T1(x, y)", schema_, dict_).ok());
+  EXPECT_FALSE(ParseQuery("Q(x :- T1(x, y)", schema_, dict_).ok());
+  EXPECT_FALSE(ParseQuery("Q(x) :- T1(x, y) trailing", schema_, dict_).ok());
+  EXPECT_FALSE(ParseQuery("Q(x) :- T1('unterminated, y)", schema_, dict_).ok());
+  EXPECT_FALSE(ParseQuery("", schema_, dict_).ok());
+}
+
+TEST_F(ParserTest, NegativeIntegerConstant) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(x, y) :- T2(x, y, -5)", schema_, dict_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(dict_.Text(q->atoms()[0].terms[2].id), "-5");
+}
+
+}  // namespace
+}  // namespace delprop

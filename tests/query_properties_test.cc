@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/query_properties.h"
+
+namespace delprop {
+namespace {
+
+class PropertiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // T1's key is its first column; T2's key is its first two columns;
+    // K's key is both columns (mirrors the paper's Section II examples).
+    ASSERT_TRUE(schema_.AddRelation("T1", 3, {0}).ok());
+    ASSERT_TRUE(schema_.AddRelation("T2", 3, {0, 1}).ok());
+    ASSERT_TRUE(schema_.AddRelation("K", 2, {0, 1}).ok());
+  }
+
+  ConjunctiveQuery Parse(const std::string& text) {
+    Result<ConjunctiveQuery> q = ParseQuery(text, schema_, dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Schema schema_;
+  ValueDictionary dict_;
+};
+
+TEST_F(PropertiesTest, ProjectFreeDetection) {
+  EXPECT_TRUE(IsProjectFree(Parse("Q(x, y, z) :- T1(x, y, z)")));
+  EXPECT_FALSE(IsProjectFree(Parse("Q(x) :- T1(x, y, z)")));
+}
+
+TEST_F(PropertiesTest, ProjectFreeImpliesKeyPreserving) {
+  ConjunctiveQuery q = Parse("Q(a, b, c, d) :- T1(a, b, c), K(c, d)");
+  EXPECT_TRUE(IsProjectFree(q));
+  EXPECT_TRUE(IsKeyPreserving(q, schema_));
+}
+
+TEST_F(PropertiesTest, SelfJoinFreeDetection) {
+  EXPECT_TRUE(IsSelfJoinFree(Parse("Q(x, y) :- K(x, y)")));
+  EXPECT_FALSE(IsSelfJoinFree(Parse("Q(x, y, z) :- K(x, y), K(y, z)")));
+}
+
+TEST_F(PropertiesTest, KeyPreservingWithProjection) {
+  // x is T1's key variable and is in the head; y, z are projected away but
+  // are not key variables.
+  EXPECT_TRUE(IsKeyPreserving(Parse("Q(x) :- T1(x, y, z)"), schema_));
+  // Here the key variable x is projected away.
+  EXPECT_FALSE(IsKeyPreserving(Parse("Q(y) :- T1(x, y, z)"), schema_));
+}
+
+TEST_F(PropertiesTest, PaperExampleQ1IsKeyPreserving) {
+  // Q1(y1, y2, w) :- T1(y1, x, z), T2(x, y2, w) with keys T1:{0}, T2:{0,1}.
+  // Key variables: y1 (T1 pos 0), x and y2 (T2 pos 0, 1).
+  ConjunctiveQuery q = Parse("Q1(y1, y2, w, x) :- T1(y1, x, z), T2(x, y2, w)");
+  EXPECT_TRUE(IsKeyPreserving(q, schema_));
+  // Dropping x from the head breaks key preservation (x keys T2).
+  ConjunctiveQuery bad = Parse("Q1(y1, y2, w) :- T1(y1, x, z), T2(x, y2, w)");
+  EXPECT_FALSE(IsKeyPreserving(bad, schema_));
+}
+
+TEST_F(PropertiesTest, ConstantAtKeyPositionIsAllowed) {
+  EXPECT_TRUE(IsKeyPreserving(Parse("Q(y) :- T1('c', y, z)"), schema_));
+}
+
+TEST_F(PropertiesTest, HeadAndExistentialVariables) {
+  ConjunctiveQuery q = Parse("Q(x, z) :- T1(x, y, z), K(z, w)");
+  std::vector<VarId> head = HeadVariables(q);
+  std::vector<VarId> exist = ExistentialVariables(q);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_EQ(exist.size(), 2u);
+  // Names resolve correctly.
+  EXPECT_EQ(q.variable_name(head[0]), "x");
+  EXPECT_EQ(q.variable_name(head[1]), "z");
+  EXPECT_EQ(q.variable_name(exist[0]), "y");
+  EXPECT_EQ(q.variable_name(exist[1]), "w");
+}
+
+TEST_F(PropertiesTest, KeyVariablesCollectsKeyPositions) {
+  ConjunctiveQuery q = Parse("Q(x, z, w) :- T1(x, y, z), K(z, w)");
+  std::vector<VarId> keys = KeyVariables(q, schema_);
+  ASSERT_EQ(keys.size(), 3u);  // x (T1 pos 0), z and w (K pos 0, 1).
+  EXPECT_EQ(q.variable_name(keys[0]), "x");
+  EXPECT_EQ(q.variable_name(keys[1]), "z");
+  EXPECT_EQ(q.variable_name(keys[2]), "w");
+}
+
+TEST_F(PropertiesTest, IsHeadVariable) {
+  ConjunctiveQuery q = Parse("Q(x) :- T1(x, y, z)");
+  std::vector<VarId> head = HeadVariables(q);
+  ASSERT_EQ(head.size(), 1u);
+  EXPECT_TRUE(q.IsHeadVariable(head[0]));
+  std::vector<VarId> exist = ExistentialVariables(q);
+  for (VarId v : exist) EXPECT_FALSE(q.IsHeadVariable(v));
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/deletion_set.h"
+
+namespace delprop {
+namespace {
+
+TEST(ValueDictionaryTest, InternIsIdempotent) {
+  ValueDictionary dict;
+  ValueId a = dict.Intern("alpha");
+  ValueId b = dict.Intern("alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.Text(a), "alpha");
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictionaryTest, DistinctTextsDistinctIds) {
+  ValueDictionary dict;
+  EXPECT_NE(dict.Intern("a"), dict.Intern("b"));
+}
+
+TEST(ValueDictionaryTest, FindDoesNotIntern) {
+  ValueDictionary dict;
+  EXPECT_FALSE(dict.Find("ghost").has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  ValueId a = dict.Intern("real");
+  ASSERT_TRUE(dict.Find("real").has_value());
+  EXPECT_EQ(*dict.Find("real"), a);
+}
+
+TEST(ValueDictionaryTest, FreshValuesAreDistinct) {
+  ValueDictionary dict;
+  ValueId a = dict.FreshValue();
+  ValueId b = dict.FreshValue();
+  EXPECT_NE(a, b);
+  EXPECT_NE(dict.Text(a), dict.Text(b));
+}
+
+TEST(ValueDictionaryTest, InternIntMatchesDecimalText) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.InternInt(42), dict.Intern("42"));
+}
+
+TEST(SchemaTest, AddAndFindRelation) {
+  Schema schema;
+  Result<RelationId> id = schema.AddRelation("T", 3, {0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(schema.relation(*id).name, "T");
+  EXPECT_EQ(schema.relation(*id).arity, 3u);
+  ASSERT_TRUE(schema.FindRelation("T").has_value());
+  EXPECT_EQ(*schema.FindRelation("T"), *id);
+  EXPECT_FALSE(schema.FindRelation("U").has_value());
+}
+
+TEST(SchemaTest, RejectsBadDeclarations) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddRelation("Z", 0, {0}).ok()) << "zero arity";
+  EXPECT_FALSE(schema.AddRelation("K", 2, {}).ok()) << "empty key";
+  EXPECT_FALSE(schema.AddRelation("O", 2, {2}).ok()) << "key out of range";
+  EXPECT_FALSE(schema.AddRelation("D", 2, {0, 0}).ok()) << "duplicate key pos";
+  ASSERT_TRUE(schema.AddRelation("T", 2, {0}).ok());
+  EXPECT_EQ(schema.AddRelation("T", 2, {0}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, IsKeyPosition) {
+  Schema schema;
+  Result<RelationId> id = schema.AddRelation("T", 3, {2, 0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(schema.relation(*id).IsKeyPosition(0));
+  EXPECT_FALSE(schema.relation(*id).IsKeyPosition(1));
+  EXPECT_TRUE(schema.relation(*id).IsKeyPosition(2));
+}
+
+TEST(DatabaseTest, InsertAndRetrieve) {
+  Database db;
+  Result<RelationId> rel = db.AddRelation("T", 2, {0});
+  ASSERT_TRUE(rel.ok());
+  Result<TupleRef> ref = db.InsertText(*rel, {"a", "b"});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(db.RenderTuple(*ref), "T(a, b)");
+  EXPECT_EQ(db.total_tuple_count(), 1u);
+}
+
+TEST(DatabaseTest, KeyViolationRejected) {
+  Database db;
+  Result<RelationId> rel = db.AddRelation("T", 2, {0});
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(db.InsertText(*rel, {"a", "b"}).ok());
+  Result<TupleRef> dup = db.InsertText(*rel, {"a", "c"});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kKeyViolation);
+  // Distinct key is fine.
+  EXPECT_TRUE(db.InsertText(*rel, {"x", "b"}).ok());
+}
+
+TEST(DatabaseTest, CompositeKeyAllowsSharedPrefix) {
+  Database db;
+  Result<RelationId> rel = db.AddRelation("T", 3, {0, 1});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(db.InsertText(*rel, {"a", "b", "1"}).ok());
+  EXPECT_TRUE(db.InsertText(*rel, {"a", "c", "2"}).ok());
+  EXPECT_FALSE(db.InsertText(*rel, {"a", "b", "3"}).ok());
+}
+
+TEST(DatabaseTest, ArityMismatchRejected) {
+  Database db;
+  Result<RelationId> rel = db.AddRelation("T", 2, {0});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(db.InsertText(*rel, {"only-one"}).ok());
+}
+
+TEST(DatabaseTest, FindByKey) {
+  Database db;
+  Result<RelationId> rel = db.AddRelation("T", 2, {0});
+  ASSERT_TRUE(rel.ok());
+  Result<TupleRef> ref = db.InsertText(*rel, {"k", "v"});
+  ASSERT_TRUE(ref.ok());
+  Tuple key = {*db.dict().Find("k")};
+  ASSERT_TRUE(db.relation(*rel).FindByKey(key).has_value());
+  EXPECT_EQ(*db.relation(*rel).FindByKey(key), ref->row);
+}
+
+TEST(DeletionSetTest, InsertEraseContains) {
+  DeletionSet set;
+  TupleRef a{0, 1}, b{1, 0};
+  EXPECT_TRUE(set.Insert(a));
+  EXPECT_FALSE(set.Insert(a)) << "duplicate insert";
+  EXPECT_TRUE(set.Contains(a));
+  EXPECT_FALSE(set.Contains(b));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Erase(a));
+  EXPECT_FALSE(set.Erase(a));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(DeletionSetTest, SortedIsDeterministic) {
+  DeletionSet set;
+  set.Insert({1, 5});
+  set.Insert({0, 9});
+  set.Insert({1, 2});
+  std::vector<TupleRef> sorted = set.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_TRUE(sorted[0] == (TupleRef{0, 9}));
+  EXPECT_TRUE(sorted[1] == (TupleRef{1, 2}));
+  EXPECT_TRUE(sorted[2] == (TupleRef{1, 5}));
+}
+
+}  // namespace
+}  // namespace delprop

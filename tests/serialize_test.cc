@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "tool/script.h"
+#include "tool/serialize.h"
+#include "workload/author_journal.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+// Round trip: serialize an instance to the script language, replay it, and
+// compare structure + optimal cost.
+void ExpectRoundTrip(const VseInstance& original) {
+  std::string script = SerializeToScript(original);
+  ScriptSession session;
+  std::string out;
+  Status status = session.Run(script, &out);
+  ASSERT_TRUE(status.ok()) << status.ToString() << "\nscript:\n" << script;
+  // Force materialization via a views command.
+  ASSERT_TRUE(session.Run("views", &out).ok());
+  const VseInstance* replayed = session.instance();
+  ASSERT_NE(replayed, nullptr);
+
+  EXPECT_EQ(replayed->view_count(), original.view_count());
+  EXPECT_EQ(replayed->TotalViewTuples(), original.TotalViewTuples());
+  EXPECT_EQ(replayed->TotalDeletionTuples(),
+            original.TotalDeletionTuples());
+  EXPECT_EQ(replayed->all_key_preserving(), original.all_key_preserving());
+  EXPECT_EQ(replayed->all_unique_witness(), original.all_unique_witness());
+  for (size_t v = 0; v < original.view_count(); ++v) {
+    EXPECT_EQ(replayed->view(v).size(), original.view(v).size()) << v;
+  }
+
+  if (original.TotalDeletionTuples() > 0) {
+    ExactSolver exact;
+    Result<VseSolution> a = exact.Solve(original);
+    Result<VseSolution> b = exact.Solve(*replayed);
+    if (a.ok() && b.ok()) {
+      EXPECT_DOUBLE_EQ(a->Cost(), b->Cost());
+      EXPECT_DOUBLE_EQ(a->BalancedCost(), b->BalancedCost());
+    }
+  }
+}
+
+TEST(SerializeTest, Fig1RoundTrip) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(
+      generated->instance->MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  ExpectRoundTrip(*generated->instance);
+}
+
+TEST(SerializeTest, WeightsSurvive) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  ASSERT_TRUE(instance.SetWeight(ViewTupleId{0, 0}, 7.5).ok());
+  std::string script = SerializeToScript(instance);
+  EXPECT_NE(script.find("weight "), std::string::npos);
+  EXPECT_NE(script.find("7.5"), std::string::npos);
+  ExpectRoundTrip(instance);
+}
+
+TEST(SerializeTest, PathSchemaRoundTrip) {
+  Rng rng(123);
+  PathSchemaParams params;
+  params.levels = 3;
+  params.roots = 2;
+  params.fanout = 2;
+  params.deletion_fraction = 0.3;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  ExpectRoundTrip(*generated->instance);
+}
+
+TEST(SerializeTest, RandomWorkloadRoundTrips) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 7;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    ExpectRoundTrip(*generated->instance);
+  }
+}
+
+TEST(SerializeTest, ScriptContainsAllSections) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(
+      generated->instance->MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  std::string script = SerializeToScript(*generated->instance);
+  EXPECT_NE(script.find("relation T1(AuName*, Journal*)"), std::string::npos);
+  EXPECT_NE(script.find("insert T1(John, TKDE)"), std::string::npos);
+  EXPECT_NE(script.find("query Q3(x, z) :- T1(x, y), T2(y, z, w)"),
+            std::string::npos);
+  EXPECT_NE(script.find("delete Q3(John, XML)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delprop

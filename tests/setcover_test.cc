@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "setcover/greedy_set_cover.h"
+#include "setcover/red_blue.h"
+#include "setcover/red_blue_solvers.h"
+#include "workload/hardness_family.h"
+#include "workload/random_rbsc.h"
+
+namespace delprop {
+namespace {
+
+RbscInstance TinyInstance() {
+  // Blues {0,1}; sets: {b0,b1,r0,r1} (cost 2), {b0,r0} and {b1,r0}
+  // (together cost 1 — share red 0).
+  RbscInstance instance;
+  instance.red_count = 2;
+  instance.blue_count = 2;
+  instance.sets = {{{0, 1}, {0, 1}}, {{0}, {0}}, {{0}, {1}}};
+  return instance;
+}
+
+TEST(RbscTest, ValidateCatchesOutOfRange) {
+  RbscInstance bad;
+  bad.red_count = 1;
+  bad.blue_count = 1;
+  bad.sets = {{{5}, {}}};
+  EXPECT_FALSE(bad.Validate().ok());
+  RbscInstance bad_blue;
+  bad_blue.red_count = 1;
+  bad_blue.blue_count = 1;
+  bad_blue.sets = {{{}, {7}}};
+  EXPECT_FALSE(bad_blue.Validate().ok());
+}
+
+TEST(RbscTest, CostCountsCoveredRedsOnce) {
+  RbscInstance instance = TinyInstance();
+  RbscSolution solution{{1, 2}};
+  EXPECT_TRUE(RbscFeasible(instance, solution));
+  EXPECT_DOUBLE_EQ(RbscCost(instance, solution), 1.0) << "red 0 shared";
+}
+
+TEST(RbscTest, WeightedCost) {
+  RbscInstance instance = TinyInstance();
+  instance.red_weights = {5.0, 0.5};
+  EXPECT_DOUBLE_EQ(RbscCost(instance, RbscSolution{{0}}), 5.5);
+  EXPECT_DOUBLE_EQ(RbscCost(instance, RbscSolution{{1, 2}}), 5.0);
+}
+
+TEST(RbscTest, InfeasibleDetected) {
+  RbscInstance instance = TinyInstance();
+  EXPECT_FALSE(RbscFeasible(instance, RbscSolution{{1}}));
+}
+
+TEST(RbscSolversTest, ExactFindsOptimum) {
+  RbscInstance instance = TinyInstance();
+  Result<RbscSolution> exact = SolveRbscExact(instance);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_TRUE(RbscFeasible(instance, *exact));
+  EXPECT_DOUBLE_EQ(RbscCost(instance, *exact), 1.0);
+}
+
+TEST(RbscSolversTest, GreedyIsFeasible) {
+  RbscInstance instance = TinyInstance();
+  Result<RbscSolution> greedy = SolveRbscGreedy(instance);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(RbscFeasible(instance, *greedy));
+}
+
+TEST(RbscSolversTest, LowDegTwoBeatsGreedyOnTrap) {
+  RbscInstance trap = GreedyTrapRbsc(8);
+  Result<RbscSolution> greedy = SolveRbscGreedy(trap);
+  Result<RbscSolution> lowdeg = SolveRbscLowDegTwo(trap);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(lowdeg.ok());
+  EXPECT_DOUBLE_EQ(RbscCost(trap, *greedy), 7.0) << "greedy takes the big set";
+  EXPECT_DOUBLE_EQ(RbscCost(trap, *lowdeg), 1.0) << "τ=1 pass recovers OPT";
+}
+
+TEST(RbscSolversTest, InfeasibleInstanceReported) {
+  RbscInstance instance;
+  instance.red_count = 0;
+  instance.blue_count = 2;
+  instance.sets = {{{}, {0}}};  // blue 1 uncoverable
+  EXPECT_EQ(SolveRbscGreedy(instance).status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(SolveRbscLowDegTwo(instance).status().code(),
+            StatusCode::kInfeasible);
+  EXPECT_EQ(SolveRbscExact(instance).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(RbscSolversTest, LowDegWithinPelegBoundOnRandomInstances) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomRbscParams params;
+    params.red_count = 8;
+    params.blue_count = 5;
+    params.set_count = 10;
+    RbscInstance instance = GenerateRandomRbsc(rng, params);
+    Result<RbscSolution> exact = SolveRbscExact(instance);
+    Result<RbscSolution> lowdeg = SolveRbscLowDegTwo(instance);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(lowdeg.ok());
+    double opt = RbscCost(instance, *exact);
+    double approx = RbscCost(instance, *lowdeg);
+    EXPECT_LE(opt, approx + 1e-9);
+    double bound =
+        2.0 * std::sqrt(static_cast<double>(instance.sets.size()) *
+                        std::log(std::max<double>(2.0, instance.blue_count)));
+    EXPECT_LE(approx, bound * std::max(opt, 1.0) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(RbscSolversTest, ExactBudgetExhaustionReported) {
+  Rng rng(22);
+  RandomRbscParams params;
+  params.red_count = 20;
+  params.blue_count = 15;
+  params.set_count = 30;
+  RbscInstance instance = GenerateRandomRbsc(rng, params);
+  RbscExactOptions options;
+  options.node_budget = 3;
+  Result<RbscSolution> result = SolveRbscExact(instance, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SetCoverTest, GreedyAndExactOnSmallInstance) {
+  SetCoverInstance instance;
+  instance.element_count = 3;
+  instance.sets = {{0}, {1}, {2}, {0, 1, 2}};
+  Result<std::vector<size_t>> greedy = GreedySetCover(instance);
+  Result<std::vector<size_t>> exact = ExactSetCover(instance);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(SetCoverFeasible(instance, *greedy));
+  EXPECT_TRUE(SetCoverFeasible(instance, *exact));
+  EXPECT_DOUBLE_EQ(SetCoverCost(instance, *exact), 1.0);
+  EXPECT_DOUBLE_EQ(SetCoverCost(instance, *greedy), 1.0);
+}
+
+TEST(SetCoverTest, WeightedCosts) {
+  SetCoverInstance instance;
+  instance.element_count = 2;
+  instance.sets = {{0, 1}, {0}, {1}};
+  instance.set_costs = {10.0, 1.0, 1.0};
+  Result<std::vector<size_t>> exact = ExactSetCover(instance);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(SetCoverCost(instance, *exact), 2.0);
+}
+
+TEST(SetCoverTest, InfeasibleReported) {
+  SetCoverInstance instance;
+  instance.element_count = 2;
+  instance.sets = {{0}};
+  EXPECT_EQ(GreedySetCover(instance).status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(ExactSetCover(instance).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(HardnessFamilyTest, LayeredTrapScalesGreedyGap) {
+  RbscInstance trap = LayeredTrapRbsc(3, 5);
+  ASSERT_TRUE(trap.Validate().ok());
+  Result<RbscSolution> greedy = SolveRbscGreedy(trap);
+  Result<RbscSolution> lowdeg = SolveRbscLowDegTwo(trap);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(lowdeg.ok());
+  EXPECT_DOUBLE_EQ(RbscCost(trap, *greedy), 12.0);  // 3 layers × (k-1).
+  EXPECT_DOUBLE_EQ(RbscCost(trap, *lowdeg), 3.0);   // 3 shared cheap reds.
+}
+
+}  // namespace
+}  // namespace delprop

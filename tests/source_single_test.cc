@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solvers/exact_solver.h"
+#include "solvers/single_query_solver.h"
+#include "solvers/source_side_effect_solver.h"
+#include "workload/author_journal.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+
+namespace delprop {
+namespace {
+
+TEST(SourceSolverTest, Fig1Q4SingleDeletionNeedsOneTuple) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  std::vector<const ConjunctiveQuery*> q4 = {generated->queries[1].get()};
+  Result<VseInstance> instance =
+      VseInstance::Create(*generated->database, q4);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(
+      instance->MarkForDeletionByValues(0, {"John", "TKDE", "XML"}).ok());
+  SourceSideEffectSolver greedy;
+  SourceSideEffectSolver exact(SourceSideEffectSolver::Mode::kExact);
+  Result<VseSolution> g = greedy.Solve(*instance);
+  Result<VseSolution> e = exact.Solve(*instance);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(g->Feasible());
+  EXPECT_TRUE(e->Feasible());
+  EXPECT_EQ(e->report.source_deletion_count, 1u);
+  EXPECT_EQ(g->report.source_deletion_count, 1u);
+}
+
+TEST(SourceSolverTest, SharedTupleCoversManyDeletions) {
+  // Delete all XML-topic view tuples of Q4: removing (TKDE, XML, 30) and
+  // (TODS, XML, 30) suffices — exact source optimum 2.
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  std::vector<const ConjunctiveQuery*> q4 = {generated->queries[1].get()};
+  Result<VseInstance> instance =
+      VseInstance::Create(*generated->database, q4);
+  ASSERT_TRUE(instance.ok());
+  for (auto values :
+       {std::vector<std::string>{"Joe", "TKDE", "XML"},
+        {"John", "TKDE", "XML"},
+        {"Tom", "TKDE", "XML"},
+        {"John", "TODS", "XML"}}) {
+    ASSERT_TRUE(instance->MarkForDeletionByValues(0, values).ok());
+  }
+  SourceSideEffectSolver exact(SourceSideEffectSolver::Mode::kExact);
+  Result<VseSolution> solution = exact.Solve(*instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_EQ(solution->report.source_deletion_count, 2u);
+}
+
+TEST(SourceSolverTest, GreedyNeverBeatsExact) {
+  Rng rng(91);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    const VseInstance& instance = *generated->instance;
+    if (!instance.all_unique_witness()) continue;
+    SourceSideEffectSolver greedy;
+    SourceSideEffectSolver exact(SourceSideEffectSolver::Mode::kExact);
+    Result<VseSolution> g = greedy.Solve(instance);
+    Result<VseSolution> e = exact.Solve(instance);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(g->Feasible());
+    EXPECT_TRUE(e->Feasible());
+    EXPECT_LE(e->report.source_deletion_count,
+              g->report.source_deletion_count)
+        << "trial " << trial;
+  }
+}
+
+TEST(SingleQuerySolverTest, OptimalForSingleDeletion) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(1000 + seed);
+    PathSchemaParams params;
+    params.levels = 3;
+    params.roots = 2;
+    params.fanout = 2;
+    params.deletion_fraction = 0.0;
+    Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+    ASSERT_TRUE(generated.ok());
+    VseInstance& instance = *generated->instance;
+    ASSERT_GT(instance.view(0).size(), 0u);
+    size_t pick = rng.NextBelow(instance.view(0).size());
+    ASSERT_TRUE(instance.MarkForDeletion(ViewTupleId{0, pick}).ok());
+
+    SingleQuerySolver single;
+    ExactSolver exact;
+    Result<VseSolution> fast = single.Solve(instance);
+    Result<VseSolution> optimal = exact.Solve(instance);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ASSERT_TRUE(optimal.ok());
+    EXPECT_TRUE(fast->Feasible());
+    EXPECT_EQ(fast->deletion.size(), 1u);
+    EXPECT_NEAR(fast->Cost(), optimal->Cost(), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SingleQuerySolverTest, RefusesMultipleDeletions) {
+  Rng rng(92);
+  PathSchemaParams params;
+  params.deletion_fraction = 1.0;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_GT(generated->instance->TotalDeletionTuples(), 1u);
+  SingleQuerySolver solver;
+  EXPECT_EQ(solver.Solve(*generated->instance).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SourceSolverTest, RefusesMultiWitness) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  SourceSideEffectSolver solver;
+  EXPECT_EQ(solver.Solve(instance).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dp/side_effect.h"
+#include "dp/vse_instance.h"
+#include "workload/author_journal.h"
+
+namespace delprop {
+namespace {
+
+// All tests run on the paper's Fig. 1 example (views Q3 and Q4).
+class Fig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<GeneratedVse> generated = BuildFig1Example();
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    generated_ = std::move(*generated);
+  }
+
+  VseInstance& instance() { return *generated_.instance; }
+  Database& db() { return *generated_.database; }
+
+  TupleRef Row(const char* rel, uint32_t row) {
+    RelationId id = *db().schema().FindRelation(rel);
+    return TupleRef{id, row};
+  }
+
+  GeneratedVse generated_;
+};
+
+TEST_F(Fig1Test, ViewSizesMatchPaper) {
+  EXPECT_EQ(instance().view_count(), 2u);
+  EXPECT_EQ(instance().view(0).size(), 6u);  // Q3 (Fig. 1c).
+  EXPECT_EQ(instance().view(1).size(), 7u);  // Q4 (Fig. 1d).
+  EXPECT_EQ(instance().TotalViewTuples(), 13u);
+}
+
+TEST_F(Fig1Test, PropertiesDetected) {
+  EXPECT_FALSE(instance().all_key_preserving()) << "Q3 projects keys away";
+  EXPECT_FALSE(instance().all_unique_witness()) << "(John, XML) has 2";
+  EXPECT_EQ(instance().max_arity(), 3u);
+}
+
+TEST_F(Fig1Test, MarkForDeletionByValues) {
+  EXPECT_TRUE(
+      instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  EXPECT_EQ(instance().TotalDeletionTuples(), 1u);
+  // Idempotent.
+  EXPECT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  EXPECT_EQ(instance().TotalDeletionTuples(), 1u);
+  // Unknown tuples and views rejected.
+  EXPECT_EQ(instance().MarkForDeletionByValues(0, {"John", "Nope"})
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(instance().MarkForDeletionByValues(9, {"John", "XML"}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(Fig1Test, PaperScenarioOne) {
+  // ΔV = (John, XML) on Q3. Deleting (John, TKDE) and (John, TODS) from T1
+  // eliminates it with exactly one side-effect tuple: (John, CUBE).
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  DeletionSet deletion;
+  deletion.Insert(Row("T1", 1));  // (John, TKDE)
+  deletion.Insert(Row("T1", 3));  // (John, TODS)
+  SideEffectReport report = EvaluateDeletion(instance(), deletion);
+  EXPECT_TRUE(report.eliminates_all_deletions);
+  // Q3 loses (John, CUBE); Q4 loses (John,TKDE,CUBE), (John,TKDE,XML),
+  // (John,TODS,XML) — the Q4 losses count because Q4's tuples were not
+  // marked for deletion.
+  EXPECT_EQ(report.side_effect_count, 4u);
+  std::vector<ViewTupleId> q3_losses;
+  for (const ViewTupleId& id : report.killed_preserved) {
+    if (id.view == 0) q3_losses.push_back(id);
+  }
+  ASSERT_EQ(q3_losses.size(), 1u);
+  EXPECT_EQ(instance().RenderViewTuple(q3_losses[0]), "Q3(John, CUBE)");
+}
+
+TEST_F(Fig1Test, PaperScenarioOneAlternative) {
+  // The other optimum: (John, TKDE) from T1 and (TODS, XML, 30) from T2.
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  DeletionSet deletion;
+  deletion.Insert(Row("T1", 1));
+  deletion.Insert(Row("T2", 2));
+  SideEffectReport report = EvaluateDeletion(instance(), deletion);
+  EXPECT_TRUE(report.eliminates_all_deletions);
+  size_t q3_losses = 0;
+  for (const ViewTupleId& id : report.killed_preserved) {
+    if (id.view == 0) ++q3_losses;
+  }
+  EXPECT_EQ(q3_losses, 1u) << "(John, CUBE) again";
+}
+
+TEST_F(Fig1Test, PaperScenarioTwoKeyPreservingChoice) {
+  // ΔV = (John, TKDE, XML) on Q4: deleting either witness tuple eliminates
+  // it (the key-preserving property).
+  ASSERT_TRUE(
+      instance().MarkForDeletionByValues(1, {"John", "TKDE", "XML"}).ok());
+  {
+    DeletionSet deletion;
+    deletion.Insert(Row("T1", 1));  // (John, TKDE)
+    SideEffectReport report = EvaluateDeletion(instance(), deletion);
+    EXPECT_TRUE(report.eliminates_all_deletions);
+  }
+  {
+    DeletionSet deletion;
+    deletion.Insert(Row("T2", 0));  // (TKDE, XML, 30)
+    SideEffectReport report = EvaluateDeletion(instance(), deletion);
+    EXPECT_TRUE(report.eliminates_all_deletions);
+  }
+}
+
+TEST_F(Fig1Test, EmptyDeletionHasNoSideEffect) {
+  SideEffectReport report = EvaluateDeletion(instance(), DeletionSet());
+  EXPECT_TRUE(report.eliminates_all_deletions) << "ΔV empty";
+  EXPECT_EQ(report.side_effect_count, 0u);
+  EXPECT_DOUBLE_EQ(report.balanced_cost, 0.0);
+}
+
+TEST_F(Fig1Test, SurvivingDeletionsReported) {
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  DeletionSet deletion;
+  deletion.Insert(Row("T1", 1));  // Only (John, TKDE): TODS path survives.
+  SideEffectReport report = EvaluateDeletion(instance(), deletion);
+  EXPECT_FALSE(report.eliminates_all_deletions);
+  ASSERT_EQ(report.surviving_deletions.size(), 1u);
+  EXPECT_EQ(instance().RenderViewTuple(report.surviving_deletions[0]),
+            "Q3(John, XML)");
+  EXPECT_GT(report.balanced_cost, 0.0);
+}
+
+TEST_F(Fig1Test, CandidateTuplesAreDeltaWitnessMembers) {
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  std::vector<TupleRef> candidates = instance().CandidateTuples();
+  // (John,TKDE), (John,TODS), (TKDE,XML,30), (TODS,XML,30).
+  EXPECT_EQ(candidates.size(), 4u);
+  EXPECT_TRUE(std::count(candidates.begin(), candidates.end(), Row("T1", 1)));
+  EXPECT_TRUE(std::count(candidates.begin(), candidates.end(), Row("T1", 3)));
+  EXPECT_TRUE(std::count(candidates.begin(), candidates.end(), Row("T2", 0)));
+  EXPECT_TRUE(std::count(candidates.begin(), candidates.end(), Row("T2", 2)));
+}
+
+TEST_F(Fig1Test, KilledByMapsBaseTuplesToViews) {
+  // (TKDE, XML, 30) participates in Q3(Joe,XML), Q3(John,XML), Q3(Tom,XML)
+  // and the three Q4 XML-at-TKDE tuples.
+  const std::vector<ViewTupleId>& killed = instance().KilledBy(Row("T2", 0));
+  EXPECT_EQ(killed.size(), 6u);
+  EXPECT_TRUE(instance().KilledBy(TupleRef{0, 99}).empty());
+}
+
+TEST_F(Fig1Test, WeightsDefaultAndSet) {
+  ViewTupleId id{0, 0};
+  EXPECT_DOUBLE_EQ(instance().weight(id), 1.0);
+  ASSERT_TRUE(instance().SetWeight(id, 2.5).ok());
+  EXPECT_DOUBLE_EQ(instance().weight(id), 2.5);
+  EXPECT_FALSE(instance().SetWeight(id, -1.0).ok());
+  EXPECT_FALSE(instance().SetWeight(ViewTupleId{9, 0}, 1.0).ok());
+}
+
+TEST_F(Fig1Test, WeightedSideEffect) {
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  // Make Q3(John, CUBE) expensive.
+  std::optional<size_t> cube = instance().view(0).Find(
+      {*db().dict().Find("John"), *db().dict().Find("CUBE")});
+  ASSERT_TRUE(cube.has_value());
+  ASSERT_TRUE(instance().SetWeight(ViewTupleId{0, *cube}, 10.0).ok());
+  DeletionSet deletion;
+  deletion.Insert(Row("T1", 1));
+  deletion.Insert(Row("T1", 3));
+  SideEffectReport report = EvaluateDeletion(instance(), deletion);
+  EXPECT_EQ(report.side_effect_count, 4u);
+  EXPECT_DOUBLE_EQ(report.side_effect_weight, 13.0);  // 10 + 3 Q4 tuples.
+}
+
+TEST_F(Fig1Test, PreservedTuplesPartition) {
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  std::vector<ViewTupleId> preserved = instance().PreservedTuples();
+  EXPECT_EQ(preserved.size(), instance().TotalViewTuples() - 1);
+  for (const ViewTupleId& id : preserved) {
+    EXPECT_FALSE(instance().IsMarkedForDeletion(id));
+  }
+}
+
+}  // namespace
+}  // namespace delprop

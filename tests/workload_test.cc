@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hypergraph/dual_graph.h"
+#include "query/query_properties.h"
+#include "workload/author_journal.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace {
+
+TEST(AuthorJournalTest, RandomInstancesBuild) {
+  Rng rng(101);
+  AuthorJournalParams params;
+  Result<GeneratedVse> generated = GenerateAuthorJournal(rng, params);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_EQ(generated->instance->view_count(), 2u);
+}
+
+TEST(AuthorJournalTest, Q4OnlyIsKeyPreserving) {
+  Rng rng(102);
+  AuthorJournalParams params;
+  params.include_q4 = true;
+  Result<GeneratedVse> generated = GenerateAuthorJournal(rng, params);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(IsKeyPreserving(*generated->queries[1],
+                              generated->database->schema()));
+  EXPECT_FALSE(IsKeyPreserving(*generated->queries[0],
+                               generated->database->schema()));
+}
+
+TEST(PathSchemaTest, QueriesAreProjectFreeAndKeyPreserving) {
+  Rng rng(103);
+  PathSchemaParams params;
+  params.levels = 4;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  for (const auto& q : generated->queries) {
+    EXPECT_TRUE(IsProjectFree(*q)) << q->name();
+    EXPECT_TRUE(IsKeyPreserving(*q, generated->database->schema()))
+        << q->name();
+    EXPECT_TRUE(IsSelfJoinFree(*q)) << q->name();
+  }
+  EXPECT_TRUE(generated->instance->all_key_preserving());
+  EXPECT_TRUE(generated->instance->all_unique_witness());
+}
+
+TEST(PathSchemaTest, ViewSizesMatchLevelCounts) {
+  Rng rng(104);
+  PathSchemaParams params;
+  params.levels = 4;
+  params.roots = 2;
+  params.fanout = 3;
+  params.query_intervals = {{0, 3}, {2, 3}};
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  // Each bottom-level tuple determines one join chain: 2 * 3^3 = 54.
+  EXPECT_EQ(generated->instance->view(0).size(), 54u);
+  EXPECT_EQ(generated->instance->view(1).size(), 54u);
+}
+
+TEST(PathSchemaTest, DualGraphIsForestCase) {
+  Rng rng(105);
+  PathSchemaParams params;
+  params.levels = 5;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  std::vector<const ConjunctiveQuery*> qs;
+  for (const auto& q : generated->queries) qs.push_back(q.get());
+  DualGraphAnalysis analysis =
+      AnalyzeDualGraph(generated->database->schema(), qs);
+  EXPECT_TRUE(analysis.forest_case)
+      << "interval queries over a chain are a hypertree";
+}
+
+TEST(PathSchemaTest, RejectsBadParameters) {
+  Rng rng(106);
+  PathSchemaParams params;
+  params.levels = 1;
+  EXPECT_FALSE(GeneratePathSchema(rng, params).ok());
+  params.levels = 3;
+  params.query_intervals = {{2, 1}};
+  EXPECT_FALSE(GeneratePathSchema(rng, params).ok());
+  params.query_intervals = {{0, 9}};
+  EXPECT_FALSE(GeneratePathSchema(rng, params).ok());
+}
+
+TEST(StarSchemaTest, BuildsAndIsKeyPreserving) {
+  Rng rng(107);
+  StarSchemaParams params;
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_TRUE(generated->instance->all_key_preserving());
+  EXPECT_TRUE(generated->instance->all_unique_witness());
+  for (const auto& q : generated->queries) {
+    EXPECT_TRUE(IsProjectFree(*q));
+  }
+}
+
+TEST(StarSchemaTest, FactViewJoinsAllRows) {
+  Rng rng(108);
+  StarSchemaParams params;
+  params.dimensions = 2;
+  params.fact_rows = 15;
+  params.query_dimension_sets = {{0, 1}};
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  // Every fact row joins its dimensions (they exist by construction).
+  EXPECT_EQ(generated->instance->view(0).size(), 15u);
+}
+
+TEST(RandomWorkloadTest, AlwaysHasDeletions) {
+  Rng rng(109);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomWorkloadParams params;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok());
+    if (generated->instance->TotalViewTuples() > 0) {
+      EXPECT_GT(generated->instance->TotalDeletionTuples(), 0u);
+    }
+  }
+}
+
+TEST(RandomWorkloadTest, QueriesAreProjectFree) {
+  Rng rng(110);
+  RandomWorkloadParams params;
+  params.queries = 5;
+  Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+  ASSERT_TRUE(generated.ok());
+  for (const auto& q : generated->queries) {
+    EXPECT_TRUE(IsProjectFree(*q)) << q->name();
+  }
+  EXPECT_TRUE(generated->instance->all_unique_witness())
+      << "project-free queries have unique witnesses";
+}
+
+TEST(RandomWorkloadTest, DeterministicForSeed) {
+  RandomWorkloadParams params;
+  Rng rng1(7), rng2(7);
+  Result<GeneratedVse> a = GenerateRandomWorkload(rng1, params);
+  Result<GeneratedVse> b = GenerateRandomWorkload(rng2, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->instance->TotalViewTuples(), b->instance->TotalViewTuples());
+  EXPECT_EQ(a->instance->TotalDeletionTuples(),
+            b->instance->TotalDeletionTuples());
+  EXPECT_EQ(a->database->total_tuple_count(),
+            b->database->total_tuple_count());
+}
+
+}  // namespace
+}  // namespace delprop

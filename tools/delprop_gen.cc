@@ -1,0 +1,95 @@
+// delprop_gen — emit workload instances in the delprop_shell script
+// language, for sharing and offline experimentation.
+//
+//   delprop_gen fig1
+//   delprop_gen path   [--levels N] [--roots N] [--fanout N] [--delta F] [--seed N]
+//   delprop_gen star   [--dimensions N] [--facts N] [--delta F] [--seed N]
+//   delprop_gen random [--relations N] [--rows N] [--queries N] [--delta F] [--seed N]
+//
+// Pipe into delprop_shell:  delprop_gen path | build/tools/delprop_shell
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tool/serialize.h"
+#include "workload/author_journal.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace {
+
+struct Args {
+  int argc;
+  char** argv;
+
+  // Returns the value following `--name`, or fallback.
+  double Get(const char* name, double fallback) const {
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+    }
+    return fallback;
+  }
+};
+
+int Emit(const delprop::Result<delprop::GeneratedVse>& generated) {
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  std::string script = delprop::SerializeToScript(*generated->instance);
+  std::fputs(script.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace delprop;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s fig1|path|star|random [options]\n",
+                 argv[0]);
+    return 2;
+  }
+  Args args{argc, argv};
+  std::string kind = argv[1];
+  uint64_t seed = static_cast<uint64_t>(args.Get("--seed", 1));
+
+  if (kind == "fig1") {
+    Result<GeneratedVse> generated = BuildFig1Example();
+    if (generated.ok()) {
+      (void)generated->instance->MarkForDeletionByValues(0, {"John", "XML"});
+    }
+    return Emit(generated);
+  }
+  if (kind == "path") {
+    Rng rng(seed);
+    PathSchemaParams params;
+    params.levels = static_cast<size_t>(args.Get("--levels", 4));
+    params.roots = static_cast<size_t>(args.Get("--roots", 2));
+    params.fanout = static_cast<size_t>(args.Get("--fanout", 2));
+    params.deletion_fraction = args.Get("--delta", 0.2);
+    return Emit(GeneratePathSchema(rng, params));
+  }
+  if (kind == "star") {
+    Rng rng(seed);
+    StarSchemaParams params;
+    params.dimensions = static_cast<size_t>(args.Get("--dimensions", 3));
+    params.fact_rows = static_cast<size_t>(args.Get("--facts", 20));
+    params.deletion_fraction = args.Get("--delta", 0.2);
+    return Emit(GenerateStarSchema(rng, params));
+  }
+  if (kind == "random") {
+    Rng rng(seed);
+    RandomWorkloadParams params;
+    params.relations = static_cast<size_t>(args.Get("--relations", 3));
+    params.rows_per_relation = static_cast<size_t>(args.Get("--rows", 10));
+    params.queries = static_cast<size_t>(args.Get("--queries", 3));
+    params.deletion_fraction = args.Get("--delta", 0.25);
+    return Emit(GenerateRandomWorkload(rng, params));
+  }
+  std::fprintf(stderr, "unknown workload kind '%s'\n", kind.c_str());
+  return 2;
+}

@@ -1,0 +1,70 @@
+// delprop_shell — run a deletion-propagation script from a file or stdin,
+// or interactively when stdin is a terminal.
+//
+//   delprop_shell script.dp
+//   delprop_shell < script.dp
+//   delprop_shell            # REPL (errors don't end the session)
+//
+// See ScriptSession (src/tool/script.h) for the command reference.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "tool/script.h"
+
+namespace {
+
+int RunBatch(const std::string& script) {
+  delprop::ScriptSession session;
+  std::string out;
+  delprop::Status status = session.Run(script, &out);
+  std::fputs(out.c_str(), stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunRepl() {
+  delprop::ScriptSession session;
+  std::printf("delprop shell — commands: relation insert query views explain "
+              "classify describe delete weight certificates plan dot save "
+              "solve report quit\n");
+  std::string line;
+  for (;;) {
+    std::printf("delprop> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "quit" || line == "exit") break;
+    std::string out;
+    delprop::Status status = session.Execute(line, &out);
+    std::fputs(out.c_str(), stdout);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return RunBatch(buffer.str());
+  }
+  if (isatty(STDIN_FILENO)) return RunRepl();
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  return RunBatch(buffer.str());
+}
