@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg4_dp_exact.dir/bench_alg4_dp_exact.cc.o"
+  "CMakeFiles/bench_alg4_dp_exact.dir/bench_alg4_dp_exact.cc.o.d"
+  "bench_alg4_dp_exact"
+  "bench_alg4_dp_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg4_dp_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim1_general_approx.dir/bench_claim1_general_approx.cc.o"
+  "CMakeFiles/bench_claim1_general_approx.dir/bench_claim1_general_approx.cc.o.d"
+  "bench_claim1_general_approx"
+  "bench_claim1_general_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim1_general_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hypertree_classification.dir/bench_fig3_hypertree_classification.cc.o"
+  "CMakeFiles/bench_fig3_hypertree_classification.dir/bench_fig3_hypertree_classification.cc.o.d"
+  "bench_fig3_hypertree_classification"
+  "bench_fig3_hypertree_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hypertree_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

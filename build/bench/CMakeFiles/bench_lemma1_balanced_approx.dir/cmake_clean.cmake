@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_balanced_approx.dir/bench_lemma1_balanced_approx.cc.o"
+  "CMakeFiles/bench_lemma1_balanced_approx.dir/bench_lemma1_balanced_approx.cc.o.d"
+  "bench_lemma1_balanced_approx"
+  "bench_lemma1_balanced_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_balanced_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_comparison.dir/bench_solver_comparison.cc.o"
+  "CMakeFiles/bench_solver_comparison.dir/bench_solver_comparison.cc.o.d"
+  "bench_solver_comparison"
+  "bench_solver_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

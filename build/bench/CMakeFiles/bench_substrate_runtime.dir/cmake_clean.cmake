@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substrate_runtime.dir/bench_substrate_runtime.cc.o"
+  "CMakeFiles/bench_substrate_runtime.dir/bench_substrate_runtime.cc.o.d"
+  "bench_substrate_runtime"
+  "bench_substrate_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrate_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_3_source_side_effect.dir/bench_table2_3_source_side_effect.cc.o"
+  "CMakeFiles/bench_table2_3_source_side_effect.dir/bench_table2_3_source_side_effect.cc.o.d"
+  "bench_table2_3_source_side_effect"
+  "bench_table2_3_source_side_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3_source_side_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_5_view_complexity_landscape.dir/bench_table4_5_view_complexity_landscape.cc.o"
+  "CMakeFiles/bench_table4_5_view_complexity_landscape.dir/bench_table4_5_view_complexity_landscape.cc.o.d"
+  "bench_table4_5_view_complexity_landscape"
+  "bench_table4_5_view_complexity_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_view_complexity_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_balanced_hardness.dir/bench_theorem2_balanced_hardness.cc.o"
+  "CMakeFiles/bench_theorem2_balanced_hardness.dir/bench_theorem2_balanced_hardness.cc.o.d"
+  "bench_theorem2_balanced_hardness"
+  "bench_theorem2_balanced_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_balanced_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

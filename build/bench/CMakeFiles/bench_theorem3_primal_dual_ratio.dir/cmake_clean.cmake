@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem3_primal_dual_ratio.dir/bench_theorem3_primal_dual_ratio.cc.o"
+  "CMakeFiles/bench_theorem3_primal_dual_ratio.dir/bench_theorem3_primal_dual_ratio.cc.o.d"
+  "bench_theorem3_primal_dual_ratio"
+  "bench_theorem3_primal_dual_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem3_primal_dual_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem3_primal_dual_ratio.
+# This may be replaced when dependencies are built.

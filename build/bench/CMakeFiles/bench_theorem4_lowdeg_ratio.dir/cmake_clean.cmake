@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem4_lowdeg_ratio.dir/bench_theorem4_lowdeg_ratio.cc.o"
+  "CMakeFiles/bench_theorem4_lowdeg_ratio.dir/bench_theorem4_lowdeg_ratio.cc.o.d"
+  "bench_theorem4_lowdeg_ratio"
+  "bench_theorem4_lowdeg_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem4_lowdeg_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_propagation.dir/annotation_propagation.cpp.o"
+  "CMakeFiles/annotation_propagation.dir/annotation_propagation.cpp.o.d"
+  "annotation_propagation"
+  "annotation_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

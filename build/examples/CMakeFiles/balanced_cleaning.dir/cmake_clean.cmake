@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_cleaning.dir/balanced_cleaning.cpp.o"
+  "CMakeFiles/balanced_cleaning.dir/balanced_cleaning.cpp.o.d"
+  "balanced_cleaning"
+  "balanced_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

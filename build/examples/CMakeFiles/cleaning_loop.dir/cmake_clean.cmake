@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_loop.dir/cleaning_loop.cpp.o"
+  "CMakeFiles/cleaning_loop.dir/cleaning_loop.cpp.o.d"
+  "cleaning_loop"
+  "cleaning_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

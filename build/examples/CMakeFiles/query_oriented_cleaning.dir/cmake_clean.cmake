@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_oriented_cleaning.dir/query_oriented_cleaning.cpp.o"
+  "CMakeFiles/query_oriented_cleaning.dir/query_oriented_cleaning.cpp.o.d"
+  "query_oriented_cleaning"
+  "query_oriented_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_oriented_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

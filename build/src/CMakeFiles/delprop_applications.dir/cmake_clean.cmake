@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_applications.dir/applications/cleaning_session.cc.o"
+  "CMakeFiles/delprop_applications.dir/applications/cleaning_session.cc.o.d"
+  "CMakeFiles/delprop_applications.dir/applications/pareto.cc.o"
+  "CMakeFiles/delprop_applications.dir/applications/pareto.cc.o.d"
+  "libdelprop_applications.a"
+  "libdelprop_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/fd.cc" "src/CMakeFiles/delprop_classify.dir/classify/fd.cc.o" "gcc" "src/CMakeFiles/delprop_classify.dir/classify/fd.cc.o.d"
+  "/root/repo/src/classify/head_domination.cc" "src/CMakeFiles/delprop_classify.dir/classify/head_domination.cc.o" "gcc" "src/CMakeFiles/delprop_classify.dir/classify/head_domination.cc.o.d"
+  "/root/repo/src/classify/landscape.cc" "src/CMakeFiles/delprop_classify.dir/classify/landscape.cc.o" "gcc" "src/CMakeFiles/delprop_classify.dir/classify/landscape.cc.o.d"
+  "/root/repo/src/classify/triad.cc" "src/CMakeFiles/delprop_classify.dir/classify/triad.cc.o" "gcc" "src/CMakeFiles/delprop_classify.dir/classify/triad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_classify.dir/classify/fd.cc.o"
+  "CMakeFiles/delprop_classify.dir/classify/fd.cc.o.d"
+  "CMakeFiles/delprop_classify.dir/classify/head_domination.cc.o"
+  "CMakeFiles/delprop_classify.dir/classify/head_domination.cc.o.d"
+  "CMakeFiles/delprop_classify.dir/classify/landscape.cc.o"
+  "CMakeFiles/delprop_classify.dir/classify/landscape.cc.o.d"
+  "CMakeFiles/delprop_classify.dir/classify/triad.cc.o"
+  "CMakeFiles/delprop_classify.dir/classify/triad.cc.o.d"
+  "libdelprop_classify.a"
+  "libdelprop_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

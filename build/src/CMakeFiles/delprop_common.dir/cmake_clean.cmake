@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_common.dir/common/rng.cc.o"
+  "CMakeFiles/delprop_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/delprop_common.dir/common/status.cc.o"
+  "CMakeFiles/delprop_common.dir/common/status.cc.o.d"
+  "CMakeFiles/delprop_common.dir/common/text_table.cc.o"
+  "CMakeFiles/delprop_common.dir/common/text_table.cc.o.d"
+  "libdelprop_common.a"
+  "libdelprop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

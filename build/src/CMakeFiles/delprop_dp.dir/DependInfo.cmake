@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/side_effect.cc" "src/CMakeFiles/delprop_dp.dir/dp/side_effect.cc.o" "gcc" "src/CMakeFiles/delprop_dp.dir/dp/side_effect.cc.o.d"
+  "/root/repo/src/dp/solution.cc" "src/CMakeFiles/delprop_dp.dir/dp/solution.cc.o" "gcc" "src/CMakeFiles/delprop_dp.dir/dp/solution.cc.o.d"
+  "/root/repo/src/dp/solver.cc" "src/CMakeFiles/delprop_dp.dir/dp/solver.cc.o" "gcc" "src/CMakeFiles/delprop_dp.dir/dp/solver.cc.o.d"
+  "/root/repo/src/dp/vse_instance.cc" "src/CMakeFiles/delprop_dp.dir/dp/vse_instance.cc.o" "gcc" "src/CMakeFiles/delprop_dp.dir/dp/vse_instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

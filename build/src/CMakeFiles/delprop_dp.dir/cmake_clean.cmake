@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_dp.dir/dp/side_effect.cc.o"
+  "CMakeFiles/delprop_dp.dir/dp/side_effect.cc.o.d"
+  "CMakeFiles/delprop_dp.dir/dp/solution.cc.o"
+  "CMakeFiles/delprop_dp.dir/dp/solution.cc.o.d"
+  "CMakeFiles/delprop_dp.dir/dp/solver.cc.o"
+  "CMakeFiles/delprop_dp.dir/dp/solver.cc.o.d"
+  "CMakeFiles/delprop_dp.dir/dp/vse_instance.cc.o"
+  "CMakeFiles/delprop_dp.dir/dp/vse_instance.cc.o.d"
+  "libdelprop_dp.a"
+  "libdelprop_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

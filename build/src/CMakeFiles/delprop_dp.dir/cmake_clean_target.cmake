@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelprop_dp.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/data_forest.cc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/data_forest.cc.o" "gcc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/data_forest.cc.o.d"
+  "/root/repo/src/hypergraph/dual_graph.cc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/dual_graph.cc.o" "gcc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/dual_graph.cc.o.d"
+  "/root/repo/src/hypergraph/gyo.cc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/gyo.cc.o" "gcc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/gyo.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/delprop_hypergraph.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/query/semijoin.cc" "src/CMakeFiles/delprop_hypergraph.dir/query/semijoin.cc.o" "gcc" "src/CMakeFiles/delprop_hypergraph.dir/query/semijoin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

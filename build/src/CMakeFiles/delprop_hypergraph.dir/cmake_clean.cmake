@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/data_forest.cc.o"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/data_forest.cc.o.d"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/dual_graph.cc.o"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/dual_graph.cc.o.d"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/gyo.cc.o"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/gyo.cc.o.d"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/hypergraph.cc.o"
+  "CMakeFiles/delprop_hypergraph.dir/hypergraph/hypergraph.cc.o.d"
+  "CMakeFiles/delprop_hypergraph.dir/query/semijoin.cc.o"
+  "CMakeFiles/delprop_hypergraph.dir/query/semijoin.cc.o.d"
+  "libdelprop_hypergraph.a"
+  "libdelprop_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/conjunctive_query.cc" "src/CMakeFiles/delprop_query.dir/query/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/conjunctive_query.cc.o.d"
+  "/root/repo/src/query/containment.cc" "src/CMakeFiles/delprop_query.dir/query/containment.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/containment.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/delprop_query.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/delprop_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query_properties.cc" "src/CMakeFiles/delprop_query.dir/query/query_properties.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/query_properties.cc.o.d"
+  "/root/repo/src/query/view.cc" "src/CMakeFiles/delprop_query.dir/query/view.cc.o" "gcc" "src/CMakeFiles/delprop_query.dir/query/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_query.dir/query/conjunctive_query.cc.o"
+  "CMakeFiles/delprop_query.dir/query/conjunctive_query.cc.o.d"
+  "CMakeFiles/delprop_query.dir/query/containment.cc.o"
+  "CMakeFiles/delprop_query.dir/query/containment.cc.o.d"
+  "CMakeFiles/delprop_query.dir/query/evaluator.cc.o"
+  "CMakeFiles/delprop_query.dir/query/evaluator.cc.o.d"
+  "CMakeFiles/delprop_query.dir/query/parser.cc.o"
+  "CMakeFiles/delprop_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/delprop_query.dir/query/query_properties.cc.o"
+  "CMakeFiles/delprop_query.dir/query/query_properties.cc.o.d"
+  "CMakeFiles/delprop_query.dir/query/view.cc.o"
+  "CMakeFiles/delprop_query.dir/query/view.cc.o.d"
+  "libdelprop_query.a"
+  "libdelprop_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

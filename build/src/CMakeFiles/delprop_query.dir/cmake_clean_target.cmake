@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelprop_query.a"
+)

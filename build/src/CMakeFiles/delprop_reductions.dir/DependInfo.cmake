@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/balanced_to_pnpsc.cc" "src/CMakeFiles/delprop_reductions.dir/reductions/balanced_to_pnpsc.cc.o" "gcc" "src/CMakeFiles/delprop_reductions.dir/reductions/balanced_to_pnpsc.cc.o.d"
+  "/root/repo/src/reductions/pnpsc_to_balanced.cc" "src/CMakeFiles/delprop_reductions.dir/reductions/pnpsc_to_balanced.cc.o" "gcc" "src/CMakeFiles/delprop_reductions.dir/reductions/pnpsc_to_balanced.cc.o.d"
+  "/root/repo/src/reductions/rbsc_to_vse.cc" "src/CMakeFiles/delprop_reductions.dir/reductions/rbsc_to_vse.cc.o" "gcc" "src/CMakeFiles/delprop_reductions.dir/reductions/rbsc_to_vse.cc.o.d"
+  "/root/repo/src/reductions/vse_to_rbsc.cc" "src/CMakeFiles/delprop_reductions.dir/reductions/vse_to_rbsc.cc.o" "gcc" "src/CMakeFiles/delprop_reductions.dir/reductions/vse_to_rbsc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

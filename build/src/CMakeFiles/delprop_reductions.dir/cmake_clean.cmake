@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_reductions.dir/reductions/balanced_to_pnpsc.cc.o"
+  "CMakeFiles/delprop_reductions.dir/reductions/balanced_to_pnpsc.cc.o.d"
+  "CMakeFiles/delprop_reductions.dir/reductions/pnpsc_to_balanced.cc.o"
+  "CMakeFiles/delprop_reductions.dir/reductions/pnpsc_to_balanced.cc.o.d"
+  "CMakeFiles/delprop_reductions.dir/reductions/rbsc_to_vse.cc.o"
+  "CMakeFiles/delprop_reductions.dir/reductions/rbsc_to_vse.cc.o.d"
+  "CMakeFiles/delprop_reductions.dir/reductions/vse_to_rbsc.cc.o"
+  "CMakeFiles/delprop_reductions.dir/reductions/vse_to_rbsc.cc.o.d"
+  "libdelprop_reductions.a"
+  "libdelprop_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

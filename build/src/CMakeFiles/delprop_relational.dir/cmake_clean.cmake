@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_relational.dir/relational/database.cc.o"
+  "CMakeFiles/delprop_relational.dir/relational/database.cc.o.d"
+  "CMakeFiles/delprop_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/delprop_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/delprop_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/delprop_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/delprop_relational.dir/relational/value.cc.o"
+  "CMakeFiles/delprop_relational.dir/relational/value.cc.o.d"
+  "libdelprop_relational.a"
+  "libdelprop_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

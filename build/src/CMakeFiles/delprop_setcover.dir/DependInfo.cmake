@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setcover/greedy_set_cover.cc" "src/CMakeFiles/delprop_setcover.dir/setcover/greedy_set_cover.cc.o" "gcc" "src/CMakeFiles/delprop_setcover.dir/setcover/greedy_set_cover.cc.o.d"
+  "/root/repo/src/setcover/pnpsc.cc" "src/CMakeFiles/delprop_setcover.dir/setcover/pnpsc.cc.o" "gcc" "src/CMakeFiles/delprop_setcover.dir/setcover/pnpsc.cc.o.d"
+  "/root/repo/src/setcover/red_blue.cc" "src/CMakeFiles/delprop_setcover.dir/setcover/red_blue.cc.o" "gcc" "src/CMakeFiles/delprop_setcover.dir/setcover/red_blue.cc.o.d"
+  "/root/repo/src/setcover/red_blue_solvers.cc" "src/CMakeFiles/delprop_setcover.dir/setcover/red_blue_solvers.cc.o" "gcc" "src/CMakeFiles/delprop_setcover.dir/setcover/red_blue_solvers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_setcover.dir/setcover/greedy_set_cover.cc.o"
+  "CMakeFiles/delprop_setcover.dir/setcover/greedy_set_cover.cc.o.d"
+  "CMakeFiles/delprop_setcover.dir/setcover/pnpsc.cc.o"
+  "CMakeFiles/delprop_setcover.dir/setcover/pnpsc.cc.o.d"
+  "CMakeFiles/delprop_setcover.dir/setcover/red_blue.cc.o"
+  "CMakeFiles/delprop_setcover.dir/setcover/red_blue.cc.o.d"
+  "CMakeFiles/delprop_setcover.dir/setcover/red_blue_solvers.cc.o"
+  "CMakeFiles/delprop_setcover.dir/setcover/red_blue_solvers.cc.o.d"
+  "libdelprop_setcover.a"
+  "libdelprop_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

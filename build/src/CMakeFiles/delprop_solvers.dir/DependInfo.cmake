@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/balanced_pnpsc_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/balanced_pnpsc_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/balanced_pnpsc_solver.cc.o.d"
+  "/root/repo/src/solvers/damage_tracker.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/damage_tracker.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/damage_tracker.cc.o.d"
+  "/root/repo/src/solvers/dp_tree_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/dp_tree_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/dp_tree_solver.cc.o.d"
+  "/root/repo/src/solvers/exact_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/exact_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/exact_solver.cc.o.d"
+  "/root/repo/src/solvers/greedy_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/greedy_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/greedy_solver.cc.o.d"
+  "/root/repo/src/solvers/local_search_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/local_search_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/local_search_solver.cc.o.d"
+  "/root/repo/src/solvers/lowdeg_tree_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/lowdeg_tree_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/lowdeg_tree_solver.cc.o.d"
+  "/root/repo/src/solvers/primal_dual_tree_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/primal_dual_tree_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/primal_dual_tree_solver.cc.o.d"
+  "/root/repo/src/solvers/rbsc_reduction_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/rbsc_reduction_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/rbsc_reduction_solver.cc.o.d"
+  "/root/repo/src/solvers/single_query_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/single_query_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/single_query_solver.cc.o.d"
+  "/root/repo/src/solvers/solver_registry.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/solver_registry.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/solver_registry.cc.o.d"
+  "/root/repo/src/solvers/source_side_effect_solver.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/source_side_effect_solver.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/source_side_effect_solver.cc.o.d"
+  "/root/repo/src/solvers/tree_common.cc" "src/CMakeFiles/delprop_solvers.dir/solvers/tree_common.cc.o" "gcc" "src/CMakeFiles/delprop_solvers.dir/solvers/tree_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_solvers.dir/solvers/balanced_pnpsc_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/balanced_pnpsc_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/damage_tracker.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/damage_tracker.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/dp_tree_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/dp_tree_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/exact_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/exact_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/greedy_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/greedy_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/local_search_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/local_search_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/lowdeg_tree_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/lowdeg_tree_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/primal_dual_tree_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/primal_dual_tree_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/rbsc_reduction_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/rbsc_reduction_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/single_query_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/single_query_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/solver_registry.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/solver_registry.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/source_side_effect_solver.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/source_side_effect_solver.cc.o.d"
+  "CMakeFiles/delprop_solvers.dir/solvers/tree_common.cc.o"
+  "CMakeFiles/delprop_solvers.dir/solvers/tree_common.cc.o.d"
+  "libdelprop_solvers.a"
+  "libdelprop_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tool/csv.cc" "src/CMakeFiles/delprop_tool.dir/tool/csv.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/csv.cc.o.d"
+  "/root/repo/src/tool/describe.cc" "src/CMakeFiles/delprop_tool.dir/tool/describe.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/describe.cc.o.d"
+  "/root/repo/src/tool/dot_export.cc" "src/CMakeFiles/delprop_tool.dir/tool/dot_export.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/dot_export.cc.o.d"
+  "/root/repo/src/tool/provenance.cc" "src/CMakeFiles/delprop_tool.dir/tool/provenance.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/provenance.cc.o.d"
+  "/root/repo/src/tool/script.cc" "src/CMakeFiles/delprop_tool.dir/tool/script.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/script.cc.o.d"
+  "/root/repo/src/tool/serialize.cc" "src/CMakeFiles/delprop_tool.dir/tool/serialize.cc.o" "gcc" "src/CMakeFiles/delprop_tool.dir/tool/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

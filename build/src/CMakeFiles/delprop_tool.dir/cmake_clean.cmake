@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_tool.dir/tool/csv.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/csv.cc.o.d"
+  "CMakeFiles/delprop_tool.dir/tool/describe.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/describe.cc.o.d"
+  "CMakeFiles/delprop_tool.dir/tool/dot_export.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/dot_export.cc.o.d"
+  "CMakeFiles/delprop_tool.dir/tool/provenance.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/provenance.cc.o.d"
+  "CMakeFiles/delprop_tool.dir/tool/script.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/script.cc.o.d"
+  "CMakeFiles/delprop_tool.dir/tool/serialize.cc.o"
+  "CMakeFiles/delprop_tool.dir/tool/serialize.cc.o.d"
+  "libdelprop_tool.a"
+  "libdelprop_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/author_journal.cc" "src/CMakeFiles/delprop_workload.dir/workload/author_journal.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/author_journal.cc.o.d"
+  "/root/repo/src/workload/hardness_family.cc" "src/CMakeFiles/delprop_workload.dir/workload/hardness_family.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/hardness_family.cc.o.d"
+  "/root/repo/src/workload/path_schema.cc" "src/CMakeFiles/delprop_workload.dir/workload/path_schema.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/path_schema.cc.o.d"
+  "/root/repo/src/workload/random_rbsc.cc" "src/CMakeFiles/delprop_workload.dir/workload/random_rbsc.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/random_rbsc.cc.o.d"
+  "/root/repo/src/workload/random_workload.cc" "src/CMakeFiles/delprop_workload.dir/workload/random_workload.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/random_workload.cc.o.d"
+  "/root/repo/src/workload/star_schema.cc" "src/CMakeFiles/delprop_workload.dir/workload/star_schema.cc.o" "gcc" "src/CMakeFiles/delprop_workload.dir/workload/star_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delprop_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/delprop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_workload.dir/workload/author_journal.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/author_journal.cc.o.d"
+  "CMakeFiles/delprop_workload.dir/workload/hardness_family.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/hardness_family.cc.o.d"
+  "CMakeFiles/delprop_workload.dir/workload/path_schema.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/path_schema.cc.o.d"
+  "CMakeFiles/delprop_workload.dir/workload/random_rbsc.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/random_rbsc.cc.o.d"
+  "CMakeFiles/delprop_workload.dir/workload/random_workload.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/random_workload.cc.o.d"
+  "CMakeFiles/delprop_workload.dir/workload/star_schema.cc.o"
+  "CMakeFiles/delprop_workload.dir/workload/star_schema.cc.o.d"
+  "libdelprop_workload.a"
+  "libdelprop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

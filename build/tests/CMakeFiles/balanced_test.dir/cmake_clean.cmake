@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_test.dir/balanced_test.cc.o"
+  "CMakeFiles/balanced_test.dir/balanced_test.cc.o.d"
+  "balanced_test"
+  "balanced_test.pdb"
+  "balanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_solver_test.dir/bounded_solver_test.cc.o"
+  "CMakeFiles/bounded_solver_test.dir/bounded_solver_test.cc.o.d"
+  "bounded_solver_test"
+  "bounded_solver_test.pdb"
+  "bounded_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

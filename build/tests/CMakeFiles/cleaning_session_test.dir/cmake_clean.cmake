@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_session_test.dir/cleaning_session_test.cc.o"
+  "CMakeFiles/cleaning_session_test.dir/cleaning_session_test.cc.o.d"
+  "cleaning_session_test"
+  "cleaning_session_test.pdb"
+  "cleaning_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damage_tracker_test.dir/damage_tracker_test.cc.o"
+  "CMakeFiles/damage_tracker_test.dir/damage_tracker_test.cc.o.d"
+  "damage_tracker_test"
+  "damage_tracker_test.pdb"
+  "damage_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damage_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

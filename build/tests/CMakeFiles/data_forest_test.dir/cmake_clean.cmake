@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_forest_test.dir/data_forest_test.cc.o"
+  "CMakeFiles/data_forest_test.dir/data_forest_test.cc.o.d"
+  "data_forest_test"
+  "data_forest_test.pdb"
+  "data_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_tree_solver_test.dir/dp_tree_solver_test.cc.o"
+  "CMakeFiles/dp_tree_solver_test.dir/dp_tree_solver_test.cc.o.d"
+  "dp_tree_solver_test"
+  "dp_tree_solver_test.pdb"
+  "dp_tree_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_tree_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_crosscheck_test.dir/evaluator_crosscheck_test.cc.o"
+  "CMakeFiles/evaluator_crosscheck_test.dir/evaluator_crosscheck_test.cc.o.d"
+  "evaluator_crosscheck_test"
+  "evaluator_crosscheck_test.pdb"
+  "evaluator_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

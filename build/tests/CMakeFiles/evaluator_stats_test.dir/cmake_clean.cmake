@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_stats_test.dir/evaluator_stats_test.cc.o"
+  "CMakeFiles/evaluator_stats_test.dir/evaluator_stats_test.cc.o.d"
+  "evaluator_stats_test"
+  "evaluator_stats_test.pdb"
+  "evaluator_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_greedy_solver_test.dir/exact_greedy_solver_test.cc.o"
+  "CMakeFiles/exact_greedy_solver_test.dir/exact_greedy_solver_test.cc.o.d"
+  "exact_greedy_solver_test"
+  "exact_greedy_solver_test.pdb"
+  "exact_greedy_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_greedy_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

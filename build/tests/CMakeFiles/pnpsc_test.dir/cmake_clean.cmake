@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnpsc_test.dir/pnpsc_test.cc.o"
+  "CMakeFiles/pnpsc_test.dir/pnpsc_test.cc.o.d"
+  "pnpsc_test"
+  "pnpsc_test.pdb"
+  "pnpsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnpsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

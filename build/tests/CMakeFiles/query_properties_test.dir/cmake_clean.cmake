@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_properties_test.dir/query_properties_test.cc.o"
+  "CMakeFiles/query_properties_test.dir/query_properties_test.cc.o.d"
+  "query_properties_test"
+  "query_properties_test.pdb"
+  "query_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

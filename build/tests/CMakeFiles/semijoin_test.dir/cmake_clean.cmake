@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semijoin_test.dir/semijoin_test.cc.o"
+  "CMakeFiles/semijoin_test.dir/semijoin_test.cc.o.d"
+  "semijoin_test"
+  "semijoin_test.pdb"
+  "semijoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semijoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_single_test.dir/source_single_test.cc.o"
+  "CMakeFiles/source_single_test.dir/source_single_test.cc.o.d"
+  "source_single_test"
+  "source_single_test.pdb"
+  "source_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

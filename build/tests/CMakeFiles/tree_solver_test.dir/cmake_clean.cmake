@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_solver_test.dir/tree_solver_test.cc.o"
+  "CMakeFiles/tree_solver_test.dir/tree_solver_test.cc.o.d"
+  "tree_solver_test"
+  "tree_solver_test.pdb"
+  "tree_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

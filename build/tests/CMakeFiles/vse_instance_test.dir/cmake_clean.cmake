@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vse_instance_test.dir/vse_instance_test.cc.o"
+  "CMakeFiles/vse_instance_test.dir/vse_instance_test.cc.o.d"
+  "vse_instance_test"
+  "vse_instance_test.pdb"
+  "vse_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vse_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

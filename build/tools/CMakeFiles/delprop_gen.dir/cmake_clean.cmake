@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_gen.dir/delprop_gen.cc.o"
+  "CMakeFiles/delprop_gen.dir/delprop_gen.cc.o.d"
+  "delprop_gen"
+  "delprop_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

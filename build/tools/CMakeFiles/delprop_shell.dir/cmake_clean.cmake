@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delprop_shell.dir/delprop_shell.cc.o"
+  "CMakeFiles/delprop_shell.dir/delprop_shell.cc.o.d"
+  "delprop_shell"
+  "delprop_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delprop_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
