@@ -2,12 +2,21 @@
 // LowDegTwo) approximates view side-effect within O(2·sqrt(l·‖V‖·log‖ΔV‖)).
 // This harness sweeps random multi-query workloads and star joins, comparing
 // the measured ratio against the claimed bound.
+//
+// With --threads N the sweep fans out one task per grid point on a
+// runtime::ThreadPool. Every task owns an Rng seeded via DeriveTaskSeed from
+// its grid index, so the generated instances — and therefore the printed
+// tables — are identical for every thread count.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/text_table.h"
+#include "runtime/thread_pool.h"
 #include "solvers/exact_solver.h"
 #include "solvers/rbsc_reduction_solver.h"
 #include "workload/random_workload.h"
@@ -23,75 +32,102 @@ double Claim1Bound(const VseInstance& instance) {
   return 2.0 * std::sqrt(l * v * std::log(std::max(2.0, dv)));
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+
   bench::Header("Claim 1 — random project-free multi-query workloads");
+  std::printf("threads: %zu\n", threads);
   {
+    const std::vector<size_t> query_counts = {1, 2, 3, 4, 5};
+    const int kTrials = 3;
+    const size_t grid = query_counts.size() * kTrials;
+    // Each slot holds one table row (or stays empty if the instance was
+    // skipped / a solver failed); rows print in grid order afterwards, so the
+    // table is byte-identical at every --threads value.
+    std::vector<std::optional<std::vector<std::string>>> rows(grid);
+    ParallelFor(pool_ptr, grid, [&](size_t task) {
+      size_t queries = query_counts[task / kTrials];
+      Rng rng(DeriveTaskSeed(55, task));
+      RandomWorkloadParams params;
+      params.relations = 3;
+      params.rows_per_relation = 9;
+      params.queries = queries;
+      params.max_atoms = 2;
+      Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+      if (!generated.ok()) return;
+      const VseInstance& instance = *generated->instance;
+      if (!instance.all_unique_witness()) return;
+      if (instance.TotalDeletionTuples() == 0) return;
+      ExactSolver exact;
+      RbscReductionSolver approx;
+      Result<VseSolution> opt = exact.Solve(instance);
+      Result<VseSolution> a = approx.Solve(instance);
+      if (!opt.ok() || !a.ok()) return;
+      double bound = Claim1Bound(instance);
+      double ratio = opt->Cost() > 0 ? a->Cost() / opt->Cost()
+                                     : (a->Cost() > 0 ? -1.0 : 1.0);
+      rows[task] = {std::to_string(queries),
+                    std::to_string(instance.TotalViewTuples()),
+                    std::to_string(instance.TotalDeletionTuples()),
+                    std::to_string(instance.max_arity()),
+                    FmtDouble(opt->Cost(), 0), FmtDouble(a->Cost(), 0),
+                    ratio < 0 ? "opt=0" : FmtDouble(ratio, 2),
+                    FmtDouble(bound, 1),
+                    a->Cost() <= bound * std::max(opt->Cost(), 1.0) + 1e-9
+                        ? "yes"
+                        : "NO"};
+    });
     TextTable table({"queries", "‖V‖", "‖ΔV‖", "l", "OPT", "Claim1 cost",
                      "ratio", "bound", "within"});
-    Rng rng(55);
-    for (size_t queries : {1, 2, 3, 4, 5}) {
-      // Average over a few trials per shape.
-      for (int trial = 0; trial < 3; ++trial) {
-        RandomWorkloadParams params;
-        params.relations = 3;
-        params.rows_per_relation = 9;
-        params.queries = queries;
-        params.max_atoms = 2;
-        Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
-        if (!generated.ok()) return 1;
-        const VseInstance& instance = *generated->instance;
-        if (!instance.all_unique_witness()) continue;
-        if (instance.TotalDeletionTuples() == 0) continue;
-        ExactSolver exact;
-        RbscReductionSolver approx;
-        Result<VseSolution> opt = exact.Solve(instance);
-        Result<VseSolution> a = approx.Solve(instance);
-        if (!opt.ok() || !a.ok()) continue;
-        double bound = Claim1Bound(instance);
-        double ratio = opt->Cost() > 0 ? a->Cost() / opt->Cost()
-                                       : (a->Cost() > 0 ? -1.0 : 1.0);
-        table.AddRow({std::to_string(queries),
-                      std::to_string(instance.TotalViewTuples()),
-                      std::to_string(instance.TotalDeletionTuples()),
-                      std::to_string(instance.max_arity()),
-                      FmtDouble(opt->Cost(), 0), FmtDouble(a->Cost(), 0),
-                      ratio < 0 ? "opt=0" : FmtDouble(ratio, 2),
-                      FmtDouble(bound, 1),
-                      a->Cost() <= bound * std::max(opt->Cost(), 1.0) + 1e-9
-                          ? "yes"
-                          : "NO"});
-      }
+    for (const auto& row : rows) {
+      if (row.has_value()) table.AddRow(*row);
     }
     table.Print();
   }
 
   bench::Header("Claim 1 — star joins (non-tree witnesses)");
   {
-    TextTable table({"fact rows", "‖V‖", "‖ΔV‖", "OPT", "Claim1 cost",
-                     "ratio", "bound"});
-    for (size_t facts : {10, 15, 20, 25, 30}) {
+    const std::vector<size_t> fact_rows = {10, 15, 20, 25, 30};
+    std::vector<std::optional<std::vector<std::string>>> rows(
+        fact_rows.size());
+    ParallelFor(pool_ptr, fact_rows.size(), [&](size_t task) {
+      size_t facts = fact_rows[task];
       Rng rng(300 + facts);
       StarSchemaParams params;
       params.dimensions = 3;
       params.fact_rows = facts;
       params.deletion_fraction = 0.2;
       Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
-      if (!generated.ok()) return 1;
+      if (!generated.ok()) return;
       const VseInstance& instance = *generated->instance;
-      if (instance.TotalDeletionTuples() == 0) continue;
+      if (instance.TotalDeletionTuples() == 0) return;
       ExactSolver exact;
       RbscReductionSolver approx;
       Result<VseSolution> opt = exact.Solve(instance);
       Result<VseSolution> a = approx.Solve(instance);
-      if (!a.ok()) return 1;
-      table.AddRow(
-          {std::to_string(facts), std::to_string(instance.TotalViewTuples()),
-           std::to_string(instance.TotalDeletionTuples()),
-           opt.ok() ? FmtDouble(opt->Cost(), 0) : "-",
-           FmtDouble(a->Cost(), 0),
-           opt.ok() ? FmtRatio(a->Cost(), std::max(opt->Cost(), 1.0), 2)
-                    : "-",
-           FmtDouble(Claim1Bound(instance), 1)});
+      if (!a.ok()) return;
+      rows[task] = {
+          std::to_string(facts), std::to_string(instance.TotalViewTuples()),
+          std::to_string(instance.TotalDeletionTuples()),
+          opt.ok() ? FmtDouble(opt->Cost(), 0) : "-", FmtDouble(a->Cost(), 0),
+          opt.ok() ? FmtRatio(a->Cost(), std::max(opt->Cost(), 1.0), 2) : "-",
+          FmtDouble(Claim1Bound(instance), 1)};
+    });
+    TextTable table({"fact rows", "‖V‖", "‖ΔV‖", "OPT", "Claim1 cost",
+                     "ratio", "bound"});
+    for (const auto& row : rows) {
+      if (row.has_value()) table.AddRow(*row);
     }
     table.Print();
     std::printf("\nShape check: measured ratios sit far below the "
@@ -105,4 +141,4 @@ int Run() {
 }  // namespace
 }  // namespace delprop
 
-int main() { return delprop::Run(); }
+int main(int argc, char** argv) { return delprop::Run(argc, argv); }

@@ -1,18 +1,32 @@
 // Substrate micro-benchmarks (google-benchmark): the query evaluator, the
-// data-forest builder, and the set-cover solvers — the components every
+// data-forest builder, the set-cover solvers, and the runtime substrate
+// (thread pool + shared index cache) — the components every
 // deletion-propagation call rides on. Not tied to a paper table; used to
 // keep the substrate's scaling honest.
+//
+// Accepts --threads N (consumed before google-benchmark sees argv); the
+// parallel benchmarks fan out over a ThreadPool of that size.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 
 #include "common/rng.h"
 #include "hypergraph/data_forest.h"
 #include "query/evaluator.h"
+#include "runtime/index_cache.h"
+#include "runtime/thread_pool.h"
 #include "setcover/red_blue_solvers.h"
 #include "workload/path_schema.h"
 #include "workload/random_rbsc.h"
 #include "workload/star_schema.h"
 
 namespace delprop {
+
+// Set by main() before benchmark::Initialize; read by the parallel
+// benchmarks below.
+size_t g_threads = 1;
+
 namespace {
 
 void BM_EvaluateStarJoin(benchmark::State& state) {
@@ -116,5 +130,93 @@ BENCHMARK(BM_RbscLowDegTwo)
     ->Range(32, 256)
     ->Unit(benchmark::kMillisecond);
 
+// Same star join as BM_EvaluateStarJoin, but evaluated through a shared
+// IndexCache: after the first (cold) evaluation every per-(relation,
+// position) hash index is reused, so steady-state iterations skip index
+// construction entirely. Compare against BM_EvaluateStarJoin at the same
+// range to read off the cache's benefit.
+void BM_EvaluateStarJoinCachedIndex(benchmark::State& state) {
+  Rng rng(1);
+  StarSchemaParams params;
+  params.dimensions = 3;
+  params.dimension_rows = 8;
+  params.fact_rows = static_cast<size_t>(state.range(0));
+  params.query_dimension_sets = {{0, 1, 2}};
+  params.deletion_fraction = 0.0;
+  Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+  if (!generated.ok()) std::abort();
+  const Database& db = *generated->database;
+  const ConjunctiveQuery& query = *generated->queries[0];
+  IndexCache cache;
+  EvalOptions options;
+  options.index_cache = &cache;
+  for (auto _ : state) {
+    Result<View> view = Evaluate(db, query, options);
+    if (!view.ok()) state.SkipWithError("evaluate failed");
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["cache_hits"] = static_cast<double>(cache.stats().hits);
+  state.counters["cache_misses"] = static_cast<double>(cache.stats().misses);
+  state.SetItemsProcessed(state.iterations() * params.fact_rows);
+}
+BENCHMARK(BM_EvaluateStarJoinCachedIndex)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Fan a batch of independently-generated instances over the pool: each task
+// generates its own workload from a DeriveTaskSeed stream and evaluates its
+// queries. The per-task databases are disjoint, so this measures pure
+// ParallelFor scheduling + evaluator throughput at --threads N.
+void BM_ParallelInstanceEvaluate(benchmark::State& state) {
+  const size_t instances = static_cast<size_t>(state.range(0));
+  ThreadPool pool(g_threads);
+  ThreadPool* pool_ptr = g_threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    ParallelFor(pool_ptr, instances, [&](size_t i) {
+      Rng rng(DeriveTaskSeed(99, i));
+      StarSchemaParams params;
+      params.dimensions = 3;
+      params.dimension_rows = 8;
+      params.fact_rows = 64;
+      params.query_dimension_sets = {{0, 1, 2}};
+      params.deletion_fraction = 0.0;
+      Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+      if (!generated.ok()) std::abort();
+      Result<View> view =
+          Evaluate(*generated->database, *generated->queries[0]);
+      if (!view.ok()) std::abort();
+      benchmark::DoNotOptimize(view);
+    });
+  }
+  state.counters["threads"] = static_cast<double>(g_threads);
+  state.SetItemsProcessed(state.iterations() * instances);
+}
+BENCHMARK(BM_ParallelInstanceEvaluate)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace delprop
+
+// Custom main: strip --threads N (google-benchmark rejects unknown flags),
+// then hand the rest of argv to the normal benchmark driver.
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      delprop::g_threads =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (delprop::g_threads == 0) delprop::g_threads = 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

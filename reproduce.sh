@@ -2,6 +2,8 @@
 # Builds the library, runs the full test suite, and regenerates every paper
 # table/figure, capturing outputs at the repo root (test_output.txt and
 # bench_output.txt) — the EXPERIMENTS.md workflow in one command.
+#
+# Set DELPROP_SKIP_SANITIZE=1 to skip the (slower) ASan/UBSan build+test pass.
 set -eu
 cd "$(dirname "$0")"
 
@@ -11,3 +13,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
+
+# Sanitizer pass: rebuild everything with AddressSanitizer + UBSan and re-run
+# the test suite. Memory errors in the runtime substrate (thread pool, shared
+# index cache) or the solvers fail this step even when the plain build passes.
+if [ "${DELPROP_SKIP_SANITIZE:-0}" != "1" ]; then
+  cmake -B build-asan -G Ninja -DDELPROP_SANITIZE="address;undefined"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure 2>&1 \
+    | tee test_output_asan.txt
+fi

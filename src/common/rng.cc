@@ -62,6 +62,15 @@ bool Rng::NextBool(double p) {
   return NextDouble() < p;
 }
 
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index) {
+  // Two splitmix64 rounds over a mix of base and index: adjacent indices land
+  // in unrelated parts of the sequence, and (base, index) pairs never collide
+  // for distinct small inputs in practice.
+  uint64_t x = base_seed ^ (task_index * 0xd1342543de82ef95ULL + 1);
+  SplitMix64(x);
+  return SplitMix64(x);
+}
+
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
   if (k > n) k = n;
   std::vector<size_t> all(n);

@@ -48,6 +48,12 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Derives an independent per-task seed from a base seed and a task index.
+/// `Rng(DeriveTaskSeed(base, i))` gives task i the same stream no matter how
+/// tasks are scheduled across threads — the contract parallel sweeps rely on
+/// for run-to-run determinism (see runtime/thread_pool.h).
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index);
+
 }  // namespace delprop
 
 #endif  // DELPROP_COMMON_RNG_H_

@@ -8,7 +8,7 @@ namespace delprop {
 
 Result<VseInstance> VseInstance::Create(
     const Database& database, std::vector<const ConjunctiveQuery*> queries,
-    const DeletionSet* mask) {
+    const DeletionSet* mask, IndexCache* index_cache) {
   VseInstance instance;
   instance.database_ = &database;
   instance.queries_ = std::move(queries);
@@ -18,6 +18,7 @@ Result<VseInstance> VseInstance::Create(
   instance.all_key_preserving_ = true;
   EvalOptions eval_options;
   eval_options.mask = mask;
+  eval_options.index_cache = index_cache;
   for (const ConjunctiveQuery* query : instance.queries_) {
     Result<View> view = Evaluate(database, *query, eval_options);
     if (!view.ok()) return view.status();
@@ -27,25 +28,35 @@ Result<VseInstance> VseInstance::Create(
       instance.all_key_preserving_ = false;
     }
   }
-  // Kill map: base tuple -> view tuples whose witness contains it.
-  instance.all_unique_witness_ = true;
-  for (size_t v = 0; v < instance.views_.size(); ++v) {
-    const View& view = instance.views_[v];
-    for (size_t t = 0; t < view.size(); ++t) {
-      if (view.tuple(t).witnesses.size() > 1) {
-        instance.all_unique_witness_ = false;
-      }
-      ViewTupleId id{v, t};
-      std::unordered_set<TupleRef, TupleRefHash> seen;
-      for (const Witness& witness : view.tuple(t).witnesses) {
-        for (const TupleRef& ref : witness) {
-          if (seen.insert(ref).second) {
-            instance.kill_map_[ref].push_back(id);
-          }
-        }
-      }
+  if (Status s = instance.IndexWitnesses(); !s.ok()) return s;
+  return instance;
+}
+
+Result<VseInstance> VseInstance::CreateFromMaterializedViews(
+    const Database& database, std::vector<const ConjunctiveQuery*> queries,
+    std::vector<View> views) {
+  VseInstance instance;
+  instance.database_ = &database;
+  instance.queries_ = std::move(queries);
+  if (instance.queries_.empty()) {
+    return Status::InvalidArgument("VseInstance needs at least one query");
+  }
+  if (instance.queries_.size() != views.size()) {
+    return Status::InvalidArgument(
+        "CreateFromMaterializedViews needs one view per query, got " +
+        std::to_string(views.size()) + " views for " +
+        std::to_string(instance.queries_.size()) + " queries");
+  }
+  instance.views_ = std::move(views);
+  instance.all_key_preserving_ = true;
+  for (const ConjunctiveQuery* query : instance.queries_) {
+    if (Status s = query->Validate(database.schema()); !s.ok()) return s;
+    instance.max_arity_ = std::max(instance.max_arity_, query->arity());
+    if (!IsKeyPreserving(*query, database.schema())) {
+      instance.all_key_preserving_ = false;
     }
   }
+  if (Status s = instance.IndexWitnesses(); !s.ok()) return s;
   return instance;
 }
 
@@ -76,25 +87,42 @@ Result<VseInstance> VseInstance::CreateByFiltering(
     }
     instance.views_.push_back(std::move(view));
   }
+  if (Status s = instance.IndexWitnesses(); !s.ok()) return s;
+  return instance;
+}
 
-  for (size_t v = 0; v < instance.views_.size(); ++v) {
-    const View& view = instance.views_[v];
+Status VseInstance::IndexWitnesses() {
+  all_unique_witness_ = true;
+  for (size_t v = 0; v < views_.size(); ++v) {
+    const View& view = views_[v];
     for (size_t t = 0; t < view.size(); ++t) {
-      if (view.tuple(t).witnesses.size() > 1) {
-        instance.all_unique_witness_ = false;
+      const ViewTuple& tuple = view.tuple(t);
+      if (tuple.witnesses.empty()) {
+        return Status::InvalidArgument(
+            "view " + std::to_string(v) + " tuple " + std::to_string(t) +
+            " (" + view.RenderTuple(t) +
+            ") has no witnesses; it could never be deleted or preserved "
+            "consistently");
       }
+      if (tuple.witnesses.size() > 1) all_unique_witness_ = false;
       ViewTupleId id{v, t};
       std::unordered_set<TupleRef, TupleRefHash> seen;
-      for (const Witness& witness : view.tuple(t).witnesses) {
+      for (const Witness& witness : tuple.witnesses) {
+        if (witness.empty()) {
+          return Status::InvalidArgument(
+              "view " + std::to_string(v) + " tuple " + std::to_string(t) +
+              " (" + view.RenderTuple(t) +
+              ") has an empty witness; deleting it would be impossible");
+        }
         for (const TupleRef& ref : witness) {
           if (seen.insert(ref).second) {
-            instance.kill_map_[ref].push_back(id);
+            kill_map_[ref].push_back(id);
           }
         }
       }
     }
   }
-  return instance;
+  return Status::Ok();
 }
 
 Status VseInstance::MarkForDeletion(const ViewTupleId& id) {

@@ -53,9 +53,25 @@ class VseInstance {
   /// iterative applications (CleaningSession) that apply earlier rounds'
   /// deletions without physically rewriting the database. The mask is only
   /// read during construction.
+  ///
+  /// If `index_cache` is non-null, the per-(relation, position) join indexes
+  /// built while materializing views are taken from / published to it, so
+  /// repeated instance creation over one database (feedback loops, sweeps)
+  /// stops rebuilding the same indexes (see runtime/index_cache.h).
   static Result<VseInstance> Create(
       const Database& database, std::vector<const ConjunctiveQuery*> queries,
-      const DeletionSet* mask = nullptr);
+      const DeletionSet* mask = nullptr, IndexCache* index_cache = nullptr);
+
+  /// Load-time construction from views that were materialized elsewhere
+  /// (deserialization, external view maintenance) instead of by evaluating
+  /// the queries here. Validates witness structure: every view tuple must
+  /// carry at least one witness and no witness may be empty — a ΔV mark on a
+  /// witness-less tuple can never be honored and would otherwise surface
+  /// only as an Internal error deep inside the solvers. Returns
+  /// InvalidArgument naming the offending view/tuple on violation.
+  static Result<VseInstance> CreateFromMaterializedViews(
+      const Database& database, std::vector<const ConjunctiveQuery*> queries,
+      std::vector<View> views);
 
   /// Incremental maintenance under deletions: derives the instance for
   /// D \ (previous's masked rows ∪ newly_deleted) from `previous` WITHOUT
@@ -134,6 +150,11 @@ class VseInstance {
 
  private:
   VseInstance() = default;
+
+  /// Validates witness structure (every tuple has ≥ 1 witness, no witness is
+  /// empty) and builds the kill map plus the all_unique_witness flag. Shared
+  /// tail of all three factories.
+  Status IndexWitnesses();
 
   const Database* database_ = nullptr;
   std::vector<const ConjunctiveQuery*> queries_;

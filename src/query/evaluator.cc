@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -11,19 +12,17 @@ namespace {
 
 constexpr ValueId kUnbound = std::numeric_limits<ValueId>::max();
 
-/// Hash index over one attribute position of one relation.
-using PositionIndex = std::unordered_map<ValueId, std::vector<uint32_t>>;
-
 class JoinContext {
  public:
   JoinContext(const Database& db, const ConjunctiveQuery& query,
               const DeletionSet* mask, EvalStats* stats, size_t max_matches,
-              View* out)
+              IndexCache* cache, View* out)
       : db_(db),
         query_(query),
         mask_(mask),
         stats_(stats),
         max_matches_(max_matches),
+        cache_(cache),
         out_(out) {
     assignment_.assign(query.variable_count(), kUnbound);
     witness_.resize(query.atoms().size());
@@ -70,17 +69,49 @@ class JoinContext {
     }
   }
 
-  const PositionIndex& IndexFor(RelationId relation, size_t position) {
+  /// Returns the index for (relation, position) if it is already
+  /// materialized — pinned by this evaluation or present in the shared cache
+  /// — without building anything. Used to pick a probe position cheaply.
+  const PositionIndex* FindExisting(RelationId relation, size_t position) {
     auto key = std::make_pair(relation, position);
     auto it = indexes_.find(key);
-    if (it != indexes_.end()) return it->second;
-    PositionIndex index;
-    const Relation& rel = db_.relation(relation);
-    for (uint32_t row = 0; row < rel.row_count(); ++row) {
-      index[rel.row(row)[position]].push_back(row);
+    if (it != indexes_.end()) return it->second.get();
+    if (cache_ != nullptr) {
+      std::shared_ptr<const PositionIndex> cached =
+          cache_->Peek(db_, relation, position);
+      if (cached != nullptr) {
+        if (stats_ != nullptr) ++stats_->index_cache_hits;
+        return indexes_.emplace(key, std::move(cached)).first->second.get();
+      }
     }
-    if (stats_ != nullptr) ++stats_->indexes_built;
-    return indexes_.emplace(key, std::move(index)).first->second;
+    return nullptr;
+  }
+
+  const PositionIndex& IndexFor(RelationId relation, size_t position) {
+    if (const PositionIndex* existing = FindExisting(relation, position)) {
+      return *existing;
+    }
+    auto key = std::make_pair(relation, position);
+    std::shared_ptr<const PositionIndex> index;
+    if (cache_ != nullptr) {
+      bool was_hit = false;
+      index = cache_->Get(db_, relation, position, &was_hit);
+      if (stats_ != nullptr) {
+        // FindExisting already peeked, so a hit here means another thread
+        // published the entry in between; still a reuse from our side.
+        if (was_hit) {
+          ++stats_->index_cache_hits;
+        } else {
+          ++stats_->index_cache_misses;
+          ++stats_->indexes_built;
+        }
+      }
+    } else {
+      index = std::make_shared<const PositionIndex>(
+          BuildPositionIndex(db_.relation(relation), position));
+      if (stats_ != nullptr) ++stats_->indexes_built;
+    }
+    return *indexes_.emplace(key, std::move(index)).first->second;
   }
 
   /// Tries to extend the current partial assignment with row `row` of the
@@ -116,29 +147,46 @@ class JoinContext {
     const Atom& atom = query_.atoms()[atom_index];
     const Relation& rel = db_.relation(atom.relation);
 
-    // Pick a bound position to index on: prefer the one with the smallest
-    // candidate list.
-    const std::vector<uint32_t>* candidates = nullptr;
-    std::vector<uint32_t> empty;
-    bool have_bound_position = false;
+    // Collect the bound positions of this atom under the current assignment.
+    struct BoundPosition {
+      size_t pos;
+      ValueId value;
+    };
+    std::vector<BoundPosition> bound_positions;
     for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
       const Term& t = atom.terms[pos];
-      ValueId bound_value;
       if (t.is_constant()) {
-        bound_value = t.id;
+        bound_positions.push_back({pos, t.id});
       } else if (assignment_[t.id] != kUnbound) {
-        bound_value = assignment_[t.id];
-      } else {
-        continue;
+        bound_positions.push_back({pos, assignment_[t.id]});
       }
-      have_bound_position = true;
-      const PositionIndex& index = IndexFor(atom.relation, pos);
-      auto it = index.find(bound_value);
-      const std::vector<uint32_t>* list = (it == index.end()) ? &empty : &it->second;
+    }
+    bool have_bound_position = !bound_positions.empty();
+
+    // Pick a probe position lazily: compare candidate lists only across
+    // indexes that are already materialized (stopping at the first empty
+    // list), and build at most one new index — never one per bound position.
+    // Any bound position's list is correct (TryBind re-checks every
+    // position), and every list is in ascending row order, so the choice
+    // cannot change the emitted view, only the rows scanned.
+    const std::vector<uint32_t>* candidates = nullptr;
+    std::vector<uint32_t> empty;
+    for (const BoundPosition& bp : bound_positions) {
+      const PositionIndex* index = FindExisting(atom.relation, bp.pos);
+      if (index == nullptr) continue;
+      auto it = index->find(bp.value);
+      const std::vector<uint32_t>* list =
+          (it == index->end()) ? &empty : &it->second;
       if (candidates == nullptr || list->size() < candidates->size()) {
         candidates = list;
         if (candidates->empty()) break;
       }
+    }
+    if (have_bound_position && candidates == nullptr) {
+      const BoundPosition& bp = bound_positions.front();
+      const PositionIndex& index = IndexFor(atom.relation, bp.pos);
+      auto it = index.find(bp.value);
+      candidates = (it == index.end()) ? &empty : &it->second;
     }
 
     auto try_row = [&](uint32_t row_index) {
@@ -182,13 +230,18 @@ class JoinContext {
   const DeletionSet* mask_;
   EvalStats* stats_;
   size_t max_matches_;
+  IndexCache* cache_;
   View* out_;
   size_t emitted_ = 0;
   bool overflowed_ = false;
   std::vector<size_t> order_;
   std::vector<ValueId> assignment_;
   Witness witness_;
-  std::unordered_map<std::pair<RelationId, size_t>, PositionIndex,
+  // Indexes pinned for this evaluation: locally built ones and shared-cache
+  // entries alike. Pinning keeps cache entries alive even if the cache drops
+  // them mid-query.
+  std::unordered_map<std::pair<RelationId, size_t>,
+                     std::shared_ptr<const PositionIndex>,
                      PairHash<RelationId, size_t>>
       indexes_;
 };
@@ -200,7 +253,7 @@ Result<View> Evaluate(const Database& database, const ConjunctiveQuery& query,
   if (Status s = query.Validate(database.schema()); !s.ok()) return s;
   View view(&query, &database);
   JoinContext context(database, query, options.mask, options.stats,
-                      options.max_matches, &view);
+                      options.max_matches, options.index_cache, &view);
   context.Run();
   if (context.overflowed()) {
     return Status::OutOfRange("query '" + query.name() + "' exceeded " +
@@ -213,7 +266,8 @@ Result<View> Evaluate(const Database& database, const ConjunctiveQuery& query,
 std::string ExplainPlan(const Database& database,
                         const ConjunctiveQuery& query) {
   View scratch(&query, &database);
-  JoinContext context(database, query, nullptr, nullptr, 0, &scratch);
+  JoinContext context(database, query, nullptr, nullptr, 0, nullptr,
+                      &scratch);
   std::string out = "plan for " + query.name() + ":\n";
   std::vector<bool> bound(query.variable_count(), false);
   for (size_t step = 0; step < context.order().size(); ++step) {

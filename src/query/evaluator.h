@@ -6,6 +6,7 @@
 #include "query/view.h"
 #include "relational/database.h"
 #include "relational/deletion_set.h"
+#include "runtime/index_cache.h"
 
 namespace delprop {
 
@@ -18,8 +19,14 @@ struct EvalStats {
   size_t matches = 0;
   /// Candidate rows examined across all lookups.
   size_t rows_scanned = 0;
-  /// Per-(relation, position) hash indexes built on demand.
+  /// Per-(relation, position) hash indexes built on demand (cache misses
+  /// included, cache hits not — a hit builds nothing).
   size_t indexes_built = 0;
+  /// Indexes served by EvalOptions::index_cache without building (counted
+  /// once per (relation, position) per evaluation).
+  size_t index_cache_hits = 0;
+  /// Indexes the shared cache had to build for this evaluation.
+  size_t index_cache_misses = 0;
 };
 
 /// Options for query evaluation.
@@ -32,6 +39,11 @@ struct EvalOptions {
   /// evaluation fails with OutOfRange once this many matches were emitted.
   /// 0 disables the guard.
   size_t max_matches = 0;
+  /// If set, per-(relation, position) indexes are taken from (and published
+  /// to) this shared cache instead of being rebuilt per Evaluate() call.
+  /// The cache must belong to the evaluated database; it may be shared by
+  /// concurrent evaluations. Results are identical with or without a cache.
+  IndexCache* index_cache = nullptr;
 };
 
 /// Renders the evaluation plan (join order with per-atom binding info) the

@@ -1,0 +1,82 @@
+#include "runtime/index_cache.h"
+
+#include <mutex>
+
+namespace delprop {
+
+PositionIndex BuildPositionIndex(const Relation& relation, size_t position) {
+  PositionIndex index;
+  for (uint32_t row = 0; row < relation.row_count(); ++row) {
+    index[relation.row(row)[position]].push_back(row);
+  }
+  return index;
+}
+
+void IndexCache::EnsureBound(const Database& database) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (bound_database_ == &database) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (bound_database_ != &database) {
+    entries_.clear();
+    bound_database_ = &database;
+  }
+}
+
+std::shared_ptr<const PositionIndex> IndexCache::Get(const Database& database,
+                                                     RelationId relation,
+                                                     size_t position,
+                                                     bool* was_hit) {
+  EnsureBound(database);
+  const Relation& rel = database.relation(relation);
+  Key key{relation, position};
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.rows == rel.row_count()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second.index;
+    }
+  }
+  // Miss or stale: build outside the lock (rows are immutable, concurrent
+  // readers are safe), then publish. A racing thread may publish first; both
+  // builds produce identical indexes, so last-writer-wins is fine.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (was_hit != nullptr) *was_hit = false;
+  auto built =
+      std::make_shared<const PositionIndex>(BuildPositionIndex(rel, position));
+  size_t rows = rel.row_count();
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  entry.index = built;
+  entry.rows = rows;
+  return built;
+}
+
+std::shared_ptr<const PositionIndex> IndexCache::Peek(const Database& database,
+                                                      RelationId relation,
+                                                      size_t position) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (bound_database_ != &database) return nullptr;
+  auto it = entries_.find(Key{relation, position});
+  if (it == entries_.end() ||
+      it->second.rows != database.relation(relation).row_count()) {
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.index;
+}
+
+void IndexCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t IndexCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace delprop

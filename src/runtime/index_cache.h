@@ -1,0 +1,105 @@
+#ifndef DELPROP_RUNTIME_INDEX_CACHE_H_
+#define DELPROP_RUNTIME_INDEX_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/database.h"
+
+namespace delprop {
+
+/// Hash index over one attribute position of one relation: value -> row
+/// indices in ascending row order. (Ascending order is load-bearing: the
+/// evaluator's emission order — and hence view-tuple numbering — must not
+/// depend on which position's index serves a lookup.)
+using PositionIndex = std::unordered_map<ValueId, std::vector<uint32_t>>;
+
+/// A database-level cache of PositionIndex structures, shared across
+/// Evaluate() calls (and across threads) so repeated evaluation of a query
+/// set does not rebuild the same per-(relation, position) indexes each time.
+///
+/// Invalidation: relations are append-only with immutable rows (see
+/// relational/relation.h), so an entry is stale exactly when its relation's
+/// row count changed since the entry was built. Get() detects this and
+/// rebuilds transparently — any Database mutation therefore invalidates the
+/// affected entries on the next lookup. Entries handed out earlier stay alive
+/// (shared_ptr) and continue to describe the rows that existed when they were
+/// built, which is the snapshot semantics the evaluator wants mid-query.
+///
+/// A cache belongs to one Database. Binding is checked on every call: using
+/// the cache with a second database drops all entries (defensive — indexes
+/// from different databases must never mix).
+///
+/// Thread safety: all methods are safe to call concurrently; lookups take a
+/// shared lock and builds happen outside any lock (rows are immutable).
+class IndexCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  // includes stale rebuilds
+  };
+
+  IndexCache() = default;
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the index for `position` of `relation`, building (or rebuilding
+  /// a stale entry) on miss. If `was_hit` is non-null it reports whether the
+  /// call was served from cache.
+  std::shared_ptr<const PositionIndex> Get(const Database& database,
+                                           RelationId relation,
+                                           size_t position,
+                                           bool* was_hit = nullptr);
+
+  /// Returns the cached index if present and fresh, nullptr otherwise.
+  /// Never builds. A successful Peek counts as a hit (it is a reuse); a
+  /// failed one counts nothing — misses are counted only by Get, so
+  /// `stats().misses` equals the number of index builds. Used by the
+  /// evaluator to prefer already-materialized indexes when picking a probe
+  /// position.
+  std::shared_ptr<const PositionIndex> Peek(const Database& database,
+                                            RelationId relation,
+                                            size_t position) const;
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Number of live entries.
+  size_t size() const;
+
+  /// Cumulative hit/miss counters since construction.
+  Stats stats() const {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PositionIndex> index;
+    size_t rows = 0;  // relation row count the index was built against
+  };
+  using Key = std::pair<RelationId, size_t>;
+
+  /// Drops all entries if `database` is not the one the cache is bound to,
+  /// and (re)binds. Caller holds no lock.
+  void EnsureBound(const Database& database);
+
+  mutable std::shared_mutex mutex_;
+  const Database* bound_database_ = nullptr;
+  std::unordered_map<Key, Entry, PairHash<RelationId, size_t>> entries_;
+  mutable std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Builds the value -> rows index for one position of `relation` (exposed for
+/// the evaluator's uncached path and for tests).
+PositionIndex BuildPositionIndex(const Relation& relation, size_t position);
+
+}  // namespace delprop
+
+#endif  // DELPROP_RUNTIME_INDEX_CACHE_H_

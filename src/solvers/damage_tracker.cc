@@ -51,8 +51,7 @@ size_t DamageTracker::DenseViewTuple(const ViewTupleId& id) const {
 }
 
 bool DamageTracker::IsDeleted(const TupleRef& ref) const {
-  auto it = deleted_flags_.find(ref);
-  return it != deleted_flags_.end() && it->second;
+  return deleted_index_.count(ref) > 0;
 }
 
 bool DamageTracker::IsKilled(const ViewTupleId& id) const {
@@ -62,7 +61,7 @@ bool DamageTracker::IsKilled(const ViewTupleId& id) const {
 
 double DamageTracker::Delete(const TupleRef& ref) {
   assert(!IsDeleted(ref));
-  deleted_flags_[ref] = true;
+  deleted_index_[ref] = deleted_.size();
   deleted_.push_back(ref);
   double newly_killed = 0.0;
   auto it = occurrences_.find(ref);
@@ -85,9 +84,16 @@ double DamageTracker::Delete(const TupleRef& ref) {
 }
 
 void DamageTracker::Undelete(const TupleRef& ref) {
-  assert(IsDeleted(ref));
-  deleted_flags_[ref] = false;
-  deleted_.erase(std::find(deleted_.begin(), deleted_.end(), ref));
+  auto pos = deleted_index_.find(ref);
+  assert(pos != deleted_index_.end());
+  if (pos == deleted_index_.end()) return;
+  size_t hole = pos->second;
+  deleted_index_.erase(pos);
+  if (hole + 1 != deleted_.size()) {
+    deleted_[hole] = deleted_.back();
+    deleted_index_[deleted_[hole]] = hole;
+  }
+  deleted_.pop_back();
   auto it = occurrences_.find(ref);
   if (it == occurrences_.end()) return;
   for (const auto& [dense, wid] : it->second) {

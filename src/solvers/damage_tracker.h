@@ -70,8 +70,11 @@ class DamageTracker {
   std::unordered_map<TupleRef, std::vector<std::pair<size_t, size_t>>,
                      TupleRefHash>
       occurrences_;
-  std::unordered_map<TupleRef, bool, TupleRefHash> deleted_flags_;
+  // The current deletion as a dense list plus each member's position in it,
+  // so Undelete is O(1) swap-and-pop instead of an O(k) list scan (which
+  // made reverse-delete passes quadratic).
   std::vector<TupleRef> deleted_;
+  std::unordered_map<TupleRef, size_t, TupleRefHash> deleted_index_;
 
   size_t unkilled_deletions_ = 0;
   double killed_preserved_weight_ = 0.0;

@@ -32,6 +32,13 @@ Result<VseSolution> GreedySolver::Solve(const VseInstance& instance) {
     if (target == nullptr) {
       return Status::Internal("unkilled deletion without an unhit witness");
     }
+    if (target->empty()) {
+      // Guarded at VseInstance construction; kept as a cheap invariant check
+      // so a hand-built instance fails loudly instead of indexing into an
+      // empty witness.
+      return Status::InvalidArgument(
+          "deletion target has an empty witness; instance is malformed");
+    }
     // Delete the member with the lowest marginal damage.
     TupleRef best = (*target)[0];
     double best_damage = std::numeric_limits<double>::infinity();

@@ -1,5 +1,8 @@
 #include "solvers/solver_registry.h"
 
+#include <chrono>
+#include <utility>
+
 #include "setcover/red_blue_solvers.h"
 #include "solvers/balanced_pnpsc_solver.h"
 #include "solvers/dp_tree_solver.h"
@@ -47,6 +50,41 @@ std::vector<std::string> AllSolverNames() {
           "rbsc-lowdeg", "rbsc-greedy",    "balanced-pnpsc", "primal-dual",
           "lowdeg-tree", "dp-tree",        "dp-tree-balanced",
           "source-greedy", "source-exact", "single-deletion"};
+}
+
+std::vector<SolverRun> RunAll(const VseInstance& instance, ThreadPool* pool,
+                              std::vector<std::string> names) {
+  if (names.empty()) {
+    names.push_back("exact");
+    for (const auto& solver : StandardApproximationSolvers()) {
+      names.push_back(solver->name());
+    }
+  }
+  std::vector<SolverRun> runs;
+  runs.reserve(names.size());
+  for (std::string& name : names) {
+    runs.push_back(
+        SolverRun{std::move(name), Status::Internal("solver did not run")});
+  }
+  // One task per solver. Every task owns its solver object and writes only
+  // runs[i]; the instance is shared read-only, which every solver's contract
+  // already promises.
+  ParallelFor(pool, runs.size(), [&](size_t i) {
+    SolverRun& run = runs[i];
+    std::unique_ptr<VseSolver> solver = MakeSolver(run.name);
+    if (solver == nullptr) {
+      run.result = Status::NotFound("unknown solver '" + run.name + "'");
+      return;
+    }
+    auto start = std::chrono::steady_clock::now();
+    run.result = solver->Solve(instance);
+    auto end = std::chrono::steady_clock::now();
+    run.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            end - start)
+            .count();
+  });
+  return runs;
 }
 
 std::vector<std::unique_ptr<VseSolver>> StandardApproximationSolvers() {

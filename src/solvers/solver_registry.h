@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dp/solver.h"
+#include "runtime/thread_pool.h"
 
 namespace delprop {
 
@@ -22,6 +23,25 @@ std::vector<std::string> AllSolverNames();
 /// Instantiates the approximation/heuristic solvers for the standard
 /// objective (everything except the exact, balanced, and source solvers).
 std::vector<std::unique_ptr<VseSolver>> StandardApproximationSolvers();
+
+/// Outcome of one solver inside RunAll: the solver's result (a solution, or
+/// its refusal/error status) plus its wall-clock time.
+struct SolverRun {
+  std::string name;
+  Result<VseSolution> result;
+  double wall_ms = 0.0;
+};
+
+/// Runs the named solvers over `instance`, concurrently when `pool` has more
+/// than one worker (each solver is one task; `instance` is only read). The
+/// returned vector is in `names` order and its contents are identical for
+/// any thread count — solvers are deterministic and each task writes only
+/// its own slot. Unknown names yield a NotFound result in their slot.
+/// With an empty `names`, runs the bench comparison set: "exact" plus
+/// StandardApproximationSolvers().
+std::vector<SolverRun> RunAll(const VseInstance& instance,
+                              ThreadPool* pool = nullptr,
+                              std::vector<std::string> names = {});
 
 }  // namespace delprop
 

@@ -1,6 +1,10 @@
+#include <unordered_set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "relational/tuple_ref.h"
 #include "dp/side_effect.h"
 #include "solvers/damage_tracker.h"
 #include "workload/author_journal.h"
@@ -118,6 +122,60 @@ TEST(TrackerPropertyTest, AgreesWithSideEffectEvaluation) {
                 report.surviving_deletions.size());
     }
   }
+}
+
+// Regression for the swap-and-pop Undelete rewrite: CurrentDeletion() must
+// stay semantically identical (same set, any order) to a reference set under
+// arbitrary interleavings, including undeletes from the middle of the
+// deletion list (the swap case) and non-LIFO orders.
+TEST(TrackerUndeleteRegressionTest, CurrentDeletionMatchesReferenceSet) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(generated->instance->MarkForDeletionByValues(0, {"John", "XML"})
+                  .ok());
+  const VseInstance& instance = *generated->instance;
+  DamageTracker tracker(instance);
+  std::vector<TupleRef> candidates = instance.CandidateTuples();
+  ASSERT_GE(candidates.size(), 4u);
+
+  std::unordered_set<TupleRef, TupleRefHash> reference;
+  auto check = [&] {
+    DeletionSet current = tracker.CurrentDeletion();
+    ASSERT_EQ(current.size(), reference.size());
+    for (const TupleRef& ref : reference) {
+      EXPECT_TRUE(current.Contains(ref)) << "lost " << ref.relation << "/"
+                                         << ref.row << " on undelete";
+      EXPECT_TRUE(tracker.IsDeleted(ref));
+    }
+    EXPECT_EQ(tracker.deleted_count(), reference.size());
+  };
+
+  // Delete four, undelete the SECOND one deleted (middle of the internal
+  // list — exercises the swap), then continue mutating.
+  for (size_t i = 0; i < 4; ++i) {
+    tracker.Delete(candidates[i]);
+    reference.insert(candidates[i]);
+  }
+  check();
+  tracker.Undelete(candidates[1]);
+  reference.erase(candidates[1]);
+  check();
+  // Undelete the element that was swapped into the hole (was last).
+  tracker.Undelete(candidates[3]);
+  reference.erase(candidates[3]);
+  check();
+  // Re-delete and drain in FIFO order (worst case for the old linear find).
+  tracker.Delete(candidates[1]);
+  reference.insert(candidates[1]);
+  check();
+  for (const TupleRef& ref :
+       {candidates[0], candidates[2], candidates[1]}) {
+    tracker.Undelete(ref);
+    reference.erase(ref);
+    check();
+  }
+  EXPECT_EQ(tracker.deleted_count(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.killed_preserved_weight(), 0.0);
 }
 
 }  // namespace

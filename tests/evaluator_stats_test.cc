@@ -2,6 +2,7 @@
 
 #include "query/evaluator.h"
 #include "query/parser.h"
+#include "runtime/index_cache.h"
 #include "workload/author_journal.h"
 
 namespace delprop {
@@ -81,6 +82,75 @@ TEST_F(EvalStatsTest, MaskReducesWork) {
   }
   EXPECT_EQ(masked_stats.matches, 0u);
   EXPECT_LE(masked_stats.rows_scanned, full_stats.rows_scanned);
+}
+
+// Regression for the eager index build in Descend: with several positions of
+// one atom bound (here the repeated T2 atom binds y, z, and w), the old code
+// built one index per bound position; the new code builds at most one and
+// prefers indexes that already exist. The repeated atom adds no new matches,
+// so the view must equal the two-atom query's result.
+TEST_F(EvalStatsTest, MultiBoundPositionBuildsAtMostOneIndexPerAtom) {
+  const Database& db = *generated_.database;
+  ValueDictionary& dict = generated_.database->dict();
+  Result<ConjunctiveQuery> repeated = ParseQuery(
+      "QR(x, z, w) :- T1(x, y), T2(y, z, w), T2(y, z, w)", db.schema(), dict);
+  ASSERT_TRUE(repeated.ok());
+  Result<ConjunctiveQuery> plain =
+      ParseQuery("QP(x, z, w) :- T1(x, y), T2(y, z, w)", db.schema(), dict);
+  ASSERT_TRUE(plain.ok());
+
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  Result<View> view = Evaluate(db, *repeated, options);
+  ASSERT_TRUE(view.ok());
+  // At most one index per non-leading atom: one for the repeated T2 atom
+  // (which has three bound positions — the old eager code built one index
+  // for EACH, four in total here) and one for T1's join on y.
+  EXPECT_EQ(stats.indexes_built, 2u);
+
+  EvalStats plain_stats;
+  EvalOptions plain_options;
+  plain_options.stats = &plain_stats;
+  Result<View> expect = Evaluate(db, *plain, plain_options);
+  ASSERT_TRUE(expect.ok());
+  // The repeated fully-bound atom contributes exactly one extra index.
+  EXPECT_EQ(stats.indexes_built, plain_stats.indexes_built + 1);
+  ASSERT_EQ(view->size(), expect->size());
+  for (size_t t = 0; t < view->size(); ++t) {
+    EXPECT_EQ(view->tuple(t).values, expect->tuple(t).values)
+        << "probe-position choice changed the emitted view";
+  }
+}
+
+TEST_F(EvalStatsTest, IndexCacheColdThenWarmCounters) {
+  const Database& db = *generated_.database;
+  IndexCache cache;
+  EvalStats cold, warm;
+  for (int pass = 0; pass < 2; ++pass) {
+    EvalOptions options;
+    options.index_cache = &cache;
+    options.stats = pass == 0 ? &cold : &warm;
+    for (const auto& query : generated_.queries) {
+      ASSERT_TRUE(Evaluate(db, *query, options).ok());
+    }
+  }
+  EXPECT_GT(cold.index_cache_misses, 0u);
+  EXPECT_EQ(cold.index_cache_misses, cold.indexes_built);
+  EXPECT_EQ(warm.index_cache_misses, 0u);
+  EXPECT_EQ(warm.indexes_built, 0u) << "warm pass rebuilt an index";
+  EXPECT_GE(warm.index_cache_hits, cold.index_cache_misses);
+  // Cache-level counters agree with the per-evaluation stats.
+  EXPECT_EQ(cache.stats().misses, cold.index_cache_misses);
+
+  // An uncached evaluation leaves the cache counters untouched.
+  EvalStats uncached;
+  EvalOptions options;
+  options.stats = &uncached;
+  ASSERT_TRUE(Evaluate(db, *generated_.queries[0], options).ok());
+  EXPECT_EQ(uncached.index_cache_hits, 0u);
+  EXPECT_EQ(uncached.index_cache_misses, 0u);
+  EXPECT_GT(uncached.indexes_built, 0u);
 }
 
 }  // namespace

@@ -239,5 +239,61 @@ TEST(RegistryTest, StandardSolversNonEmpty) {
   EXPECT_GE(StandardApproximationSolvers().size(), 5u);
 }
 
+// RunAll on a pool must be a pure parallelization: same solver set, same
+// order, same statuses, same costs and deletion sets as the sequential run.
+TEST(RegistryTest, RunAllParallelMatchesSequential) {
+  Rng rng(17);
+  PathSchemaParams params;
+  params.levels = 3;
+  params.roots = 2;
+  params.fanout = 2;
+  params.deletion_fraction = 0.3;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  const VseInstance& instance = *generated->instance;
+
+  std::vector<SolverRun> sequential = RunAll(instance, nullptr);
+  ThreadPool pool(4);
+  std::vector<SolverRun> parallel = RunAll(instance, &pool);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  ASSERT_GE(sequential.size(), 6u);
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    const SolverRun& seq = sequential[i];
+    const SolverRun& par = parallel[i];
+    EXPECT_EQ(seq.name, par.name);
+    EXPECT_GE(seq.wall_ms, 0.0);
+    EXPECT_GE(par.wall_ms, 0.0);
+    ASSERT_EQ(seq.result.ok(), par.result.ok()) << seq.name;
+    if (!seq.result.ok()) {
+      EXPECT_EQ(seq.result.status().code(), par.result.status().code());
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(seq.result->Cost(), par.result->Cost()) << seq.name;
+    EXPECT_EQ(seq.result->deletion.size(), par.result->deletion.size())
+        << seq.name;
+    for (const TupleRef& ref : seq.result->deletion) {
+      EXPECT_TRUE(par.result->deletion.Contains(ref)) << seq.name;
+    }
+  }
+}
+
+TEST(RegistryTest, RunAllReportsUnknownSolverName) {
+  Rng rng(18);
+  PathSchemaParams params;
+  params.levels = 2;
+  params.roots = 1;
+  params.fanout = 2;
+  params.deletion_fraction = 0.5;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  ASSERT_TRUE(generated.ok());
+  std::vector<SolverRun> runs =
+      RunAll(*generated->instance, nullptr, {"greedy", "no-such-solver"});
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_TRUE(runs[0].result.ok());
+  ASSERT_FALSE(runs[1].result.ok());
+  EXPECT_EQ(runs[1].result.status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace delprop

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "query/evaluator.h"
 #include "solvers/exact_solver.h"
 #include "tool/script.h"
 #include "tool/serialize.h"
@@ -88,6 +89,53 @@ TEST(SerializeTest, RandomWorkloadRoundTrips) {
     ASSERT_TRUE(generated.ok());
     ExpectRoundTrip(*generated->instance);
   }
+}
+
+// Load-time witness validation: a view materialized elsewhere (the
+// deserialization path CreateFromMaterializedViews serves) may carry broken
+// provenance. The constructor must reject it with InvalidArgument naming the
+// offending view and tuple, instead of letting solvers trip over it later.
+TEST(SerializeTest, LoadRejectsEmptyWitness) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  const Database& db = *generated->database;
+  const ConjunctiveQuery& query = *generated->queries[0];
+
+  // A healthy materialized view loads fine and matches Create().
+  Result<View> good = Evaluate(db, query);
+  ASSERT_TRUE(good.ok());
+  std::vector<View> views;
+  views.push_back(std::move(*good));
+  Result<VseInstance> loaded =
+      VseInstance::CreateFromMaterializedViews(db, {&query}, std::move(views));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->TotalViewTuples(),
+            generated->instance->view(0).size());
+
+  // The same view with one empty witness must be rejected, and the error
+  // must say which tuple is broken.
+  Result<View> tampered = Evaluate(db, query);
+  ASSERT_TRUE(tampered.ok());
+  size_t index = tampered->AddMatch(tampered->tuple(0).values, Witness{});
+  ASSERT_EQ(index, 0u) << "tamper should extend an existing tuple";
+  std::vector<View> bad_views;
+  bad_views.push_back(std::move(*tampered));
+  Result<VseInstance> rejected = VseInstance::CreateFromMaterializedViews(
+      db, {&query}, std::move(bad_views));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("view 0 tuple 0"),
+            std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("empty witness"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // Mismatched query/view counts are caught before witness indexing.
+  Result<VseInstance> mismatched =
+      VseInstance::CreateFromMaterializedViews(db, {&query}, {});
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SerializeTest, ScriptContainsAllSections) {
