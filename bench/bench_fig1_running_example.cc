@@ -92,7 +92,7 @@ int Run() {
     VseInstance& instance = *g->instance;
     (void)instance.MarkForDeletionByValues(0, {"John", "XML"});
     TextTable table({"solver", "status", "feasible", "side-effect", "|ΔD|"});
-    for (const std::string& name :
+    for (const char* name :
          {"exact", "greedy", "rbsc-lowdeg", "primal-dual", "dp-tree"}) {
       auto solver = MakeSolver(name);
       auto [solution, ms] =

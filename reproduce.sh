@@ -9,6 +9,9 @@ cd "$(dirname "$0")"
 
 cmake -B build -G Ninja
 cmake --build build
+# Static analysis first: project invariants (Status discipline, deterministic
+# iteration, Rng/ThreadPool funnels, header guards) — see docs/lint.md.
+./build/tools/delprop_lint --check src tools bench tests
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
@@ -22,4 +25,14 @@ if [ "${DELPROP_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure 2>&1 \
     | tee test_output_asan.txt
+
+  # ThreadSanitizer pass over the concurrent substrate: the runtime tests
+  # plus the multi-threaded solver-comparison bench. A data race in the
+  # thread pool or the shared index cache fails this step even though the
+  # plain build is green.
+  cmake -B build-tsan -G Ninja -DDELPROP_SANITIZE=thread
+  cmake --build build-tsan --target runtime_test bench_solver_comparison
+  ./build-tsan/tests/runtime_test 2>&1 | tee test_output_tsan.txt
+  ./build-tsan/bench/bench_solver_comparison --threads 4 2>&1 \
+    | tee -a test_output_tsan.txt
 fi

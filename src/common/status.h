@@ -27,7 +27,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// Lightweight success/error carrier used throughout the library instead of
 /// exceptions. A `Status` is either OK or an error code plus message.
-class Status {
+///
+/// `[[nodiscard]]` so the compiler flags call sites that silently drop an
+/// error; the delprop-lint `discarded-status` rule enforces the same contract
+/// across translation units (see docs/lint.md).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,7 +84,7 @@ class Status {
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value — enables `return value;` in functions returning
   /// Result<T> (mirrors absl::StatusOr).

@@ -1,0 +1,187 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace delprop {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",  "##",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      size_t start = pos_;
+      int start_line = line_;
+      TokenKind kind;
+      if (c == '/' && Peek(1) == '/') {
+        kind = TokenKind::kComment;
+        LexLineComment();
+      } else if (c == '/' && Peek(1) == '*') {
+        kind = TokenKind::kComment;
+        LexBlockComment();
+      } else if (IsIdentStart(c)) {
+        // Raw/encoded string literals look like an identifier prefix glued
+        // to a quote: R"(..)", u8"x", L'\0'.
+        size_t end = pos_;
+        while (end < src_.size() && IsIdentChar(src_[end])) ++end;
+        if (end < src_.size() && src_[end] == '"' &&
+            src_.substr(pos_, end - pos_).find('R') != std::string_view::npos) {
+          kind = TokenKind::kString;
+          pos_ = end;
+          LexRawString();
+        } else if (end < src_.size() &&
+                   (src_[end] == '"' || src_[end] == '\'') && end - pos_ <= 2) {
+          kind = src_[end] == '"' ? TokenKind::kString
+                                  : TokenKind::kCharLiteral;
+          pos_ = end;
+          LexQuoted(src_[end]);
+        } else {
+          kind = TokenKind::kIdentifier;
+          pos_ = end;
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(
+                                  static_cast<unsigned char>(Peek(1))))) {
+        kind = TokenKind::kNumber;
+        LexNumber();
+      } else if (c == '"') {
+        kind = TokenKind::kString;
+        LexQuoted('"');
+      } else if (c == '\'') {
+        kind = TokenKind::kCharLiteral;
+        LexQuoted('\'');
+      } else {
+        kind = TokenKind::kPunct;
+        LexPunct();
+      }
+      tokens.push_back(
+          Token{kind, src_.substr(start, pos_ - start), start_line});
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void LexLineComment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void LexBlockComment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  // pos_ is on the quote; consumes through the closing quote, honoring
+  // backslash escapes. Unterminated literals stop at end of line (matching
+  // the compiler's error recovery closely enough for linting).
+  void LexQuoted(char quote) {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == quote) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  // pos_ is on the opening quote of R"delim( ... )delim".
+  void LexRawString() {
+    ++pos_;  // quote
+    size_t delim_start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    std::string closer = ")";
+    closer += std::string(src_.substr(delim_start, pos_ - delim_start));
+    closer += '"';
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void LexNumber() {
+    // Permissive pp-number scan: digits, letters, dots, and sign characters
+    // after an exponent marker. Covers hex, separators, and suffixes.
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > 0 &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void LexPunct() {
+    for (std::string_view p : kPuncts) {
+      if (src_.compare(pos_, p.size(), p) == 0) {
+        pos_ += p.size();
+        return;
+      }
+    }
+    ++pos_;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lint
+}  // namespace delprop

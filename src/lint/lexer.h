@@ -1,0 +1,45 @@
+#ifndef DELPROP_LINT_LEXER_H_
+#define DELPROP_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delprop {
+namespace lint {
+
+/// Token classes the lint rules care about. This is a lexical, not
+/// syntactic, view of C++: preprocessor directives come out as a `#` punct
+/// token followed by ordinary identifiers, and keywords are identifiers
+/// (rules compare spellings).
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords
+  kNumber,       // integer / floating literals
+  kString,       // "..." including raw strings, with prefix
+  kCharLiteral,  // '...'
+  kPunct,        // operators and punctuation, longest-match (e.g. "::", "->")
+  kComment,      // // and /* */ comments, text included
+};
+
+/// One lexed token. `text` points into the source buffer handed to
+/// Tokenize(), so the buffer must outlive the tokens.
+struct Token {
+  TokenKind kind;
+  std::string_view text;
+  int line = 0;  // 1-based line of the token's first character
+
+  bool Is(std::string_view spelling) const { return text == spelling; }
+};
+
+/// Splits `source` into tokens. Never fails: bytes that do not start a valid
+/// token (stray backslashes, unterminated literals at EOF) are consumed as
+/// single-character punct tokens so rules always see a complete stream.
+/// Comments are kept as tokens — callers that want code only should filter
+/// kComment (SourceFile does this and extracts suppressions from them).
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_LEXER_H_

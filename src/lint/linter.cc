@@ -1,0 +1,134 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "lint/rules.h"
+
+namespace delprop {
+namespace lint {
+namespace {
+
+bool HasSourceExtension(const std::filesystem::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+void Linter::AddDefaultRules(const std::vector<std::string>& only) {
+  auto wanted = [&only](std::string_view name) {
+    return only.empty() ||
+           std::find(only.begin(), only.end(), name) != only.end();
+  };
+  if (wanted("discarded-status")) {
+    AddRule(std::make_unique<DiscardedStatusRule>());
+  }
+  if (wanted("nondeterministic-iteration")) {
+    AddRule(std::make_unique<NondeterministicIterationRule>());
+  }
+  if (wanted("raw-randomness")) AddRule(std::make_unique<RawRandomnessRule>());
+  if (wanted("raw-threading")) AddRule(std::make_unique<RawThreadingRule>());
+  if (wanted("header-guard")) AddRule(std::make_unique<HeaderGuardRule>());
+}
+
+void Linter::AddRule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<std::string> Linter::RuleNames() const {
+  std::vector<std::string> names;
+  for (const auto& rule : rules_) names.emplace_back(rule->name());
+  return names;
+}
+
+std::vector<std::pair<std::string, std::string>> Linter::RuleDescriptions()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& rule : rules_) {
+    out.emplace_back(std::string(rule->name()),
+                     std::string(rule->description()));
+  }
+  return out;
+}
+
+LintReport Linter::Run(const std::vector<SourceFile>& files) {
+  LintReport report;
+  report.files_checked = files.size();
+  for (const auto& rule : rules_) {
+    for (const SourceFile& file : files) rule->Collect(file);
+  }
+  std::vector<Diagnostic> raw;
+  for (const auto& rule : rules_) {
+    for (const SourceFile& file : files) rule->Check(file, &raw);
+  }
+  for (Diagnostic& diag : raw) {
+    const SourceFile* file = nullptr;
+    for (const SourceFile& candidate : files) {
+      if (candidate.path() == diag.file) {
+        file = &candidate;
+        break;
+      }
+    }
+    if (file != nullptr && file->IsSuppressed(diag.rule, diag.line)) {
+      ++report.suppressed;
+      continue;
+    }
+    report.diagnostics.push_back(std::move(diag));
+  }
+  std::sort(report.diagnostics.begin(), report.diagnostics.end());
+  return report;
+}
+
+Result<LintReport> Linter::RunOnPaths(const std::vector<std::string>& paths) {
+  Result<std::vector<std::string>> files = CollectSourceFiles(paths);
+  if (!files.ok()) return files.status();
+  std::vector<SourceFile> sources;
+  sources.reserve(files->size());
+  for (const std::string& path : *files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.emplace_back(path, std::move(buffer).str());
+  }
+  return Run(sources);
+}
+
+Result<std::vector<std::string>> CollectSourceFiles(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && HasSourceExtension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        return Status::Internal("error walking " + path + ": " +
+                                ec.message());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      if (!HasSourceExtension(path)) {
+        return Status::InvalidArgument(path + " is not a C++ source file");
+      }
+      files.push_back(path);
+    } else {
+      return Status::InvalidArgument(path + ": no such file or directory");
+    }
+  }
+  // Deterministic order regardless of directory-entry order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace lint
+}  // namespace delprop

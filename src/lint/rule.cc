@@ -1,0 +1,27 @@
+#include "lint/rule.h"
+
+namespace delprop {
+namespace lint {
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+bool PathHasAnyPrefix(std::string_view path,
+                      const std::vector<std::string>& prefixes) {
+  if (path.substr(0, 2) == "./") path.remove_prefix(2);
+  for (const std::string& prefix : prefixes) {
+    if (path.substr(0, prefix.size()) == prefix) return true;
+    // Also match at a directory boundary anywhere in the path, so absolute
+    // invocations (/repo/src/solvers/x.cc) scope the same way as relative
+    // ones.
+    for (size_t at = path.find(prefix); at != std::string_view::npos;
+         at = path.find(prefix, at + 1)) {
+      if (at > 0 && path[at - 1] == '/') return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,147 @@
+#include "lint/rules.h"
+
+namespace delprop {
+namespace lint {
+namespace {
+
+// Keywords and specifiers that cannot be the type or the name in a
+// `ReturnType FunctionName (` declaration window. `void`/`auto` are
+// deliberately absent: they are legitimate return types and register the
+// declared name as non-Status-returning.
+bool IsKeyword(std::string_view text) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",    "return",
+      "sizeof",   "catch",    "case",     "new",       "delete",
+      "co_await", "co_return", "co_yield", "static_assert", "alignof",
+      "decltype", "operator", "throw",    "noexcept",  "else",
+      "do",       "goto",     "const",    "constexpr", "static",
+      "inline",   "virtual",  "explicit", "friend",    "using",
+      "namespace", "class",   "struct",   "enum",      "public",
+      "private",  "protected", "template", "typename", "override",
+      "final",    "typedef",  "requires",
+  };
+  return kKeywords.count(std::string(text)) > 0;
+}
+
+// Given tokens[open] == "<", returns the index one past the matching ">",
+// or `open` if unbalanced. Treats ">>" as two closers (template context).
+size_t SkipAngles(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    std::string_view t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == "<<") depth += 2;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    // A ; or { before balance means this < was a comparison, not a
+    // template argument list.
+    if (t == ";" || t == "{") return open;
+    if (depth <= 0) return i + 1;
+  }
+  return open;
+}
+
+// Given tokens[open] == "(", returns the index of the matching ")", or
+// tokens.size() if unbalanced.
+size_t MatchParen(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")" && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+bool IsStatementBoundary(std::string_view text) {
+  return text == ";" || text == "{" || text == "}" || text == ")" ||
+         text == "else";
+}
+
+}  // namespace
+
+void DiscardedStatusRule::Collect(const SourceFile& file) {
+  // Record every `ReturnType [Qualifier::]Name (` declaration window:
+  // Status/Result return types feed status_functions_, everything else
+  // feeds other_return_functions_ so overloaded names can be recognized as
+  // ambiguous.
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    if (IsKeyword(tokens[i].text)) continue;
+    // In a call context (`return Foo(Bar(x))`, template args) the window is
+    // not a declaration.
+    if (i > 0 && (tokens[i - 1].Is("return") || tokens[i - 1].Is("new") ||
+                  tokens[i - 1].Is("<") || tokens[i - 1].Is(","))) {
+      continue;
+    }
+    bool is_status = tokens[i].Is("Status") || tokens[i].Is("Result");
+    // The type may carry template arguments: Result<T>, std::vector<T>.
+    size_t decl = i + 1;
+    if (decl < tokens.size() && tokens[decl].Is("<")) {
+      decl = SkipAngles(tokens, decl);
+      if (decl == i + 1) continue;
+    }
+    // The declared name, possibly qualified (Status ScriptEngine::Run).
+    if (decl >= tokens.size()) continue;
+    if (tokens[decl].kind != TokenKind::kIdentifier ||
+        IsKeyword(tokens[decl].text)) {
+      continue;
+    }
+    while (decl + 2 < tokens.size() && tokens[decl + 1].Is("::") &&
+           tokens[decl + 2].kind == TokenKind::kIdentifier &&
+           !IsKeyword(tokens[decl + 2].text)) {
+      decl += 2;
+    }
+    if (decl + 1 >= tokens.size() || !tokens[decl + 1].Is("(")) continue;
+    if (is_status) {
+      status_functions_.insert(std::string(tokens[decl].text));
+    } else {
+      other_return_functions_.insert(std::string(tokens[decl].text));
+    }
+  }
+}
+
+void DiscardedStatusRule::Check(const SourceFile& file,
+                                std::vector<Diagnostic>* out) const {
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    if (!tokens[i + 1].Is("(")) continue;
+    std::string callee(tokens[i].text);
+    if (status_functions_.count(callee) == 0) continue;
+    // Overloaded across return types somewhere in the tree — leave these to
+    // the compiler's [[nodiscard]] diagnostics, which see real types.
+    if (other_return_functions_.count(callee) > 0) continue;
+
+    // Walk back over a member/namespace chain (a.b->c::Call) to the start
+    // of the expression statement candidate.
+    size_t start = i;
+    while (start >= 2 &&
+           (tokens[start - 1].Is(".") || tokens[start - 1].Is("->") ||
+            tokens[start - 1].Is("::")) &&
+           tokens[start - 2].kind == TokenKind::kIdentifier) {
+      start -= 2;
+    }
+    // The chain must begin a statement; anything else (assignment RHS,
+    // argument, condition, declaration where the previous token is the
+    // return type) is a use of the value.
+    if (start > 0 && !IsStatementBoundary(tokens[start - 1].text)) continue;
+    // `(void)chain(...)` is an explicit, compiler-sanctioned discard.
+    if (start >= 2 && tokens[start - 1].Is(")") && tokens[start - 2].Is("void")) {
+      continue;
+    }
+    // The call must be the whole statement: `);` right after the balanced
+    // argument list.
+    size_t close = MatchParen(tokens, i + 1);
+    if (close + 1 >= tokens.size() || !tokens[close + 1].Is(";")) continue;
+
+    out->push_back(Diagnostic{
+        file.path(), tokens[i].line, std::string(name()),
+        "result of '" + std::string(tokens[i].text) +
+            "' (declared to return Status/Result) is silently discarded; "
+            "handle it or cast to (void) with a justification"});
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

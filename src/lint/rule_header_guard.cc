@@ -1,0 +1,110 @@
+#include "lint/rules.h"
+
+#include <cctype>
+
+namespace delprop {
+namespace lint {
+namespace {
+
+// Path component roots that anchor guard names. src/ is stripped (library
+// headers are included as "lint/rules.h"); the tool/bench/test trees keep
+// their directory so guards stay unique across roots.
+constexpr std::string_view kStrippedRoots[] = {"src/"};
+constexpr std::string_view kKeptRoots[] = {"tools/", "bench/", "tests/",
+                                           "examples/"};
+
+// Returns the path suffix the guard is derived from: everything after the
+// last occurrence of a root marker ("src/" dropped, others kept), or the
+// basename when no marker is present (in-memory test snippets).
+std::string_view GuardPath(std::string_view path) {
+  auto at_component = [&](size_t pos) {
+    return pos == 0 || path[pos - 1] == '/';
+  };
+  size_t best = std::string_view::npos;
+  std::string_view best_suffix;
+  for (std::string_view root : kStrippedRoots) {
+    for (size_t pos = path.find(root); pos != std::string_view::npos;
+         pos = path.find(root, pos + 1)) {
+      if (!at_component(pos)) continue;
+      if (best == std::string_view::npos || pos > best) {
+        best = pos;
+        best_suffix = path.substr(pos + root.size());
+      }
+    }
+  }
+  for (std::string_view root : kKeptRoots) {
+    for (size_t pos = path.find(root); pos != std::string_view::npos;
+         pos = path.find(root, pos + 1)) {
+      if (!at_component(pos)) continue;
+      if (best == std::string_view::npos || pos > best) {
+        best = pos;
+        best_suffix = path.substr(pos);
+      }
+    }
+  }
+  if (best != std::string_view::npos) return best_suffix;
+  size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string HeaderGuardRule::ExpectedGuard(std::string_view path) {
+  std::string_view rel = GuardPath(path);
+  std::string guard = "DELPROP_";
+  for (char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';  // "foo/bar.h" -> DELPROP_FOO_BAR_H + trailing underscore
+  return guard;
+}
+
+void HeaderGuardRule::Check(const SourceFile& file,
+                            std::vector<Diagnostic>* out) const {
+  const std::string& path = file.path();
+  if (path.size() < 2 || path.substr(path.size() - 2) != ".h") return;
+  const std::vector<Token>& tokens = file.tokens();
+  const std::string expected = ExpectedGuard(path);
+
+  auto report = [&](int line, const std::string& message) {
+    out->push_back(Diagnostic{path, line, std::string(name()), message});
+  };
+
+  // The first code tokens (comments are already stripped) must be exactly
+  // `# ifndef GUARD # define GUARD`.
+  if (tokens.size() < 6 || !tokens[0].Is("#")) {
+    report(1, "missing include guard; expected '#ifndef " + expected + "'");
+    return;
+  }
+  if (tokens[1].Is("pragma")) {
+    report(tokens[1].line,
+           "#pragma once is not used in this tree; use '#ifndef " + expected +
+               "' guards");
+    return;
+  }
+  if (!tokens[1].Is("ifndef")) {
+    report(tokens[1].line,
+           "file must open with '#ifndef " + expected + "' before any other "
+           "directive");
+    return;
+  }
+  if (!tokens[2].Is(expected)) {
+    report(tokens[2].line, "guard macro '" + std::string(tokens[2].text) +
+                               "' does not match path; expected '" + expected +
+                               "'");
+    return;
+  }
+  if (!tokens[3].Is("#") || !tokens[4].Is("define") ||
+      !tokens[5].Is(expected)) {
+    report(tokens[3].line,
+           "'#define " + expected + "' must immediately follow the #ifndef");
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,148 @@
+#include "lint/rules.h"
+
+#include <utility>
+
+namespace delprop {
+namespace lint {
+namespace {
+
+bool IsUnorderedContainer(std::string_view text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+// tokens[open] == "<": index one past the matching ">" (">>" counts twice),
+// or `open` when unbalanced / not a template argument list.
+size_t SkipAngles(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    std::string_view t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == "<<") depth += 2;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (t == ";" || t == "{") return open;
+    if (depth <= 0) return i + 1;
+  }
+  return open;
+}
+
+// Collects names declared in `file` with an unordered container type (or an
+// alias of one): members, locals, and reference/pointer parameters.
+std::unordered_set<std::string> UnorderedVariables(
+    const SourceFile& file,
+    const std::unordered_set<std::string>& aliases) {
+  std::unordered_set<std::string> vars;
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    size_t after_type;
+    if (IsUnorderedContainer(tokens[i].text) && i + 1 < tokens.size() &&
+        tokens[i + 1].Is("<")) {
+      after_type = SkipAngles(tokens, i + 1);
+      if (after_type == i + 1) continue;
+    } else if (aliases.count(std::string(tokens[i].text)) > 0) {
+      after_type = i + 1;
+    } else {
+      continue;
+    }
+    // Skip declarator qualifiers between type and name.
+    while (after_type < tokens.size() &&
+           (tokens[after_type].Is("&") || tokens[after_type].Is("*") ||
+            tokens[after_type].Is("const"))) {
+      ++after_type;
+    }
+    if (after_type + 1 >= tokens.size()) continue;
+    const Token& name = tokens[after_type];
+    std::string_view next = tokens[after_type + 1].text;
+    if (name.kind == TokenKind::kIdentifier &&
+        (next == ";" || next == "=" || next == "{" || next == "(" ||
+         next == "," || next == ")")) {
+      vars.insert(std::string(name.text));
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+NondeterministicIterationRule::NondeterministicIterationRule(
+    std::vector<std::string> scoped_paths)
+    : scoped_paths_(std::move(scoped_paths)) {}
+
+std::vector<std::string> NondeterministicIterationRule::DefaultScopedPaths() {
+  // The layers whose loops feed solver results, reported tables, or exported
+  // artifacts — where hash order would leak into output. Pure index lookups
+  // (query evaluation probes) are order-insensitive and stay out of scope.
+  return {"src/solvers/", "src/dp/",   "src/setcover/", "src/reductions/",
+          "src/tool/",    "src/applications/", "bench/"};
+}
+
+void NondeterministicIterationRule::Collect(const SourceFile& file) {
+  // Record `using Alias = ... unordered_xxx<...> ...;` tree-wide so a
+  // range-for over an aliased container in another file is still caught.
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (!tokens[i].Is("using")) continue;
+    if (tokens[i + 1].kind != TokenKind::kIdentifier) continue;
+    if (!tokens[i + 2].Is("=")) continue;
+    for (size_t j = i + 3; j < tokens.size() && !tokens[j].Is(";"); ++j) {
+      if (IsUnorderedContainer(tokens[j].text)) {
+        unordered_aliases_.insert(std::string(tokens[i + 1].text));
+        break;
+      }
+    }
+  }
+}
+
+void NondeterministicIterationRule::Check(const SourceFile& file,
+                                          std::vector<Diagnostic>* out) const {
+  if (!PathHasAnyPrefix(file.path(), scoped_paths_)) return;
+  const std::unordered_set<std::string> vars =
+      UnorderedVariables(file, unordered_aliases_);
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].Is("for") || !tokens[i + 1].Is("(")) continue;
+    // Find the close paren and the range-for colon (depth 1, no depth-1
+    // semicolon before it — that would make this a classic for).
+    int depth = 0;
+    size_t colon = 0, close = 0;
+    bool classic = false;
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      std::string_view t = tokens[j].text;
+      if (t == "(") ++depth;
+      if (t == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && t == ";") classic = true;
+      if (depth == 1 && t == ":" && colon == 0 && !classic) colon = j;
+    }
+    if (close == 0 || classic || colon == 0) continue;
+
+    // The range expression is tokens (colon, close). Flag a direct
+    // construction of an unordered container, or a chain whose final
+    // identifier is a variable declared unordered.
+    const Token* hit = nullptr;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (IsUnorderedContainer(tokens[j].text)) hit = &tokens[j];
+    }
+    if (hit == nullptr) {
+      const Token& last = tokens[close - 1];
+      if (last.kind == TokenKind::kIdentifier &&
+          vars.count(std::string(last.text)) > 0) {
+        hit = &last;
+      }
+    }
+    if (hit == nullptr) continue;
+    out->push_back(Diagnostic{
+        file.path(), tokens[i].line, std::string(name()),
+        "range-for over unordered container '" + std::string(hit->text) +
+            "': hash iteration order is unspecified and breaks "
+            "run-to-run/cross-platform output determinism; iterate a sorted "
+            "copy or an ordered structure"});
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

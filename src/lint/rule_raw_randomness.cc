@@ -1,0 +1,56 @@
+#include "lint/rules.h"
+
+#include <utility>
+
+namespace delprop {
+namespace lint {
+namespace {
+
+// Engines / sources whose mere declaration is the violation.
+bool IsRandomType(std::string_view text) {
+  return text == "random_device" || text == "mt19937" ||
+         text == "mt19937_64" || text == "minstd_rand" ||
+         text == "minstd_rand0" || text == "default_random_engine" ||
+         text == "ranlux24" || text == "ranlux48" || text == "knuth_b";
+}
+
+// C-library functions; flagged only when called, so a variable named `rand`
+// elsewhere does not trip the rule.
+bool IsRandomCall(std::string_view text) {
+  return text == "rand" || text == "srand" || text == "rand_r" ||
+         text == "drand48" || text == "random";
+}
+
+}  // namespace
+
+RawRandomnessRule::RawRandomnessRule(std::vector<std::string> allowed_paths)
+    : allowed_paths_(std::move(allowed_paths)) {}
+
+void RawRandomnessRule::Check(const SourceFile& file,
+                              std::vector<Diagnostic>* out) const {
+  if (PathHasAnyPrefix(file.path(), allowed_paths_)) return;
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view text = tokens[i].text;
+    bool is_type = IsRandomType(text);
+    bool is_call = IsRandomCall(text) && i + 1 < tokens.size() &&
+                   tokens[i + 1].Is("(");
+    if (!is_type && !is_call) continue;
+    // `#include <random>`-style tokens are fine; so is the word inside a
+    // qualified delprop name (there are none today, but be precise): only
+    // flag plain or std:: qualified uses.
+    if (i >= 2 && tokens[i - 1].Is("::") && !tokens[i - 2].Is("std")) {
+      continue;
+    }
+    if (i >= 1 && (tokens[i - 1].Is("<") || tokens[i - 1].Is("."))) continue;
+    out->push_back(Diagnostic{
+        file.path(), tokens[i].line, std::string(name()),
+        "raw randomness source '" + std::string(text) +
+            "' outside src/common/rng.*; use delprop::Rng with an explicit "
+            "seed so runs are reproducible"});
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,33 @@
+#include "lint/rules.h"
+
+#include <utility>
+
+namespace delprop {
+namespace lint {
+
+RawThreadingRule::RawThreadingRule(std::vector<std::string> allowed_paths)
+    : allowed_paths_(std::move(allowed_paths)) {}
+
+void RawThreadingRule::Check(const SourceFile& file,
+                             std::vector<Diagnostic>* out) const {
+  if (PathHasAnyPrefix(file.path(), allowed_paths_)) return;
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kIdentifier) continue;
+    if (!token.Is("thread") && !token.Is("jthread") && !token.Is("async")) {
+      continue;
+    }
+    // Only `std::thread` / `std::jthread` / `std::async` — bare words (a
+    // parameter named `thread`, `#include <thread>`) are not findings.
+    if (!tokens[i - 1].Is("::") || !tokens[i - 2].Is("std")) continue;
+    out->push_back(Diagnostic{
+        file.path(), token.line, std::string(name()),
+        "'std::" + std::string(token.text) +
+            "' outside src/runtime/; spawn work through ThreadPool/"
+            "ParallelFor so seeding and shutdown stay deterministic"});
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

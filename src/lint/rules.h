@@ -1,0 +1,140 @@
+#ifndef DELPROP_LINT_RULES_H_
+#define DELPROP_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace delprop {
+namespace lint {
+
+/// discarded-status: a call to a function declared (anywhere in the linted
+/// tree) to return `Status` or `Result<T>` whose value is dropped — the call
+/// is a bare expression statement. `(void)call();` is an explicit discard
+/// and is allowed, mirroring `[[nodiscard]]` semantics.
+///
+/// Matching is by name (the linter has no type information), so a name that
+/// is also declared somewhere with a non-Status return type — e.g. `Insert`,
+/// which is `Result<TupleRef> Database::Insert` but `bool
+/// DeletionSet::Insert` — is treated as ambiguous and skipped; those call
+/// sites are covered by `[[nodiscard]]` on Status/Result at compile time
+/// instead (src/common/status.h).
+class DiscardedStatusRule : public Rule {
+ public:
+  std::string_view name() const override { return "discarded-status"; }
+  std::string_view description() const override {
+    return "call returning Status/Result used as a bare statement";
+  }
+  void Collect(const SourceFile& file) override;
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+  /// Names of functions observed to return Status/Result (exposed for
+  /// tests).
+  const std::unordered_set<std::string>& status_functions() const {
+    return status_functions_;
+  }
+  /// Names also declared with a different return type (skipped by Check).
+  const std::unordered_set<std::string>& ambiguous_functions() const {
+    return other_return_functions_;
+  }
+
+ private:
+  std::unordered_set<std::string> status_functions_;
+  std::unordered_set<std::string> other_return_functions_;
+};
+
+/// nondeterministic-iteration: a range-for over an `std::unordered_map` /
+/// `std::unordered_set` (or an alias of one) in result-emission or
+/// accumulation paths — hash iteration order is unspecified, which breaks
+/// the solver/bench contract that output is bit-identical at any
+/// `--threads N` and across platforms.
+class NondeterministicIterationRule : public Rule {
+ public:
+  /// Findings are reported only for files whose path starts with one of
+  /// `scoped_paths` (the solver / emission layers by default).
+  explicit NondeterministicIterationRule(
+      std::vector<std::string> scoped_paths = DefaultScopedPaths());
+
+  static std::vector<std::string> DefaultScopedPaths();
+
+  std::string_view name() const override {
+    return "nondeterministic-iteration";
+  }
+  std::string_view description() const override {
+    return "range-for over unordered container in emission/accumulation path";
+  }
+  void Collect(const SourceFile& file) override;
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  std::vector<std::string> scoped_paths_;
+  // Type-alias names observed (tree-wide) to name an unordered container,
+  // e.g. `using PositionIndex = std::unordered_map<...>;`.
+  std::unordered_set<std::string> unordered_aliases_;
+};
+
+/// raw-randomness: `rand()`, `srand()`, `std::random_device`, or a standard
+/// engine (`mt19937`, ...) outside src/common/rng.* — all randomness must
+/// flow through delprop::Rng so seeds make runs reproducible.
+class RawRandomnessRule : public Rule {
+ public:
+  explicit RawRandomnessRule(
+      std::vector<std::string> allowed_paths = {"src/common/rng."});
+
+  std::string_view name() const override { return "raw-randomness"; }
+  std::string_view description() const override {
+    return "raw PRNG use outside src/common/rng.*";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  std::vector<std::string> allowed_paths_;
+};
+
+/// raw-threading: `std::thread` / `std::jthread` / `std::async` outside
+/// src/runtime/ — concurrency must go through the ThreadPool substrate so
+/// determinism (DeriveTaskSeed) and shutdown are handled in one place.
+class RawThreadingRule : public Rule {
+ public:
+  explicit RawThreadingRule(
+      std::vector<std::string> allowed_paths = {"src/runtime/"});
+
+  std::string_view name() const override { return "raw-threading"; }
+  std::string_view description() const override {
+    return "std::thread/std::async outside src/runtime/";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  std::vector<std::string> allowed_paths_;
+};
+
+/// header-guard: every .h file must open with
+/// `#ifndef DELPROP_<PATH>_H_` / `#define` of the same macro, where <PATH>
+/// is the file path with the leading src/ stripped, uppercased, and
+/// punctuation mapped to underscores (tools/bench/tests keep their
+/// directory). `#pragma once` and missing/mismatched guards are findings.
+class HeaderGuardRule : public Rule {
+ public:
+  std::string_view name() const override { return "header-guard"; }
+  std::string_view description() const override {
+    return "include guard must be DELPROP_<PATH>_H_";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+  /// Expected guard macro for `path` (exposed for tests).
+  static std::string ExpectedGuard(std::string_view path);
+};
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_RULES_H_

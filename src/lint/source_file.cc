@@ -1,0 +1,56 @@
+#include "lint/source_file.h"
+
+#include <cctype>
+
+namespace delprop {
+namespace lint {
+namespace {
+
+constexpr std::string_view kMarker = "delprop-lint:";
+constexpr std::string_view kOkSuffix = "-ok";
+
+bool IsRuleNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-';
+}
+
+// Extracts every `<rule>-ok` mention after a `delprop-lint:` marker in
+// `comment` (one comment may suppress several rules).
+std::vector<std::string> ParseSuppressions(std::string_view comment) {
+  std::vector<std::string> rules;
+  size_t at = comment.find(kMarker);
+  if (at == std::string_view::npos) return rules;
+  size_t pos = at + kMarker.size();
+  while (pos < comment.size()) {
+    while (pos < comment.size() && !IsRuleNameChar(comment[pos])) ++pos;
+    size_t start = pos;
+    while (pos < comment.size() && IsRuleNameChar(comment[pos])) ++pos;
+    std::string_view word = comment.substr(start, pos - start);
+    if (word.size() <= kOkSuffix.size()) break;
+    if (word.substr(word.size() - kOkSuffix.size()) != kOkSuffix) break;
+    rules.emplace_back(word.substr(0, word.size() - kOkSuffix.size()));
+  }
+  return rules;
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, std::string content)
+    : path_(std::move(path)), content_(std::move(content)) {
+  for (Token& token : Tokenize(content_)) {
+    if (token.kind == TokenKind::kComment) {
+      for (std::string& rule : ParseSuppressions(token.text)) {
+        suppressions_.emplace(token.line, rule);
+        suppressions_.emplace(token.line + 1, std::move(rule));
+      }
+      continue;
+    }
+    tokens_.push_back(token);
+  }
+}
+
+bool SourceFile::IsSuppressed(std::string_view rule, int line) const {
+  return suppressions_.count({line, std::string(rule)}) > 0;
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,52 @@
+#ifndef DELPROP_LINT_SOURCE_FILE_H_
+#define DELPROP_LINT_SOURCE_FILE_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace delprop {
+namespace lint {
+
+/// One file prepared for linting: the token stream with comments stripped,
+/// plus the suppressions extracted from those comments.
+///
+/// A comment anywhere on a line may carry `delprop-lint: <rule>-ok`; it
+/// suppresses diagnostics of that rule on the comment's own line and on the
+/// following line, so both styles work:
+///
+///   DoThing();  // delprop-lint: discarded-status-ok (best-effort cleanup)
+///
+///   // delprop-lint: nondeterministic-iteration-ok (order folded into a sum)
+///   for (const auto& [k, v] : counts) total += v;
+class SourceFile {
+ public:
+  /// Lexes `content`. `path` is kept verbatim for diagnostics and for
+  /// path-sensitive rules (header guards, allowed-directory checks).
+  SourceFile(std::string path, std::string content);
+
+  const std::string& path() const { return path_; }
+  const std::string& content() const { return content_; }
+
+  /// Code tokens only (no comments).
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// True if `rule` is suppressed on `line` by a nearby suppression comment.
+  bool IsSuppressed(std::string_view rule, int line) const;
+
+ private:
+  std::string path_;
+  std::string content_;
+  std::vector<Token> tokens_;
+  // (line, rule) pairs with an active suppression.
+  std::set<std::pair<int, std::string>> suppressions_;
+};
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_SOURCE_FILE_H_

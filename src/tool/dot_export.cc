@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
 namespace delprop {
 namespace {
@@ -34,15 +35,19 @@ std::string LineageToDot(const VseInstance& instance) {
   std::ostringstream out;
   out << "digraph lineage {\n  rankdir=LR;\n";
 
-  // Base tuples that occur in some witness.
-  std::unordered_set<TupleRef, TupleRefHash> bases;
+  // Base tuples that occur in some witness, emitted in sorted order so the
+  // DOT text is identical across runs and platforms (hash-set iteration
+  // order is not).
+  std::unordered_set<TupleRef, TupleRefHash> base_set;
   for (size_t v = 0; v < instance.view_count(); ++v) {
     for (size_t t = 0; t < instance.view(v).size(); ++t) {
       for (const Witness& w : instance.view(v).tuple(t).witnesses) {
-        for (const TupleRef& ref : w) bases.insert(ref);
+        for (const TupleRef& ref : w) base_set.insert(ref);
       }
     }
   }
+  std::vector<TupleRef> bases(base_set.begin(), base_set.end());
+  std::sort(bases.begin(), bases.end());
   for (const TupleRef& ref : bases) {
     out << "  " << BaseNodeId(ref) << " [shape=box, label="
         << Quote(db.RenderTuple(ref)) << "];\n";
@@ -107,12 +112,15 @@ std::string DualHypergraphToDot(const VseInstance& instance) {
                                   "purple", "brown",  "cyan4",  "magenta"};
   std::ostringstream out;
   out << "graph dual_hypergraph {\n";
-  std::unordered_set<RelationId> used;
+  // Relation nodes in id order, not hash order, for reproducible output.
+  std::unordered_set<RelationId> used_set;
   for (size_t q = 0; q < instance.view_count(); ++q) {
     for (const Atom& atom : instance.query(q).atoms()) {
-      used.insert(atom.relation);
+      used_set.insert(atom.relation);
     }
   }
+  std::vector<RelationId> used(used_set.begin(), used_set.end());
+  std::sort(used.begin(), used.end());
   for (RelationId rel : used) {
     out << "  r" << rel << " [label=" << Quote(schema.relation(rel).name)
         << "];\n";

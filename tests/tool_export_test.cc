@@ -1,3 +1,8 @@
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -23,6 +28,37 @@ TEST(DotExportTest, LineageContainsMarkedAndBaseNodes) {
   EXPECT_NE(dot.find("\"Q3(John, XML)\""), std::string::npos);
   EXPECT_NE(dot.find("doubleoctagon"), std::string::npos) << "ΔV marker";
   EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExportTest, NodeDeclarationsAreEmittedInSortedOrder) {
+  // Regression: base-tuple and relation nodes were emitted in
+  // unordered_set iteration order, so the DOT text could differ across
+  // platforms/runs. Node ids are t<relation>_<row> / r<relation> and must
+  // now appear in ascending order.
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+
+  std::string lineage = LineageToDot(*generated->instance);
+  std::vector<std::pair<int, int>> bases;
+  std::istringstream lineage_in(lineage);
+  for (std::string line; std::getline(lineage_in, line);) {
+    int rel = 0, row = 0, matched = -1;
+    std::sscanf(line.c_str(), "  t%d_%d [shape=box%n", &rel, &row, &matched);
+    if (matched > 0) bases.emplace_back(rel, row);
+  }
+  ASSERT_GT(bases.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(bases.begin(), bases.end()));
+
+  std::string dual = DualHypergraphToDot(*generated->instance);
+  std::vector<int> rels;
+  std::istringstream dual_in(dual);
+  for (std::string line; std::getline(dual_in, line);) {
+    int rel = 0, matched = -1;
+    std::sscanf(line.c_str(), "  r%d [label%n", &rel, &matched);
+    if (matched > 0) rels.push_back(rel);
+  }
+  ASSERT_GT(rels.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(rels.begin(), rels.end()));
 }
 
 TEST(DotExportTest, DataForestHighlightsPivots) {
