@@ -12,7 +12,19 @@ cmake --build build
 # Static analysis first: project invariants (Status discipline, deterministic
 # iteration, Rng/ThreadPool funnels, header guards) — see docs/lint.md.
 ./build/tools/delprop_lint --check src tools bench tests
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Shuffle test order inside every gtest binary (fixed seed, so failures are
+# reproducible) to keep the suites free of inter-test order dependencies.
+# ctest runs each discovered case in its own process, so the shuffle only
+# bites in the direct binary runs below and in local `./tests/foo_test` use.
+GTEST_SHUFFLE=1 GTEST_RANDOM_SEED=4242 \
+  ctest --test-dir build 2>&1 | tee test_output.txt
+for t in build/tests/*_test; do
+  [ -x "$t" ] || continue
+  GTEST_SHUFFLE=1 GTEST_RANDOM_SEED=4242 "$t" >/dev/null 2>&1 || {
+    echo "shuffled run failed: $t (GTEST_RANDOM_SEED=4242)" >&2
+    exit 1
+  }
+done
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -93,15 +93,30 @@ Result<VseInstance> VseInstance::CreateByFiltering(
 
 Status VseInstance::IndexWitnesses() {
   all_unique_witness_ = true;
+  const Schema& schema = database_->schema();
   for (size_t v = 0; v < views_.size(); ++v) {
     const View& view = views_[v];
+    const ConjunctiveQuery& query = *queries_[v];
+    std::string where = "view " + std::to_string(v);
     for (size_t t = 0; t < view.size(); ++t) {
       const ViewTuple& tuple = view.tuple(t);
+      // A tuple of the wrong shape (e.g. pasted in from another view) cannot
+      // be rendered safely, so check arity before touching the dictionary.
+      if (tuple.values.size() != query.arity()) {
+        return Status::InvalidArgument(
+            where + " tuple " + std::to_string(t) + " has " +
+            std::to_string(tuple.values.size()) +
+            " head values but query '" + query.name() + "' has arity " +
+            std::to_string(query.arity()) +
+            "; it does not belong to this view");
+      }
+      std::string who =
+          where + " tuple " + std::to_string(t) + " (" + view.RenderTuple(t) +
+          ")";
       if (tuple.witnesses.empty()) {
         return Status::InvalidArgument(
-            "view " + std::to_string(v) + " tuple " + std::to_string(t) +
-            " (" + view.RenderTuple(t) +
-            ") has no witnesses; it could never be deleted or preserved "
+            who +
+            " has no witnesses; it could never be deleted or preserved "
             "consistently");
       }
       if (tuple.witnesses.size() > 1) all_unique_witness_ = false;
@@ -110,11 +125,38 @@ Status VseInstance::IndexWitnesses() {
       for (const Witness& witness : tuple.witnesses) {
         if (witness.empty()) {
           return Status::InvalidArgument(
-              "view " + std::to_string(v) + " tuple " + std::to_string(t) +
-              " (" + view.RenderTuple(t) +
-              ") has an empty witness; deleting it would be impossible");
+              who + " has an empty witness; deleting it would be impossible");
         }
-        for (const TupleRef& ref : witness) {
+        if (witness.size() != query.atoms().size()) {
+          return Status::InvalidArgument(
+              who + " has a witness of " + std::to_string(witness.size()) +
+              " base tuple(s) for a body of " +
+              std::to_string(query.atoms().size()) + " atom(s)");
+        }
+        for (size_t a = 0; a < witness.size(); ++a) {
+          const TupleRef& ref = witness[a];
+          // Dangling witnesses: the reference must land inside the database,
+          // on the relation the body atom names.
+          if (ref.relation >= schema.relation_count()) {
+            return Status::InvalidArgument(
+                who + " has a dangling witness: relation id " +
+                std::to_string(ref.relation) + " does not exist");
+          }
+          if (ref.relation != query.atoms()[a].relation) {
+            return Status::InvalidArgument(
+                who + " has a witness whose atom " + std::to_string(a) +
+                " references relation '" + schema.relation(ref.relation).name +
+                "' where the query body has '" +
+                schema.relation(query.atoms()[a].relation).name + "'");
+          }
+          if (ref.row >= database_->relation(ref.relation).row_count()) {
+            return Status::InvalidArgument(
+                who + " has a dangling witness: row " +
+                std::to_string(ref.row) + " of relation '" +
+                schema.relation(ref.relation).name + "' does not exist (" +
+                std::to_string(database_->relation(ref.relation).row_count()) +
+                " row(s))");
+          }
           if (seen.insert(ref).second) {
             kill_map_[ref].push_back(id);
           }

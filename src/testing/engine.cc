@@ -1,0 +1,196 @@
+#include "testing/engine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "testing/fuzzer.h"
+#include "testing/shrink.h"
+#include "tool/script.h"
+#include "tool/serialize.h"
+
+namespace delprop {
+namespace testing {
+namespace {
+
+/// Turns an oracle name into a filename-safe slug ("feasible:greedy" ->
+/// "feasible-greedy").
+std::string Slug(const std::string& oracle) {
+  std::string slug = oracle;
+  for (char& c : slug) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '-';
+  }
+  return slug;
+}
+
+void RunOneSeed(const FuzzEngineOptions& options, size_t index,
+                SeedOutcome* outcome) {
+  outcome->index = index;
+  outcome->seed = DeriveTaskSeed(options.seed_start, index);
+  Result<FuzzCase> fuzz_case = GenerateFuzzCase(outcome->seed);
+  if (!fuzz_case.ok()) {
+    outcome->generation = fuzz_case.status();
+    return;
+  }
+  outcome->family = fuzz_case->family;
+  const VseInstance& instance = *fuzz_case->generated.instance;
+  outcome->view_tuples = instance.TotalViewTuples();
+  outcome->deletion_tuples = instance.TotalDeletionTuples();
+  outcome->violations = CheckOracles(instance, options.oracle);
+  if (outcome->violations.empty()) return;
+
+  std::string script = SerializeToScript(instance);
+  outcome->repro_script = script;
+  if (options.shrink) {
+    Result<ShrinkOutcome> shrunk =
+        ShrinkScript(script, outcome->violations[0].oracle, options.oracle);
+    if (shrunk.ok()) {
+      outcome->repro_script = shrunk->script;
+      outcome->shrink_initial_lines = shrunk->initial_lines;
+      outcome->shrink_final_lines = shrunk->final_lines;
+    }
+  }
+}
+
+Status WriteRepro(const FuzzEngineOptions& options, SeedOutcome* outcome) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create out dir '" + options.out_dir +
+                            "': " + ec.message());
+  }
+  const OracleViolation& violation = outcome->violations[0];
+  std::string name = "seed" + std::to_string(outcome->seed) + "_" +
+                     Slug(violation.oracle) + ".delprop";
+  std::filesystem::path path = std::filesystem::path(options.out_dir) / name;
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot write '" + path.string() + "'");
+  }
+  out << "# delprop_fuzz repro\n";
+  out << "# oracle: " << violation.oracle << "\n";
+  out << "# detail: " << violation.detail << "\n";
+  out << "# family: " << outcome->family << "\n";
+  out << "# seed: " << outcome->seed << " (seed-start "
+      << options.seed_start << ", index " << outcome->index << ")\n";
+  if (outcome->shrink_final_lines > 0) {
+    out << "# shrunk: " << outcome->shrink_initial_lines << " -> "
+        << outcome->shrink_final_lines << " command lines\n";
+  }
+  out << "# replay: delprop_fuzz --replay <this file>\n";
+  out << outcome->repro_script;
+  if (!outcome->repro_script.empty() &&
+      outcome->repro_script.back() != '\n') {
+    out << "\n";
+  }
+  outcome->repro_path = path.string();
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string FuzzSummary::ToString() const {
+  std::ostringstream out;
+  out << "delprop_fuzz summary\n";
+  out << "  seed-start: " << options.seed_start << "\n";
+  out << "  iterations: " << options.iterations << "\n";
+  out << "  shrink: " << (options.shrink ? "on" : "off") << "\n";
+  out << "  cases: " << cases << "\n";
+  out << "  families:";
+  if (per_family.empty()) out << " (none)";
+  for (const auto& [family, count] : per_family) {
+    out << " " << family << "=" << count;
+  }
+  out << "\n";
+  out << "  generation failures: " << generation_failures << "\n";
+  out << "  failing cases: " << failing_cases << "\n";
+  if (!per_oracle.empty()) {
+    out << "  oracle failures:\n";
+    for (const auto& [oracle, count] : per_oracle) {
+      out << "    " << oracle << ": " << count << "\n";
+    }
+  }
+  for (const SeedOutcome& failure : failures) {
+    if (!failure.generation.ok()) {
+      out << "  seed " << failure.seed << " (index " << failure.index
+          << "): generation failed: " << failure.generation.ToString()
+          << "\n";
+      continue;
+    }
+    out << "  seed " << failure.seed << " (index " << failure.index
+        << ", family " << failure.family << ", ‖V‖=" << failure.view_tuples
+        << ", ‖ΔV‖=" << failure.deletion_tuples << "):\n";
+    for (const OracleViolation& violation : failure.violations) {
+      out << "    " << violation.oracle << ": " << violation.detail << "\n";
+    }
+    if (failure.shrink_final_lines > 0) {
+      out << "    shrunk " << failure.shrink_initial_lines << " -> "
+          << failure.shrink_final_lines << " command lines\n";
+    }
+    if (!failure.repro_path.empty()) {
+      out << "    repro: " << failure.repro_path << "\n";
+    }
+  }
+  return out.str();
+}
+
+FuzzSummary RunFuzz(const FuzzEngineOptions& options, ThreadPool* pool) {
+  std::vector<SeedOutcome> outcomes(options.iterations);
+  ParallelFor(pool, options.iterations,
+              [&](size_t i) { RunOneSeed(options, i, &outcomes[i]); });
+
+  FuzzSummary summary;
+  summary.options = options;
+  for (SeedOutcome& outcome : outcomes) {
+    if (!outcome.generation.ok()) {
+      ++summary.generation_failures;
+      summary.failures.push_back(outcome);
+      continue;
+    }
+    ++summary.cases;
+    ++summary.per_family[outcome.family];
+    if (outcome.violations.empty()) continue;
+    ++summary.failing_cases;
+    for (const OracleViolation& violation : outcome.violations) {
+      ++summary.per_oracle[violation.oracle];
+    }
+    if (!options.out_dir.empty()) {
+      // Written sequentially from this thread, in index order, so the set of
+      // files (and the summary mentioning them) is deterministic.
+      Status written = WriteRepro(options, &outcome);
+      if (!written.ok()) {
+        outcome.violations.push_back(
+            {"repro-write-error", written.ToString()});
+      }
+    }
+    summary.failures.push_back(outcome);
+  }
+  return summary;
+}
+
+Result<std::vector<OracleViolation>> ReplayScriptFile(
+    const std::string& path, const OracleOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read '" + path + "'");
+  std::ostringstream content;
+  content << in.rdbuf();
+
+  ScriptSession session;
+  std::string out;
+  if (Status s = session.Run(content.str(), &out); !s.ok()) {
+    return Status(s.code(), path + ": " + s.message());
+  }
+  if (Status s = session.Run("views", &out); !s.ok()) {
+    return Status(s.code(), path + ": " + s.message());
+  }
+  if (session.instance() == nullptr) {
+    return Status::InvalidArgument(path + ": script declares no instance");
+  }
+  return CheckOracles(*session.instance(), options);
+}
+
+}  // namespace testing
+}  // namespace delprop

@@ -1,0 +1,83 @@
+#ifndef DELPROP_TESTING_ENGINE_H_
+#define DELPROP_TESTING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+#include "testing/oracles.h"
+
+namespace delprop {
+namespace testing {
+
+/// Configuration of one fuzz run.
+struct FuzzEngineOptions {
+  /// Base seed; case i uses DeriveTaskSeed(seed_start, i), so runs with the
+  /// same base are identical at any thread count.
+  uint64_t seed_start = 1;
+  size_t iterations = 100;
+  /// Minimize failing cases before reporting them.
+  bool shrink = true;
+  /// Directory repro files are written into (created if missing); empty
+  /// disables writing.
+  std::string out_dir;
+  OracleOptions oracle;
+};
+
+/// What happened to one seed.
+struct SeedOutcome {
+  size_t index = 0;
+  uint64_t seed = 0;  // the derived per-case seed
+  std::string family;
+  size_t view_tuples = 0;
+  size_t deletion_tuples = 0;
+  Status generation = Status::Ok();
+  std::vector<OracleViolation> violations;
+  /// The replayable failing script (shrunk when shrinking is on and
+  /// succeeded, otherwise the full serialization). Empty when no violation.
+  std::string repro_script;
+  size_t shrink_initial_lines = 0;
+  size_t shrink_final_lines = 0;
+  /// Repro file path once written (engine fills it in when out_dir is set).
+  std::string repro_path;
+};
+
+/// Aggregated result of a run. ToString() is byte-identical for the same
+/// options at any thread count — it contains no timing and is assembled from
+/// the outcomes in seed-index order.
+struct FuzzSummary {
+  FuzzEngineOptions options;
+  size_t cases = 0;
+  size_t generation_failures = 0;
+  size_t failing_cases = 0;
+  std::map<std::string, size_t> per_family;
+  std::map<std::string, size_t> per_oracle;
+  /// Outcomes of failing or generation-failed seeds, in index order.
+  std::vector<SeedOutcome> failures;
+
+  std::string ToString() const;
+};
+
+/// Runs the differential fuzz loop: for every seed index, generate a case,
+/// run the oracles, and on violation shrink + serialize a repro. Cases run
+/// concurrently on `pool` when it has more than one worker; each case is
+/// fully determined by its derived seed and writes only its own slot, so the
+/// summary is bit-identical at any thread count. Repro files are written
+/// from the calling thread after all cases finish, in index order, named
+/// seed<seed>_<oracle>.delprop with the failing oracle in a header comment.
+FuzzSummary RunFuzz(const FuzzEngineOptions& options,
+                    ThreadPool* pool = nullptr);
+
+/// Loads a repro/corpus script from `path` and reruns the oracles over it.
+/// Returns the violations (empty = the regression is fixed / the case is
+/// healthy), or a Status error when the file cannot be read or replayed.
+Result<std::vector<OracleViolation>> ReplayScriptFile(
+    const std::string& path, const OracleOptions& options = {});
+
+}  // namespace testing
+}  // namespace delprop
+
+#endif  // DELPROP_TESTING_ENGINE_H_

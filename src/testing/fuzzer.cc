@@ -1,0 +1,67 @@
+#include "testing/fuzzer.h"
+
+#include "common/rng.h"
+#include "workload/hardness_family.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+
+namespace delprop {
+namespace testing {
+
+std::vector<std::string> FuzzFamilies() {
+  return {"random", "path", "star", "hardness"};
+}
+
+Result<FuzzCase> GenerateFuzzCase(uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fuzz_case;
+  size_t family = static_cast<size_t>(rng.NextBelow(4));
+  fuzz_case.family = FuzzFamilies()[family];
+
+  Result<GeneratedVse> generated = [&]() -> Result<GeneratedVse> {
+    switch (family) {
+      case 0: {
+        RandomWorkloadParams params;
+        params.relations = 2 + rng.NextBelow(2);
+        params.rows_per_relation = 5 + rng.NextBelow(6);
+        params.domain = 3 + rng.NextBelow(4);
+        params.queries = 1 + rng.NextBelow(3);
+        params.max_atoms = 2 + rng.NextBelow(2);
+        params.share_probability = 0.4 + 0.4 * rng.NextDouble();
+        params.deletion_fraction = 0.1 + 0.3 * rng.NextDouble();
+        return GenerateRandomWorkload(rng, params);
+      }
+      case 1: {
+        PathSchemaParams params;
+        params.levels = 2 + rng.NextBelow(3);
+        params.roots = 1 + rng.NextBelow(2);
+        params.fanout = 1 + rng.NextBelow(2);
+        params.deletion_fraction = 0.1 + 0.35 * rng.NextDouble();
+        params.random_parents = rng.NextBool(0.3);
+        return GeneratePathSchema(rng, params);
+      }
+      case 2: {
+        StarSchemaParams params;
+        params.dimensions = 2 + rng.NextBelow(2);
+        params.dimension_rows = 2 + rng.NextBelow(3);
+        params.fact_rows = 6 + rng.NextBelow(8);
+        params.deletion_fraction = 0.1 + 0.2 * rng.NextDouble();
+        return GenerateStarSchema(rng, params);
+      }
+      default: {
+        size_t k = 2 + rng.NextBelow(3);
+        RbscInstance rbsc = rng.NextBool(0.4)
+                                ? LayeredTrapRbsc(1 + rng.NextBelow(2), k)
+                                : GreedyTrapRbsc(k);
+        return ReduceRbscToVse(rbsc);
+      }
+    }
+  }();
+  if (!generated.ok()) return generated.status();
+  fuzz_case.generated = std::move(*generated);
+  return fuzz_case;
+}
+
+}  // namespace testing
+}  // namespace delprop

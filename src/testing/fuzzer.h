@@ -1,0 +1,35 @@
+#ifndef DELPROP_TESTING_FUZZER_H_
+#define DELPROP_TESTING_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+namespace testing {
+
+/// One generated fuzz input: the owning GeneratedVse plus which workload
+/// family the seed landed in ("random", "path", "star", "hardness").
+struct FuzzCase {
+  std::string family;
+  GeneratedVse generated;
+};
+
+/// Names of the workload families GenerateFuzzCase draws from, in draw-index
+/// order.
+std::vector<std::string> FuzzFamilies();
+
+/// Deterministically derives a fuzz input from `seed`: the seed's Rng stream
+/// picks a family and its parameters, so equal seeds yield equal instances
+/// on every platform and at any thread count. Parameter ranges are sized so
+/// the exponential oracles (exact optimum, naive evaluation) stay inside
+/// their OracleOptions gates on most cases.
+Result<FuzzCase> GenerateFuzzCase(uint64_t seed);
+
+}  // namespace testing
+}  // namespace delprop
+
+#endif  // DELPROP_TESTING_FUZZER_H_

@@ -1,0 +1,267 @@
+#include "testing/oracles.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "dp/side_effect.h"
+#include "dp/solver.h"
+#include "solvers/exact_solver.h"
+#include "solvers/solver_registry.h"
+#include "testing/reference_eval.h"
+#include "tool/script.h"
+#include "tool/serialize.h"
+
+namespace delprop {
+namespace testing {
+namespace {
+
+std::string FormatCost(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+void CheckEvaluatorCrosscheck(const VseInstance& instance,
+                              const OracleOptions& options,
+                              std::vector<OracleViolation>* out) {
+  const Database& db = instance.database();
+  for (size_t q = 0; q < instance.view_count(); ++q) {
+    const ConjunctiveQuery& query = instance.query(q);
+    if (NaiveEvaluationCost(db, query) > options.max_naive_eval_cost) continue;
+    Result<View> indexed = Evaluate(db, query);
+    if (!indexed.ok()) {
+      out->push_back({"evaluator-crosscheck:" + query.name(),
+                      "indexed evaluation failed: " +
+                          indexed.status().ToString()});
+      continue;
+    }
+    ResultMap reference = NaiveEvaluate(db, query);
+    ResultMap actual = ViewToResultMap(*indexed);
+    if (actual != reference) {
+      out->push_back(
+          {"evaluator-crosscheck:" + query.name(),
+           "indexed evaluator returned " + std::to_string(actual.size()) +
+               " answers where naive enumeration returned " +
+               std::to_string(reference.size()) + " for " +
+               query.ToString(db.schema(), db.dict())});
+    }
+  }
+}
+
+void CheckSerializeRoundTrip(const VseInstance& instance,
+                             std::vector<OracleViolation>* out) {
+  std::string script = SerializeToScript(instance);
+  ScriptSession session;
+  std::string session_out;
+  if (Status s = session.Run(script, &session_out); !s.ok()) {
+    out->push_back({"serialize-roundtrip",
+                    "replaying the serialized script failed: " + s.ToString()});
+    return;
+  }
+  if (Status s = session.Run("views", &session_out); !s.ok()) {
+    out->push_back({"serialize-roundtrip",
+                    "materializing the replayed views failed: " +
+                        s.ToString()});
+    return;
+  }
+  const VseInstance* replayed = session.instance();
+  if (replayed == nullptr) {
+    out->push_back({"serialize-roundtrip",
+                    "replayed session produced no instance"});
+    return;
+  }
+  if (replayed->view_count() != instance.view_count() ||
+      replayed->TotalViewTuples() != instance.TotalViewTuples() ||
+      replayed->TotalDeletionTuples() != instance.TotalDeletionTuples()) {
+    out->push_back(
+        {"serialize-roundtrip",
+         "structure drifted: views " + std::to_string(instance.view_count()) +
+             "->" + std::to_string(replayed->view_count()) + ", tuples " +
+             std::to_string(instance.TotalViewTuples()) + "->" +
+             std::to_string(replayed->TotalViewTuples()) + ", ΔV " +
+             std::to_string(instance.TotalDeletionTuples()) + "->" +
+             std::to_string(replayed->TotalDeletionTuples())});
+    return;
+  }
+  std::string reserialized = SerializeToScript(*replayed);
+  if (reserialized != script) {
+    out->push_back({"serialize-roundtrip",
+                    "serialize -> replay -> serialize is not byte-identical"});
+  }
+}
+
+struct SolverOutcome {
+  bool ran = false;  // ok result (refusals and budget exhaustion stay false)
+  VseSolution solution;
+};
+
+/// Runs `solver`, folding unexpected statuses into violations. Refusals
+/// (FailedPrecondition — wrong instance shape or budget exhaustion) are
+/// expected and simply leave `ran` false.
+SolverOutcome RunSolver(VseSolver& solver, const VseInstance& instance,
+                        const OracleOptions& options,
+                        std::vector<OracleViolation>* out) {
+  SolverOutcome outcome;
+  Result<VseSolution> result = solver.Solve(instance);
+  if (!result.ok()) {
+    if (result.status().code() != StatusCode::kFailedPrecondition) {
+      out->push_back({"solver-error:" + solver.name(),
+                      "unexpected status: " + result.status().ToString()});
+    }
+    return outcome;
+  }
+  outcome.ran = true;
+  outcome.solution = std::move(*result);
+
+  // The report must be reproducible from the deletion set alone.
+  SideEffectReport recomputed =
+      EvaluateDeletion(instance, outcome.solution.deletion);
+  const SideEffectReport& reported = outcome.solution.report;
+  if (recomputed.eliminates_all_deletions !=
+          reported.eliminates_all_deletions ||
+      std::abs(recomputed.side_effect_weight - reported.side_effect_weight) >
+          options.cost_epsilon ||
+      std::abs(recomputed.balanced_cost - reported.balanced_cost) >
+          options.cost_epsilon) {
+    out->push_back(
+        {"report-consistency:" + solver.name(),
+         "reported cost " + FormatCost(reported.side_effect_weight) +
+             " / balanced " + FormatCost(reported.balanced_cost) +
+             " vs recomputed " + FormatCost(recomputed.side_effect_weight) +
+             " / " + FormatCost(recomputed.balanced_cost)});
+  }
+  if (solver.objective() == Objective::kStandard &&
+      !outcome.solution.Feasible()) {
+    out->push_back({"feasible:" + solver.name(),
+                    std::to_string(reported.surviving_deletions.size()) +
+                        " ΔV tuple(s) survive the deletion"});
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<std::string> OracleNames() {
+  return {"evaluator-crosscheck", "serialize-roundtrip",
+          "solver-error",         "feasible",
+          "report-consistency",   "cost-vs-exact",
+          "dp-tree-exact",        "dp-tree-balanced-exact",
+          "ratio-primal-dual",    "ratio-lowdeg",
+          "ratio-claim1",         "balanced-cost-vs-exact"};
+}
+
+std::vector<OracleViolation> CheckOracles(const VseInstance& instance,
+                                          const OracleOptions& options) {
+  std::vector<OracleViolation> violations;
+
+  CheckEvaluatorCrosscheck(instance, options, &violations);
+  if (options.check_serialization) {
+    CheckSerializeRoundTrip(instance, &violations);
+  }
+
+  // Every approximation solver must produce a feasible, internally consistent
+  // solution whether or not the exact optimum is computable.
+  std::vector<std::unique_ptr<VseSolver>> approximations =
+      StandardApproximationSolvers();
+  std::vector<SolverOutcome> outcomes;
+  outcomes.reserve(approximations.size());
+  for (const auto& solver : approximations) {
+    outcomes.push_back(RunSolver(*solver, instance, options, &violations));
+  }
+
+  // Exact-optimum-based oracles, gated on instance size.
+  if (instance.CandidateTuples().size() > options.max_candidates_for_exact) {
+    return violations;
+  }
+  ExactSolver exact(options.exact_node_budget);
+  SolverOutcome optimal = RunSolver(exact, instance, options, &violations);
+  if (optimal.ran) {
+    double opt = optimal.solution.Cost();
+    for (size_t i = 0; i < approximations.size(); ++i) {
+      if (!outcomes[i].ran) continue;
+      const std::string& name = approximations[i]->name();
+      double cost = outcomes[i].solution.Cost();
+      if (cost < opt - options.cost_epsilon) {
+        violations.push_back(
+            {"cost-vs-exact:" + name,
+             name + " cost " + FormatCost(cost) +
+                 " beats the exact optimum " + FormatCost(opt)});
+      }
+      if (name == "dp-tree" &&
+          std::abs(cost - opt) > options.cost_epsilon) {
+        violations.push_back(
+            {"dp-tree-exact", "Algorithm 4 cost " + FormatCost(cost) +
+                                  " != exact optimum " + FormatCost(opt)});
+      }
+      if (name == "primal-dual") {
+        double l = static_cast<double>(instance.max_arity());
+        if (cost > l * opt + options.cost_epsilon) {
+          violations.push_back(
+              {"ratio-primal-dual",
+               "Theorem 3: cost " + FormatCost(cost) + " > l=" +
+                   FormatCost(l) + " * OPT=" + FormatCost(opt)});
+        }
+      }
+      if (name == "lowdeg-tree") {
+        double bound =
+            options.lowdeg_ratio_scale * 2.0 *
+            std::sqrt(static_cast<double>(instance.TotalViewTuples())) *
+            std::max(opt, 1.0);
+        if (cost > bound + options.cost_epsilon) {
+          violations.push_back(
+              {"ratio-lowdeg", "Theorem 4: cost " + FormatCost(cost) +
+                                   " > bound " + FormatCost(bound) +
+                                   " (OPT=" + FormatCost(opt) + ")"});
+        }
+      }
+      if (name == "rbsc-lowdeg" && instance.all_unique_witness()) {
+        double l = static_cast<double>(instance.max_arity());
+        double v = static_cast<double>(instance.TotalViewTuples());
+        double dv = static_cast<double>(instance.TotalDeletionTuples());
+        double bound = 2.0 * std::sqrt(l * v * std::log(std::max(2.0, dv))) *
+                       std::max(opt, 1.0);
+        if (cost > bound + options.cost_epsilon) {
+          violations.push_back(
+              {"ratio-claim1", "Claim 1: cost " + FormatCost(cost) +
+                                   " > bound " + FormatCost(bound) +
+                                   " (OPT=" + FormatCost(opt) + ")"});
+        }
+      }
+    }
+  }
+
+  // Balanced objective: Algorithm 4's balanced variant must match the exact
+  // balanced optimum, and the pnpsc heuristic must not beat it.
+  ExactBalancedSolver exact_balanced(options.exact_node_budget);
+  SolverOutcome balanced_opt =
+      RunSolver(exact_balanced, instance, options, &violations);
+  if (balanced_opt.ran) {
+    double opt = balanced_opt.solution.BalancedCost();
+    std::unique_ptr<VseSolver> dp_balanced = MakeSolver("dp-tree-balanced");
+    SolverOutcome dp = RunSolver(*dp_balanced, instance, options, &violations);
+    if (dp.ran &&
+        std::abs(dp.solution.BalancedCost() - opt) > options.cost_epsilon) {
+      violations.push_back(
+          {"dp-tree-balanced-exact",
+           "balanced Algorithm 4 cost " +
+               FormatCost(dp.solution.BalancedCost()) +
+               " != exact balanced optimum " + FormatCost(opt)});
+    }
+    std::unique_ptr<VseSolver> pnpsc = MakeSolver("balanced-pnpsc");
+    SolverOutcome heuristic =
+        RunSolver(*pnpsc, instance, options, &violations);
+    if (heuristic.ran &&
+        heuristic.solution.BalancedCost() < opt - options.cost_epsilon) {
+      violations.push_back(
+          {"balanced-cost-vs-exact:balanced-pnpsc",
+           "balanced-pnpsc cost " +
+               FormatCost(heuristic.solution.BalancedCost()) +
+               " beats the exact balanced optimum " + FormatCost(opt)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace testing
+}  // namespace delprop

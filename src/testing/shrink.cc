@@ -1,0 +1,189 @@
+#include "testing/shrink.h"
+
+#include <vector>
+
+#include "tool/script.h"
+
+namespace delprop {
+namespace testing {
+namespace {
+
+/// One script line, classified by the command it carries. `subject` is the
+/// query or relation name the command addresses (empty for other kinds).
+struct ScriptLine {
+  enum class Kind { kOther, kRelation, kInsert, kQuery, kDelete, kWeight };
+  std::string text;
+  Kind kind = Kind::kOther;
+  std::string subject;
+  bool removed = false;
+};
+
+std::string SubjectOf(const std::string& line, size_t command_length) {
+  size_t start = command_length;
+  while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) {
+    ++start;
+  }
+  size_t end = start;
+  while (end < line.size() && line[end] != '(' && line[end] != ' ' &&
+         line[end] != '\t') {
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+std::vector<ScriptLine> ParseLines(const std::string& script) {
+  std::vector<ScriptLine> lines;
+  size_t start = 0;
+  while (start <= script.size()) {
+    size_t newline = script.find('\n', start);
+    std::string text = newline == std::string::npos
+                           ? script.substr(start)
+                           : script.substr(start, newline - start);
+    ScriptLine line;
+    line.text = text;
+    size_t first = text.find_first_not_of(" \t");
+    if (first != std::string::npos && text[first] != '#') {
+      std::string body = text.substr(first);
+      auto starts_with = [&](const char* prefix) {
+        return body.rfind(prefix, 0) == 0;
+      };
+      if (starts_with("relation ")) {
+        line.kind = ScriptLine::Kind::kRelation;
+        line.subject = SubjectOf(body, 9);
+      } else if (starts_with("insert ")) {
+        line.kind = ScriptLine::Kind::kInsert;
+        line.subject = SubjectOf(body, 7);
+      } else if (starts_with("query ")) {
+        line.kind = ScriptLine::Kind::kQuery;
+        line.subject = SubjectOf(body, 6);
+      } else if (starts_with("delete ")) {
+        line.kind = ScriptLine::Kind::kDelete;
+        line.subject = SubjectOf(body, 7);
+      } else if (starts_with("weight ")) {
+        line.kind = ScriptLine::Kind::kWeight;
+        line.subject = SubjectOf(body, 7);
+      }
+    }
+    lines.push_back(std::move(line));
+    if (newline == std::string::npos) break;
+    start = newline + 1;
+  }
+  return lines;
+}
+
+std::string Render(const std::vector<ScriptLine>& lines) {
+  std::string out;
+  for (const ScriptLine& line : lines) {
+    if (line.removed) continue;
+    out += line.text;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t CountCommands(const std::vector<ScriptLine>& lines) {
+  size_t n = 0;
+  for (const ScriptLine& line : lines) {
+    if (!line.removed && line.kind != ScriptLine::Kind::kOther) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool ScriptFailsOracle(const std::string& script, const std::string& oracle,
+                       const OracleOptions& options) {
+  ScriptSession session;
+  std::string out;
+  if (!session.Run(script, &out).ok()) return false;
+  if (!session.Run("views", &out).ok()) return false;
+  const VseInstance* instance = session.instance();
+  if (instance == nullptr) return false;
+  for (const OracleViolation& violation : CheckOracles(*instance, options)) {
+    if (violation.oracle == oracle) return true;
+  }
+  return false;
+}
+
+Result<ShrinkOutcome> ShrinkScript(const std::string& script,
+                                   const std::string& oracle,
+                                   const OracleOptions& options) {
+  if (!ScriptFailsOracle(script, oracle, options)) {
+    return Status::InvalidArgument(
+        "shrink input does not fail oracle '" + oracle + "'");
+  }
+  std::vector<ScriptLine> lines = ParseLines(script);
+  ShrinkOutcome outcome;
+  outcome.initial_lines = CountCommands(lines);
+
+  // Tries removing the lines at `indices`; keeps the removal if the reduced
+  // script still fails the oracle.
+  auto try_remove = [&](const std::vector<size_t>& indices) {
+    if (indices.empty()) return;
+    for (size_t i : indices) lines[i].removed = true;
+    ++outcome.attempts;
+    if (ScriptFailsOracle(Render(lines), oracle, options)) {
+      ++outcome.accepted;
+    } else {
+      for (size_t i : indices) lines[i].removed = false;
+    }
+  };
+
+  auto live = [&](size_t i, ScriptLine::Kind kind) {
+    return !lines[i].removed && lines[i].kind == kind;
+  };
+
+  bool progress = true;
+  while (progress) {
+    size_t accepted_before = outcome.accepted;
+
+    // Whole queries first (largest units): a query plus every ΔV mark and
+    // weight addressing it.
+    for (size_t q = 0; q < lines.size(); ++q) {
+      if (!live(q, ScriptLine::Kind::kQuery)) continue;
+      std::vector<size_t> unit{q};
+      for (size_t i = 0; i < lines.size(); ++i) {
+        if ((live(i, ScriptLine::Kind::kDelete) ||
+             live(i, ScriptLine::Kind::kWeight)) &&
+            lines[i].subject == lines[q].subject) {
+          unit.push_back(i);
+        }
+      }
+      try_remove(unit);
+    }
+    // Individual ΔV marks and weights.
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (live(i, ScriptLine::Kind::kDelete)) try_remove({i});
+    }
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (live(i, ScriptLine::Kind::kWeight)) try_remove({i});
+    }
+    // Individual rows. Removing a row a ΔV mark still references makes the
+    // script invalid, so such candidates are rejected by the re-check.
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (live(i, ScriptLine::Kind::kInsert)) try_remove({i});
+    }
+    // Whole relations (with their rows). Still-referenced relations make the
+    // query declarations fail to parse, rejecting the candidate.
+    for (size_t r = 0; r < lines.size(); ++r) {
+      if (!live(r, ScriptLine::Kind::kRelation)) continue;
+      std::vector<size_t> unit{r};
+      for (size_t i = 0; i < lines.size(); ++i) {
+        if (live(i, ScriptLine::Kind::kInsert) &&
+            lines[i].subject == lines[r].subject) {
+          unit.push_back(i);
+        }
+      }
+      try_remove(unit);
+    }
+
+    progress = outcome.accepted > accepted_before;
+  }
+
+  outcome.final_lines = CountCommands(lines);
+  outcome.script = Render(lines);
+  return outcome;
+}
+
+}  // namespace testing
+}  // namespace delprop

@@ -1,0 +1,44 @@
+#ifndef DELPROP_TESTING_SHRINK_H_
+#define DELPROP_TESTING_SHRINK_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "testing/oracles.h"
+
+namespace delprop {
+namespace testing {
+
+/// Result of greedily minimizing a failing script.
+struct ShrinkOutcome {
+  /// The minimized script; replaying it still triggers the oracle.
+  std::string script;
+  /// Command lines (comments/blanks excluded) before and after shrinking.
+  size_t initial_lines = 0;
+  size_t final_lines = 0;
+  /// Candidate removals tried / accepted.
+  size_t attempts = 0;
+  size_t accepted = 0;
+};
+
+/// Rebuilds the instance a script describes (ScriptSession replay + view
+/// materialization) and reruns the oracles. True iff the script builds AND
+/// some violation's oracle name equals `oracle`. Scripts that fail to build
+/// (e.g. a shrink candidate removed a row a ΔV mark still references) return
+/// false — they do not reproduce the failure.
+bool ScriptFailsOracle(const std::string& script, const std::string& oracle,
+                       const OracleOptions& options);
+
+/// Greedy shrink: repeatedly tries to drop semantic units — a query with its
+/// ΔV marks and weights, a single ΔV mark, a weight, a single row, a
+/// relation with all its rows — keeping a removal only when the reduced
+/// script still fails `oracle`, until a full pass makes no progress. The
+/// input script must fail the oracle; InvalidArgument otherwise.
+Result<ShrinkOutcome> ShrinkScript(const std::string& script,
+                                   const std::string& oracle,
+                                   const OracleOptions& options);
+
+}  // namespace testing
+}  // namespace delprop
+
+#endif  // DELPROP_TESTING_SHRINK_H_

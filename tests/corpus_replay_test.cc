@@ -1,0 +1,67 @@
+// Replays every checked-in corpus script (tests/corpus/*.delprop) through
+// the full differential-oracle suite. The corpus holds minimized interesting
+// instances — paper examples, the smallest pivot forest, trap cases for the
+// greedy heuristics — and each must keep passing every solver contract; a
+// failure here is a regression with a ready-made minimal repro.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/engine.h"
+
+#ifndef DELPROP_CORPUS_DIR
+#error "build must define DELPROP_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace delprop {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DELPROP_CORPUS_DIR)) {
+    if (entry.path().extension() == ".delprop") {
+      files.push_back(entry.path().string());
+    }
+  }
+  // directory_iterator order is filesystem-dependent; sort for stable runs.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplayTest, CorpusIsPresent) {
+  EXPECT_GE(CorpusFiles().size(), 5u)
+      << "corpus at " << DELPROP_CORPUS_DIR << " looks truncated";
+}
+
+TEST(CorpusReplayTest, EveryFileIsDocumented) {
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    // Every corpus file leads with a comment block saying why it is kept.
+    EXPECT_FALSE(first_line.empty());
+    EXPECT_EQ(first_line[0], '#') << first_line;
+  }
+}
+
+TEST(CorpusReplayTest, EveryFilePassesAllOracles) {
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<std::vector<testing::OracleViolation>> violations =
+        testing::ReplayScriptFile(file);
+    ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+    for (const testing::OracleViolation& violation : *violations) {
+      ADD_FAILURE() << violation.oracle << ": " << violation.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delprop

@@ -3,91 +3,20 @@
 // databases and queries — answers AND witness sets.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <map>
-#include <set>
-
 #include "common/rng.h"
 #include "query/evaluator.h"
+#include "testing/reference_eval.h"
 #include "workload/random_workload.h"
 
 namespace delprop {
 namespace {
 
-using WitnessSet = std::set<std::vector<TupleRef>>;
-using ResultMap = std::map<Tuple, WitnessSet>;
-
-// Reference: try every combination of rows for the atoms.
-ResultMap NaiveEvaluate(const Database& db, const ConjunctiveQuery& query,
-                        const DeletionSet* mask) {
-  ResultMap results;
-  size_t atom_count = query.atoms().size();
-  std::vector<uint32_t> choice(atom_count, 0);
-
-  std::vector<size_t> row_counts(atom_count);
-  for (size_t a = 0; a < atom_count; ++a) {
-    row_counts[a] = db.relation(query.atoms()[a].relation).row_count();
-    if (row_counts[a] == 0) return results;
-  }
-
-  constexpr ValueId kUnbound = 0xFFFFFFFF;
-  for (;;) {
-    // Check this combination.
-    std::vector<ValueId> assignment(query.variable_count(), kUnbound);
-    bool match = true;
-    bool masked = false;
-    for (size_t a = 0; a < atom_count && match; ++a) {
-      const Atom& atom = query.atoms()[a];
-      TupleRef ref{atom.relation, choice[a]};
-      if (mask != nullptr && mask->Contains(ref)) {
-        masked = true;
-        break;
-      }
-      const Tuple& row = db.relation(atom.relation).row(choice[a]);
-      for (size_t p = 0; p < atom.terms.size(); ++p) {
-        const Term& t = atom.terms[p];
-        if (t.is_constant()) {
-          if (row[p] != t.id) match = false;
-        } else if (assignment[t.id] == kUnbound) {
-          assignment[t.id] = row[p];
-        } else if (assignment[t.id] != row[p]) {
-          match = false;
-        }
-        if (!match) break;
-      }
-    }
-    if (match && !masked) {
-      Tuple head;
-      for (const Term& t : query.head()) {
-        head.push_back(t.is_constant() ? t.id : assignment[t.id]);
-      }
-      std::vector<TupleRef> witness;
-      for (size_t a = 0; a < atom_count; ++a) {
-        witness.push_back({query.atoms()[a].relation, choice[a]});
-      }
-      results[head].insert(witness);
-    }
-    // Advance the odometer.
-    size_t a = 0;
-    while (a < atom_count) {
-      if (++choice[a] < row_counts[a]) break;
-      choice[a] = 0;
-      ++a;
-    }
-    if (a == atom_count) break;
-  }
-  return results;
-}
-
-ResultMap ToMap(const View& view) {
-  ResultMap map;
-  for (size_t t = 0; t < view.size(); ++t) {
-    for (const Witness& w : view.tuple(t).witnesses) {
-      map[view.tuple(t).values].insert(w);
-    }
-  }
-  return map;
-}
+// The reference implementation lives in src/testing/reference_eval.* so the
+// fuzz oracles (testing::CheckOracles) and this sweep cross-check the SAME
+// semantics; this test keeps the dedicated gtest surface for it.
+using testing::NaiveEvaluate;
+using testing::ResultMap;
+using testing::ViewToResultMap;
 
 class CrossCheck : public ::testing::TestWithParam<uint64_t> {};
 
@@ -105,7 +34,7 @@ TEST_P(CrossCheck, IndexedMatchesNaive) {
   for (const auto& query : generated->queries) {
     Result<View> view = Evaluate(db, *query);
     ASSERT_TRUE(view.ok()) << view.status().ToString();
-    EXPECT_EQ(ToMap(*view), NaiveEvaluate(db, *query, nullptr))
+    EXPECT_EQ(ViewToResultMap(*view), NaiveEvaluate(db, *query))
         << query->ToString(db.schema(), db.dict());
   }
 }
@@ -133,7 +62,7 @@ TEST_P(CrossCheck, IndexedMatchesNaiveUnderMask) {
   for (const auto& query : generated->queries) {
     Result<View> view = Evaluate(db, *query, options);
     ASSERT_TRUE(view.ok());
-    EXPECT_EQ(ToMap(*view), NaiveEvaluate(db, *query, &mask))
+    EXPECT_EQ(ViewToResultMap(*view), NaiveEvaluate(db, *query, &mask))
         << query->ToString(db.schema(), db.dict());
   }
 }

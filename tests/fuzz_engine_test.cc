@@ -1,0 +1,210 @@
+// Tests of the differential fuzzing subsystem (src/testing/): deterministic
+// case generation, the oracle suite on healthy instances, thread-count
+// invariance of the engine summary, and — via an artificially injected
+// oracle bug — the full violation → shrink → repro-file → replay pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "testing/engine.h"
+#include "testing/fuzzer.h"
+#include "testing/oracles.h"
+#include "testing/shrink.h"
+#include "tool/serialize.h"
+#include "workload/author_journal.h"
+
+namespace delprop {
+namespace {
+
+using testing::CheckOracles;
+using testing::FuzzCase;
+using testing::FuzzEngineOptions;
+using testing::FuzzFamilies;
+using testing::FuzzSummary;
+using testing::GenerateFuzzCase;
+using testing::OracleOptions;
+using testing::OracleViolation;
+using testing::ReplayScriptFile;
+using testing::RunFuzz;
+using testing::ScriptFailsOracle;
+using testing::ShrinkOutcome;
+using testing::ShrinkScript;
+
+/// Oracle options with the artificial Theorem 4 bug injected: scaling the
+/// ratio-lowdeg bound to zero turns every positive-cost lowdeg-tree solution
+/// into a violation, so the shrink/repro pipeline can be exercised without a
+/// real solver bug on hand.
+OracleOptions InjectedBugOptions() {
+  OracleOptions options;
+  options.lowdeg_ratio_scale = 0.0;
+  return options;
+}
+
+TEST(FuzzerTest, SameSeedSameInstance) {
+  for (uint64_t seed : {1u, 7u, 23u, 104u}) {
+    Result<FuzzCase> first = GenerateFuzzCase(seed);
+    Result<FuzzCase> second = GenerateFuzzCase(seed);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(first->family, second->family);
+    EXPECT_EQ(SerializeToScript(*first->generated.instance),
+              SerializeToScript(*second->generated.instance))
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzerTest, AllFamiliesReachable) {
+  std::set<std::string> seen;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Result<FuzzCase> fuzz_case = GenerateFuzzCase(seed);
+    ASSERT_TRUE(fuzz_case.ok()) << fuzz_case.status().ToString();
+    seen.insert(fuzz_case->family);
+  }
+  std::set<std::string> expected;
+  for (const std::string& family : FuzzFamilies()) expected.insert(family);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(OracleTest, HealthyFig1InstancePasses) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  ASSERT_TRUE(
+      generated->instance->MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  std::vector<OracleViolation> violations =
+      CheckOracles(*generated->instance);
+  for (const OracleViolation& violation : violations) {
+    ADD_FAILURE() << violation.oracle << ": " << violation.detail;
+  }
+}
+
+TEST(OracleTest, EmptyDeltaVIsAHealthyEdgeCase) {
+  // No ΔV marked at all: every solver must return an empty deletion with
+  // zero cost rather than crash or refuse.
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  ASSERT_EQ(generated->instance->TotalDeletionTuples(), 0u);
+  std::vector<OracleViolation> violations =
+      CheckOracles(*generated->instance);
+  for (const OracleViolation& violation : violations) {
+    ADD_FAILURE() << violation.oracle << ": " << violation.detail;
+  }
+}
+
+TEST(OracleTest, OracleNamesDocumented) {
+  EXPECT_FALSE(testing::OracleNames().empty());
+}
+
+TEST(FuzzEngineTest, CleanRunFindsNoViolations) {
+  FuzzEngineOptions options;
+  options.seed_start = 1;
+  options.iterations = 25;
+  FuzzSummary summary = RunFuzz(options);
+  EXPECT_EQ(summary.cases, 25u);
+  EXPECT_EQ(summary.generation_failures, 0u);
+  EXPECT_EQ(summary.failing_cases, 0u) << summary.ToString();
+  size_t family_total = 0;
+  for (const auto& [family, count] : summary.per_family) {
+    family_total += count;
+  }
+  EXPECT_EQ(family_total, 25u);
+}
+
+TEST(FuzzEngineTest, SummaryIsIdenticalAtAnyThreadCount) {
+  FuzzEngineOptions options;
+  options.seed_start = 11;
+  options.iterations = 40;
+  FuzzSummary serial = RunFuzz(options, nullptr);
+  ThreadPool pool(4);
+  FuzzSummary parallel = RunFuzz(options, &pool);
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
+}
+
+TEST(FuzzEngineTest, InjectedOracleBugYieldsMinimizedRepro) {
+  // End-to-end acceptance check for the harness itself: with the Theorem 4
+  // bound artificially broken, the engine must (1) flag ratio-lowdeg
+  // violations, (2) shrink each repro strictly below the original failing
+  // instance, (3) write a replayable repro file whose violation disappears
+  // once the injected bug is removed.
+  FuzzEngineOptions options;
+  options.seed_start = 1;
+  options.iterations = 40;
+  options.oracle = InjectedBugOptions();
+  options.out_dir =
+      (std::filesystem::path(::testing::TempDir()) / "delprop_fuzz_repro")
+          .string();
+  FuzzSummary summary = RunFuzz(options);
+  ASSERT_GT(summary.failing_cases, 0u)
+      << "the injected bug found nothing; widen the seed range";
+  ASSERT_GT(summary.per_oracle.count("ratio-lowdeg"), 0u)
+      << summary.ToString();
+
+  bool checked_one = false;
+  for (const testing::SeedOutcome& failure : summary.failures) {
+    ASSERT_TRUE(failure.generation.ok());
+    ASSERT_FALSE(failure.violations.empty());
+    if (failure.violations[0].oracle != "ratio-lowdeg") continue;
+    checked_one = true;
+    // Shrinking must have made the repro strictly smaller...
+    EXPECT_GT(failure.shrink_initial_lines, 0u);
+    EXPECT_LT(failure.shrink_final_lines, failure.shrink_initial_lines)
+        << "seed " << failure.seed << " did not shrink";
+    // ...while still reproducing the (injected) violation...
+    EXPECT_TRUE(ScriptFailsOracle(failure.repro_script, "ratio-lowdeg",
+                                  InjectedBugOptions()))
+        << failure.repro_script;
+    // ...and the same script is healthy under the real Theorem 4 bound,
+    // proving the violation comes from the injection, not a solver bug.
+    EXPECT_FALSE(
+        ScriptFailsOracle(failure.repro_script, "ratio-lowdeg", {}))
+        << failure.repro_script;
+
+    // The repro file on disk replays to the same verdicts.
+    ASSERT_FALSE(failure.repro_path.empty());
+    std::ifstream in(failure.repro_path);
+    ASSERT_TRUE(in.good()) << failure.repro_path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str().rfind("# delprop_fuzz repro", 0), 0u);
+    EXPECT_NE(content.str().find("# oracle: ratio-lowdeg"),
+              std::string::npos);
+    Result<std::vector<OracleViolation>> replay =
+        ReplayScriptFile(failure.repro_path, InjectedBugOptions());
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    bool reproduced = false;
+    for (const OracleViolation& violation : *replay) {
+      if (violation.oracle == "ratio-lowdeg") reproduced = true;
+    }
+    EXPECT_TRUE(reproduced) << failure.repro_path;
+    Result<std::vector<OracleViolation>> healthy =
+        ReplayScriptFile(failure.repro_path);
+    ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+    EXPECT_TRUE(healthy->empty());
+    break;  // one fully-checked repro is enough; the rest are identical work
+  }
+  EXPECT_TRUE(checked_one);
+}
+
+TEST(ShrinkTest, RejectsAScriptThatDoesNotFail) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  std::string script = SerializeToScript(*generated->instance);
+  Result<ShrinkOutcome> shrunk = ShrinkScript(script, "ratio-lowdeg", {});
+  ASSERT_FALSE(shrunk.ok());
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReplayTest, MissingFileIsNotFound) {
+  Result<std::vector<OracleViolation>> replay =
+      ReplayScriptFile("/nonexistent/no_such_file.delprop");
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -4,6 +4,7 @@
 
 #include "dp/side_effect.h"
 #include "dp/vse_instance.h"
+#include "query/evaluator.h"
 #include "workload/author_journal.h"
 
 namespace delprop {
@@ -181,6 +182,119 @@ TEST_F(Fig1Test, PreservedTuplesPartition) {
   for (const ViewTupleId& id : preserved) {
     EXPECT_FALSE(instance().IsMarkedForDeletion(id));
   }
+}
+
+// Negative paths of CreateFromMaterializedViews: externally supplied lineage
+// must be rejected with a message naming the offending view and tuple, so a
+// caller pasting in provenance from the wrong place can find the bad row.
+class MaterializedViewsTest : public Fig1Test {
+ protected:
+  /// Fresh honestly-evaluated views for Q3 and Q4, ready to tamper with.
+  std::vector<View> EvaluateViews() {
+    std::vector<View> views;
+    for (size_t v = 0; v < instance().view_count(); ++v) {
+      Result<View> view = Evaluate(db(), instance().query(v));
+      EXPECT_TRUE(view.ok()) << view.status().ToString();
+      views.push_back(std::move(*view));
+    }
+    return views;
+  }
+
+  Result<VseInstance> Rebuild(std::vector<View> views) {
+    return VseInstance::CreateFromMaterializedViews(
+        db(), {&instance().query(0), &instance().query(1)}, std::move(views));
+  }
+};
+
+TEST_F(MaterializedViewsTest, HonestViewsAccepted) {
+  Result<VseInstance> rebuilt = Rebuild(EvaluateViews());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->TotalViewTuples(), instance().TotalViewTuples());
+}
+
+TEST_F(MaterializedViewsTest, RejectsTupleFromAnotherView) {
+  std::vector<View> views = EvaluateViews();
+  // Paste a Q4 tuple (arity 3) into the Q3 view (arity 2). It lands at
+  // index 6 — the message must name exactly that tuple.
+  const ViewTuple& alien = views[1].tuple(0);
+  views[0].AddMatch(alien.values, alien.witnesses[0]);
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rebuilt.status().message(),
+            "view 0 tuple 6 has 3 head values but query 'Q3' has arity 2; "
+            "it does not belong to this view");
+}
+
+TEST_F(MaterializedViewsTest, RejectsDanglingWitnessRow) {
+  std::vector<View> views = EvaluateViews();
+  // T1 has 4 rows; row 99 dangles.
+  views[0].AddMatch(views[0].tuple(0).values, {Row("T1", 99), Row("T2", 0)});
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rebuilt.status().message().find("view 0 tuple 0"),
+            std::string::npos)
+      << rebuilt.status().message();
+  EXPECT_NE(rebuilt.status().message().find(
+                "dangling witness: row 99 of relation 'T1' does not exist "
+                "(4 row(s))"),
+            std::string::npos)
+      << rebuilt.status().message();
+}
+
+TEST_F(MaterializedViewsTest, RejectsDanglingWitnessRelation) {
+  std::vector<View> views = EvaluateViews();
+  views[0].AddMatch(views[0].tuple(0).values,
+                    {TupleRef{99, 0}, Row("T2", 0)});
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rebuilt.status().message().find(
+                "dangling witness: relation id 99 does not exist"),
+            std::string::npos)
+      << rebuilt.status().message();
+}
+
+TEST_F(MaterializedViewsTest, RejectsWitnessOnWrongRelation) {
+  std::vector<View> views = EvaluateViews();
+  // Q3's first body atom is T1(x, y); a witness pointing it at T2 is lying
+  // about the provenance even though the row exists.
+  views[0].AddMatch(views[0].tuple(0).values, {Row("T2", 0), Row("T2", 0)});
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rebuilt.status().message().find(
+                "witness whose atom 0 references relation 'T2' where the "
+                "query body has 'T1'"),
+            std::string::npos)
+      << rebuilt.status().message();
+}
+
+TEST_F(MaterializedViewsTest, RejectsWitnessOfWrongLength) {
+  std::vector<View> views = EvaluateViews();
+  views[0].AddMatch(views[0].tuple(0).values, {Row("T1", 0)});
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rebuilt.status().message().find(
+                "a witness of 1 base tuple(s) for a body of 2 atom(s)"),
+            std::string::npos)
+      << rebuilt.status().message();
+}
+
+TEST_F(MaterializedViewsTest, RejectsEmptyWitness) {
+  std::vector<View> views = EvaluateViews();
+  views[0].AddMatch(views[0].tuple(0).values, {});
+  Result<VseInstance> rebuilt = Rebuild(std::move(views));
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rebuilt.status().message().find("view 0 tuple 0"),
+            std::string::npos)
+      << rebuilt.status().message();
+  EXPECT_NE(rebuilt.status().message().find("empty witness"),
+            std::string::npos)
+      << rebuilt.status().message();
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// delprop_fuzz — differential fuzzing over the solver suite (docs/fuzzing.md).
+//
+//   delprop_fuzz --seed-start 1 --iterations 500 --threads 4
+//                [--shrink 0|1] [--out-dir fuzz-out]
+//   delprop_fuzz --replay tests/corpus/pivot_forest_minimal.delprop
+//
+// Fuzz mode generates one instance per seed across the workload families,
+// runs every differential oracle, and on violation shrinks the instance to a
+// minimal repro script written under --out-dir. The summary on stdout is
+// byte-identical at any --threads value. Replay mode reruns the oracles over
+// saved repro/corpus files.
+//
+// Exit status: 0 all oracles hold, 1 violations found, 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "testing/engine.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed-start N] [--iterations N] [--threads N]\n"
+      "          [--shrink 0|1] [--out-dir DIR]\n"
+      "       %s --replay FILE...\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using delprop::ThreadPool;
+  using delprop::testing::FuzzEngineOptions;
+  using delprop::testing::FuzzSummary;
+  using delprop::testing::OracleViolation;
+
+  FuzzEngineOptions options;
+  size_t threads = 1;
+  std::vector<std::string> replay_files;
+  bool replay_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--replay") {
+      replay_mode = true;
+    } else if (replay_mode && !arg.empty() && arg[0] != '-') {
+      replay_files.push_back(arg);
+    } else if (arg == "--seed-start") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      options.seed_start = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--iterations") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      options.iterations = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      threads = std::strtoull(v, nullptr, 10);
+      if (threads == 0) threads = 1;
+    } else if (arg == "--shrink") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      options.shrink = std::strcmp(v, "0") != 0;
+    } else if (arg == "--out-dir") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      options.out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  if (replay_mode) {
+    if (replay_files.empty()) return Usage(argv[0]);
+    int failures = 0;
+    for (const std::string& file : replay_files) {
+      delprop::Result<std::vector<OracleViolation>> violations =
+          delprop::testing::ReplayScriptFile(file, options.oracle);
+      if (!violations.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     violations.status().ToString().c_str());
+        return 2;
+      }
+      if (violations->empty()) {
+        std::printf("%s: ok (all oracles hold)\n", file.c_str());
+        continue;
+      }
+      ++failures;
+      std::printf("%s: %zu violation(s)\n", file.c_str(),
+                  violations->size());
+      for (const OracleViolation& violation : *violations) {
+        std::printf("  %s: %s\n", violation.oracle.c_str(),
+                    violation.detail.c_str());
+      }
+    }
+    return failures > 0 ? 1 : 0;
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  FuzzSummary summary = delprop::testing::RunFuzz(options, pool.get());
+  std::fputs(summary.ToString().c_str(), stdout);
+  return summary.failing_cases > 0 || summary.generation_failures > 0 ? 1 : 0;
+}
