@@ -7,9 +7,14 @@
 // on a runtime::ThreadPool. Outputs are identical for every thread count:
 // solvers are deterministic, each writes its own result slot, and rows print
 // in registry order — only the per-solver wall-clock column varies.
+//
+// With --json <path> the run also writes a machine-readable report
+// (per-solver wall-clock, instance sizes ‖V‖/‖ΔV‖/l, thread count, git
+// describe) — see docs/perf.md for the schema and how to read it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -27,30 +32,48 @@
 namespace delprop {
 namespace {
 
+std::vector<std::string> DefaultSolverNames() {
+  return {"exact",       "greedy",      "local-search", "rbsc-greedy",
+          "rbsc-lowdeg", "primal-dual", "lowdeg-tree",  "dp-tree"};
+}
+
 void RunFamily(const char* family, const GeneratedVse& generated,
-               ThreadPool* pool) {
+               ThreadPool* pool, const std::vector<std::string>& names,
+               bench::BenchReport* report) {
   const VseInstance& instance = *generated.instance;
   std::printf("\n-- %s: ‖V‖=%zu ‖ΔV‖=%zu l=%zu %s --\n", family,
               instance.TotalViewTuples(), instance.TotalDeletionTuples(),
               instance.max_arity(),
               instance.all_key_preserving() ? "(key preserving)" : "");
   TextTable table({"solver", "status", "cost", "|ΔD|", "ms"});
-  std::vector<std::string> names = {"exact",       "greedy",    "local-search",
-                                    "rbsc-greedy", "rbsc-lowdeg",
-                                    "primal-dual", "lowdeg-tree", "dp-tree"};
-  std::vector<SolverRun> runs = RunAll(instance, pool, names);
+  bench::FamilyRecord record;
+  record.family = family;
+  record.view_tuples = instance.TotalViewTuples();
+  record.deletion_tuples = instance.TotalDeletionTuples();
+  record.max_arity = instance.max_arity();
+  auto [runs, family_ms] = bench::Timed(
+      [&] { return RunAll(instance, pool, names); });
+  record.total_ms = family_ms;
   for (const SolverRun& run : runs) {
+    bench::SolverRecord row;
+    row.solver = run.name;
+    row.wall_ms = run.wall_ms;
     if (run.result.ok()) {
-      table.AddRow({run.name, run.result->Feasible() ? "ok" : "INFEASIBLE",
-                    FmtDouble(run.result->Cost(), 0),
-                    std::to_string(run.result->deletion.size()),
+      row.status = run.result->Feasible() ? "ok" : "INFEASIBLE";
+      row.cost = run.result->Cost();
+      row.deletion_size = run.result->deletion.size();
+      table.AddRow({run.name, row.status, FmtDouble(row.cost, 0),
+                    std::to_string(row.deletion_size),
                     FmtDouble(run.wall_ms, 2)});
     } else {
-      table.AddRow({run.name, StatusCodeName(run.result.status().code()), "-",
-                    "-", FmtDouble(run.wall_ms, 2)});
+      row.status = StatusCodeName(run.result.status().code());
+      table.AddRow({run.name, row.status, "-", "-", FmtDouble(run.wall_ms, 2)});
     }
+    record.solvers.push_back(std::move(row));
   }
   table.Print();
+  std::printf("family solver wall-clock: %.2f ms\n", family_ms);
+  report->families.push_back(std::move(record));
 
   // Re-evaluate the family's queries twice against one shared IndexCache:
   // the cold pass builds every per-(relation, position) index (misses), the
@@ -80,11 +103,15 @@ void RunFamily(const char* family, const GeneratedVse& generated,
 
 int Run(int argc, char** argv) {
   size_t threads = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -94,6 +121,10 @@ int Run(int argc, char** argv) {
 
   bench::Header("Solver comparison across workload families");
   std::printf("threads: %zu\n", threads);
+  bench::BenchReport report;
+  report.bench = "solver_comparison";
+  report.threads = threads;
+  report.git = bench::GitDescribe();
 
   {
     Rng rng(1);
@@ -104,7 +135,8 @@ int Run(int argc, char** argv) {
     params.deletion_fraction = 0.25;
     Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
     if (!generated.ok()) return 1;
-    RunFamily("hypertree paths (all algorithms apply)", *generated, pool_ptr);
+    RunFamily("hypertree paths (all algorithms apply)", *generated, pool_ptr,
+              DefaultSolverNames(), &report);
   }
   {
     Rng rng(2);
@@ -114,7 +146,8 @@ int Run(int argc, char** argv) {
     params.deletion_fraction = 0.25;
     Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
     if (!generated.ok()) return 1;
-    RunFamily("star joins (tree solvers must refuse)", *generated, pool_ptr);
+    RunFamily("star joins (tree solvers must refuse)", *generated, pool_ptr,
+              DefaultSolverNames(), &report);
   }
   {
     Rng rng(3);
@@ -124,17 +157,42 @@ int Run(int argc, char** argv) {
     params.queries = 3;
     Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
     if (!generated.ok()) return 1;
-    RunFamily("random project-free multi-query", *generated, pool_ptr);
+    RunFamily("random project-free multi-query", *generated, pool_ptr,
+              DefaultSolverNames(), &report);
   }
   {
     Result<GeneratedVse> generated = ReduceRbscToVse(GreedyTrapRbsc(10));
     if (!generated.ok()) return 1;
-    RunFamily("Theorem 1 trap lift (k=10)", *generated, pool_ptr);
+    RunFamily("Theorem 1 trap lift (k=10)", *generated, pool_ptr,
+              DefaultSolverNames(), &report);
+  }
+  {
+    // The scaling workload: the largest stock family, sized so the solver
+    // inner loops (damage tracking, greedy rescans, reductions) dominate the
+    // wall-clock. Exact branch-and-bound is excluded — its node budget, not
+    // its per-node cost, decides its runtime here.
+    Rng rng(5);
+    PathSchemaParams params;
+    params.levels = 6;
+    params.roots = 3;
+    params.fanout = 3;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+    if (!generated.ok()) return 1;
+    std::vector<std::string> names = {"greedy",      "local-search",
+                                      "rbsc-greedy", "rbsc-lowdeg",
+                                      "primal-dual", "lowdeg-tree",
+                                      "dp-tree"};
+    RunFamily("large hypertree paths (scaling)", *generated, pool_ptr, names,
+              &report);
   }
   std::printf(
       "\nReading guide: 'FailedPrecondition' rows are solvers refusing "
       "inputs outside their class — the dichotomy boundaries made "
       "visible.\n");
+  if (!json_path.empty() && !bench::WriteBenchJson(report, json_path)) {
+    return 1;
+  }
   return 0;
 }
 

@@ -10,6 +10,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "hypergraph/data_forest.h"
@@ -200,22 +202,30 @@ BENCHMARK(BM_ParallelInstanceEvaluate)
 }  // namespace
 }  // namespace delprop
 
-// Custom main: strip --threads N (google-benchmark rejects unknown flags),
+// Custom main: strip --threads N (google-benchmark rejects unknown flags)
+// and expand --json PATH into google-benchmark's own JSON-reporter flags,
 // then hand the rest of argv to the normal benchmark driver.
 int main(int argc, char** argv) {
-  int out = 1;
+  std::vector<std::string> args;
+  args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       delprop::g_threads =
           static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (delprop::g_threads == 0) delprop::g_threads = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=json");
     } else {
-      argv[out++] = argv[i];
+      args.push_back(argv[i]);
     }
   }
-  argc = out;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& a : args) cargv.push_back(a.data());
+  argc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&argc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(argc, cargv.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -3,7 +3,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <utility>
+#include <vector>
 
 namespace delprop::bench {
 
@@ -22,6 +24,131 @@ auto Timed(Fn&& fn) {
 
 inline void Header(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
+}
+
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git is unavailable. Stamped into BENCH_*.json so a perf number can be
+/// traced back to the commit it was measured on.
+inline std::string GitDescribe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buffer[128];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+/// Escapes `text` for embedding inside a JSON string literal. Non-ASCII
+/// bytes (the benches use UTF-8 ‖·‖ in family names) pass through verbatim —
+/// JSON strings are UTF-8.
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One solver row of a bench family: what ran, how it ended, how long it
+/// took. `status` is "ok", "INFEASIBLE", or the refusing status-code name.
+struct SolverRecord {
+  std::string solver;
+  std::string status;
+  double cost = 0.0;
+  size_t deletion_size = 0;
+  double wall_ms = 0.0;
+};
+
+/// One workload family: instance sizes (the paper's ‖V‖ / ‖ΔV‖ / l) plus the
+/// per-solver rows and the family's end-to-end solver wall-clock.
+struct FamilyRecord {
+  std::string family;
+  size_t view_tuples = 0;      // ‖V‖
+  size_t deletion_tuples = 0;  // ‖ΔV‖
+  size_t max_arity = 0;        // l
+  double total_ms = 0.0;
+  std::vector<SolverRecord> solvers;
+};
+
+/// The whole machine-readable report for one bench binary run.
+struct BenchReport {
+  std::string bench;
+  size_t threads = 1;
+  std::string git;
+  std::vector<FamilyRecord> families;
+};
+
+/// Writes `report` as pretty-printed JSON (see docs/perf.md for the schema).
+/// Returns false (with a message on stderr) when the file cannot be written.
+inline bool WriteBenchJson(const BenchReport& report,
+                           const std::string& path) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"%s\",\n",
+               JsonEscape(report.bench).c_str());
+  std::fprintf(out, "  \"threads\": %zu,\n", report.threads);
+  std::fprintf(out, "  \"git\": \"%s\",\n", JsonEscape(report.git).c_str());
+  std::fprintf(out, "  \"families\": [\n");
+  for (size_t f = 0; f < report.families.size(); ++f) {
+    const FamilyRecord& family = report.families[f];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"family\": \"%s\",\n",
+                 JsonEscape(family.family).c_str());
+    std::fprintf(out, "      \"view_tuples\": %zu,\n", family.view_tuples);
+    std::fprintf(out, "      \"deletion_tuples\": %zu,\n",
+                 family.deletion_tuples);
+    std::fprintf(out, "      \"max_arity\": %zu,\n", family.max_arity);
+    std::fprintf(out, "      \"total_ms\": %.3f,\n", family.total_ms);
+    std::fprintf(out, "      \"solvers\": [\n");
+    for (size_t s = 0; s < family.solvers.size(); ++s) {
+      const SolverRecord& solver = family.solvers[s];
+      std::fprintf(out,
+                   "        {\"solver\": \"%s\", \"status\": \"%s\", "
+                   "\"cost\": %.6f, \"deletion_size\": %zu, "
+                   "\"wall_ms\": %.3f}%s\n",
+                   JsonEscape(solver.solver).c_str(),
+                   JsonEscape(solver.status).c_str(), solver.cost,
+                   solver.deletion_size, solver.wall_ms,
+                   s + 1 < family.solvers.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]\n");
+    std::fprintf(out, "    }%s\n",
+                 f + 1 < report.families.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  return true;
 }
 
 }  // namespace delprop::bench

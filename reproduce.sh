@@ -29,6 +29,19 @@ for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
 
+# Release-mode (-O2) bench smoke: build just the two flagship benches in a
+# separate optimized tree and regenerate the machine-readable BENCH_*.json
+# snapshots at the repo root (schema: docs/perf.md). Keeps the committed
+# numbers honest — RelWithDebInfo timings are not Release timings.
+cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench --target bench_solver_comparison bench_substrate_runtime
+./build-bench/bench/bench_solver_comparison --threads 1 \
+  --json BENCH_solver_comparison.json
+./build-bench/bench/bench_substrate_runtime --threads 1 \
+  --json BENCH_substrate_runtime.json \
+  --benchmark_filter='BM_RbscGreedy|BM_DataForestBuild' \
+  --benchmark_min_time=0.05
+
 # Sanitizer pass: rebuild everything with AddressSanitizer + UBSan and re-run
 # the test suite. Memory errors in the runtime substrate (thread pool, shared
 # index cache) or the solvers fail this step even when the plain build passes.

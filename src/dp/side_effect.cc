@@ -1,5 +1,7 @@
 #include "dp/side_effect.h"
 
+#include "plan/compiled_instance.h"
+
 namespace delprop {
 
 SideEffectReport EvaluateDeletion(const VseInstance& instance,
@@ -7,21 +9,49 @@ SideEffectReport EvaluateDeletion(const VseInstance& instance,
   SideEffectReport report;
   report.source_deletion_count = deletion.size();
   report.per_view_side_effect.assign(instance.view_count(), 0);
+
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
+  // Dense bitmask over interned bases. Refs outside every witness cannot
+  // affect any view tuple, so they are safely dropped here (they still count
+  // toward source_deletion_count above).
+  std::vector<char> deleted(plan->base_count(), 0);
+  for (const TupleRef& ref : deletion) {
+    uint32_t base = plan->FindBase(ref);
+    if (base != CompiledInstance::kNpos) deleted[base] = 1;
+  }
+
   for (size_t v = 0; v < instance.view_count(); ++v) {
-    const View& view = instance.view(v);
-    for (size_t t = 0; t < view.size(); ++t) {
+    const size_t view_size = instance.view(v).size();
+    for (size_t t = 0; t < view_size; ++t) {
       ViewTupleId id{v, t};
-      bool survives = view.Survives(t, deletion);
-      if (instance.IsMarkedForDeletion(id)) {
+      uint32_t dense = plan->DenseOf(id);
+      // Survives iff some witness is disjoint from ΔD.
+      bool survives = false;
+      uint32_t wend = plan->tuple_witness_end(dense);
+      for (uint32_t w = plan->tuple_witness_begin(dense); w < wend; ++w) {
+        bool hit = false;
+        uint32_t mend = plan->member_end(w);
+        for (uint32_t slot = plan->member_begin(w); slot < mend; ++slot) {
+          if (deleted[plan->member_base(slot)]) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          survives = true;
+          break;
+        }
+      }
+      if (plan->is_deletion(dense)) {
         if (survives) {
           report.surviving_deletions.push_back(id);
-          report.balanced_cost += instance.weight(id);
+          report.balanced_cost += plan->weight(dense);
         }
       } else if (!survives) {
         report.killed_preserved.push_back(id);
         report.side_effect_count += 1;
-        report.side_effect_weight += instance.weight(id);
-        report.balanced_cost += instance.weight(id);
+        report.side_effect_weight += plan->weight(dense);
+        report.balanced_cost += plan->weight(dense);
         report.per_view_side_effect[v] += 1;
       }
     }

@@ -94,6 +94,17 @@ Result<VseInstance> VseInstance::CreateByFiltering(
 Status VseInstance::IndexWitnesses() {
   all_unique_witness_ = true;
   const Schema& schema = database_->schema();
+  // Reserve for the worst case (every witness member a distinct ref) so the
+  // kill-map build never rehashes mid-loop.
+  size_t total_members = 0;
+  for (const View& view : views_) {
+    for (size_t t = 0; t < view.size(); ++t) {
+      for (const Witness& witness : view.tuple(t).witnesses) {
+        total_members += witness.size();
+      }
+    }
+  }
+  kill_map_.reserve(total_members);
   for (size_t v = 0; v < views_.size(); ++v) {
     const View& view = views_[v];
     const ConjunctiveQuery& query = *queries_[v];
@@ -172,8 +183,12 @@ Status VseInstance::MarkForDeletion(const ViewTupleId& id) {
     return Status::OutOfRange("view tuple id out of range");
   }
   if (deletions_.insert(id).second) {
-    deletion_tuples_.push_back(id);
-    std::sort(deletion_tuples_.begin(), deletion_tuples_.end());
+    // The list is kept sorted; a positioned insert beats the old
+    // push_back-then-full-sort (quadratic over a long mark sequence).
+    deletion_tuples_.insert(
+        std::lower_bound(deletion_tuples_.begin(), deletion_tuples_.end(), id),
+        id);
+    InvalidateDerivedCaches();
   }
   return Status::Ok();
 }
@@ -210,7 +225,14 @@ Status VseInstance::SetWeight(const ViewTupleId& id, double weight) {
     return Status::InvalidArgument("weights must be non-negative");
   }
   weights_[id] = weight;
+  InvalidateDerivedCaches();
   return Status::Ok();
+}
+
+void VseInstance::InvalidateDerivedCaches() {
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  caches_->compiled.reset();
+  caches_->preserved.reset();
 }
 
 std::vector<const View*> VseInstance::ViewPointers() const {
@@ -229,15 +251,20 @@ double VseInstance::weight(const ViewTupleId& id) const {
   return it == weights_.end() ? 1.0 : it->second;
 }
 
-std::vector<ViewTupleId> VseInstance::PreservedTuples() const {
-  std::vector<ViewTupleId> out;
-  for (size_t v = 0; v < views_.size(); ++v) {
-    for (size_t t = 0; t < views_[v].size(); ++t) {
-      ViewTupleId id{v, t};
-      if (deletions_.count(id) == 0) out.push_back(id);
+const std::vector<ViewTupleId>& VseInstance::PreservedTuples() const {
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  if (caches_->preserved == nullptr) {
+    auto out = std::make_shared<std::vector<ViewTupleId>>();
+    out->reserve(TotalViewTuples() - deletion_tuples_.size());
+    for (size_t v = 0; v < views_.size(); ++v) {
+      for (size_t t = 0; t < views_[v].size(); ++t) {
+        ViewTupleId id{v, t};
+        if (deletions_.count(id) == 0) out->push_back(id);
+      }
     }
+    caches_->preserved = std::move(out);
   }
-  return out;
+  return *caches_->preserved;
 }
 
 size_t VseInstance::TotalViewTuples() const {

@@ -2,6 +2,7 @@
 #define DELPROP_DP_VSE_INSTANCE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,6 +15,8 @@
 #include "relational/database.h"
 
 namespace delprop {
+
+class CompiledInstance;
 
 /// Identifies one view tuple across the multi-view input: (view index, tuple
 /// index within that view).
@@ -36,6 +39,21 @@ struct ViewTupleIdHash {
     return seed;
   }
 };
+
+namespace internal {
+
+/// Lazily-built artifacts derived from a VseInstance, shared read-only by
+/// concurrent solvers (SolverRegistry::RunAll hands one instance to many
+/// threads). Guarded by `mu`; invalidated whenever the instance mutates
+/// (MarkForDeletion, SetWeight). Held behind a shared_ptr so VseInstance
+/// stays movable.
+struct VseInstanceCaches {
+  std::mutex mu;
+  std::shared_ptr<const CompiledInstance> compiled;
+  std::shared_ptr<const std::vector<ViewTupleId>> preserved;
+};
+
+}  // namespace internal
 
 /// A full deletion-propagation problem input (Section II.C): source database
 /// D, queries Q, materialized views V = Q(D), intended deletions ΔV, and
@@ -110,8 +128,16 @@ class VseInstance {
   const std::vector<ViewTupleId>& deletion_tuples() const {
     return deletion_tuples_;
   }
-  /// V \ ΔV as a flat list, in (view, tuple) order.
-  std::vector<ViewTupleId> PreservedTuples() const;
+  /// V \ ΔV as a flat list, in (view, tuple) order. Computed once after the
+  /// last MarkForDeletion and cached; new marks invalidate the cache. The
+  /// returned reference stays valid until the next mutation.
+  const std::vector<ViewTupleId>& PreservedTuples() const;
+
+  /// The dense compiled plan of this instance (see plan/compiled_instance.h):
+  /// integer-interned ids plus CSR incidence arrays for every solver hot
+  /// path. Built lazily on first use, cached, and shared read-only across
+  /// threads; invalidated by MarkForDeletion / SetWeight.
+  std::shared_ptr<const CompiledInstance> compiled() const;
 
   /// True if every query is key preserving w.r.t. the schema — the paper's
   /// standing assumption; every view tuple then has exactly one witness.
@@ -148,6 +174,14 @@ class VseInstance {
     return views_[id.view].RenderTuple(id.tuple);
   }
 
+  // Move-only: copying would either share or silently drop the derived
+  // caches (compiled plan, preserved list); nothing in the tree copies an
+  // instance, so forbid it outright.
+  VseInstance(const VseInstance&) = delete;
+  VseInstance& operator=(const VseInstance&) = delete;
+  VseInstance(VseInstance&&) = default;
+  VseInstance& operator=(VseInstance&&) = default;
+
  private:
   VseInstance() = default;
 
@@ -155,6 +189,10 @@ class VseInstance {
   /// empty) and builds the kill map plus the all_unique_witness flag. Shared
   /// tail of all three factories.
   Status IndexWitnesses();
+
+  /// Drops every lazily-built artifact (compiled plan, preserved list).
+  /// Called by each mutating operation.
+  void InvalidateDerivedCaches();
 
   const Database* database_ = nullptr;
   std::vector<const ConjunctiveQuery*> queries_;
@@ -168,6 +206,11 @@ class VseInstance {
   std::unordered_map<ViewTupleId, double, ViewTupleIdHash> weights_;
   std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>
       kill_map_;
+
+  // Derived-artifact cache (see internal::VseInstanceCaches). Mutable: the
+  // artifacts are logically part of the const instance, built on demand.
+  mutable std::shared_ptr<internal::VseInstanceCaches> caches_ =
+      std::make_shared<internal::VseInstanceCaches>();
 };
 
 }  // namespace delprop

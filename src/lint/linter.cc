@@ -32,6 +32,9 @@ void Linter::AddDefaultRules(const std::vector<std::string>& only) {
   }
   if (wanted("raw-randomness")) AddRule(std::make_unique<RawRandomnessRule>());
   if (wanted("raw-threading")) AddRule(std::make_unique<RawThreadingRule>());
+  if (wanted("hot-path-hashing")) {
+    AddRule(std::make_unique<HotPathHashingRule>());
+  }
   if (wanted("header-guard")) AddRule(std::make_unique<HeaderGuardRule>());
 }
 

@@ -1,0 +1,33 @@
+#include "lint/rules.h"
+
+#include <utility>
+
+namespace delprop {
+namespace lint {
+
+HotPathHashingRule::HotPathHashingRule(std::vector<std::string> scoped_paths)
+    : scoped_paths_(std::move(scoped_paths)) {}
+
+std::vector<std::string> HotPathHashingRule::DefaultScopedPaths() {
+  return {"src/solvers/", "src/setcover/"};
+}
+
+void HotPathHashingRule::Check(const SourceFile& file,
+                               std::vector<Diagnostic>* out) const {
+  if (!PathHasAnyPrefix(file.path(), scoped_paths_)) return;
+  const std::vector<Token>& tokens = file.tokens();
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!tokens[i].Is("unordered_map")) continue;
+    if (!tokens[i + 1].Is("<")) continue;
+    const Token& key = tokens[i + 2];
+    if (!key.Is("TupleRef") && !key.Is("ViewTupleId")) continue;
+    out->push_back(Diagnostic{
+        file.path(), tokens[i].line, std::string(name()),
+        "'unordered_map<" + std::string(key.text) +
+            ", ...>' in a solver-layer hot path; intern through "
+            "CompiledInstance and index flat arrays by dense id instead"});
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

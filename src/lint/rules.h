@@ -116,6 +116,31 @@ class RawThreadingRule : public Rule {
   std::vector<std::string> allowed_paths_;
 };
 
+/// hot-path-hashing: an `unordered_map` keyed by `TupleRef` or `ViewTupleId`
+/// inside the solver or set-cover layers. Those layers run per-pick inner
+/// loops over tuples; the dense compiled plan (src/plan/) interns both key
+/// types into contiguous uint32 ids precisely so these loops can use flat
+/// arrays. A hash map there reintroduces per-operation hashing on the hot
+/// path — index by dense id instead, or suppress with
+/// `// delprop-lint: hot-path-hashing-ok` when the map is genuinely cold.
+class HotPathHashingRule : public Rule {
+ public:
+  explicit HotPathHashingRule(
+      std::vector<std::string> scoped_paths = DefaultScopedPaths());
+
+  static std::vector<std::string> DefaultScopedPaths();
+
+  std::string_view name() const override { return "hot-path-hashing"; }
+  std::string_view description() const override {
+    return "unordered_map keyed by TupleRef/ViewTupleId in solver layers";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  std::vector<std::string> scoped_paths_;
+};
+
 /// header-guard: every .h file must open with
 /// `#ifndef DELPROP_<PATH>_H_` / `#define` of the same macro, where <PATH>
 /// is the file path with the leading src/ stripped, uppercased, and

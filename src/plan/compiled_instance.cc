@@ -1,0 +1,205 @@
+#include "plan/compiled_instance.h"
+
+#include <algorithm>
+
+#include "query/view.h"
+
+namespace delprop {
+
+uint32_t CompiledInstance::FindBase(const TupleRef& ref) const {
+  auto it = std::lower_bound(base_refs_.begin(), base_refs_.end(), ref);
+  if (it == base_refs_.end() || !(*it == ref)) return kNpos;
+  return static_cast<uint32_t>(it - base_refs_.begin());
+}
+
+std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
+    const VseInstance& instance) {
+  auto plan = std::shared_ptr<CompiledInstance>(new CompiledInstance());
+
+  // View tuples: dense ids in ascending (view, tuple) order.
+  size_t view_count = instance.view_count();
+  plan->view_first_.resize(view_count + 1);
+  uint32_t dense = 0;
+  for (size_t v = 0; v < view_count; ++v) {
+    plan->view_first_[v] = dense;
+    dense += static_cast<uint32_t>(instance.view(v).size());
+  }
+  plan->view_first_[view_count] = dense;
+  uint32_t tuple_count = dense;
+  plan->tuple_view_.resize(tuple_count);
+  plan->weight_.resize(tuple_count);
+  plan->is_deletion_.assign(tuple_count, 0);
+  plan->deletion_index_.assign(tuple_count, kNpos);
+  for (size_t v = 0; v < view_count; ++v) {
+    const View& view = instance.view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
+      plan->tuple_view_[d] = static_cast<uint32_t>(v);
+      plan->weight_[d] = instance.weight(ViewTupleId{v, t});
+    }
+  }
+  const std::vector<ViewTupleId>& deletions = instance.deletion_tuples();
+  plan->deletion_dense_.reserve(deletions.size());
+  for (size_t i = 0; i < deletions.size(); ++i) {
+    uint32_t d = plan->DenseOf(deletions[i]);
+    plan->is_deletion_[d] = 1;
+    plan->deletion_index_[d] = static_cast<uint32_t>(i);
+    plan->deletion_dense_.push_back(d);
+  }
+
+  // Witness CSR + raw member refs; intern base refs in sorted order.
+  plan->tuple_witness_first_.resize(tuple_count + 1);
+  std::vector<TupleRef> all_refs;
+  {
+    uint32_t wid = 0;
+    size_t member_total = 0;
+    for (size_t v = 0; v < view_count; ++v) {
+      const View& view = instance.view(v);
+      for (size_t t = 0; t < view.size(); ++t) {
+        uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
+        plan->tuple_witness_first_[d] = wid;
+        for (const Witness& witness : view.tuple(t).witnesses) {
+          ++wid;
+          member_total += witness.size();
+        }
+      }
+    }
+    plan->tuple_witness_first_[tuple_count] = wid;
+    plan->witness_owner_.resize(wid);
+    plan->witness_member_first_.resize(static_cast<size_t>(wid) + 1);
+    plan->witness_member_base_.reserve(member_total);
+    all_refs.reserve(member_total);
+  }
+  for (size_t v = 0; v < view_count; ++v) {
+    const View& view = instance.view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      for (const Witness& witness : view.tuple(t).witnesses) {
+        for (const TupleRef& ref : witness) all_refs.push_back(ref);
+      }
+    }
+  }
+  std::sort(all_refs.begin(), all_refs.end());
+  all_refs.erase(std::unique(all_refs.begin(), all_refs.end()),
+                 all_refs.end());
+  plan->base_refs_ = std::move(all_refs);
+  uint32_t base_count = static_cast<uint32_t>(plan->base_refs_.size());
+
+  // Member rows (raw, atom order) and occurrence counting in one sweep.
+  plan->base_occ_first_.assign(static_cast<size_t>(base_count) + 1, 0);
+  std::vector<uint32_t> scratch;  // per-witness unique base ids
+  {
+    uint32_t wid = 0;
+    uint32_t member_slot = 0;
+    for (size_t v = 0; v < view_count; ++v) {
+      const View& view = instance.view(v);
+      for (size_t t = 0; t < view.size(); ++t) {
+        uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
+        for (const Witness& witness : view.tuple(t).witnesses) {
+          plan->witness_owner_[wid] = d;
+          plan->witness_member_first_[wid] = member_slot;
+          scratch.clear();
+          for (const TupleRef& ref : witness) {
+            uint32_t base = plan->FindBase(ref);
+            plan->witness_member_base_.push_back(base);
+            ++member_slot;
+            scratch.push_back(base);
+          }
+          std::sort(scratch.begin(), scratch.end());
+          scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                        scratch.end());
+          for (uint32_t base : scratch) ++plan->base_occ_first_[base + 1];
+          ++wid;
+        }
+      }
+    }
+    plan->witness_member_first_[wid] = member_slot;
+  }
+  for (uint32_t b = 0; b < base_count; ++b) {
+    plan->base_occ_first_[b + 1] += plan->base_occ_first_[b];
+  }
+  size_t occ_total = plan->base_occ_first_[base_count];
+  plan->occ_tuple_.resize(occ_total);
+  plan->occ_witness_.resize(occ_total);
+  {
+    // Fill pass: appending in (view, tuple, witness) order leaves every
+    // per-base row sorted by (tuple, witness) — the invariant MarginalDamage
+    // relies on to walk runs.
+    std::vector<uint32_t> cursor(plan->base_occ_first_.begin(),
+                                 plan->base_occ_first_.end() - 1);
+    for (uint32_t wid = 0; wid < plan->witness_count(); ++wid) {
+      uint32_t owner = plan->witness_owner_[wid];
+      scratch.assign(plan->witness_member_base_.begin() +
+                         plan->witness_member_first_[wid],
+                     plan->witness_member_base_.begin() +
+                         plan->witness_member_first_[wid + 1]);
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      for (uint32_t base : scratch) {
+        uint32_t slot = cursor[base]++;
+        plan->occ_tuple_[slot] = owner;
+        plan->occ_witness_[slot] = wid;
+      }
+    }
+  }
+
+  // Kill rows: unique view tuples per base, in row order (ascending) —
+  // byte-compatible with the legacy kill_map_ (first-witness dedup, (view,
+  // tuple) iteration order).
+  plan->base_kill_first_.assign(static_cast<size_t>(base_count) + 1, 0);
+  for (uint32_t b = 0; b < base_count; ++b) {
+    uint32_t kills = 0;
+    uint32_t prev = kNpos;
+    for (uint32_t slot = plan->base_occ_first_[b];
+         slot < plan->base_occ_first_[b + 1]; ++slot) {
+      if (plan->occ_tuple_[slot] != prev) {
+        prev = plan->occ_tuple_[slot];
+        ++kills;
+      }
+    }
+    plan->base_kill_first_[b + 1] = kills;
+  }
+  for (uint32_t b = 0; b < base_count; ++b) {
+    plan->base_kill_first_[b + 1] += plan->base_kill_first_[b];
+  }
+  plan->kill_tuple_.resize(plan->base_kill_first_[base_count]);
+  for (uint32_t b = 0; b < base_count; ++b) {
+    uint32_t out = plan->base_kill_first_[b];
+    uint32_t prev = kNpos;
+    for (uint32_t slot = plan->base_occ_first_[b];
+         slot < plan->base_occ_first_[b + 1]; ++slot) {
+      if (plan->occ_tuple_[slot] != prev) {
+        prev = plan->occ_tuple_[slot];
+        plan->kill_tuple_[out++] = prev;
+      }
+    }
+  }
+
+  // Candidates: bases in witnesses of ΔV tuples, ascending.
+  {
+    std::vector<uint8_t> touched(base_count, 0);
+    for (uint32_t d : plan->deletion_dense_) {
+      for (uint32_t w = plan->tuple_witness_first_[d];
+           w < plan->tuple_witness_first_[d + 1]; ++w) {
+        for (uint32_t slot = plan->witness_member_first_[w];
+             slot < plan->witness_member_first_[w + 1]; ++slot) {
+          touched[plan->witness_member_base_[slot]] = 1;
+        }
+      }
+    }
+    for (uint32_t b = 0; b < base_count; ++b) {
+      if (touched[b]) plan->candidate_bases_.push_back(b);
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const CompiledInstance> VseInstance::compiled() const {
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  if (caches_->compiled == nullptr) {
+    caches_->compiled = CompiledInstance::Build(*this);
+  }
+  return caches_->compiled;
+}
+
+}  // namespace delprop

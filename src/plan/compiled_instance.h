@@ -1,0 +1,153 @@
+#ifndef DELPROP_PLAN_COMPILED_INSTANCE_H_
+#define DELPROP_PLAN_COMPILED_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dp/vse_instance.h"
+#include "relational/tuple_ref.h"
+
+namespace delprop {
+
+/// The dense, immutable execution plan of a VseInstance: every view tuple
+/// and every base tuple occurring in a witness is interned into a dense
+/// `uint32_t` id, and all incidence structure is materialized as CSR
+/// (compressed sparse row) arrays. Built once per instance (lazily, see
+/// `VseInstance::compiled()`), then shared read-only across threads — every
+/// solver hot path becomes an array walk instead of an `unordered_map`
+/// lookup chain.
+///
+/// Id spaces and their orderings are chosen so dense-id iteration reproduces
+/// the legacy tuple orderings byte for byte:
+///   * view tuples: dense id = prefix-sum over views + tuple index, i.e.
+///     ascending (view, tuple) — the order of `deletion_tuples()` and of
+///     every per-view scan;
+///   * witnesses: per view tuple, in `ViewTuple::witnesses` order;
+///   * base tuples: ascending TupleRef — the order of `CandidateTuples()`
+///     and of `DeletionSet::Sorted()`.
+///
+/// Witness member rows keep the RAW atom-order member list including
+/// duplicate refs from self-joins: the greedy/exact/local-search tie-break
+/// and rng-consumption behavior (and the exact solver's node counts) depend
+/// on seeing exactly the legacy sequence. The per-base occurrence rows are
+/// deduplicated per witness, matching the legacy DamageTracker.
+class CompiledInstance {
+ public:
+  /// Sentinel for "no dense id" (absent base tuple, non-ΔV tuple).
+  static constexpr uint32_t kNpos = 0xFFFFFFFFu;
+
+  /// Compiles `instance`. The instance must outlive nothing — the plan
+  /// copies everything it needs and holds no pointer back.
+  static std::shared_ptr<const CompiledInstance> Build(
+      const VseInstance& instance);
+
+  // --- view tuples -------------------------------------------------------
+  uint32_t tuple_count() const {
+    return static_cast<uint32_t>(weight_.size());
+  }
+  uint32_t DenseOf(const ViewTupleId& id) const {
+    return view_first_[id.view] + static_cast<uint32_t>(id.tuple);
+  }
+  ViewTupleId IdOf(uint32_t dense) const {
+    size_t view = tuple_view_[dense];
+    return ViewTupleId{view, dense - view_first_[view]};
+  }
+  double weight(uint32_t dense) const { return weight_[dense]; }
+  bool is_deletion(uint32_t dense) const { return is_deletion_[dense] != 0; }
+  /// Position of `dense` in the ΔV list, or kNpos if not marked.
+  uint32_t deletion_index(uint32_t dense) const {
+    return deletion_index_[dense];
+  }
+  /// ΔV as dense ids, ascending — mirrors `deletion_tuples()`.
+  const std::vector<uint32_t>& deletion_dense() const {
+    return deletion_dense_;
+  }
+
+  // --- witnesses (CSR: view tuple -> witnesses) --------------------------
+  uint32_t witness_count() const {
+    return static_cast<uint32_t>(witness_owner_.size());
+  }
+  uint32_t tuple_witness_begin(uint32_t dense) const {
+    return tuple_witness_first_[dense];
+  }
+  uint32_t tuple_witness_end(uint32_t dense) const {
+    return tuple_witness_first_[dense + 1];
+  }
+  uint32_t tuple_witness_count(uint32_t dense) const {
+    return tuple_witness_end(dense) - tuple_witness_begin(dense);
+  }
+  uint32_t witness_owner(uint32_t wid) const { return witness_owner_[wid]; }
+
+  // --- witness members (CSR: witness -> raw base-id list, atom order) ----
+  uint32_t member_begin(uint32_t wid) const {
+    return witness_member_first_[wid];
+  }
+  uint32_t member_end(uint32_t wid) const {
+    return witness_member_first_[wid + 1];
+  }
+  /// Raw member list entry (duplicates preserved).
+  uint32_t member_base(uint32_t slot) const {
+    return witness_member_base_[slot];
+  }
+
+  // --- base tuples (interned refs, ascending TupleRef order) -------------
+  uint32_t base_count() const {
+    return static_cast<uint32_t>(base_refs_.size());
+  }
+  const TupleRef& base_ref(uint32_t base) const { return base_refs_[base]; }
+  /// Dense id of `ref`, or kNpos when it occurs in no witness.
+  uint32_t FindBase(const TupleRef& ref) const;
+
+  // --- occurrences (CSR: base -> (view tuple, witness) pairs) ------------
+  /// Rows are sorted by (tuple, witness) and deduplicated per witness.
+  uint32_t occ_begin(uint32_t base) const { return base_occ_first_[base]; }
+  uint32_t occ_end(uint32_t base) const { return base_occ_first_[base + 1]; }
+  uint32_t occ_tuple(uint32_t slot) const { return occ_tuple_[slot]; }
+  uint32_t occ_witness(uint32_t slot) const { return occ_witness_[slot]; }
+
+  // --- kills (CSR: base -> killed view tuples, ascending) ----------------
+  /// Mirrors `VseInstance::KilledBy` (unique view tuples having the base in
+  /// some witness, ascending (view, tuple)).
+  uint32_t kill_begin(uint32_t base) const { return base_kill_first_[base]; }
+  uint32_t kill_end(uint32_t base) const { return base_kill_first_[base + 1]; }
+  uint32_t kill_tuple(uint32_t slot) const { return kill_tuple_[slot]; }
+
+  // --- deletion candidates -----------------------------------------------
+  /// Base ids occurring in some witness of some ΔV tuple, ascending —
+  /// mirrors `CandidateTuples()`.
+  const std::vector<uint32_t>& candidate_bases() const {
+    return candidate_bases_;
+  }
+
+ private:
+  CompiledInstance() = default;
+
+  std::vector<uint32_t> view_first_;   // per view: first dense tuple id
+  std::vector<uint32_t> tuple_view_;   // per tuple: owning view
+  std::vector<double> weight_;         // per tuple
+  std::vector<uint8_t> is_deletion_;   // per tuple
+  std::vector<uint32_t> deletion_index_;  // per tuple: ΔV position or kNpos
+  std::vector<uint32_t> deletion_dense_;
+
+  std::vector<uint32_t> tuple_witness_first_;  // size tuple_count + 1
+  std::vector<uint32_t> witness_owner_;        // per witness
+
+  std::vector<uint32_t> witness_member_first_;  // size witness_count + 1
+  std::vector<uint32_t> witness_member_base_;   // raw, atom order
+
+  std::vector<TupleRef> base_refs_;  // ascending
+
+  std::vector<uint32_t> base_occ_first_;  // size base_count + 1
+  std::vector<uint32_t> occ_tuple_;
+  std::vector<uint32_t> occ_witness_;
+
+  std::vector<uint32_t> base_kill_first_;  // size base_count + 1
+  std::vector<uint32_t> kill_tuple_;
+
+  std::vector<uint32_t> candidate_bases_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_PLAN_COMPILED_INSTANCE_H_

@@ -1,6 +1,6 @@
 #include "reductions/balanced_to_pnpsc.h"
 
-#include <unordered_map>
+#include "plan/compiled_instance.h"
 
 namespace delprop {
 
@@ -9,33 +9,43 @@ Result<BalancedToPnpscMapping> ReduceBalancedToPnpsc(
   if (instance.TotalDeletionTuples() == 0) {
     return Status::FailedPrecondition("no view deletions marked");
   }
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
   BalancedToPnpscMapping mapping;
-  mapping.set_tuples = instance.CandidateTuples();
-
-  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> positive_id;
-  for (const ViewTupleId& id : instance.deletion_tuples()) {
-    positive_id.emplace(id, mapping.positive_tuples.size());
-    mapping.positive_tuples.push_back(id);
-    mapping.pnpsc.positive_weights.push_back(instance.weight(id));
+  mapping.set_tuples.reserve(plan->candidate_bases().size());
+  for (uint32_t base : plan->candidate_bases()) {
+    mapping.set_tuples.push_back(plan->base_ref(base));
   }
 
-  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> negative_id;
-  auto negative_of = [&](const ViewTupleId& id) {
-    auto [it, inserted] = negative_id.emplace(id, mapping.negative_tuples.size());
-    if (inserted) {
-      mapping.negative_tuples.push_back(id);
-      mapping.pnpsc.negative_weights.push_back(instance.weight(id));
+  mapping.positive_tuples = instance.deletion_tuples();
+  mapping.pnpsc.positive_weights.reserve(mapping.positive_tuples.size());
+  for (uint32_t dense : plan->deletion_dense()) {
+    mapping.pnpsc.positive_weights.push_back(plan->weight(dense));
+  }
+
+  // Negative ids assigned lazily on first touch (dense array instead of the
+  // legacy hash map; same first-touch order).
+  std::vector<uint32_t> negative_of_tuple(plan->tuple_count(),
+                                          CompiledInstance::kNpos);
+  auto negative_of = [&](uint32_t dense) {
+    if (negative_of_tuple[dense] == CompiledInstance::kNpos) {
+      negative_of_tuple[dense] =
+          static_cast<uint32_t>(mapping.negative_tuples.size());
+      mapping.negative_tuples.push_back(plan->IdOf(dense));
+      mapping.pnpsc.negative_weights.push_back(plan->weight(dense));
     }
-    return it->second;
+    return negative_of_tuple[dense];
   };
 
-  for (const TupleRef& ref : mapping.set_tuples) {
+  mapping.pnpsc.sets.reserve(plan->candidate_bases().size());
+  for (uint32_t base : plan->candidate_bases()) {
     PnpscInstance::Set set;
-    for (const ViewTupleId& id : instance.KilledBy(ref)) {
-      if (instance.IsMarkedForDeletion(id)) {
-        set.positives.push_back(positive_id.at(id));
+    uint32_t end = plan->kill_end(base);
+    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+      uint32_t dense = plan->kill_tuple(slot);
+      if (plan->is_deletion(dense)) {
+        set.positives.push_back(plan->deletion_index(dense));
       } else {
-        set.negatives.push_back(negative_of(id));
+        set.negatives.push_back(negative_of(dense));
       }
     }
     mapping.pnpsc.sets.push_back(std::move(set));

@@ -1,6 +1,6 @@
 #include "reductions/vse_to_rbsc.h"
 
-#include <unordered_map>
+#include "plan/compiled_instance.h"
 
 namespace delprop {
 
@@ -8,34 +8,41 @@ Result<VseToRbscMapping> ReduceVseToRbsc(const VseInstance& instance) {
   if (instance.TotalDeletionTuples() == 0) {
     return Status::FailedPrecondition("no view deletions marked");
   }
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
   VseToRbscMapping mapping;
-  mapping.set_tuples = instance.CandidateTuples();
-
-  // Blue ids for ΔV tuples.
-  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> blue_id;
-  for (const ViewTupleId& id : instance.deletion_tuples()) {
-    blue_id.emplace(id, mapping.blue_tuples.size());
-    mapping.blue_tuples.push_back(id);
+  mapping.set_tuples.reserve(plan->candidate_bases().size());
+  for (uint32_t base : plan->candidate_bases()) {
+    mapping.set_tuples.push_back(plan->base_ref(base));
   }
 
-  // Red ids, assigned lazily to preserved tuples touched by candidates.
-  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> red_id;
-  auto red_of = [&](const ViewTupleId& id) {
-    auto [it, inserted] = red_id.emplace(id, mapping.red_tuples.size());
-    if (inserted) {
-      mapping.red_tuples.push_back(id);
-      mapping.rbsc.red_weights.push_back(instance.weight(id));
+  // Blue ids: ΔV position — the plan's deletion_index is exactly that.
+  mapping.blue_tuples = instance.deletion_tuples();
+
+  // Red ids, assigned lazily to preserved tuples touched by candidates
+  // (first-touch order over the candidate/kill scan, as before). A dense
+  // kNpos-initialized array replaces the legacy hash map: same assignment
+  // order, O(1) lookups.
+  std::vector<uint32_t> red_of_tuple(plan->tuple_count(),
+                                     CompiledInstance::kNpos);
+  auto red_of = [&](uint32_t dense) {
+    if (red_of_tuple[dense] == CompiledInstance::kNpos) {
+      red_of_tuple[dense] = static_cast<uint32_t>(mapping.red_tuples.size());
+      mapping.red_tuples.push_back(plan->IdOf(dense));
+      mapping.rbsc.red_weights.push_back(plan->weight(dense));
     }
-    return it->second;
+    return red_of_tuple[dense];
   };
 
-  for (const TupleRef& ref : mapping.set_tuples) {
+  mapping.rbsc.sets.reserve(plan->candidate_bases().size());
+  for (uint32_t base : plan->candidate_bases()) {
     RbscInstance::Set set;
-    for (const ViewTupleId& id : instance.KilledBy(ref)) {
-      if (instance.IsMarkedForDeletion(id)) {
-        set.blues.push_back(blue_id.at(id));
+    uint32_t end = plan->kill_end(base);
+    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+      uint32_t dense = plan->kill_tuple(slot);
+      if (plan->is_deletion(dense)) {
+        set.blues.push_back(plan->deletion_index(dense));
       } else {
-        set.reds.push_back(red_of(id));
+        set.reds.push_back(red_of(dense));
       }
     }
     mapping.rbsc.sets.push_back(std::move(set));

@@ -17,6 +17,7 @@ class DeletionSet {
   DeletionSet() = default;
   /// Builds from an explicit list (duplicates collapse).
   explicit DeletionSet(const std::vector<TupleRef>& refs) {
+    set_.reserve(refs.size());
     for (const TupleRef& r : refs) Insert(r);
   }
 
@@ -26,7 +27,9 @@ class DeletionSet {
   /// Removes `ref`; returns true if it was present.
   bool Erase(const TupleRef& ref) { return set_.erase(ref) > 0; }
 
-  bool Contains(const TupleRef& ref) const { return set_.count(ref) > 0; }
+  bool Contains(const TupleRef& ref) const {
+    return set_.find(ref) != set_.end();
+  }
   size_t size() const { return set_.size(); }
   bool empty() const { return set_.empty(); }
   void Clear() { set_.clear(); }

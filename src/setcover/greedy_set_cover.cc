@@ -1,6 +1,7 @@
 #include "setcover/greedy_set_cover.h"
 
 #include <limits>
+#include <queue>
 
 namespace delprop {
 
@@ -37,7 +38,8 @@ bool SetCoverFeasible(const SetCoverInstance& instance,
   return true;
 }
 
-Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance) {
+Result<std::vector<size_t>> GreedySetCoverScanReference(
+    const SetCoverInstance& instance) {
   if (Status s = instance.Validate(); !s.ok()) return s;
   std::vector<bool> covered(instance.element_count, false);
   size_t left = instance.element_count;
@@ -56,6 +58,87 @@ Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance) {
         best_score = score;
         best = s;
       }
+    }
+    if (best == instance.sets.size()) {
+      return Status::Infeasible("elements cannot all be covered");
+    }
+    chosen.push_back(best);
+    for (size_t e : instance.sets[best]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --left;
+      }
+    }
+  }
+  return chosen;
+}
+
+namespace {
+
+// Heap entry ordered lexicographically by (score, set). Scores are
+// cost/fresh; the index component makes keys totally ordered across sets, so
+// the lexicographic minimum is exactly "lowest score, lowest index on ties" —
+// the set the reference scan's strict-< selection picks.
+struct LazyEntry {
+  double score;
+  size_t set;
+};
+
+struct LazyEntryGreater {
+  bool operator()(const LazyEntry& a, const LazyEntry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.set > b.set;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance) {
+  if (Status s = instance.Validate(); !s.ok()) return s;
+  std::vector<bool> covered(instance.element_count, false);
+  size_t left = instance.element_count;
+  std::vector<size_t> chosen;
+
+  // Lazy heap of (score, set). A stale score is always a lower bound on the
+  // current one (fresh counts only shrink), so: pop the minimum, recompute
+  // its key, and select it iff the recomputed key is no worse than the new
+  // top — every remaining entry's true key is at least its stale key, which
+  // is at least the top. Otherwise re-push with the recomputed (strictly
+  // larger) key. Sets whose fresh count hits zero are dropped for good.
+  std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryGreater>
+      heap;
+  for (size_t s = 0; s < instance.sets.size(); ++s) {
+    if (instance.sets[s].empty()) continue;
+    heap.push(LazyEntry{
+        instance.SetCost(s) / static_cast<double>(instance.sets[s].size()),
+        s});
+  }
+
+  // Counts uncovered occurrences with the reference loop (duplicates in a
+  // set's element list count twice there, so they must count twice here).
+  auto fresh_count = [&](size_t s) {
+    size_t fresh = 0;
+    for (size_t e : instance.sets[s]) {
+      if (!covered[e]) ++fresh;
+    }
+    return fresh;
+  };
+
+  while (left > 0) {
+    size_t best = instance.sets.size();
+    while (!heap.empty()) {
+      LazyEntry top = heap.top();
+      heap.pop();
+      size_t fresh = fresh_count(top.set);
+      if (fresh == 0) continue;  // never useful again
+      double score =
+          instance.SetCost(top.set) / static_cast<double>(fresh);
+      if (heap.empty() || score < heap.top().score ||
+          (score == heap.top().score && top.set < heap.top().set)) {
+        best = top.set;
+        break;
+      }
+      heap.push(LazyEntry{score, top.set});
     }
     if (best == instance.sets.size()) {
       return Status::Infeasible("elements cannot all be covered");

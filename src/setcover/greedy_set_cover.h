@@ -24,8 +24,19 @@ struct SetCoverInstance {
   Status Validate() const;
 };
 
-/// Chvátal's greedy: H_n-approximation for weighted set cover.
+/// Chvátal's greedy: H_n-approximation for weighted set cover. Implemented
+/// with a lazy min-heap over (score, set-index): scores cost/fresh are
+/// monotone non-decreasing as elements get covered, so a popped entry whose
+/// recomputed key is still no worse than the heap's top is the true minimum.
+/// Picks the same set as the full rescan on every iteration (see docs/perf.md
+/// for the argument), so results are byte-identical to
+/// GreedySetCoverScanReference.
 Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance);
+
+/// The original O(#sets) -per-pick rescan. Kept as the differential reference
+/// for the lazy-heap implementation above; do not use on hot paths.
+Result<std::vector<size_t>> GreedySetCoverScanReference(
+    const SetCoverInstance& instance);
 
 /// Exact branch-and-bound (small instances; `node_budget` caps search).
 Result<std::vector<size_t>> ExactSetCover(const SetCoverInstance& instance,

@@ -7,47 +7,104 @@
 namespace delprop {
 namespace {
 
+/// Element→sets incidence, built once per instance and shared across the
+/// per-threshold greedy runs of the low-degree solver. Entries are pushed
+/// once per *occurrence* (a set listing a blue twice appears twice), so
+/// incremental new-blues counts match the reference scan, which also counts
+/// occurrences.
+struct RbscIncidence {
+  std::vector<std::vector<size_t>> blue_sets;
+  std::vector<std::vector<size_t>> red_sets;
+
+  explicit RbscIncidence(const RbscInstance& instance)
+      : blue_sets(instance.blue_count), red_sets(instance.red_count) {
+    for (size_t s = 0; s < instance.sets.size(); ++s) {
+      for (size_t b : instance.sets[s].blues) blue_sets[b].push_back(s);
+      for (size_t r : instance.sets[s].reds) red_sets[r].push_back(s);
+    }
+  }
+};
+
 /// Greedy over the subset of sets with `allowed[s]` true. Returns nullopt if
 /// the allowed sets cannot cover all blues.
+///
+/// Picks the same set every iteration as the original full rescan, but keeps
+/// per-set state incrementally instead of recomputing it for every set on
+/// every pick:
+///  - `new_blues[s]` is an integer, decremented through the blue→sets
+///    incidence when a blue gets covered — exact, no drift.
+///  - `marginal[s]` is a float and is NOT adjusted incrementally (subtracting
+///    covered red weights would reorder the summation and change low bits on
+///    weighted instances). Instead a set is marked dirty when one of its reds
+///    gets covered, and dirty marginals are recomputed with the reference
+///    loop — same terms, same order, bit-identical.
+///  - `live` holds the allowed sets that can still cover something, in
+///    ascending index order (stable compaction), so the strict-< /
+///    larger-new-blues tie-break sees candidates in the reference order.
 std::optional<RbscSolution> GreedyOverAllowed(const RbscInstance& instance,
+                                              const RbscIncidence& incidence,
                                               const std::vector<bool>& allowed) {
   std::vector<bool> blue_covered(instance.blue_count, false);
   std::vector<bool> red_covered(instance.red_count, false);
   size_t blues_left = instance.blue_count;
   RbscSolution solution;
 
+  std::vector<size_t> new_blues(instance.sets.size(), 0);
+  std::vector<double> marginal(instance.sets.size(), 0.0);
+  std::vector<bool> dirty(instance.sets.size(), false);
+  auto recompute_marginal = [&](size_t s) {
+    double m = 0.0;
+    for (size_t r : instance.sets[s].reds) {
+      if (!red_covered[r]) m += instance.RedWeight(r);
+    }
+    marginal[s] = m;
+  };
+  std::vector<size_t> live;
+  live.reserve(instance.sets.size());
+  for (size_t s = 0; s < instance.sets.size(); ++s) {
+    // Counted for every set — incidence decrements touch disallowed sets too.
+    new_blues[s] = instance.sets[s].blues.size();
+    if (!allowed[s] || new_blues[s] == 0) continue;
+    recompute_marginal(s);
+    live.push_back(s);
+  }
+
   while (blues_left > 0) {
     size_t best_set = instance.sets.size();
     double best_score = std::numeric_limits<double>::infinity();
     size_t best_new_blues = 0;
-    for (size_t s = 0; s < instance.sets.size(); ++s) {
-      if (!allowed[s]) continue;
-      size_t new_blues = 0;
-      for (size_t b : instance.sets[s].blues) {
-        if (!blue_covered[b]) ++new_blues;
+    size_t kept = 0;
+    for (size_t s : live) {
+      if (new_blues[s] == 0) continue;  // exhausted for good
+      live[kept++] = s;
+      if (dirty[s]) {
+        recompute_marginal(s);
+        dirty[s] = false;
       }
-      if (new_blues == 0) continue;
-      double marginal = 0.0;
-      for (size_t r : instance.sets[s].reds) {
-        if (!red_covered[r]) marginal += instance.RedWeight(r);
-      }
-      double score = marginal / static_cast<double>(new_blues);
+      double score = marginal[s] / static_cast<double>(new_blues[s]);
       if (score < best_score ||
-          (score == best_score && new_blues > best_new_blues)) {
+          (score == best_score && new_blues[s] > best_new_blues)) {
         best_score = score;
         best_set = s;
-        best_new_blues = new_blues;
+        best_new_blues = new_blues[s];
       }
     }
+    live.resize(kept);
     if (best_set == instance.sets.size()) return std::nullopt;
     solution.chosen.push_back(best_set);
     for (size_t b : instance.sets[best_set].blues) {
       if (!blue_covered[b]) {
         blue_covered[b] = true;
         --blues_left;
+        for (size_t s : incidence.blue_sets[b]) --new_blues[s];
       }
     }
-    for (size_t r : instance.sets[best_set].reds) red_covered[r] = true;
+    for (size_t r : instance.sets[best_set].reds) {
+      if (!red_covered[r]) {
+        red_covered[r] = true;
+        for (size_t s : incidence.red_sets[r]) dirty[s] = true;
+      }
+    }
   }
   return solution;
 }
@@ -56,8 +113,10 @@ std::optional<RbscSolution> GreedyOverAllowed(const RbscInstance& instance,
 
 Result<RbscSolution> SolveRbscGreedy(const RbscInstance& instance) {
   if (Status s = instance.Validate(); !s.ok()) return s;
+  RbscIncidence incidence(instance);
   std::vector<bool> allowed(instance.sets.size(), true);
-  std::optional<RbscSolution> solution = GreedyOverAllowed(instance, allowed);
+  std::optional<RbscSolution> solution =
+      GreedyOverAllowed(instance, incidence, allowed);
   if (!solution.has_value()) {
     return Status::Infeasible("blue elements cannot all be covered");
   }
@@ -77,12 +136,14 @@ Result<RbscSolution> SolveRbscLowDegTwo(const RbscInstance& instance) {
 
   std::optional<RbscSolution> best;
   double best_cost = std::numeric_limits<double>::infinity();
+  RbscIncidence incidence(instance);
   std::vector<bool> allowed(instance.sets.size());
   for (size_t tau : thresholds) {
     for (size_t s = 0; s < instance.sets.size(); ++s) {
       allowed[s] = instance.sets[s].reds.size() <= tau;
     }
-    std::optional<RbscSolution> solution = GreedyOverAllowed(instance, allowed);
+    std::optional<RbscSolution> solution =
+        GreedyOverAllowed(instance, incidence, allowed);
     if (!solution.has_value()) continue;
     double cost = RbscCost(instance, *solution);
     if (!best.has_value() || cost < best_cost) {

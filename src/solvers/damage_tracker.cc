@@ -6,76 +6,66 @@
 namespace delprop {
 
 DamageTracker::DamageTracker(const VseInstance& instance)
-    : instance_(&instance) {
-  view_tuple_base_.resize(instance.view_count());
-  size_t dense = 0;
-  for (size_t v = 0; v < instance.view_count(); ++v) {
-    view_tuple_base_[v] = dense;
-    dense += instance.view(v).size();
+    : plan_(instance.compiled()) {
+  witness_hits_.assign(plan_->witness_count(), 0);
+  dead_witnesses_.assign(plan_->tuple_count(), 0);
+  deleted_stamp_.assign(plan_->base_count(), 0);
+  deleted_pos_.resize(plan_->base_count());
+  for (uint32_t d : plan_->deletion_dense()) {
+    ++initial_unkilled_deletions_;
+    initial_surviving_deletion_weight_ += plan_->weight(d);
   }
-  tuples_.resize(dense);
-  for (size_t v = 0; v < instance.view_count(); ++v) {
-    const View& view = instance.view(v);
-    for (size_t t = 0; t < view.size(); ++t) {
-      ViewTupleId id{v, t};
-      TupleState& state = tuples_[view_tuple_base_[v] + t];
-      state.id = id;
-      state.witness_count = view.tuple(t).witnesses.size();
-      state.is_deletion = instance.IsMarkedForDeletion(id);
-      state.weight = instance.weight(id);
-      if (state.is_deletion) {
-        ++unkilled_deletions_;
-        surviving_deletion_weight_ += state.weight;
-      }
-      for (const Witness& witness : view.tuple(t).witnesses) {
-        size_t wid = witness_hits_.size();
-        witness_hits_.push_back(0);
-        witness_owner_.push_back(view_tuple_base_[v] + t);
-        // Deduplicate refs within one witness (self-joins may repeat them).
-        std::vector<TupleRef> refs(witness.begin(), witness.end());
-        std::sort(refs.begin(), refs.end());
-        refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
-        for (const TupleRef& ref : refs) {
-          occurrences_[ref].emplace_back(view_tuple_base_[v] + t, wid);
-        }
-      }
-    }
-  }
-  for (auto& [ref, occ] : occurrences_) {
-    std::sort(occ.begin(), occ.end());
-  }
+  unkilled_deletions_ = initial_unkilled_deletions_;
+  surviving_deletion_weight_ = initial_surviving_deletion_weight_;
 }
 
-size_t DamageTracker::DenseViewTuple(const ViewTupleId& id) const {
-  return view_tuple_base_[id.view] + id.tuple;
+void DamageTracker::Reset() {
+  std::fill(witness_hits_.begin(), witness_hits_.end(), 0);
+  std::fill(dead_witnesses_.begin(), dead_witnesses_.end(), 0);
+  deleted_.clear();
+  foreign_.clear();
+  ++epoch_;
+  unkilled_deletions_ = initial_unkilled_deletions_;
+  killed_preserved_weight_ = 0.0;
+  surviving_deletion_weight_ = initial_surviving_deletion_weight_;
 }
 
 bool DamageTracker::IsDeleted(const TupleRef& ref) const {
-  return deleted_index_.count(ref) > 0;
-}
-
-bool DamageTracker::IsKilled(const ViewTupleId& id) const {
-  const TupleState& state = tuples_[DenseViewTuple(id)];
-  return state.witness_count > 0 && state.dead_witnesses == state.witness_count;
+  uint32_t base = plan_->FindBase(ref);
+  if (base != CompiledInstance::kNpos) return IsDeletedBase(base);
+  return std::find(foreign_.begin(), foreign_.end(), ref) != foreign_.end();
 }
 
 double DamageTracker::Delete(const TupleRef& ref) {
-  assert(!IsDeleted(ref));
-  deleted_index_[ref] = deleted_.size();
-  deleted_.push_back(ref);
+  uint32_t base = plan_->FindBase(ref);
+  if (base == CompiledInstance::kNpos) {
+    // Not in any witness: deleting it kills nothing. Track it so
+    // IsDeleted/Undelete/CurrentDeletion stay consistent.
+    assert(std::find(foreign_.begin(), foreign_.end(), ref) ==
+           foreign_.end());
+    foreign_.push_back(ref);
+    return 0.0;
+  }
+  return DeleteBase(base);
+}
+
+double DamageTracker::DeleteBase(uint32_t base) {
+  assert(!IsDeletedBase(base));
+  deleted_pos_[base] = static_cast<uint32_t>(deleted_.size());
+  deleted_.push_back(base);
+  deleted_stamp_[base] = epoch_;
   double newly_killed = 0.0;
-  auto it = occurrences_.find(ref);
-  if (it == occurrences_.end()) return 0.0;
-  for (const auto& [dense, wid] : it->second) {
-    if (witness_hits_[wid]++ == 0) {
-      TupleState& state = tuples_[dense];
-      if (++state.dead_witnesses == state.witness_count) {
-        if (state.is_deletion) {
+  uint32_t end = plan_->occ_end(base);
+  for (uint32_t slot = plan_->occ_begin(base); slot < end; ++slot) {
+    if (witness_hits_[plan_->occ_witness(slot)]++ == 0) {
+      uint32_t dense = plan_->occ_tuple(slot);
+      if (++dead_witnesses_[dense] == plan_->tuple_witness_count(dense)) {
+        if (plan_->is_deletion(dense)) {
           --unkilled_deletions_;
-          surviving_deletion_weight_ -= state.weight;
+          surviving_deletion_weight_ -= plan_->weight(dense);
         } else {
-          killed_preserved_weight_ += state.weight;
-          newly_killed += state.weight;
+          killed_preserved_weight_ += plan_->weight(dense);
+          newly_killed += plan_->weight(dense);
         }
       }
     }
@@ -84,27 +74,35 @@ double DamageTracker::Delete(const TupleRef& ref) {
 }
 
 void DamageTracker::Undelete(const TupleRef& ref) {
-  auto pos = deleted_index_.find(ref);
-  assert(pos != deleted_index_.end());
-  if (pos == deleted_index_.end()) return;
-  size_t hole = pos->second;
-  deleted_index_.erase(pos);
+  uint32_t base = plan_->FindBase(ref);
+  if (base == CompiledInstance::kNpos) {
+    auto it = std::find(foreign_.begin(), foreign_.end(), ref);
+    assert(it != foreign_.end());
+    if (it != foreign_.end()) foreign_.erase(it);
+    return;
+  }
+  UndeleteBase(base);
+}
+
+void DamageTracker::UndeleteBase(uint32_t base) {
+  assert(IsDeletedBase(base));
+  uint32_t hole = deleted_pos_[base];
   if (hole + 1 != deleted_.size()) {
     deleted_[hole] = deleted_.back();
-    deleted_index_[deleted_[hole]] = hole;
+    deleted_pos_[deleted_[hole]] = hole;
   }
   deleted_.pop_back();
-  auto it = occurrences_.find(ref);
-  if (it == occurrences_.end()) return;
-  for (const auto& [dense, wid] : it->second) {
-    if (--witness_hits_[wid] == 0) {
-      TupleState& state = tuples_[dense];
-      if (state.dead_witnesses-- == state.witness_count) {
-        if (state.is_deletion) {
+  deleted_stamp_[base] = 0;
+  uint32_t end = plan_->occ_end(base);
+  for (uint32_t slot = plan_->occ_begin(base); slot < end; ++slot) {
+    if (--witness_hits_[plan_->occ_witness(slot)] == 0) {
+      uint32_t dense = plan_->occ_tuple(slot);
+      if (dead_witnesses_[dense]-- == plan_->tuple_witness_count(dense)) {
+        if (plan_->is_deletion(dense)) {
           ++unkilled_deletions_;
-          surviving_deletion_weight_ += state.weight;
+          surviving_deletion_weight_ += plan_->weight(dense);
         } else {
-          killed_preserved_weight_ -= state.weight;
+          killed_preserved_weight_ -= plan_->weight(dense);
         }
       }
     }
@@ -112,23 +110,28 @@ void DamageTracker::Undelete(const TupleRef& ref) {
 }
 
 double DamageTracker::MarginalDamage(const TupleRef& ref) const {
-  auto it = occurrences_.find(ref);
-  if (it == occurrences_.end()) return 0.0;
+  uint32_t base = plan_->FindBase(ref);
+  if (base == CompiledInstance::kNpos) return 0.0;
+  return MarginalDamageBase(base);
+}
+
+double DamageTracker::MarginalDamageBase(uint32_t base) const {
   double damage = 0.0;
-  const auto& occ = it->second;
-  // Occurrences are sorted by dense view tuple; walk runs.
-  for (size_t i = 0; i < occ.size();) {
-    size_t dense = occ[i].first;
-    size_t fresh_dead = 0;
-    while (i < occ.size() && occ[i].first == dense) {
-      if (witness_hits_[occ[i].second] == 0) ++fresh_dead;
-      ++i;
-    }
-    const TupleState& state = tuples_[dense];
-    if (state.is_deletion) continue;
-    if (state.dead_witnesses + fresh_dead == state.witness_count &&
-        state.dead_witnesses < state.witness_count) {
-      damage += state.weight;
+  uint32_t slot = plan_->occ_begin(base);
+  uint32_t end = plan_->occ_end(base);
+  // Occurrence rows are sorted by view tuple; walk runs.
+  while (slot < end) {
+    uint32_t dense = plan_->occ_tuple(slot);
+    uint32_t fresh_dead = 0;
+    do {
+      if (witness_hits_[plan_->occ_witness(slot)] == 0) ++fresh_dead;
+      ++slot;
+    } while (slot < end && plan_->occ_tuple(slot) == dense);
+    if (plan_->is_deletion(dense)) continue;
+    uint32_t dead = dead_witnesses_[dense];
+    uint32_t total = plan_->tuple_witness_count(dense);
+    if (dead + fresh_dead == total && dead < total) {
+      damage += plan_->weight(dense);
     }
   }
   return damage;
@@ -136,7 +139,8 @@ double DamageTracker::MarginalDamage(const TupleRef& ref) const {
 
 DeletionSet DamageTracker::CurrentDeletion() const {
   DeletionSet out;
-  for (const TupleRef& ref : deleted_) out.Insert(ref);
+  for (uint32_t base : deleted_) out.Insert(plan_->base_ref(base));
+  for (const TupleRef& ref : foreign_) out.Insert(ref);
   return out;
 }
 

@@ -1,10 +1,12 @@
 #ifndef DELPROP_SOLVERS_DAMAGE_TRACKER_H_
 #define DELPROP_SOLVERS_DAMAGE_TRACKER_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dp/vse_instance.h"
+#include "plan/compiled_instance.h"
 #include "relational/deletion_set.h"
 
 namespace delprop {
@@ -13,7 +15,14 @@ namespace delprop {
 /// deleted, with exact multi-witness semantics: a witness is dead when it
 /// loses any member; a view tuple is killed when all of its witnesses are
 /// dead. Supports O(occurrences) delete/undelete and marginal-damage queries,
-/// shared by the greedy and exact solvers.
+/// shared by the greedy, exact, and local-search solvers.
+///
+/// Runs entirely on the instance's CompiledInstance plan: membership is an
+/// epoch-stamped dense array, occurrence walks are CSR-row scans — no hashing
+/// on any hot path. The TupleRef overloads stay for callers holding refs; the
+/// *Base overloads take dense base ids straight from the plan. Refs that
+/// occur in no witness ("foreign" refs, possible through the public API) are
+/// tracked on a small side list and are harmless no-ops for damage.
 class DamageTracker {
  public:
   explicit DamageTracker(const VseInstance& instance);
@@ -30,6 +39,14 @@ class DamageTracker {
   /// Preserved weight that deleting `ref` would newly kill right now.
   double MarginalDamage(const TupleRef& ref) const;
 
+  /// Dense-id variants (ids from plan(); never foreign).
+  double DeleteBase(uint32_t base);
+  void UndeleteBase(uint32_t base);
+  bool IsDeletedBase(uint32_t base) const {
+    return deleted_stamp_[base] == epoch_;
+  }
+  double MarginalDamageBase(uint32_t base) const;
+
   /// Number of ΔV tuples not yet killed.
   size_t unkilled_deletion_count() const { return unkilled_deletions_; }
 
@@ -41,44 +58,57 @@ class DamageTracker {
     return surviving_deletion_weight_;
   }
 
-  bool IsKilled(const ViewTupleId& id) const;
+  bool IsKilled(const ViewTupleId& id) const {
+    return IsKilledDense(plan_->DenseOf(id));
+  }
+  bool IsKilledDense(uint32_t dense) const {
+    return dead_witnesses_[dense] == plan_->tuple_witness_count(dense);
+  }
+
+  /// Deleted-member count of witness `wid` (0 = the witness is alive).
+  uint32_t witness_hits(uint32_t wid) const { return witness_hits_[wid]; }
 
   /// Snapshot of the current deletion as a DeletionSet.
   DeletionSet CurrentDeletion() const;
 
-  /// Number of deleted base tuples.
-  size_t deleted_count() const { return deleted_.size(); }
+  /// Deleted interned bases, in deletion order (excludes foreign refs).
+  const std::vector<uint32_t>& DeletedBases() const { return deleted_; }
+
+  /// Number of deleted base tuples (interned + foreign).
+  size_t deleted_count() const { return deleted_.size() + foreign_.size(); }
+
+  /// Reverts to the freshly-constructed state in O(‖V‖ + witnesses): zeroes
+  /// the per-witness/per-tuple counters, restores the aggregate weights to
+  /// their exact initial values (no floating-point drift from incremental
+  /// rollback), and bumps the epoch so the deleted-stamp array clears in
+  /// O(1). Lets restart-style callers (local search) reuse one tracker.
+  void Reset();
+
+  const CompiledInstance& plan() const { return *plan_; }
 
  private:
-  struct TupleState {
-    ViewTupleId id;
-    size_t witness_count = 0;
-    size_t dead_witnesses = 0;
-    bool is_deletion = false;
-    double weight = 1.0;
-  };
+  std::shared_ptr<const CompiledInstance> plan_;
 
-  // Dense id spaces: view tuples and witnesses.
-  size_t DenseViewTuple(const ViewTupleId& id) const;
+  // Per witness: number of deleted (unique) members.
+  std::vector<uint32_t> witness_hits_;
+  // Per view tuple: number of dead witnesses.
+  std::vector<uint32_t> dead_witnesses_;
+  // Per base: stamp == epoch_ iff deleted; epoch bump clears all in O(1).
+  std::vector<uint32_t> deleted_stamp_;
+  // Per base: position in deleted_ (valid only while stamped).
+  std::vector<uint32_t> deleted_pos_;
+  std::vector<uint32_t> deleted_;
+  // Refs not interned in the plan (occur in no witness); rare, test-only in
+  // practice. Kept so Delete/Undelete of arbitrary refs stays harmless.
+  std::vector<TupleRef> foreign_;
 
-  const VseInstance* instance_;
-  std::vector<TupleState> tuples_;
-  std::vector<size_t> view_tuple_base_;  // per view: first dense id
-  std::vector<uint32_t> witness_hits_;   // per witness: deleted members
-  std::vector<size_t> witness_owner_;    // per witness: dense view tuple
-  // Per base tuple: (dense view tuple, witness id) pairs sorted by tuple.
-  std::unordered_map<TupleRef, std::vector<std::pair<size_t, size_t>>,
-                     TupleRefHash>
-      occurrences_;
-  // The current deletion as a dense list plus each member's position in it,
-  // so Undelete is O(1) swap-and-pop instead of an O(k) list scan (which
-  // made reverse-delete passes quadratic).
-  std::vector<TupleRef> deleted_;
-  std::unordered_map<TupleRef, size_t, TupleRefHash> deleted_index_;
-
+  uint32_t epoch_ = 1;
   size_t unkilled_deletions_ = 0;
   double killed_preserved_weight_ = 0.0;
   double surviving_deletion_weight_ = 0.0;
+  // Exact initial aggregates, restored by Reset().
+  size_t initial_unkilled_deletions_ = 0;
+  double initial_surviving_deletion_weight_ = 0.0;
 };
 
 }  // namespace delprop

@@ -32,31 +32,30 @@ class StandardSearch {
   const DeletionSet& best_deletion() const { return best_deletion_; }
 
  private:
-  // Picks the unkilled ΔV tuple and unhit witness with the fewest undeleted
-  // members; branches on deleting each member.
+  // Picks the unkilled ΔV tuple and unhit witness with the fewest raw
+  // members; branches on deleting each member. Mirrors the legacy search
+  // exactly (same scan order, same strict-< first-min witness choice, raw
+  // member lists with duplicates) so node counts — and therefore budget
+  // boundaries — are preserved.
   void Descend() {
     if (++nodes_ > budget_) return;
     if (tracker_.killed_preserved_weight() >= best_cost_) return;
-    const Witness* branch_witness = nullptr;
-    size_t branch_options = std::numeric_limits<size_t>::max();
-    for (const ViewTupleId& id : instance_.deletion_tuples()) {
-      if (tracker_.IsKilled(id)) continue;
-      for (const Witness& witness : instance_.view_tuple(id).witnesses) {
-        bool hit = false;
-        for (const TupleRef& ref : witness) {
-          if (tracker_.IsDeleted(ref)) {
-            hit = true;
-            break;
-          }
-        }
-        if (hit) continue;
-        if (witness.size() < branch_options) {
-          branch_witness = &witness;
-          branch_options = witness.size();
+    const CompiledInstance& plan = tracker_.plan();
+    uint32_t branch_witness = CompiledInstance::kNpos;
+    uint32_t branch_options = std::numeric_limits<uint32_t>::max();
+    for (uint32_t dense : plan.deletion_dense()) {
+      if (tracker_.IsKilledDense(dense)) continue;
+      uint32_t wend = plan.tuple_witness_end(dense);
+      for (uint32_t w = plan.tuple_witness_begin(dense); w < wend; ++w) {
+        if (tracker_.witness_hits(w) > 0) continue;  // already hit
+        uint32_t size = plan.member_end(w) - plan.member_begin(w);
+        if (size < branch_options) {
+          branch_witness = w;
+          branch_options = size;
         }
       }
     }
-    if (branch_witness == nullptr) {
+    if (branch_witness == CompiledInstance::kNpos) {
       // All ΔV tuples killed: feasible leaf, strictly better by the prune.
       best_cost_ = tracker_.killed_preserved_weight();
       best_deletion_ = tracker_.CurrentDeletion();
@@ -64,14 +63,14 @@ class StandardSearch {
       return;
     }
     if (tracker_.deleted_count() >= max_deletions_) return;  // cap reached
-    // Copy: Delete/Undelete does not touch witnesses, but keep it safe
-    // against iterator invalidation from recursion.
-    Witness witness = *branch_witness;
-    for (const TupleRef& ref : witness) {
-      if (tracker_.IsDeleted(ref)) continue;
-      tracker_.Delete(ref);
+    uint32_t mend = plan.member_end(branch_witness);
+    for (uint32_t slot = plan.member_begin(branch_witness); slot < mend;
+         ++slot) {
+      uint32_t base = plan.member_base(slot);
+      if (tracker_.IsDeletedBase(base)) continue;
+      tracker_.DeleteBase(base);
       Descend();
-      tracker_.Undelete(ref);
+      tracker_.UndeleteBase(base);
       if (nodes_ > budget_) return;
     }
   }
@@ -131,10 +130,7 @@ namespace {
 class BalancedSearch {
  public:
   BalancedSearch(const VseInstance& instance, uint64_t budget)
-      : instance_(instance),
-        tracker_(instance),
-        budget_(budget),
-        candidates_(instance.CandidateTuples()) {}
+      : instance_(instance), tracker_(instance), budget_(budget) {}
 
   bool Run() {
     // The empty deletion is always feasible for the balanced objective.
@@ -158,11 +154,13 @@ class BalancedSearch {
       best_cost_ = cost;
       best_deletion_ = tracker_.CurrentDeletion();
     }
-    if (index == candidates_.size()) return;
+    const std::vector<uint32_t>& candidates =
+        tracker_.plan().candidate_bases();
+    if (index == candidates.size()) return;
     // Branch: delete candidate.
-    tracker_.Delete(candidates_[index]);
+    tracker_.DeleteBase(candidates[index]);
     Descend(index + 1);
-    tracker_.Undelete(candidates_[index]);
+    tracker_.UndeleteBase(candidates[index]);
     if (nodes_ > budget_) return;
     // Branch: keep candidate.
     Descend(index + 1);
@@ -172,7 +170,6 @@ class BalancedSearch {
   DamageTracker tracker_;
   uint64_t budget_;
   uint64_t nodes_ = 0;
-  std::vector<TupleRef> candidates_;
   DeletionSet best_deletion_;
   double best_cost_ = std::numeric_limits<double>::infinity();
 };

@@ -1,5 +1,6 @@
 #include "solvers/greedy_solver.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "solvers/damage_tracker.h"
@@ -8,56 +9,68 @@ namespace delprop {
 
 Result<VseSolution> GreedySolver::Solve(const VseInstance& instance) {
   DamageTracker tracker(instance);
+  const CompiledInstance& plan = tracker.plan();
+  const std::vector<uint32_t>& targets = plan.deletion_dense();
 
+  // Kills only grow during this phase, so a monotone cursor over ΔV replaces
+  // the legacy full rescan (which was quadratic in ‖ΔV‖): once a ΔV tuple is
+  // killed it stays killed, and the legacy scan always stopped at the first
+  // unkilled tuple — exactly where the cursor stands.
+  size_t cursor = 0;
   while (tracker.unkilled_deletion_count() > 0) {
-    // Find an unkilled ΔV tuple and one of its unhit witnesses.
-    const Witness* target = nullptr;
-    for (const ViewTupleId& id : instance.deletion_tuples()) {
-      if (tracker.IsKilled(id)) continue;
-      for (const Witness& witness : instance.view_tuple(id).witnesses) {
-        bool hit = false;
-        for (const TupleRef& ref : witness) {
-          if (tracker.IsDeleted(ref)) {
-            hit = true;
-            break;
-          }
-        }
-        if (!hit) {
-          target = &witness;
-          break;
-        }
-      }
-      if (target != nullptr) break;
+    while (cursor < targets.size() && tracker.IsKilledDense(targets[cursor])) {
+      ++cursor;
     }
-    if (target == nullptr) {
+    if (cursor == targets.size()) {
       return Status::Internal("unkilled deletion without an unhit witness");
     }
-    if (target->empty()) {
+    uint32_t target_tuple = targets[cursor];
+    // First unhit witness of the target (a witness is hit once any member is
+    // deleted, i.e. witness_hits > 0).
+    uint32_t witness = CompiledInstance::kNpos;
+    uint32_t wend = plan.tuple_witness_end(target_tuple);
+    for (uint32_t w = plan.tuple_witness_begin(target_tuple); w < wend; ++w) {
+      if (tracker.witness_hits(w) == 0) {
+        witness = w;
+        break;
+      }
+    }
+    if (witness == CompiledInstance::kNpos) {
+      return Status::Internal("unkilled deletion without an unhit witness");
+    }
+    uint32_t mbegin = plan.member_begin(witness);
+    uint32_t mend = plan.member_end(witness);
+    if (mbegin == mend) {
       // Guarded at VseInstance construction; kept as a cheap invariant check
       // so a hand-built instance fails loudly instead of indexing into an
       // empty witness.
       return Status::InvalidArgument(
           "deletion target has an empty witness; instance is malformed");
     }
-    // Delete the member with the lowest marginal damage.
-    TupleRef best = (*target)[0];
+    // Delete the member with the lowest marginal damage (first wins ties —
+    // the raw atom-order member list preserves the legacy tie-break).
+    uint32_t best = plan.member_base(mbegin);
     double best_damage = std::numeric_limits<double>::infinity();
-    for (const TupleRef& ref : *target) {
-      if (tracker.IsDeleted(ref)) continue;
-      double damage = tracker.MarginalDamage(ref);
+    for (uint32_t slot = mbegin; slot < mend; ++slot) {
+      uint32_t base = plan.member_base(slot);
+      if (tracker.IsDeletedBase(base)) continue;
+      double damage = tracker.MarginalDamageBase(base);
       if (damage < best_damage) {
         best_damage = damage;
-        best = ref;
+        best = base;
       }
     }
-    tracker.Delete(best);
+    tracker.DeleteBase(best);
   }
 
-  // Reverse-delete pass: drop deletions that are no longer needed.
-  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  // Reverse-delete pass: drop deletions that are no longer needed. Base ids
+  // ascend with TupleRefs, so sorting them reproduces the legacy
+  // CurrentDeletion().Sorted() order.
+  std::vector<uint32_t> deleted = tracker.DeletedBases();
+  std::sort(deleted.begin(), deleted.end());
   for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
-    tracker.Undelete(*it);
-    if (tracker.unkilled_deletion_count() > 0) tracker.Delete(*it);
+    tracker.UndeleteBase(*it);
+    if (tracker.unkilled_deletion_count() > 0) tracker.DeleteBase(*it);
   }
 
   return MakeSolution(instance, tracker.CurrentDeletion(), name());

@@ -1,5 +1,6 @@
 #include "solvers/local_search_solver.h"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 
@@ -11,53 +12,58 @@ namespace {
 
 // Randomized greedy construction: kill ΔV tuples in random order, always
 // deleting the cheapest member of the first unhit witness.
-void RandomizedGreedy(const VseInstance& instance, Rng& rng,
+//
+// Dense-id note: Rng::Shuffle is a Fisher-Yates that depends only on the
+// vector's size, and every dense list mirrors the legacy tuple order, so the
+// shuffled sequences, the rng stream (including NextBool consumed on exact
+// damage ties — duplicates in the raw member list still tie against
+// themselves, as before), and therefore the output are byte-identical to the
+// legacy TupleRef-based implementation.
+void RandomizedGreedy(const CompiledInstance& plan, Rng& rng,
                       DamageTracker& tracker) {
-  std::vector<ViewTupleId> order = instance.deletion_tuples();
+  std::vector<uint32_t> order = plan.deletion_dense();
   rng.Shuffle(order);
-  for (const ViewTupleId& id : order) {
-    while (!tracker.IsKilled(id)) {
-      const Witness* target = nullptr;
-      for (const Witness& witness : instance.view_tuple(id).witnesses) {
-        bool hit = false;
-        for (const TupleRef& ref : witness) {
-          if (tracker.IsDeleted(ref)) {
-            hit = true;
-            break;
-          }
-        }
-        if (!hit) {
-          target = &witness;
+  for (uint32_t id : order) {
+    while (!tracker.IsKilledDense(id)) {
+      uint32_t witness = CompiledInstance::kNpos;
+      uint32_t wend = plan.tuple_witness_end(id);
+      for (uint32_t w = plan.tuple_witness_begin(id); w < wend; ++w) {
+        if (tracker.witness_hits(w) == 0) {
+          witness = w;
           break;
         }
       }
-      if (target == nullptr) break;  // killed by earlier deletions
-      TupleRef best = (*target)[0];
+      if (witness == CompiledInstance::kNpos) break;  // killed earlier
+      uint32_t mbegin = plan.member_begin(witness);
+      uint32_t mend = plan.member_end(witness);
+      uint32_t best = plan.member_base(mbegin);
       double best_damage = std::numeric_limits<double>::infinity();
-      for (const TupleRef& ref : *target) {
-        if (tracker.IsDeleted(ref)) continue;
-        double damage = tracker.MarginalDamage(ref);
+      for (uint32_t slot = mbegin; slot < mend; ++slot) {
+        uint32_t base = plan.member_base(slot);
+        if (tracker.IsDeletedBase(base)) continue;
+        double damage = tracker.MarginalDamageBase(base);
         // Random tie-breaking keeps restarts diverse.
         if (damage < best_damage ||
             (damage == best_damage && rng.NextBool(0.5))) {
           best_damage = damage;
-          best = ref;
+          best = base;
         }
       }
-      tracker.Delete(best);
+      tracker.DeleteBase(best);
     }
   }
 }
 
 // Drops unneeded deletions (in random order); returns true on any change.
 bool DropPass(Rng& rng, DamageTracker& tracker) {
-  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  std::vector<uint32_t> deleted = tracker.DeletedBases();
+  std::sort(deleted.begin(), deleted.end());
   rng.Shuffle(deleted);
   bool changed = false;
-  for (const TupleRef& ref : deleted) {
-    tracker.Undelete(ref);
+  for (uint32_t base : deleted) {
+    tracker.UndeleteBase(base);
     if (tracker.unkilled_deletion_count() > 0) {
-      tracker.Delete(ref);
+      tracker.DeleteBase(base);
     } else {
       changed = true;
     }
@@ -67,32 +73,33 @@ bool DropPass(Rng& rng, DamageTracker& tracker) {
 
 // One swap pass: replace a deleted tuple by an undeleted candidate when that
 // keeps feasibility and strictly lowers the cost. Returns true on change.
-bool SwapPass(const std::vector<TupleRef>& candidates, Rng& rng,
+bool SwapPass(const std::vector<uint32_t>& candidates, Rng& rng,
               DamageTracker& tracker) {
-  std::vector<TupleRef> deleted = tracker.CurrentDeletion().Sorted();
+  std::vector<uint32_t> deleted = tracker.DeletedBases();
+  std::sort(deleted.begin(), deleted.end());
   rng.Shuffle(deleted);
   bool changed = false;
-  for (const TupleRef& out : deleted) {
+  for (uint32_t out : deleted) {
     double current = tracker.killed_preserved_weight();
-    tracker.Undelete(out);
+    tracker.UndeleteBase(out);
     if (tracker.unkilled_deletion_count() == 0 &&
         tracker.killed_preserved_weight() < current) {
       changed = true;  // plain drop is already an improvement
       continue;
     }
     bool swapped = false;
-    for (const TupleRef& in : candidates) {
-      if (tracker.IsDeleted(in) || in == out) continue;
-      tracker.Delete(in);
+    for (uint32_t in : candidates) {
+      if (tracker.IsDeletedBase(in) || in == out) continue;
+      tracker.DeleteBase(in);
       if (tracker.unkilled_deletion_count() == 0 &&
           tracker.killed_preserved_weight() < current) {
         swapped = true;
         changed = true;
         break;
       }
-      tracker.Undelete(in);
+      tracker.UndeleteBase(in);
     }
-    if (!swapped) tracker.Delete(out);
+    if (!swapped) tracker.DeleteBase(out);
   }
   return changed;
 }
@@ -103,14 +110,19 @@ Result<VseSolution> LocalSearchSolver::Solve(const VseInstance& instance) {
   if (instance.TotalDeletionTuples() == 0) {
     return MakeSolution(instance, DeletionSet(), name());
   }
-  std::vector<TupleRef> candidates = instance.CandidateTuples();
   Rng rng(options_.seed);
+
+  // One tracker reused across restarts: Reset() restores the exact initial
+  // state (no floating-point drift), so this matches constructing a fresh
+  // tracker per restart — minus the allocations.
+  DamageTracker tracker(instance);
+  const std::vector<uint32_t>& candidates = tracker.plan().candidate_bases();
 
   std::optional<DeletionSet> best;
   double best_cost = std::numeric_limits<double>::infinity();
   for (size_t restart = 0; restart < options_.restarts; ++restart) {
-    DamageTracker tracker(instance);
-    RandomizedGreedy(instance, rng, tracker);
+    if (restart > 0) tracker.Reset();
+    RandomizedGreedy(tracker.plan(), rng, tracker);
     if (tracker.unkilled_deletion_count() > 0) {
       return Status::Internal("randomized greedy failed to kill all of ΔV");
     }

@@ -1,8 +1,6 @@
 #ifndef DELPROP_SOLVERS_PRIMAL_DUAL_TREE_SOLVER_H_
 #define DELPROP_SOLVERS_PRIMAL_DUAL_TREE_SOLVER_H_
 
-#include <unordered_set>
-
 #include "dp/solver.h"
 #include "solvers/tree_common.h"
 

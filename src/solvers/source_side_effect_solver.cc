@@ -1,7 +1,6 @@
 #include "solvers/source_side_effect_solver.h"
 
-#include <unordered_map>
-
+#include "plan/compiled_instance.h"
 #include "setcover/greedy_set_cover.h"
 
 namespace delprop {
@@ -15,19 +14,22 @@ Result<VseSolution> SourceSideEffectSolver::Solve(
     return Status::FailedPrecondition(
         "source side-effect via set cover requires unique-witness views");
   }
-  // Elements: ΔV tuples; sets: candidate base tuples killing them.
-  std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> element_id;
-  for (const ViewTupleId& id : instance.deletion_tuples()) {
-    element_id.emplace(id, element_id.size());
-  }
-  std::vector<TupleRef> candidates = instance.CandidateTuples();
+  // Elements: ΔV tuples (element id = ΔV position = the plan's
+  // deletion_index); sets: candidate base tuples, their covered elements
+  // read straight off the kill CSR rows.
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
+  const std::vector<uint32_t>& candidates = plan->candidate_bases();
   SetCoverInstance cover;
-  cover.element_count = element_id.size();
-  for (const TupleRef& ref : candidates) {
+  cover.element_count = instance.TotalDeletionTuples();
+  cover.sets.reserve(candidates.size());
+  for (uint32_t base : candidates) {
     std::vector<size_t> elements;
-    for (const ViewTupleId& id : instance.KilledBy(ref)) {
-      auto it = element_id.find(id);
-      if (it != element_id.end()) elements.push_back(it->second);
+    uint32_t end = plan->kill_end(base);
+    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+      uint32_t dense = plan->kill_tuple(slot);
+      if (plan->is_deletion(dense)) {
+        elements.push_back(plan->deletion_index(dense));
+      }
     }
     cover.sets.push_back(std::move(elements));
   }
@@ -36,7 +38,7 @@ Result<VseSolution> SourceSideEffectSolver::Solve(
                              : ExactSetCover(cover, node_budget_);
   if (!chosen.ok()) return chosen.status();
   DeletionSet deletion;
-  for (size_t s : *chosen) deletion.Insert(candidates[s]);
+  for (size_t s : *chosen) deletion.Insert(plan->base_ref(candidates[s]));
   return MakeSolution(instance, std::move(deletion), name());
 }
 

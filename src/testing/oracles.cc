@@ -1,12 +1,16 @@
 #include "testing/oracles.h"
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "dp/side_effect.h"
 #include "dp/solver.h"
+#include "plan/compiled_instance.h"
 #include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
 #include "solvers/solver_registry.h"
 #include "testing/reference_eval.h"
 #include "tool/script.h"
@@ -91,6 +95,252 @@ void CheckSerializeRoundTrip(const VseInstance& instance,
   }
 }
 
+/// The compiled plan is a pure re-encoding of the instance: every interned
+/// structure must round-trip back to the instance API it was built from.
+void CheckPlanRoundTrip(const VseInstance& instance,
+                        std::vector<OracleViolation>* out) {
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
+  auto fail = [&](const std::string& detail) {
+    out->push_back({"plan-roundtrip", detail});
+  };
+
+  if (plan->tuple_count() != instance.TotalViewTuples()) {
+    fail("tuple_count " + std::to_string(plan->tuple_count()) + " != " +
+         std::to_string(instance.TotalViewTuples()));
+    return;
+  }
+  // Base interning: strictly ascending refs, FindBase a bijection.
+  for (uint32_t b = 0; b < plan->base_count(); ++b) {
+    if (b + 1 < plan->base_count() &&
+        !(plan->base_ref(b) < plan->base_ref(b + 1))) {
+      fail("base refs not strictly ascending at id " + std::to_string(b));
+      return;
+    }
+    if (plan->FindBase(plan->base_ref(b)) != b) {
+      fail("FindBase(base_ref(" + std::to_string(b) + ")) mismatch");
+      return;
+    }
+  }
+  // Per-tuple: dense id round-trip, weights, deletion flags, raw witnesses.
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    const View& view = instance.view(v);
+    for (size_t t = 0; t < view.size(); ++t) {
+      ViewTupleId id{v, t};
+      uint32_t dense = plan->DenseOf(id);
+      std::string where = " for view tuple (" + std::to_string(v) + ", " +
+                          std::to_string(t) + ")";
+      if (!(plan->IdOf(dense) == id)) {
+        fail("DenseOf/IdOf round-trip failed" + where);
+        return;
+      }
+      if (plan->weight(dense) != instance.weight(id)) {
+        fail("weight mismatch" + where);
+        return;
+      }
+      if (plan->is_deletion(dense) != instance.IsMarkedForDeletion(id)) {
+        fail("is_deletion flag mismatch" + where);
+        return;
+      }
+      const std::vector<Witness>& witnesses = view.tuple(t).witnesses;
+      if (plan->tuple_witness_count(dense) != witnesses.size()) {
+        fail("witness count mismatch" + where);
+        return;
+      }
+      for (size_t w = 0; w < witnesses.size(); ++w) {
+        uint32_t wid = plan->tuple_witness_begin(dense) +
+                       static_cast<uint32_t>(w);
+        if (plan->witness_owner(wid) != dense) {
+          fail("witness owner mismatch" + where);
+          return;
+        }
+        const Witness& witness = witnesses[w];
+        if (plan->member_end(wid) - plan->member_begin(wid) !=
+            witness.size()) {
+          fail("witness member count mismatch" + where);
+          return;
+        }
+        for (size_t m = 0; m < witness.size(); ++m) {
+          uint32_t base = plan->member_base(
+              plan->member_begin(wid) + static_cast<uint32_t>(m));
+          if (!(plan->base_ref(base) == witness[m])) {
+            fail("raw member slot " + std::to_string(m) +
+                 " does not round-trip" + where);
+            return;
+          }
+        }
+      }
+    }
+  }
+  // Deletion lists mirror deletion_tuples order.
+  const std::vector<ViewTupleId>& deletions = instance.deletion_tuples();
+  if (plan->deletion_dense().size() != deletions.size()) {
+    fail("deletion_dense size mismatch");
+    return;
+  }
+  for (size_t i = 0; i < deletions.size(); ++i) {
+    uint32_t dense = plan->deletion_dense()[i];
+    if (!(plan->IdOf(dense) == deletions[i]) ||
+        plan->deletion_index(dense) != i) {
+      fail("deletion_dense[" + std::to_string(i) +
+           "] does not mirror deletion_tuples");
+      return;
+    }
+  }
+  // Kill rows reproduce KilledBy, per base, in order.
+  for (uint32_t b = 0; b < plan->base_count(); ++b) {
+    const auto& killed = instance.KilledBy(plan->base_ref(b));
+    if (plan->kill_end(b) - plan->kill_begin(b) != killed.size()) {
+      fail("kill row size mismatch for base " + std::to_string(b));
+      return;
+    }
+    for (size_t k = 0; k < killed.size(); ++k) {
+      uint32_t dense =
+          plan->kill_tuple(plan->kill_begin(b) + static_cast<uint32_t>(k));
+      if (!(plan->IdOf(dense) == killed[k])) {
+        fail("kill row entry " + std::to_string(k) +
+             " mismatch for base " + std::to_string(b));
+        return;
+      }
+    }
+  }
+  // Candidates mirror CandidateTuples (both ascending).
+  std::vector<TupleRef> expected = instance.CandidateTuples();
+  if (plan->candidate_bases().size() != expected.size()) {
+    fail("candidate count " + std::to_string(plan->candidate_bases().size()) +
+         " != " + std::to_string(expected.size()));
+    return;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (!(plan->base_ref(plan->candidate_bases()[i]) == expected[i])) {
+      fail("candidate " + std::to_string(i) + " mismatch");
+      return;
+    }
+  }
+}
+
+bool WitnessHit(const Witness& witness, const DeletionSet& deletion) {
+  for (const TupleRef& ref : witness) {
+    if (deletion.Contains(ref)) return true;
+  }
+  return false;
+}
+
+bool TupleKilled(const VseInstance& instance, const ViewTupleId& id,
+                 const DeletionSet& deletion) {
+  for (const Witness& witness :
+       instance.view(id.view).tuple(id.tuple).witnesses) {
+    if (!WitnessHit(witness, deletion)) return false;
+  }
+  return true;
+}
+
+/// Marginal damage recomputed from the instance API alone: weight of
+/// preserved tuples whose every unhit witness contains `ref`. Sums in
+/// KilledBy order — the same order the compiled tracker sums in — so the
+/// doubles are bit-identical, which the tie-breaking comparison needs.
+double NaiveMarginalDamage(const VseInstance& instance, const TupleRef& ref,
+                           const DeletionSet& deletion) {
+  double damage = 0.0;
+  for (const ViewTupleId& id : instance.KilledBy(ref)) {
+    if (instance.IsMarkedForDeletion(id)) continue;
+    bool any_unhit = false;
+    bool all_covered = true;
+    for (const Witness& witness :
+         instance.view(id.view).tuple(id.tuple).witnesses) {
+      if (WitnessHit(witness, deletion)) continue;
+      any_unhit = true;
+      bool contains = false;
+      for (const TupleRef& member : witness) {
+        if (member == ref) {
+          contains = true;
+          break;
+        }
+      }
+      if (!contains) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (any_unhit && all_covered) damage += instance.weight(id);
+  }
+  return damage;
+}
+
+/// The greedy algorithm restated with no compiled plan, no tracker, and no
+/// dense ids — pure DeletionSet + lineage recomputation.
+std::optional<DeletionSet> ReferenceGreedy(const VseInstance& instance) {
+  DeletionSet deletion;
+  const std::vector<ViewTupleId>& targets = instance.deletion_tuples();
+  auto first_unkilled = [&]() -> const ViewTupleId* {
+    for (const ViewTupleId& id : targets) {
+      if (!TupleKilled(instance, id, deletion)) return &id;
+    }
+    return nullptr;
+  };
+  while (const ViewTupleId* target = first_unkilled()) {
+    const Witness* open = nullptr;
+    for (const Witness& witness :
+         instance.view(target->view).tuple(target->tuple).witnesses) {
+      if (!WitnessHit(witness, deletion)) {
+        open = &witness;
+        break;
+      }
+    }
+    if (open == nullptr || open->empty()) return std::nullopt;
+    TupleRef best = (*open)[0];
+    double best_damage = std::numeric_limits<double>::infinity();
+    for (const TupleRef& member : *open) {
+      if (deletion.Contains(member)) continue;
+      double damage = NaiveMarginalDamage(instance, member, deletion);
+      if (damage < best_damage) {
+        best_damage = damage;
+        best = member;
+      }
+    }
+    deletion.Insert(best);
+  }
+  std::vector<TupleRef> sorted = deletion.Sorted();
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    deletion.Erase(*it);
+    if (first_unkilled() != nullptr) deletion.Insert(*it);
+  }
+  return deletion;
+}
+
+/// GreedySolver runs on the compiled plan; this replays the same algorithm
+/// against the raw instance and demands byte-identical deletions.
+void CheckPlanGreedyDifferential(const VseInstance& instance,
+                                 std::vector<OracleViolation>* out) {
+  GreedySolver solver;
+  Result<VseSolution> compiled = solver.Solve(instance);
+  std::optional<DeletionSet> reference = ReferenceGreedy(instance);
+  if (!compiled.ok()) {
+    if (reference.has_value()) {
+      out->push_back({"plan-greedy",
+                      "compiled greedy failed (" +
+                          compiled.status().ToString() +
+                          ") where the reference succeeded"});
+    }
+    return;
+  }
+  if (!reference.has_value()) {
+    out->push_back({"plan-greedy",
+                    "reference greedy failed where the compiled one "
+                    "succeeded"});
+    return;
+  }
+  if (compiled->deletion.Sorted() != reference->Sorted()) {
+    out->push_back(
+        {"plan-greedy",
+         "deletion sets differ: compiled |ΔD|=" +
+             std::to_string(compiled->deletion.size()) + " cost " +
+             FormatCost(compiled->Cost()) + ", reference |ΔD|=" +
+             std::to_string(reference->size()) + " cost " +
+             FormatCost(EvaluateDeletion(instance, *reference)
+                            .side_effect_weight)});
+  }
+}
+
 struct SolverOutcome {
   bool ran = false;  // ok result (refusals and budget exhaustion stay false)
   VseSolution solution;
@@ -144,6 +394,7 @@ SolverOutcome RunSolver(VseSolver& solver, const VseInstance& instance,
 
 std::vector<std::string> OracleNames() {
   return {"evaluator-crosscheck", "serialize-roundtrip",
+          "plan-roundtrip",       "plan-greedy",
           "solver-error",         "feasible",
           "report-consistency",   "cost-vs-exact",
           "dp-tree-exact",        "dp-tree-balanced-exact",
@@ -159,6 +410,8 @@ std::vector<OracleViolation> CheckOracles(const VseInstance& instance,
   if (options.check_serialization) {
     CheckSerializeRoundTrip(instance, &violations);
   }
+  CheckPlanRoundTrip(instance, &violations);
+  CheckPlanGreedyDifferential(instance, &violations);
 
   // Every approximation solver must produce a feasible, internally consistent
   // solution whether or not the exact optimum is computable.

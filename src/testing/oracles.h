@@ -55,6 +55,12 @@ std::vector<std::string> OracleNames();
 ///    cartesian enumeration on every query (answers AND witness sets);
 ///  * serialize-roundtrip — SerializeToScript -> ScriptSession replay ->
 ///    SerializeToScript is byte-identical and structure-preserving;
+///  * plan-roundtrip — the compiled dense plan (interned bases, witness and
+///    kill CSR rows, deletion lists, candidates) re-encodes the instance API
+///    exactly;
+///  * plan-greedy — GreedySolver on the compiled plan returns a deletion set
+///    byte-identical to the same algorithm replayed with DeletionSet +
+///    lineage recomputation and no dense ids;
 ///  * solver-error:<s> — a solver failed with an unexpected status code
 ///    (FailedPrecondition refusals and budget exhaustion are expected);
 ///  * feasible:<s> — a standard-objective solution does not eliminate ΔV

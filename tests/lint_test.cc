@@ -260,6 +260,52 @@ TEST(RawThreadingTest, AllowsRuntimeDirAndUnqualifiedWords) {
                   .empty());
 }
 
+// === hot-path-hashing ===
+
+TEST(HotPathHashingTest, FlagsTupleKeyedMapsInSolverLayers) {
+  std::vector<Diagnostic> diags = RunRule(
+      std::make_unique<HotPathHashingRule>(), "src/solvers/s.cc",
+      "std::unordered_map<TupleRef, double, TupleRefHash> damage;\n"
+      "std::unordered_map<ViewTupleId, size_t, ViewTupleIdHash> ids;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.rule, "hot-path-hashing");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(HotPathHashingTest, ScopedToSolverAndSetcoverOnly) {
+  const std::string content =
+      "std::unordered_map<TupleRef, int, TupleRefHash> m;";
+  EXPECT_EQ(RunRule(std::make_unique<HotPathHashingRule>(),
+                    "src/setcover/c.cc", content)
+                .size(),
+            1u);
+  // Cold layers (reductions, dp, tools) may keep tuple-keyed maps.
+  EXPECT_TRUE(RunRule(std::make_unique<HotPathHashingRule>(),
+                      "src/reductions/r.cc", content)
+                  .empty());
+  EXPECT_TRUE(RunRule(std::make_unique<HotPathHashingRule>(),
+                      "tools/delprop_shell.cc", content)
+                  .empty());
+}
+
+TEST(HotPathHashingTest, OtherKeysAndContainersIgnored) {
+  EXPECT_TRUE(RunRule(std::make_unique<HotPathHashingRule>(),
+                      "src/solvers/s.cc",
+                      "std::unordered_map<std::string, int> by_name;\n"
+                      "std::vector<TupleRef> refs;\n"
+                      "std::unordered_set<int> ints;\n")
+                  .empty());
+}
+
+TEST(HotPathHashingTest, SuppressionCommentSilences) {
+  EXPECT_TRUE(
+      RunRule(std::make_unique<HotPathHashingRule>(), "src/solvers/s.cc",
+              "// delprop-lint: hot-path-hashing-ok\n"
+              "std::unordered_map<TupleRef, int, TupleRefHash> cold_map;\n")
+          .empty());
+}
+
 // === header-guard ===
 
 TEST(HeaderGuardTest, ExpectedGuardMapsPaths) {
@@ -310,7 +356,7 @@ TEST(HeaderGuardTest, IgnoresNonHeaders) {
 TEST(LinterTest, DefaultRulesAreRegisteredAndFilterable) {
   Linter all;
   all.AddDefaultRules();
-  EXPECT_EQ(all.RuleNames().size(), 5u);
+  EXPECT_EQ(all.RuleNames().size(), 6u);
   Linter subset;
   subset.AddDefaultRules({"header-guard"});
   EXPECT_EQ(subset.RuleNames(),

@@ -158,6 +158,46 @@ TEST(SetCoverTest, InfeasibleReported) {
   EXPECT_EQ(ExactSetCover(instance).status().code(), StatusCode::kInfeasible);
 }
 
+// The lazy-heap greedy must pick the same set as the reference scan on every
+// iteration — including ties, where the lowest index wins. Random weighted
+// and unweighted instances, with deliberate duplicate elements (the
+// reference counts occurrences, not distinct elements).
+TEST(SetCoverTest, LazyHeapMatchesScanReference) {
+  Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    SetCoverInstance instance;
+    instance.element_count = 3 + rng.NextBelow(20);
+    size_t set_count = 2 + rng.NextBelow(25);
+    for (size_t s = 0; s < set_count; ++s) {
+      std::vector<size_t> elements;
+      size_t size = rng.NextBelow(6);
+      for (size_t i = 0; i < size; ++i) {
+        elements.push_back(rng.NextBelow(instance.element_count));
+        if (rng.NextBool(0.15) && !elements.empty()) {
+          elements.push_back(elements.back());  // duplicate occurrence
+        }
+      }
+      instance.sets.push_back(std::move(elements));
+    }
+    // One in three rounds weighted; small integer costs force score ties.
+    if (round % 3 == 0) {
+      for (size_t s = 0; s < set_count; ++s) {
+        instance.set_costs.push_back(
+            static_cast<double>(1 + rng.NextBelow(3)));
+      }
+    }
+    Result<std::vector<size_t>> lazy = GreedySetCover(instance);
+    Result<std::vector<size_t>> scan = GreedySetCoverScanReference(instance);
+    ASSERT_EQ(lazy.ok(), scan.ok()) << "round " << round;
+    if (!lazy.ok()) {
+      EXPECT_EQ(lazy.status().code(), scan.status().code());
+      continue;
+    }
+    // Byte-identical pick sequence, not merely equal cost.
+    EXPECT_EQ(*lazy, *scan) << "round " << round;
+  }
+}
+
 TEST(HardnessFamilyTest, LayeredTrapScalesGreedyGap) {
   RbscInstance trap = LayeredTrapRbsc(3, 5);
   ASSERT_TRUE(trap.Validate().ok());

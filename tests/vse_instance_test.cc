@@ -184,6 +184,46 @@ TEST_F(Fig1Test, PreservedTuplesPartition) {
   }
 }
 
+// PreservedTuples() is cached; interleaving marks with queries must keep
+// every answer consistent with a fresh recomputation (the cache is
+// invalidated on each mark, not merely on the first one).
+TEST_F(Fig1Test, PreservedTuplesCacheInvalidatedByInterleavedMarks) {
+  auto recompute = [&] {
+    std::vector<ViewTupleId> fresh;
+    for (size_t v = 0; v < instance().view_count(); ++v) {
+      for (size_t t = 0; t < instance().view(v).size(); ++t) {
+        ViewTupleId id{v, t};
+        if (!instance().IsMarkedForDeletion(id)) fresh.push_back(id);
+      }
+    }
+    return fresh;
+  };
+
+  EXPECT_EQ(instance().PreservedTuples(), recompute());
+  // Repeated queries hit the cache; the answer must not change.
+  EXPECT_EQ(instance().PreservedTuples(), recompute());
+
+  ASSERT_TRUE(instance().MarkForDeletionByValues(0, {"John", "XML"}).ok());
+  EXPECT_EQ(instance().PreservedTuples(), recompute());
+  EXPECT_EQ(instance().PreservedTuples().size(),
+            instance().TotalViewTuples() - 1);
+
+  ASSERT_TRUE(
+      instance().MarkForDeletionByValues(1, {"John", "TKDE", "XML"}).ok());
+  std::vector<ViewTupleId> after_second = instance().PreservedTuples();
+  EXPECT_EQ(after_second, recompute());
+  EXPECT_EQ(after_second.size(), instance().TotalViewTuples() - 2);
+  for (const ViewTupleId& id : after_second) {
+    EXPECT_FALSE(instance().IsMarkedForDeletion(id));
+  }
+
+  // Idempotent re-mark: the answer is stable whether or not the cache was
+  // invalidated for it.
+  ASSERT_TRUE(
+      instance().MarkForDeletionByValues(1, {"John", "TKDE", "XML"}).ok());
+  EXPECT_EQ(instance().PreservedTuples(), after_second);
+}
+
 // Negative paths of CreateFromMaterializedViews: externally supplied lineage
 // must be rejected with a message naming the offending view and tuple, so a
 // caller pasting in provenance from the wrong place can find the bad row.
