@@ -11,6 +11,11 @@
 // With --json <path> the run also writes a machine-readable report
 // (per-solver wall-clock, instance sizes ‖V‖/‖ΔV‖/l, thread count, git
 // describe) — see docs/perf.md for the schema and how to read it.
+//
+// With --repeat N (default 1) every family's solver pass runs N timed times
+// after --warmup K (default 0) discarded runs; the reported wall-clocks are
+// medians, so committed snapshots aren't single-sample noise. Solver results
+// come from the last run (all runs agree — the solvers are deterministic).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,10 +56,27 @@ void RunFamily(const char* family, const GeneratedVse& generated,
   record.view_tuples = instance.TotalViewTuples();
   record.deletion_tuples = instance.TotalDeletionTuples();
   record.max_arity = instance.max_arity();
-  auto [runs, family_ms] = bench::Timed(
-      [&] { return RunAll(instance, pool, names); });
+  for (size_t i = 0; i < report->warmup; ++i) {
+    (void)RunAll(instance, pool, names);
+  }
+  std::vector<double> family_samples;
+  std::vector<std::vector<double>> solver_samples;
+  std::vector<SolverRun> runs;
+  for (size_t rep = 0; rep < report->repeat; ++rep) {
+    auto [rep_runs, rep_ms] =
+        bench::Timed([&] { return RunAll(instance, pool, names); });
+    family_samples.push_back(rep_ms);
+    solver_samples.resize(rep_runs.size());
+    for (size_t s = 0; s < rep_runs.size(); ++s) {
+      solver_samples[s].push_back(rep_runs[s].wall_ms);
+    }
+    runs = std::move(rep_runs);
+  }
+  double family_ms = bench::Median(family_samples);
   record.total_ms = family_ms;
-  for (const SolverRun& run : runs) {
+  for (size_t s = 0; s < runs.size(); ++s) {
+    SolverRun& run = runs[s];
+    run.wall_ms = bench::Median(solver_samples[s]);
     bench::SolverRecord row;
     row.solver = run.name;
     row.wall_ms = run.wall_ms;
@@ -103,28 +125,40 @@ void RunFamily(const char* family, const GeneratedVse& generated,
 
 int Run(int argc, char** argv) {
   size_t threads = 1;
+  size_t repeat = 1;
+  size_t warmup = 0;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      warmup = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--repeat N] [--warmup K] "
+                   "[--json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
   if (threads == 0) threads = 1;
+  if (repeat == 0) repeat = 1;
   ThreadPool pool(threads);
   ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
 
   bench::Header("Solver comparison across workload families");
-  std::printf("threads: %zu\n", threads);
+  std::printf("threads: %zu  repeat: %zu  warmup: %zu\n", threads, repeat,
+              warmup);
   bench::BenchReport report;
   report.bench = "solver_comparison";
   report.threads = threads;
   report.git = bench::GitDescribe();
+  report.repeat = repeat;
+  report.warmup = warmup;
 
   {
     Rng rng(1);

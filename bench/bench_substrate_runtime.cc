@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "hypergraph/data_forest.h"
 #include "query/evaluator.h"
@@ -204,7 +205,9 @@ BENCHMARK(BM_ParallelInstanceEvaluate)
 
 // Custom main: strip --threads N (google-benchmark rejects unknown flags)
 // and expand --json PATH into google-benchmark's own JSON-reporter flags,
-// then hand the rest of argv to the normal benchmark driver.
+// then hand the rest of argv to the normal benchmark driver. --json goes
+// through google-benchmark's reporter, not WriteBenchJson, so the committed-
+// snapshot dirty-tree guard is applied here before argv is rewritten.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.push_back(argv[0]);
@@ -214,7 +217,12 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (delprop::g_threads == 0) delprop::g_threads = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      std::string json_path = argv[++i];
+      if (!delprop::bench::SnapshotGuard(delprop::bench::GitDescribe(),
+                                         json_path)) {
+        return 1;
+      }
+      args.push_back("--benchmark_out=" + json_path);
       args.push_back("--benchmark_out_format=json");
     } else {
       args.push_back(argv[i]);

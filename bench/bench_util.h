@@ -1,8 +1,10 @@
 #ifndef DELPROP_BENCH_BENCH_UTIL_H_
 #define DELPROP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,20 +28,101 @@ inline void Header(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
 }
 
-/// `git describe --always --dirty` of the working tree, or "unknown" when
-/// git is unavailable. Stamped into BENCH_*.json so a perf number can be
-/// traced back to the commit it was measured on.
-inline std::string GitDescribe() {
-  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
+inline std::string RunCommand(const char* command) {
+  FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) return "";
   std::string out;
-  char buffer[128];
+  char buffer[256];
   while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
   ::pclose(pipe);
+  return out;
+}
+
+/// True when a tracked file OTHER than a BENCH_*.json snapshot has
+/// uncommitted changes. The snapshots themselves are exempt so regenerating
+/// snapshot A does not poison the git stamp of snapshot B regenerated right
+/// after it — the stamp answers "which code produced these numbers", and
+/// the snapshots are outputs, not code.
+inline bool GitTreeDirty() {
+  std::string status =
+      RunCommand("git status --porcelain --untracked-files=no 2>/dev/null");
+  size_t start = 0;
+  while (start < status.size()) {
+    size_t end = status.find('\n', start);
+    if (end == std::string::npos) end = status.size();
+    std::string line = status.substr(start, end - start);
+    start = end + 1;
+    if (line.size() <= 3) continue;
+    std::string path = line.substr(3);
+    size_t slash = path.rfind('/');
+    std::string base = slash == std::string::npos ? path
+                                                  : path.substr(slash + 1);
+    bool is_snapshot = base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
+                       base.compare(base.size() - 5, 5, ".json") == 0;
+    if (!is_snapshot) return true;
+  }
+  return false;
+}
+
+/// The commit hash of HEAD ("git describe --always"), suffixed with "-dirty"
+/// when GitTreeDirty() — i.e. when a non-snapshot tracked file is modified.
+/// Stamped into BENCH_*.json so a perf number can be traced back to the
+/// commit it was measured on; "unknown" when git is unavailable.
+inline std::string GitDescribe() {
+  std::string out = RunCommand("git describe --always 2>/dev/null");
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
     out.pop_back();
   }
-  return out.empty() ? "unknown" : out;
+  if (out.empty()) return "unknown";
+  return GitTreeDirty() ? out + "-dirty" : out;
+}
+
+/// True when `git` (a GitDescribe() result) carries the "-dirty" suffix.
+inline bool GitIsDirty(const std::string& git) {
+  static constexpr char kSuffix[] = "-dirty";
+  constexpr size_t kLen = sizeof(kSuffix) - 1;
+  return git.size() >= kLen &&
+         git.compare(git.size() - kLen, kLen, kSuffix) == 0;
+}
+
+/// True when git tracks `path` (i.e. the bench is about to overwrite a
+/// committed snapshot). False when git is unavailable or the file is
+/// untracked — scratch output paths are always allowed.
+inline bool GitTracksFile(const std::string& path) {
+  std::string command =
+      "git ls-files --error-unmatch -- \"" + path + "\" >/dev/null 2>&1";
+  return std::system(command.c_str()) == 0;
+}
+
+/// Guard for committed snapshots: a BENCH_*.json regenerated from a dirty
+/// tree records a "<hash>-dirty" stamp no commit can reproduce. When `git`
+/// is dirty AND `path` is git-tracked, prints a loud banner and returns
+/// false (the bench should fail) unless DELPROP_BENCH_ALLOW_DIRTY=1 is set,
+/// which downgrades the refusal to a warning.
+inline bool SnapshotGuard(const std::string& git, const std::string& path) {
+  if (!GitIsDirty(git) || !GitTracksFile(path)) return true;
+  const char* allow = std::getenv("DELPROP_BENCH_ALLOW_DIRTY");
+  bool allowed = allow != nullptr && std::string(allow) == "1";
+  std::fprintf(stderr,
+               "********************************************************\n"
+               "* %s: refusing to overwrite the committed snapshot\n"
+               "* %s\n"
+               "* from a dirty tree (git: %s) — the stamped hash would\n"
+               "* not be reproducible from any commit. Commit (or stash)\n"
+               "* first, or set DELPROP_BENCH_ALLOW_DIRTY=1 to override.\n"
+               "********************************************************\n",
+               allowed ? "WARNING" : "ERROR", path.c_str(), git.c_str());
+  return allowed;
+}
+
+/// Median over `samples` (by copy: benches keep their raw runs). Averages
+/// the two middle elements for even sizes; 0.0 when empty.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
 }
 
 /// Escapes `text` for embedding inside a JSON string literal. Non-ASCII
@@ -101,13 +184,19 @@ struct BenchReport {
   std::string bench;
   size_t threads = 1;
   std::string git;
+  /// Timing repetitions behind each wall-clock number (wall_ms/total_ms are
+  /// medians over `repeat` runs after `warmup` discarded runs).
+  size_t repeat = 1;
+  size_t warmup = 0;
   std::vector<FamilyRecord> families;
 };
 
 /// Writes `report` as pretty-printed JSON (see docs/perf.md for the schema).
-/// Returns false (with a message on stderr) when the file cannot be written.
+/// Returns false (with a message on stderr) when the file cannot be written,
+/// or when the SnapshotGuard refuses a dirty-tree write to a committed path.
 inline bool WriteBenchJson(const BenchReport& report,
                            const std::string& path) {
+  if (!SnapshotGuard(report.git, path)) return false;
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -118,6 +207,10 @@ inline bool WriteBenchJson(const BenchReport& report,
                JsonEscape(report.bench).c_str());
   std::fprintf(out, "  \"threads\": %zu,\n", report.threads);
   std::fprintf(out, "  \"git\": \"%s\",\n", JsonEscape(report.git).c_str());
+  std::fprintf(out, "  \"git_dirty\": %s,\n",
+               GitIsDirty(report.git) ? "true" : "false");
+  std::fprintf(out, "  \"repeat\": %zu,\n", report.repeat);
+  std::fprintf(out, "  \"warmup\": %zu,\n", report.warmup);
   std::fprintf(out, "  \"families\": [\n");
   for (size_t f = 0; f < report.families.size(); ++f) {
     const FamilyRecord& family = report.families[f];

@@ -29,18 +29,26 @@ for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
 
-# Release-mode (-O2) bench smoke: build just the two flagship benches in a
+# Release-mode (-O2) bench smoke: build just the flagship benches in a
 # separate optimized tree and regenerate the machine-readable BENCH_*.json
 # snapshots at the repo root (schema: docs/perf.md). Keeps the committed
-# numbers honest — RelWithDebInfo timings are not Release timings.
+# numbers honest — RelWithDebInfo timings are not Release timings, the
+# solver-comparison numbers are medians over --repeat runs, and the
+# WriteBenchJson dirty-tree guard refuses to stamp an unreproducible
+# "<hash>-dirty" git id into a committed snapshot.
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench --target bench_solver_comparison bench_substrate_runtime
-./build-bench/bench/bench_solver_comparison --threads 1 \
+cmake --build build-bench --target bench_solver_comparison \
+  bench_substrate_runtime bench_engine_throughput
+./build-bench/bench/bench_solver_comparison --threads 1 --repeat 5 --warmup 1 \
   --json BENCH_solver_comparison.json
 ./build-bench/bench/bench_substrate_runtime --threads 1 \
   --json BENCH_substrate_runtime.json \
   --benchmark_filter='BM_RbscGreedy|BM_DataForestBuild' \
   --benchmark_min_time=0.05
+# Batched-serving headline (naive vs engine on the scaling family); exits
+# nonzero if any mode's result fingerprint disagrees.
+./build-bench/bench/bench_engine_throughput --threads 4 --requests 1000 \
+  --family large --json BENCH_engine_throughput.json
 
 # Sanitizer pass: rebuild everything with AddressSanitizer + UBSan and re-run
 # the test suite. Memory errors in the runtime substrate (thread pool, shared

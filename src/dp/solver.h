@@ -9,6 +9,8 @@
 
 namespace delprop {
 
+class ScratchPool;
+
 /// Which objective a solver optimizes.
 enum class Objective {
   /// Standard view side-effect: eliminate all of ΔV, minimize the weight of
@@ -32,6 +34,19 @@ class VseSolver {
 
   /// Computes a source deletion for the instance's marked ΔV.
   virtual Result<VseSolution> Solve(const VseInstance& instance) = 0;
+
+  /// Scratch-aware entry point for batched serving (engine/batch_engine.h):
+  /// solvers whose per-solve state dominates setup cost (the DamageTracker's
+  /// counter/stamp arrays) override this to draw reusable storage from
+  /// `scratch` instead of allocating. `scratch` may be null — always valid,
+  /// equivalent to Solve — and results are identical with or without it; a
+  /// non-null pool must not be used concurrently from another thread. The
+  /// default ignores the pool.
+  virtual Result<VseSolution> SolveWith(const VseInstance& instance,
+                                        ScratchPool* scratch) {
+    (void)scratch;
+    return Solve(instance);
+  }
 };
 
 /// Builds a VseSolution for `deletion` (evaluates side effects, stamps the

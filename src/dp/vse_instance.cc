@@ -188,8 +188,27 @@ Status VseInstance::MarkForDeletion(const ViewTupleId& id) {
     deletion_tuples_.insert(
         std::lower_bound(deletion_tuples_.begin(), deletion_tuples_.end(), id),
         id);
-    InvalidateDerivedCaches();
+    InvalidateDerivedCaches(/*delta_v_only=*/true);
   }
+  return Status::Ok();
+}
+
+Status VseInstance::ResetDeletions(const std::vector<ViewTupleId>& delta_v) {
+  for (const ViewTupleId& id : delta_v) {
+    if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+      return Status::OutOfRange("view tuple id out of range");
+    }
+  }
+  // Normalize into the existing buffer — capacity carries over between
+  // requests, so steady-state batched serving allocates nothing here.
+  deletion_tuples_.assign(delta_v.begin(), delta_v.end());
+  std::sort(deletion_tuples_.begin(), deletion_tuples_.end());
+  deletion_tuples_.erase(
+      std::unique(deletion_tuples_.begin(), deletion_tuples_.end()),
+      deletion_tuples_.end());
+  deletions_.clear();
+  for (const ViewTupleId& id : deletion_tuples_) deletions_.insert(id);
+  InvalidateDerivedCaches(/*delta_v_only=*/true);
   return Status::Ok();
 }
 
@@ -225,14 +244,50 @@ Status VseInstance::SetWeight(const ViewTupleId& id, double weight) {
     return Status::InvalidArgument("weights must be non-negative");
   }
   weights_[id] = weight;
-  InvalidateDerivedCaches();
+  InvalidateDerivedCaches(/*delta_v_only=*/false);
   return Status::Ok();
 }
 
-void VseInstance::InvalidateDerivedCaches() {
+void VseInstance::InvalidateDerivedCaches(bool delta_v_only) {
   std::lock_guard<std::mutex> lock(caches_->mu);
+  if (delta_v_only) {
+    // The ΔV-independent plan core survives; park the dropped plan so the
+    // next compiled() can recycle its overlay buffers.
+    if (caches_->compiled != nullptr) {
+      caches_->retired = std::move(caches_->compiled);
+    }
+  } else {
+    caches_->plan_core.reset();
+    caches_->retired.reset();
+  }
   caches_->compiled.reset();
   caches_->preserved.reset();
+}
+
+PlanBuildStats VseInstance::plan_stats() const {
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  return caches_->plan_stats;
+}
+
+VseInstance VseInstance::Replicate() const {
+  VseInstance replica;
+  replica.database_ = database_;
+  replica.queries_ = queries_;
+  replica.views_ = views_;
+  replica.all_key_preserving_ = all_key_preserving_;
+  replica.all_unique_witness_ = all_unique_witness_;
+  replica.max_arity_ = max_arity_;
+  replica.deletions_ = deletions_;
+  replica.deletion_tuples_ = deletion_tuples_;
+  replica.weights_ = weights_;
+  replica.kill_map_ = kill_map_;
+  // Seed the replica's fresh cache with the shared plan core (and current
+  // plan, if built) so the replica never re-interns the structure; its
+  // plan_stats start at zero, counting only the replica's own builds.
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  replica.caches_->plan_core = caches_->plan_core;
+  replica.caches_->compiled = caches_->compiled;
+  return replica;
 }
 
 std::vector<const View*> VseInstance::ViewPointers() const {

@@ -17,6 +17,7 @@
 namespace delprop {
 
 class CompiledInstance;
+struct PlanCore;
 
 /// Identifies one view tuple across the multi-view input: (view index, tuple
 /// index within that view).
@@ -40,6 +41,17 @@ struct ViewTupleIdHash {
   }
 };
 
+/// Counters for how the instance's compiled plans were produced — exposed
+/// so batched serving (engine/batch_engine.h) and tests can assert that
+/// steady-state requests rebuild only the ΔV overlay (core_rebinds) on
+/// recycled buffers (overlay_recycles) and never re-intern the structure
+/// (full_builds).
+struct PlanBuildStats {
+  size_t full_builds = 0;       // core + overlay built from scratch
+  size_t core_rebinds = 0;      // overlay rebuilt over a kept core
+  size_t overlay_recycles = 0;  // of those, overlay buffers recycled
+};
+
 namespace internal {
 
 /// Lazily-built artifacts derived from a VseInstance, shared read-only by
@@ -47,10 +59,17 @@ namespace internal {
 /// threads). Guarded by `mu`; invalidated whenever the instance mutates
 /// (MarkForDeletion, SetWeight). Held behind a shared_ptr so VseInstance
 /// stays movable.
+///
+/// ΔV-only mutations keep `plan_core` (the ΔV-independent half of the plan)
+/// and park the dropped plan in `retired`, whose overlay buffers the next
+/// compiled() recycles when nothing else still references them.
 struct VseInstanceCaches {
   std::mutex mu;
   std::shared_ptr<const CompiledInstance> compiled;
+  std::shared_ptr<const PlanCore> plan_core;
+  std::shared_ptr<const CompiledInstance> retired;
   std::shared_ptr<const std::vector<ViewTupleId>> preserved;
+  PlanBuildStats plan_stats;
 };
 
 }  // namespace internal
@@ -103,6 +122,13 @@ class VseInstance {
   /// Marks the view tuple as a member of ΔV (idempotent).
   Status MarkForDeletion(const ViewTupleId& id);
 
+  /// Replaces ΔV wholesale with `delta_v` (any order, duplicates allowed).
+  /// Fails with OutOfRange — leaving the instance unchanged — if any id is
+  /// invalid. The compiled plan's ΔV-independent core survives the swap, so
+  /// batched serving pays only an overlay rebuild per request; the internal
+  /// buffers reuse their capacity, allocating nothing in steady state.
+  Status ResetDeletions(const std::vector<ViewTupleId>& delta_v);
+
   /// Looks up the view tuple of `view_index` with the given head values
   /// (interned from text) and marks it. Fails with NotFound if absent.
   Status MarkForDeletionByValues(size_t view_index,
@@ -138,6 +164,19 @@ class VseInstance {
   /// path. Built lazily on first use, cached, and shared read-only across
   /// threads; invalidated by MarkForDeletion / SetWeight.
   std::shared_ptr<const CompiledInstance> compiled() const;
+
+  /// How this instance's compiled plans were produced so far (full builds
+  /// vs overlay-only rebinds vs buffer recycles). Snapshot under the cache
+  /// lock; counters only ever grow.
+  PlanBuildStats plan_stats() const;
+
+  /// An independent instance over the same database/queries with deep
+  /// copies of the views, weights, and ΔV marks, sharing the compiled
+  /// plan's ΔV-independent core (and the current plan) with this instance.
+  /// Replicas give each engine worker private mutable ΔV state without
+  /// recompiling the structure; the database and queries must outlive the
+  /// replica just as they must outlive the original.
+  VseInstance Replicate() const;
 
   /// True if every query is key preserving w.r.t. the schema — the paper's
   /// standing assumption; every view tuple then has exactly one witness.
@@ -175,8 +214,9 @@ class VseInstance {
   }
 
   // Move-only: copying would either share or silently drop the derived
-  // caches (compiled plan, preserved list); nothing in the tree copies an
-  // instance, so forbid it outright.
+  // caches (compiled plan, preserved list); replication is an explicit
+  // operation (Replicate) with defined cache-sharing semantics, so forbid
+  // implicit copies outright.
   VseInstance(const VseInstance&) = delete;
   VseInstance& operator=(const VseInstance&) = delete;
   VseInstance(VseInstance&&) = default;
@@ -190,9 +230,11 @@ class VseInstance {
   /// tail of all three factories.
   Status IndexWitnesses();
 
-  /// Drops every lazily-built artifact (compiled plan, preserved list).
-  /// Called by each mutating operation.
-  void InvalidateDerivedCaches();
+  /// Drops lazily-built artifacts. ΔV-only mutations (MarkForDeletion,
+  /// ResetDeletions) pass true: the plan core is kept and the dropped plan
+  /// is retired for overlay recycling. Weight changes pass false — weights
+  /// live in the core, so everything goes.
+  void InvalidateDerivedCaches(bool delta_v_only);
 
   const Database* database_ = nullptr;
   std::vector<const ConjunctiveQuery*> queries_;

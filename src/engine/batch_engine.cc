@@ -1,0 +1,185 @@
+#include "engine/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "common/hash.h"
+#include "solvers/solver_registry.h"
+
+namespace delprop {
+
+/// Everything one worker owns privately: a replica of the engine's instance
+/// (mutable ΔV over the shared plan core), pooled solver scratch, the
+/// solvers it has constructed so far (std::map: deterministic iteration is
+/// irrelevant here, but lookups are off the hot path and the key set is
+/// tiny), a ΔV normalization buffer, and its share of the engine counters.
+struct BatchSolveEngine::Worker {
+  explicit Worker(VseInstance replica_in) : replica(std::move(replica_in)) {}
+
+  VseInstance replica;
+  ScratchPool scratch;
+  std::map<std::string, std::unique_ptr<VseSolver>> solvers;
+  std::vector<ViewTupleId> dv_buffer;
+
+  size_t requests = 0;
+  size_t cache_hits = 0;
+  size_t solver_runs = 0;
+  size_t invalid_requests = 0;
+};
+
+size_t BatchSolveEngine::CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t seed = std::hash<std::string>()(key.solver);
+  for (const ViewTupleId& id : key.delta_v) {
+    HashCombine(seed, ViewTupleIdHash()(id));
+  }
+  return seed;
+}
+
+BatchSolveEngine::BatchSolveEngine(const VseInstance& instance,
+                                   Options options)
+    : options_(options) {
+  if (options_.threads == 0) options_.threads = 1;
+  // Compile the primary's plan before replicating so every replica starts
+  // from the one shared core (and the current plan) instead of building its
+  // own.
+  (void)instance.compiled();
+  workers_.reserve(options_.threads);
+  for (size_t w = 0; w < options_.threads; ++w) {
+    workers_.push_back(std::make_unique<Worker>(instance.Replicate()));
+  }
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+BatchSolveEngine::~BatchSolveEngine() = default;
+
+void BatchSolveEngine::Process(Worker& worker, const SolveRequest& request,
+                               RequestOutcome* outcome) {
+  auto start = std::chrono::steady_clock::now();
+  ++worker.requests;
+  do {
+    // Resolve the solver first: worker-cached, constructed once per name.
+    VseSolver* solver = nullptr;
+    auto it = worker.solvers.find(request.solver);
+    if (it != worker.solvers.end()) {
+      solver = it->second.get();
+    } else {
+      std::unique_ptr<VseSolver> made = MakeSolver(request.solver);
+      if (made == nullptr) {
+        ++worker.invalid_requests;
+        outcome->result =
+            Status::NotFound("unknown solver '" + request.solver + "'");
+        break;
+      }
+      solver = made.get();
+      worker.solvers.emplace(request.solver, std::move(made));
+    }
+    if (solver->objective() != request.objective) {
+      ++worker.invalid_requests;
+      outcome->result = Status::InvalidArgument(
+          "solver '" + request.solver + "' optimizes a different objective");
+      break;
+    }
+
+    // Normalize ΔV into the worker buffer (capacity reused across requests).
+    worker.dv_buffer.assign(request.delta_v.begin(), request.delta_v.end());
+    std::sort(worker.dv_buffer.begin(), worker.dv_buffer.end());
+    worker.dv_buffer.erase(
+        std::unique(worker.dv_buffer.begin(), worker.dv_buffer.end()),
+        worker.dv_buffer.end());
+
+    if (options_.memo_cache) {
+      CacheKey key{request.solver, worker.dv_buffer};
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto hit = cache_.find(key);
+      if (hit != cache_.end()) {
+        ++worker.cache_hits;
+        outcome->stats.cache_hit = true;
+        outcome->result = hit->second;
+        break;
+      }
+    }
+
+    // Release the pooled tracker's plan reference BEFORE swapping ΔV: the
+    // retired plan then has no outside owner, so the rebuild below recycles
+    // its overlay buffers instead of allocating.
+    worker.scratch.ReleasePlans();
+    if (Status s = worker.replica.ResetDeletions(worker.dv_buffer); !s.ok()) {
+      ++worker.invalid_requests;
+      outcome->result = std::move(s);
+      break;
+    }
+
+    PlanBuildStats plan_before = worker.replica.plan_stats();
+    ScratchPool::Stats scratch_before = worker.scratch.stats();
+    outcome->result = solver->SolveWith(worker.replica, &worker.scratch);
+    ++worker.solver_runs;
+    PlanBuildStats plan_after = worker.replica.plan_stats();
+    ScratchPool::Stats scratch_after = worker.scratch.stats();
+    outcome->stats.plan_core_reused =
+        plan_after.full_builds == plan_before.full_builds;
+    outcome->stats.plan_overlay_recycled =
+        plan_after.overlay_recycles > plan_before.overlay_recycles;
+    outcome->stats.scratch_reused =
+        scratch_after.tracker_reuses > scratch_before.tracker_reuses &&
+        scratch_after.tracker_allocs == scratch_before.tracker_allocs;
+
+    if (options_.memo_cache) {
+      CacheKey key{request.solver, worker.dv_buffer};
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      // Two workers may race on the same fresh key; both computed the same
+      // deterministic result, so first-in wins and the duplicate is dropped.
+      cache_.emplace(std::move(key), outcome->result);
+    }
+  } while (false);
+  outcome->stats.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+std::vector<RequestOutcome> BatchSolveEngine::SolveBatch(
+    const std::vector<SolveRequest>& requests) {
+  std::vector<RequestOutcome> outcomes(requests.size());
+  if (workers_.size() == 1 || pool_ == nullptr || requests.size() <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Process(*workers_[0], requests[i], &outcomes[i]);
+    }
+    return outcomes;
+  }
+  // Dynamic claiming: each worker body owns one replica and pulls the next
+  // unclaimed request. Outcome slots are pre-assigned by request index, so
+  // the output does not depend on the claim order.
+  std::atomic<size_t> next{0};
+  ParallelFor(pool_.get(), workers_.size(), [&](size_t w) {
+    for (size_t i = next.fetch_add(1); i < requests.size();
+         i = next.fetch_add(1)) {
+      Process(*workers_[w], requests[i], &outcomes[i]);
+    }
+  });
+  return outcomes;
+}
+
+EngineStats BatchSolveEngine::stats() const {
+  EngineStats total;
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    total.requests += worker->requests;
+    total.cache_hits += worker->cache_hits;
+    total.solver_runs += worker->solver_runs;
+    total.invalid_requests += worker->invalid_requests;
+    const ScratchPool::Stats& scratch = worker->scratch.stats();
+    total.scratch_acquires += scratch.tracker_acquires;
+    total.scratch_allocs += scratch.tracker_allocs;
+    total.scratch_reuses += scratch.tracker_reuses;
+    PlanBuildStats plan = worker->replica.plan_stats();
+    total.plan_full_builds += plan.full_builds;
+    total.plan_core_rebinds += plan.core_rebinds;
+    total.plan_overlay_recycles += plan.overlay_recycles;
+  }
+  return total;
+}
+
+}  // namespace delprop

@@ -1,0 +1,144 @@
+#ifndef DELPROP_ENGINE_BATCH_ENGINE_H_
+#define DELPROP_ENGINE_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/solution.h"
+#include "dp/solver.h"
+#include "dp/vse_instance.h"
+#include "runtime/thread_pool.h"
+#include "solvers/scratch_pool.h"
+
+namespace delprop {
+
+/// One deletion-propagation request against the engine's instance: a ΔV
+/// subset (any order, duplicates allowed), a registry solver name, and the
+/// objective the caller expects — requests whose objective does not match
+/// the named solver's fail with InvalidArgument instead of silently
+/// optimizing the wrong thing.
+struct SolveRequest {
+  std::vector<ViewTupleId> delta_v;
+  std::string solver = "greedy";
+  Objective objective = Objective::kStandard;
+};
+
+/// Per-request provenance counters. `wall_ms` and `cache_hit` depend on
+/// scheduling (which worker saw the duplicate first), so they — unlike the
+/// results — may differ between runs at different thread counts.
+struct RequestStats {
+  double wall_ms = 0.0;
+  bool cache_hit = false;
+  /// The solver drew tracker storage from the worker pool without
+  /// allocating (steady state after the worker's first request).
+  bool scratch_reused = false;
+  /// The request's plan was an overlay-only rebuild over the shared core.
+  bool plan_core_reused = false;
+  /// The overlay itself was built into recycled buffers (no allocation).
+  bool plan_overlay_recycled = false;
+};
+
+struct RequestOutcome {
+  Result<VseSolution> result;
+  RequestStats stats;
+
+  RequestOutcome() : result(Status::Internal("request did not run")) {}
+};
+
+/// Cumulative engine counters, aggregated across workers after each batch.
+struct EngineStats {
+  size_t requests = 0;
+  size_t cache_hits = 0;
+  size_t solver_runs = 0;
+  size_t invalid_requests = 0;
+  size_t scratch_acquires = 0;
+  size_t scratch_allocs = 0;
+  size_t scratch_reuses = 0;
+  size_t plan_full_builds = 0;
+  size_t plan_core_rebinds = 0;
+  size_t plan_overlay_recycles = 0;
+};
+
+/// Executes batches of SolveRequests against ONE instance, amortizing
+/// everything ΔV-independent across the whole batch:
+///   * the CompiledInstance core is built once (on the primary instance,
+///     before replication) and shared read-only by every worker replica;
+///   * each worker owns a `VseInstance::Replicate()` replica whose ΔV is
+///     swapped per request via ResetDeletions — an overlay-only plan rebuild
+///     into recycled buffers, no re-interning;
+///   * each worker owns a ScratchPool whose single DamageTracker is rebound
+///     (epoch-stamped reset) instead of reallocated per request;
+///   * solvers are constructed once per (worker, name) and reused;
+///   * an optional memo cache returns the stored result for an identical
+///     (solver, normalized ΔV) pair without re-solving.
+/// After each worker's first request (warmup), the greedy hot path performs
+/// no steady-state allocations — asserted by tests via the counters above.
+///
+/// Results are deterministic: outcome i is solved against the same replica
+/// state regardless of which worker claims it, so the outcome vector is
+/// byte-identical at any `threads` setting and with the cache on or off
+/// (RequestStats, which record scheduling provenance, are exempt).
+///
+/// The instance, its database, and its queries must outlive the engine.
+class BatchSolveEngine {
+ public:
+  struct Options {
+    /// Worker replicas; > 1 also spins up an internal ThreadPool.
+    size_t threads = 1;
+    /// Memoize (solver, ΔV) → result across the engine's lifetime.
+    bool memo_cache = true;
+  };
+
+  BatchSolveEngine(const VseInstance& instance, Options options);
+  ~BatchSolveEngine();
+
+  BatchSolveEngine(const BatchSolveEngine&) = delete;
+  BatchSolveEngine& operator=(const BatchSolveEngine&) = delete;
+
+  /// Executes `requests`, returning one outcome per request (same order).
+  /// Invalid requests (unknown solver, objective mismatch, out-of-range ΔV)
+  /// yield error outcomes; they never abort the batch.
+  std::vector<RequestOutcome> SolveBatch(
+      const std::vector<SolveRequest>& requests);
+
+  /// Cumulative counters over every batch so far. Call between batches —
+  /// not concurrently with SolveBatch.
+  EngineStats stats() const;
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Worker;
+
+  struct CacheKey {
+    std::string solver;
+    std::vector<ViewTupleId> delta_v;  // normalized: sorted, deduplicated
+
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.solver == b.solver && a.delta_v == b.delta_v;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+
+  void Process(Worker& worker, const SolveRequest& request,
+               RequestOutcome* outcome);
+
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex cache_mu_;
+  std::unordered_map<CacheKey, Result<VseSolution>, CacheKeyHash> cache_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_ENGINE_BATCH_ENGINE_H_

@@ -9,7 +9,7 @@ HotPathHashingRule::HotPathHashingRule(std::vector<std::string> scoped_paths)
     : scoped_paths_(std::move(scoped_paths)) {}
 
 std::vector<std::string> HotPathHashingRule::DefaultScopedPaths() {
-  return {"src/solvers/", "src/setcover/"};
+  return {"src/solvers/", "src/setcover/", "src/engine/"};
 }
 
 void HotPathHashingRule::Check(const SourceFile& file,

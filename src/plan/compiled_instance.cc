@@ -7,48 +7,40 @@
 namespace delprop {
 
 uint32_t CompiledInstance::FindBase(const TupleRef& ref) const {
-  auto it = std::lower_bound(base_refs_.begin(), base_refs_.end(), ref);
-  if (it == base_refs_.end() || !(*it == ref)) return kNpos;
-  return static_cast<uint32_t>(it - base_refs_.begin());
+  const std::vector<TupleRef>& refs = core_->base_refs;
+  auto it = std::lower_bound(refs.begin(), refs.end(), ref);
+  if (it == refs.end() || !(*it == ref)) return kNpos;
+  return static_cast<uint32_t>(it - refs.begin());
 }
 
-std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
-    const VseInstance& instance) {
-  auto plan = std::shared_ptr<CompiledInstance>(new CompiledInstance());
+namespace {
+
+std::shared_ptr<const PlanCore> BuildCore(const VseInstance& instance) {
+  auto core = std::make_shared<PlanCore>();
 
   // View tuples: dense ids in ascending (view, tuple) order.
   size_t view_count = instance.view_count();
-  plan->view_first_.resize(view_count + 1);
+  core->view_first.resize(view_count + 1);
   uint32_t dense = 0;
   for (size_t v = 0; v < view_count; ++v) {
-    plan->view_first_[v] = dense;
+    core->view_first[v] = dense;
     dense += static_cast<uint32_t>(instance.view(v).size());
   }
-  plan->view_first_[view_count] = dense;
+  core->view_first[view_count] = dense;
   uint32_t tuple_count = dense;
-  plan->tuple_view_.resize(tuple_count);
-  plan->weight_.resize(tuple_count);
-  plan->is_deletion_.assign(tuple_count, 0);
-  plan->deletion_index_.assign(tuple_count, kNpos);
+  core->tuple_view.resize(tuple_count);
+  core->weight.resize(tuple_count);
   for (size_t v = 0; v < view_count; ++v) {
     const View& view = instance.view(v);
     for (size_t t = 0; t < view.size(); ++t) {
-      uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
-      plan->tuple_view_[d] = static_cast<uint32_t>(v);
-      plan->weight_[d] = instance.weight(ViewTupleId{v, t});
+      uint32_t d = core->view_first[v] + static_cast<uint32_t>(t);
+      core->tuple_view[d] = static_cast<uint32_t>(v);
+      core->weight[d] = instance.weight(ViewTupleId{v, t});
     }
-  }
-  const std::vector<ViewTupleId>& deletions = instance.deletion_tuples();
-  plan->deletion_dense_.reserve(deletions.size());
-  for (size_t i = 0; i < deletions.size(); ++i) {
-    uint32_t d = plan->DenseOf(deletions[i]);
-    plan->is_deletion_[d] = 1;
-    plan->deletion_index_[d] = static_cast<uint32_t>(i);
-    plan->deletion_dense_.push_back(d);
   }
 
   // Witness CSR + raw member refs; intern base refs in sorted order.
-  plan->tuple_witness_first_.resize(tuple_count + 1);
+  core->tuple_witness_first.resize(tuple_count + 1);
   std::vector<TupleRef> all_refs;
   {
     uint32_t wid = 0;
@@ -56,18 +48,18 @@ std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
     for (size_t v = 0; v < view_count; ++v) {
       const View& view = instance.view(v);
       for (size_t t = 0; t < view.size(); ++t) {
-        uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
-        plan->tuple_witness_first_[d] = wid;
+        uint32_t d = core->view_first[v] + static_cast<uint32_t>(t);
+        core->tuple_witness_first[d] = wid;
         for (const Witness& witness : view.tuple(t).witnesses) {
           ++wid;
           member_total += witness.size();
         }
       }
     }
-    plan->tuple_witness_first_[tuple_count] = wid;
-    plan->witness_owner_.resize(wid);
-    plan->witness_member_first_.resize(static_cast<size_t>(wid) + 1);
-    plan->witness_member_base_.reserve(member_total);
+    core->tuple_witness_first[tuple_count] = wid;
+    core->witness_owner.resize(wid);
+    core->witness_member_first.resize(static_cast<size_t>(wid) + 1);
+    core->witness_member_base.reserve(member_total);
     all_refs.reserve(member_total);
   }
   for (size_t v = 0; v < view_count; ++v) {
@@ -81,11 +73,16 @@ std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
   std::sort(all_refs.begin(), all_refs.end());
   all_refs.erase(std::unique(all_refs.begin(), all_refs.end()),
                  all_refs.end());
-  plan->base_refs_ = std::move(all_refs);
-  uint32_t base_count = static_cast<uint32_t>(plan->base_refs_.size());
+  core->base_refs = std::move(all_refs);
+  uint32_t base_count = core->base_count();
+  auto find_base = [core](const TupleRef& ref) {
+    auto it = std::lower_bound(core->base_refs.begin(), core->base_refs.end(),
+                               ref);
+    return static_cast<uint32_t>(it - core->base_refs.begin());
+  };
 
   // Member rows (raw, atom order) and occurrence counting in one sweep.
-  plan->base_occ_first_.assign(static_cast<size_t>(base_count) + 1, 0);
+  core->base_occ_first.assign(static_cast<size_t>(base_count) + 1, 0);
   std::vector<uint32_t> scratch;  // per-witness unique base ids
   {
     uint32_t wid = 0;
@@ -93,52 +90,52 @@ std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
     for (size_t v = 0; v < view_count; ++v) {
       const View& view = instance.view(v);
       for (size_t t = 0; t < view.size(); ++t) {
-        uint32_t d = plan->view_first_[v] + static_cast<uint32_t>(t);
+        uint32_t d = core->view_first[v] + static_cast<uint32_t>(t);
         for (const Witness& witness : view.tuple(t).witnesses) {
-          plan->witness_owner_[wid] = d;
-          plan->witness_member_first_[wid] = member_slot;
+          core->witness_owner[wid] = d;
+          core->witness_member_first[wid] = member_slot;
           scratch.clear();
           for (const TupleRef& ref : witness) {
-            uint32_t base = plan->FindBase(ref);
-            plan->witness_member_base_.push_back(base);
+            uint32_t base = find_base(ref);
+            core->witness_member_base.push_back(base);
             ++member_slot;
             scratch.push_back(base);
           }
           std::sort(scratch.begin(), scratch.end());
           scratch.erase(std::unique(scratch.begin(), scratch.end()),
                         scratch.end());
-          for (uint32_t base : scratch) ++plan->base_occ_first_[base + 1];
+          for (uint32_t base : scratch) ++core->base_occ_first[base + 1];
           ++wid;
         }
       }
     }
-    plan->witness_member_first_[wid] = member_slot;
+    core->witness_member_first[wid] = member_slot;
   }
   for (uint32_t b = 0; b < base_count; ++b) {
-    plan->base_occ_first_[b + 1] += plan->base_occ_first_[b];
+    core->base_occ_first[b + 1] += core->base_occ_first[b];
   }
-  size_t occ_total = plan->base_occ_first_[base_count];
-  plan->occ_tuple_.resize(occ_total);
-  plan->occ_witness_.resize(occ_total);
+  size_t occ_total = core->base_occ_first[base_count];
+  core->occ_tuple.resize(occ_total);
+  core->occ_witness.resize(occ_total);
   {
     // Fill pass: appending in (view, tuple, witness) order leaves every
     // per-base row sorted by (tuple, witness) — the invariant MarginalDamage
     // relies on to walk runs.
-    std::vector<uint32_t> cursor(plan->base_occ_first_.begin(),
-                                 plan->base_occ_first_.end() - 1);
-    for (uint32_t wid = 0; wid < plan->witness_count(); ++wid) {
-      uint32_t owner = plan->witness_owner_[wid];
-      scratch.assign(plan->witness_member_base_.begin() +
-                         plan->witness_member_first_[wid],
-                     plan->witness_member_base_.begin() +
-                         plan->witness_member_first_[wid + 1]);
+    std::vector<uint32_t> cursor(core->base_occ_first.begin(),
+                                 core->base_occ_first.end() - 1);
+    for (uint32_t wid = 0; wid < core->witness_count(); ++wid) {
+      uint32_t owner = core->witness_owner[wid];
+      scratch.assign(core->witness_member_base.begin() +
+                         core->witness_member_first[wid],
+                     core->witness_member_base.begin() +
+                         core->witness_member_first[wid + 1]);
       std::sort(scratch.begin(), scratch.end());
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
       for (uint32_t base : scratch) {
         uint32_t slot = cursor[base]++;
-        plan->occ_tuple_[slot] = owner;
-        plan->occ_witness_[slot] = wid;
+        core->occ_tuple[slot] = owner;
+        core->occ_witness[slot] = wid;
       }
     }
   }
@@ -146,58 +143,129 @@ std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
   // Kill rows: unique view tuples per base, in row order (ascending) —
   // byte-compatible with the legacy kill_map_ (first-witness dedup, (view,
   // tuple) iteration order).
-  plan->base_kill_first_.assign(static_cast<size_t>(base_count) + 1, 0);
+  core->base_kill_first.assign(static_cast<size_t>(base_count) + 1, 0);
   for (uint32_t b = 0; b < base_count; ++b) {
     uint32_t kills = 0;
-    uint32_t prev = kNpos;
-    for (uint32_t slot = plan->base_occ_first_[b];
-         slot < plan->base_occ_first_[b + 1]; ++slot) {
-      if (plan->occ_tuple_[slot] != prev) {
-        prev = plan->occ_tuple_[slot];
+    uint32_t prev = CompiledInstance::kNpos;
+    for (uint32_t slot = core->base_occ_first[b];
+         slot < core->base_occ_first[b + 1]; ++slot) {
+      if (core->occ_tuple[slot] != prev) {
+        prev = core->occ_tuple[slot];
         ++kills;
       }
     }
-    plan->base_kill_first_[b + 1] = kills;
+    core->base_kill_first[b + 1] = kills;
   }
   for (uint32_t b = 0; b < base_count; ++b) {
-    plan->base_kill_first_[b + 1] += plan->base_kill_first_[b];
+    core->base_kill_first[b + 1] += core->base_kill_first[b];
   }
-  plan->kill_tuple_.resize(plan->base_kill_first_[base_count]);
+  core->kill_tuple.resize(core->base_kill_first[base_count]);
   for (uint32_t b = 0; b < base_count; ++b) {
-    uint32_t out = plan->base_kill_first_[b];
-    uint32_t prev = kNpos;
-    for (uint32_t slot = plan->base_occ_first_[b];
-         slot < plan->base_occ_first_[b + 1]; ++slot) {
-      if (plan->occ_tuple_[slot] != prev) {
-        prev = plan->occ_tuple_[slot];
-        plan->kill_tuple_[out++] = prev;
+    uint32_t out = core->base_kill_first[b];
+    uint32_t prev = CompiledInstance::kNpos;
+    for (uint32_t slot = core->base_occ_first[b];
+         slot < core->base_occ_first[b + 1]; ++slot) {
+      if (core->occ_tuple[slot] != prev) {
+        prev = core->occ_tuple[slot];
+        core->kill_tuple[out++] = prev;
       }
     }
   }
+  return core;
+}
 
-  // Candidates: bases in witnesses of ΔV tuples, ascending.
-  {
-    std::vector<uint8_t> touched(base_count, 0);
-    for (uint32_t d : plan->deletion_dense_) {
-      for (uint32_t w = plan->tuple_witness_first_[d];
-           w < plan->tuple_witness_first_[d + 1]; ++w) {
-        for (uint32_t slot = plan->witness_member_first_[w];
-             slot < plan->witness_member_first_[w + 1]; ++slot) {
-          touched[plan->witness_member_base_[slot]] = 1;
+}  // namespace
+
+std::shared_ptr<const CompiledInstance> CompiledInstance::Build(
+    const VseInstance& instance) {
+  return BuildFromCore(BuildCore(instance), instance.deletion_tuples(),
+                       nullptr);
+}
+
+std::shared_ptr<const CompiledInstance> CompiledInstance::BuildFromCore(
+    std::shared_ptr<const PlanCore> core,
+    const std::vector<ViewTupleId>& deletions,
+    std::shared_ptr<const CompiledInstance> recycle) {
+  auto plan = std::shared_ptr<CompiledInstance>(new CompiledInstance());
+  uint32_t tuple_count = core->tuple_count();
+  uint32_t base_count = core->base_count();
+
+  if (recycle != nullptr && recycle->core_ == core &&
+      recycle.use_count() == 1) {
+    // Sole owner of a retired plan over the same core: steal its overlay
+    // buffers. Clearing by the retired ΔV/candidate lists (instead of a full
+    // fill) keeps the reset O(previous ΔV incidence), and re-establishes the
+    // all-zero `touched_` invariant. The const_cast is sound: we hold the
+    // only reference, so no reader can observe the mutation.
+    CompiledInstance& prev = const_cast<CompiledInstance&>(*recycle);
+    for (uint32_t d : prev.deletion_dense_) {
+      prev.is_deletion_[d] = 0;
+      prev.deletion_index_[d] = kNpos;
+    }
+    for (uint32_t b : prev.candidate_bases_) prev.touched_[b] = 0;
+    plan->is_deletion_ = std::move(prev.is_deletion_);
+    plan->deletion_index_ = std::move(prev.deletion_index_);
+    plan->touched_ = std::move(prev.touched_);
+    plan->deletion_dense_ = std::move(prev.deletion_dense_);
+    plan->deletion_dense_.clear();
+    plan->candidate_bases_ = std::move(prev.candidate_bases_);
+    plan->candidate_bases_.clear();
+    plan->overlay_recycled_ = true;
+  } else {
+    plan->is_deletion_.assign(tuple_count, 0);
+    plan->deletion_index_.assign(tuple_count, kNpos);
+    plan->touched_.assign(base_count, 0);
+    plan->deletion_dense_.reserve(deletions.size());
+  }
+  recycle.reset();
+  plan->core_ = std::move(core);
+
+  for (size_t i = 0; i < deletions.size(); ++i) {
+    uint32_t d = plan->DenseOf(deletions[i]);
+    plan->is_deletion_[d] = 1;
+    plan->deletion_index_[d] = static_cast<uint32_t>(i);
+    plan->deletion_dense_.push_back(d);
+  }
+
+  // Candidates: bases in witnesses of ΔV tuples, ascending. Collect-then-sort
+  // (instead of the full 0..base_count scan) so a recycled rebuild stays
+  // proportional to the ΔV neighborhood; the sorted result is identical.
+  const PlanCore& c = *plan->core_;
+  for (uint32_t d : plan->deletion_dense_) {
+    for (uint32_t w = c.tuple_witness_first[d];
+         w < c.tuple_witness_first[d + 1]; ++w) {
+      for (uint32_t slot = c.witness_member_first[w];
+           slot < c.witness_member_first[w + 1]; ++slot) {
+        uint32_t base = c.witness_member_base[slot];
+        if (!plan->touched_[base]) {
+          plan->touched_[base] = 1;
+          plan->candidate_bases_.push_back(base);
         }
       }
     }
-    for (uint32_t b = 0; b < base_count; ++b) {
-      if (touched[b]) plan->candidate_bases_.push_back(b);
-    }
   }
+  std::sort(plan->candidate_bases_.begin(), plan->candidate_bases_.end());
   return plan;
 }
 
 std::shared_ptr<const CompiledInstance> VseInstance::compiled() const {
   std::lock_guard<std::mutex> lock(caches_->mu);
   if (caches_->compiled == nullptr) {
-    caches_->compiled = CompiledInstance::Build(*this);
+    if (caches_->plan_core != nullptr) {
+      // ΔV-only invalidation kept the core; rebuild just the overlay,
+      // recycling the retired plan's buffers when we are its sole owner.
+      ++caches_->plan_stats.core_rebinds;
+      caches_->compiled = CompiledInstance::BuildFromCore(
+          caches_->plan_core, deletion_tuples_, std::move(caches_->retired));
+      caches_->retired.reset();
+      if (caches_->compiled->overlay_recycled()) {
+        ++caches_->plan_stats.overlay_recycles;
+      }
+    } else {
+      ++caches_->plan_stats.full_builds;
+      caches_->compiled = CompiledInstance::Build(*this);
+      caches_->plan_core = caches_->compiled->core();
+    }
   }
   return caches_->compiled;
 }

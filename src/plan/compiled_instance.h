@@ -10,6 +10,41 @@
 
 namespace delprop {
 
+/// The ΔV-independent part of a compiled plan: interned id spaces and CSR
+/// incidence for one (database, queries, views, weights) input. Everything
+/// here is a function of the views and weights only — marking or clearing
+/// deletions never changes it — so one PlanCore is built per instance shape
+/// and shared (immutably, via shared_ptr) across every ΔV overlay compiled
+/// from it, across replicas (`VseInstance::Replicate`), and across threads.
+struct PlanCore {
+  std::vector<uint32_t> view_first;  // per view: first dense tuple id
+  std::vector<uint32_t> tuple_view;  // per tuple: owning view
+  std::vector<double> weight;        // per tuple
+
+  std::vector<uint32_t> tuple_witness_first;  // size tuple_count + 1
+  std::vector<uint32_t> witness_owner;        // per witness
+
+  std::vector<uint32_t> witness_member_first;  // size witness_count + 1
+  std::vector<uint32_t> witness_member_base;   // raw, atom order
+
+  std::vector<TupleRef> base_refs;  // ascending
+
+  std::vector<uint32_t> base_occ_first;  // size base_count + 1
+  std::vector<uint32_t> occ_tuple;
+  std::vector<uint32_t> occ_witness;
+
+  std::vector<uint32_t> base_kill_first;  // size base_count + 1
+  std::vector<uint32_t> kill_tuple;
+
+  uint32_t tuple_count() const { return static_cast<uint32_t>(weight.size()); }
+  uint32_t witness_count() const {
+    return static_cast<uint32_t>(witness_owner.size());
+  }
+  uint32_t base_count() const {
+    return static_cast<uint32_t>(base_refs.size());
+  }
+};
+
 /// The dense, immutable execution plan of a VseInstance: every view tuple
 /// and every base tuple occurring in a witness is interned into a dense
 /// `uint32_t` id, and all incidence structure is materialized as CSR
@@ -17,6 +52,14 @@ namespace delprop {
 /// `VseInstance::compiled()`), then shared read-only across threads — every
 /// solver hot path becomes an array walk instead of an `unordered_map`
 /// lookup chain.
+///
+/// Internally the plan is split in two: a shared `PlanCore` (everything that
+/// does not depend on ΔV) and this object's overlay (`is_deletion`,
+/// `deletion_index`, `deletion_dense`, `candidate_bases`). Re-marking ΔV on
+/// an instance keeps the core and only rebuilds the overlay — O(‖V‖) instead
+/// of re-interning every witness — and `BuildFromCore` can additionally
+/// recycle the overlay buffers of a retired plan so batched serving
+/// (engine/batch_engine.h) allocates nothing in steady state.
 ///
 /// Id spaces and their orderings are chosen so dense-id iteration reproduces
 /// the legacy tuple orderings byte for byte:
@@ -37,23 +80,41 @@ class CompiledInstance {
   /// Sentinel for "no dense id" (absent base tuple, non-ΔV tuple).
   static constexpr uint32_t kNpos = 0xFFFFFFFFu;
 
-  /// Compiles `instance`. The instance must outlive nothing — the plan
-  /// copies everything it needs and holds no pointer back.
+  /// Compiles `instance` from scratch (core + overlay). The instance must
+  /// outlive nothing — the plan copies everything it needs and holds no
+  /// pointer back.
   static std::shared_ptr<const CompiledInstance> Build(
       const VseInstance& instance);
 
+  /// Compiles only the ΔV overlay over an existing `core`. `deletions` must
+  /// be sorted ascending with every id in range (the VseInstance mark/reset
+  /// paths guarantee both). If `recycle` is non-null, refers to the same
+  /// core, and is the sole remaining owner of its plan, that plan's overlay
+  /// buffers are stolen instead of allocated — the recycled plan must no
+  /// longer be referenced by any tracker or solver (callers pass a retired
+  /// plan the instance alone still holds).
+  static std::shared_ptr<const CompiledInstance> BuildFromCore(
+      std::shared_ptr<const PlanCore> core,
+      const std::vector<ViewTupleId>& deletions,
+      std::shared_ptr<const CompiledInstance> recycle);
+
+  /// The shared ΔV-independent core this plan was compiled from.
+  const std::shared_ptr<const PlanCore>& core() const { return core_; }
+
+  /// True when this plan's overlay buffers were recycled from a retired
+  /// plan (no allocation); false for a fresh overlay. Feeds EngineStats.
+  bool overlay_recycled() const { return overlay_recycled_; }
+
   // --- view tuples -------------------------------------------------------
-  uint32_t tuple_count() const {
-    return static_cast<uint32_t>(weight_.size());
-  }
+  uint32_t tuple_count() const { return core_->tuple_count(); }
   uint32_t DenseOf(const ViewTupleId& id) const {
-    return view_first_[id.view] + static_cast<uint32_t>(id.tuple);
+    return core_->view_first[id.view] + static_cast<uint32_t>(id.tuple);
   }
   ViewTupleId IdOf(uint32_t dense) const {
-    size_t view = tuple_view_[dense];
-    return ViewTupleId{view, dense - view_first_[view]};
+    size_t view = core_->tuple_view[dense];
+    return ViewTupleId{view, dense - core_->view_first[view]};
   }
-  double weight(uint32_t dense) const { return weight_[dense]; }
+  double weight(uint32_t dense) const { return core_->weight[dense]; }
   bool is_deletion(uint32_t dense) const { return is_deletion_[dense] != 0; }
   /// Position of `dense` in the ΔV list, or kNpos if not marked.
   uint32_t deletion_index(uint32_t dense) const {
@@ -65,53 +126,61 @@ class CompiledInstance {
   }
 
   // --- witnesses (CSR: view tuple -> witnesses) --------------------------
-  uint32_t witness_count() const {
-    return static_cast<uint32_t>(witness_owner_.size());
-  }
+  uint32_t witness_count() const { return core_->witness_count(); }
   uint32_t tuple_witness_begin(uint32_t dense) const {
-    return tuple_witness_first_[dense];
+    return core_->tuple_witness_first[dense];
   }
   uint32_t tuple_witness_end(uint32_t dense) const {
-    return tuple_witness_first_[dense + 1];
+    return core_->tuple_witness_first[dense + 1];
   }
   uint32_t tuple_witness_count(uint32_t dense) const {
     return tuple_witness_end(dense) - tuple_witness_begin(dense);
   }
-  uint32_t witness_owner(uint32_t wid) const { return witness_owner_[wid]; }
+  uint32_t witness_owner(uint32_t wid) const { return core_->witness_owner[wid]; }
 
   // --- witness members (CSR: witness -> raw base-id list, atom order) ----
   uint32_t member_begin(uint32_t wid) const {
-    return witness_member_first_[wid];
+    return core_->witness_member_first[wid];
   }
   uint32_t member_end(uint32_t wid) const {
-    return witness_member_first_[wid + 1];
+    return core_->witness_member_first[wid + 1];
   }
   /// Raw member list entry (duplicates preserved).
   uint32_t member_base(uint32_t slot) const {
-    return witness_member_base_[slot];
+    return core_->witness_member_base[slot];
   }
 
   // --- base tuples (interned refs, ascending TupleRef order) -------------
-  uint32_t base_count() const {
-    return static_cast<uint32_t>(base_refs_.size());
+  uint32_t base_count() const { return core_->base_count(); }
+  const TupleRef& base_ref(uint32_t base) const {
+    return core_->base_refs[base];
   }
-  const TupleRef& base_ref(uint32_t base) const { return base_refs_[base]; }
   /// Dense id of `ref`, or kNpos when it occurs in no witness.
   uint32_t FindBase(const TupleRef& ref) const;
 
   // --- occurrences (CSR: base -> (view tuple, witness) pairs) ------------
   /// Rows are sorted by (tuple, witness) and deduplicated per witness.
-  uint32_t occ_begin(uint32_t base) const { return base_occ_first_[base]; }
-  uint32_t occ_end(uint32_t base) const { return base_occ_first_[base + 1]; }
-  uint32_t occ_tuple(uint32_t slot) const { return occ_tuple_[slot]; }
-  uint32_t occ_witness(uint32_t slot) const { return occ_witness_[slot]; }
+  uint32_t occ_begin(uint32_t base) const {
+    return core_->base_occ_first[base];
+  }
+  uint32_t occ_end(uint32_t base) const {
+    return core_->base_occ_first[base + 1];
+  }
+  uint32_t occ_tuple(uint32_t slot) const { return core_->occ_tuple[slot]; }
+  uint32_t occ_witness(uint32_t slot) const {
+    return core_->occ_witness[slot];
+  }
 
   // --- kills (CSR: base -> killed view tuples, ascending) ----------------
   /// Mirrors `VseInstance::KilledBy` (unique view tuples having the base in
   /// some witness, ascending (view, tuple)).
-  uint32_t kill_begin(uint32_t base) const { return base_kill_first_[base]; }
-  uint32_t kill_end(uint32_t base) const { return base_kill_first_[base + 1]; }
-  uint32_t kill_tuple(uint32_t slot) const { return kill_tuple_[slot]; }
+  uint32_t kill_begin(uint32_t base) const {
+    return core_->base_kill_first[base];
+  }
+  uint32_t kill_end(uint32_t base) const {
+    return core_->base_kill_first[base + 1];
+  }
+  uint32_t kill_tuple(uint32_t slot) const { return core_->kill_tuple[slot]; }
 
   // --- deletion candidates -----------------------------------------------
   /// Base ids occurring in some witness of some ΔV tuple, ascending —
@@ -123,29 +192,18 @@ class CompiledInstance {
  private:
   CompiledInstance() = default;
 
-  std::vector<uint32_t> view_first_;   // per view: first dense tuple id
-  std::vector<uint32_t> tuple_view_;   // per tuple: owning view
-  std::vector<double> weight_;         // per tuple
-  std::vector<uint8_t> is_deletion_;   // per tuple
+  std::shared_ptr<const PlanCore> core_;
+  bool overlay_recycled_ = false;
+
+  // ΔV overlay — the only arrays that change between plans sharing a core.
+  std::vector<uint8_t> is_deletion_;      // per tuple
   std::vector<uint32_t> deletion_index_;  // per tuple: ΔV position or kNpos
   std::vector<uint32_t> deletion_dense_;
-
-  std::vector<uint32_t> tuple_witness_first_;  // size tuple_count + 1
-  std::vector<uint32_t> witness_owner_;        // per witness
-
-  std::vector<uint32_t> witness_member_first_;  // size witness_count + 1
-  std::vector<uint32_t> witness_member_base_;   // raw, atom order
-
-  std::vector<TupleRef> base_refs_;  // ascending
-
-  std::vector<uint32_t> base_occ_first_;  // size base_count + 1
-  std::vector<uint32_t> occ_tuple_;
-  std::vector<uint32_t> occ_witness_;
-
-  std::vector<uint32_t> base_kill_first_;  // size base_count + 1
-  std::vector<uint32_t> kill_tuple_;
-
   std::vector<uint32_t> candidate_bases_;
+  // Per-base mark scratch for the candidate sweep. Invariant between builds:
+  // all zero (BuildFromCore clears exactly the previous candidate set), so a
+  // recycled overlay rebuild touches O(ΔV incidence), not O(bases).
+  std::vector<uint8_t> touched_;
 };
 
 }  // namespace delprop

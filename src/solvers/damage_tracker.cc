@@ -5,18 +5,42 @@
 
 namespace delprop {
 
-DamageTracker::DamageTracker(const VseInstance& instance)
-    : plan_(instance.compiled()) {
-  witness_hits_.assign(plan_->witness_count(), 0);
-  dead_witnesses_.assign(plan_->tuple_count(), 0);
-  deleted_stamp_.assign(plan_->base_count(), 0);
-  deleted_pos_.resize(plan_->base_count());
+DamageTracker::DamageTracker(const VseInstance& instance) {
+  (void)Rebind(instance);
+}
+
+bool DamageTracker::Rebind(const VseInstance& instance) {
+  // Release the previous plan before acquiring the new one: if this tracker
+  // held the last outside reference to a retired plan, the acquire below can
+  // now recycle its overlay buffers instead of allocating.
+  plan_.reset();
+  plan_ = instance.compiled();
+  bool reused = witness_hits_.size() == plan_->witness_count() &&
+                dead_witnesses_.size() == plan_->tuple_count() &&
+                deleted_stamp_.size() == plan_->base_count();
+  if (reused && epoch_ != 0xFFFFFFFFu) {
+    std::fill(witness_hits_.begin(), witness_hits_.end(), 0);
+    std::fill(dead_witnesses_.begin(), dead_witnesses_.end(), 0);
+    ++epoch_;
+  } else {
+    witness_hits_.assign(plan_->witness_count(), 0);
+    dead_witnesses_.assign(plan_->tuple_count(), 0);
+    deleted_stamp_.assign(plan_->base_count(), 0);
+    deleted_pos_.resize(plan_->base_count());
+    epoch_ = 1;
+  }
+  deleted_.clear();
+  foreign_.clear();
+  initial_unkilled_deletions_ = 0;
+  initial_surviving_deletion_weight_ = 0.0;
   for (uint32_t d : plan_->deletion_dense()) {
     ++initial_unkilled_deletions_;
     initial_surviving_deletion_weight_ += plan_->weight(d);
   }
   unkilled_deletions_ = initial_unkilled_deletions_;
+  killed_preserved_weight_ = 0.0;
   surviving_deletion_weight_ = initial_surviving_deletion_weight_;
+  return reused;
 }
 
 void DamageTracker::Reset() {

@@ -27,6 +27,20 @@ class DamageTracker {
  public:
   explicit DamageTracker(const VseInstance& instance);
 
+  /// Rebinds the tracker to `instance`'s current compiled plan in the
+  /// freshly-constructed state, reusing the existing counter/stamp arrays
+  /// when the new plan's dimensions match (same shared core, different ΔV —
+  /// the batched-serving steady state). Drops the old plan reference BEFORE
+  /// acquiring the new one so the instance can recycle a retired plan's
+  /// overlay buffers. Returns true when array storage was reused (no
+  /// allocation happened).
+  bool Rebind(const VseInstance& instance);
+
+  /// Releases the tracker's plan reference without rebinding; the tracker
+  /// is unusable until the next Rebind. Engine workers call this before
+  /// mutating their replica's ΔV so the retired plan becomes recyclable.
+  void ReleasePlan() { plan_.reset(); }
+
   /// Deletes `ref` (must not be deleted already). Returns the preserved
   /// weight newly killed by this deletion.
   double Delete(const TupleRef& ref);

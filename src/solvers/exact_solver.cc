@@ -1,19 +1,25 @@
 #include "solvers/exact_solver.h"
 
 #include <limits>
+#include <optional>
 
 #include "solvers/damage_tracker.h"
 #include "solvers/greedy_solver.h"
+#include "solvers/scratch_pool.h"
 
 namespace delprop {
 namespace {
 
+// The searches borrow their tracker (freshly bound to the instance's plan)
+// so batched callers can hand in pooled storage; sequential callers pass a
+// local one.
 class StandardSearch {
  public:
-  StandardSearch(const VseInstance& instance, uint64_t budget,
+  StandardSearch(const VseInstance& instance, DamageTracker& tracker,
+                 uint64_t budget,
                  size_t max_deletions = std::numeric_limits<size_t>::max())
       : instance_(instance),
-        tracker_(instance),
+        tracker_(tracker),
         budget_(budget),
         max_deletions_(max_deletions) {}
 
@@ -76,7 +82,7 @@ class StandardSearch {
   }
 
   const VseInstance& instance_;
-  DamageTracker tracker_;
+  DamageTracker& tracker_;
   uint64_t budget_;
   size_t max_deletions_;
   uint64_t nodes_ = 0;
@@ -88,12 +94,23 @@ class StandardSearch {
 }  // namespace
 
 Result<VseSolution> ExactSolver::Solve(const VseInstance& instance) {
+  return SolveWith(instance, nullptr);
+}
+
+Result<VseSolution> ExactSolver::SolveWith(const VseInstance& instance,
+                                           ScratchPool* scratch) {
   if (instance.TotalDeletionTuples() == 0) {
     return MakeSolution(instance, DeletionSet(), name());
   }
-  StandardSearch search(instance, node_budget_);
   GreedySolver greedy;
-  Result<VseSolution> seed = greedy.Solve(instance);
+  Result<VseSolution> seed = greedy.SolveWith(instance, scratch);
+  // Acquire the search tracker after the greedy seed: the pool holds one
+  // tracker, and re-acquiring rebinds it to the freshly-constructed state.
+  std::optional<DamageTracker> local;
+  if (scratch == nullptr) local.emplace(instance);
+  DamageTracker& tracker =
+      scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
+  StandardSearch search(instance, tracker, node_budget_);
   if (seed.ok() && seed->Feasible()) {
     search.Seed(seed->deletion, seed->Cost());
   }
@@ -110,7 +127,8 @@ Result<VseSolution> BoundedExactSolver::Solve(const VseInstance& instance) {
   if (instance.TotalDeletionTuples() == 0) {
     return MakeSolution(instance, DeletionSet(), name());
   }
-  StandardSearch search(instance, node_budget_, max_deletions_);
+  DamageTracker tracker(instance);
+  StandardSearch search(instance, tracker, node_budget_, max_deletions_);
   // No greedy seed: the greedy may overshoot the cardinality cap, and a
   // seed above the cap would not be a certificate of feasibility.
   if (!search.Run()) {
@@ -129,8 +147,9 @@ namespace {
 
 class BalancedSearch {
  public:
-  BalancedSearch(const VseInstance& instance, uint64_t budget)
-      : instance_(instance), tracker_(instance), budget_(budget) {}
+  BalancedSearch(const VseInstance& instance, DamageTracker& tracker,
+                 uint64_t budget)
+      : instance_(instance), tracker_(tracker), budget_(budget) {}
 
   bool Run() {
     // The empty deletion is always feasible for the balanced objective.
@@ -167,7 +186,7 @@ class BalancedSearch {
   }
 
   const VseInstance& instance_;
-  DamageTracker tracker_;
+  DamageTracker& tracker_;
   uint64_t budget_;
   uint64_t nodes_ = 0;
   DeletionSet best_deletion_;
@@ -177,7 +196,16 @@ class BalancedSearch {
 }  // namespace
 
 Result<VseSolution> ExactBalancedSolver::Solve(const VseInstance& instance) {
-  BalancedSearch search(instance, node_budget_);
+  return SolveWith(instance, nullptr);
+}
+
+Result<VseSolution> ExactBalancedSolver::SolveWith(const VseInstance& instance,
+                                                   ScratchPool* scratch) {
+  std::optional<DamageTracker> local;
+  if (scratch == nullptr) local.emplace(instance);
+  DamageTracker& tracker =
+      scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
+  BalancedSearch search(instance, tracker, node_budget_);
   if (!search.Run()) {
     return Status::FailedPrecondition(
         "exact balanced search exceeded node budget");

@@ -21,6 +21,8 @@ class ExactSolver : public VseSolver {
 
   std::string name() const override { return "exact"; }
   Result<VseSolution> Solve(const VseInstance& instance) override;
+  Result<VseSolution> SolveWith(const VseInstance& instance,
+                                ScratchPool* scratch) override;
 
  private:
   uint64_t node_budget_;
@@ -56,6 +58,8 @@ class ExactBalancedSolver : public VseSolver {
   std::string name() const override { return "exact-balanced"; }
   Objective objective() const override { return Objective::kBalanced; }
   Result<VseSolution> Solve(const VseInstance& instance) override;
+  Result<VseSolution> SolveWith(const VseInstance& instance,
+                                ScratchPool* scratch) override;
 
  private:
   uint64_t node_budget_;

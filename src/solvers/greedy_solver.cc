@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "solvers/damage_tracker.h"
+#include "solvers/scratch_pool.h"
 
 namespace delprop {
 
 Result<VseSolution> GreedySolver::Solve(const VseInstance& instance) {
-  DamageTracker tracker(instance);
+  return SolveWith(instance, nullptr);
+}
+
+Result<VseSolution> GreedySolver::SolveWith(const VseInstance& instance,
+                                            ScratchPool* scratch) {
+  std::optional<DamageTracker> local;
+  if (scratch == nullptr) local.emplace(instance);
+  DamageTracker& tracker =
+      scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
   const CompiledInstance& plan = tracker.plan();
   const std::vector<uint32_t>& targets = plan.deletion_dense();
 
@@ -65,8 +75,12 @@ Result<VseSolution> GreedySolver::Solve(const VseInstance& instance) {
 
   // Reverse-delete pass: drop deletions that are no longer needed. Base ids
   // ascend with TupleRefs, so sorting them reproduces the legacy
-  // CurrentDeletion().Sorted() order.
-  std::vector<uint32_t> deleted = tracker.DeletedBases();
+  // CurrentDeletion().Sorted() order. The snapshot draws on the pooled id
+  // buffer when available so steady-state batched requests don't allocate.
+  std::vector<uint32_t> local_ids;
+  std::vector<uint32_t>& deleted =
+      scratch != nullptr ? scratch->IdBuffer() : local_ids;
+  deleted.assign(tracker.DeletedBases().begin(), tracker.DeletedBases().end());
   std::sort(deleted.begin(), deleted.end());
   for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
     tracker.UndeleteBase(*it);

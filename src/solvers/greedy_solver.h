@@ -14,6 +14,8 @@ class GreedySolver : public VseSolver {
  public:
   std::string name() const override { return "greedy"; }
   Result<VseSolution> Solve(const VseInstance& instance) override;
+  Result<VseSolution> SolveWith(const VseInstance& instance,
+                                ScratchPool* scratch) override;
 };
 
 }  // namespace delprop

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "solvers/damage_tracker.h"
+#include "solvers/scratch_pool.h"
 
 namespace delprop {
 namespace {
@@ -107,6 +108,11 @@ bool SwapPass(const std::vector<uint32_t>& candidates, Rng& rng,
 }  // namespace
 
 Result<VseSolution> LocalSearchSolver::Solve(const VseInstance& instance) {
+  return SolveWith(instance, nullptr);
+}
+
+Result<VseSolution> LocalSearchSolver::SolveWith(const VseInstance& instance,
+                                                 ScratchPool* scratch) {
   if (instance.TotalDeletionTuples() == 0) {
     return MakeSolution(instance, DeletionSet(), name());
   }
@@ -114,8 +120,12 @@ Result<VseSolution> LocalSearchSolver::Solve(const VseInstance& instance) {
 
   // One tracker reused across restarts: Reset() restores the exact initial
   // state (no floating-point drift), so this matches constructing a fresh
-  // tracker per restart — minus the allocations.
-  DamageTracker tracker(instance);
+  // tracker per restart — minus the allocations. Batched callers supply the
+  // tracker storage from their scratch pool.
+  std::optional<DamageTracker> local;
+  if (scratch == nullptr) local.emplace(instance);
+  DamageTracker& tracker =
+      scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
   const std::vector<uint32_t>& candidates = tracker.plan().candidate_bases();
 
   std::optional<DeletionSet> best;

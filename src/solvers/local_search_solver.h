@@ -26,6 +26,8 @@ class LocalSearchSolver : public VseSolver {
 
   std::string name() const override { return "local-search"; }
   Result<VseSolution> Solve(const VseInstance& instance) override;
+  Result<VseSolution> SolveWith(const VseInstance& instance,
+                                ScratchPool* scratch) override;
 
  private:
   Options options_;

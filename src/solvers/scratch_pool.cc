@@ -1,0 +1,22 @@
+#include "solvers/scratch_pool.h"
+
+namespace delprop {
+
+DamageTracker* ScratchPool::AcquireTracker(const VseInstance& instance) {
+  ++stats_.tracker_acquires;
+  if (!tracker_.has_value()) {
+    tracker_.emplace(instance);
+    ++stats_.tracker_allocs;
+  } else if (tracker_->Rebind(instance)) {
+    ++stats_.tracker_reuses;
+  } else {
+    ++stats_.tracker_allocs;
+  }
+  return &*tracker_;
+}
+
+void ScratchPool::ReleasePlans() {
+  if (tracker_.has_value()) tracker_->ReleasePlan();
+}
+
+}  // namespace delprop

@@ -1,0 +1,55 @@
+#ifndef DELPROP_SOLVERS_SCRATCH_POOL_H_
+#define DELPROP_SOLVERS_SCRATCH_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "solvers/damage_tracker.h"
+
+namespace delprop {
+
+/// Reusable per-worker solver scratch state for batched serving: one
+/// DamageTracker (rebound per request via the epoch-stamped reset, so the
+/// big counter/stamp arrays are allocated once and reused for every
+/// subsequent request over the same instance shape) plus a generic id
+/// buffer for solver-local lists. Not thread-safe — each engine worker owns
+/// one pool; solvers receive it through `VseSolver::SolveWith` and must
+/// treat AcquireTracker as invalidating any tracker previously acquired
+/// from the same pool (there is exactly one underlying tracker).
+class ScratchPool {
+ public:
+  struct Stats {
+    size_t tracker_acquires = 0;
+    /// Acquisitions that allocated tracker storage (first use, or a plan
+    /// with different dimensions). Steady state: exactly 1 per pool.
+    size_t tracker_allocs = 0;
+    /// Acquisitions that reused the existing storage (no allocation).
+    size_t tracker_reuses = 0;
+  };
+
+  /// Returns the pooled tracker bound to `instance`'s current plan in the
+  /// freshly-constructed state. Invalidates any previously-acquired tracker.
+  DamageTracker* AcquireTracker(const VseInstance& instance);
+
+  /// Drops the pooled tracker's plan reference (keeping its storage) so the
+  /// instance can recycle the retired plan's overlay buffers. Call before
+  /// mutating the instance's ΔV for the next request.
+  void ReleasePlans();
+
+  /// A reusable id buffer for solver-local lists (e.g. the greedy solver's
+  /// reverse-delete snapshot). Contents are undefined across requests.
+  std::vector<uint32_t>& IdBuffer() { return ids_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::optional<DamageTracker> tracker_;
+  std::vector<uint32_t> ids_;
+  Stats stats_;
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_SOLVERS_SCRATCH_POOL_H_

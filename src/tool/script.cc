@@ -350,6 +350,111 @@ Status ScriptSession::CmdReport(std::string* out) {
   return Status::Ok();
 }
 
+Status ScriptSession::CmdRequest(std::string_view args) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  args = Trim(args);
+  size_t space = args.find_first_of(" \t");
+  std::string solver_name(space == std::string_view::npos
+                              ? args
+                              : Trim(args.substr(0, space)));
+  if (solver_name.empty()) {
+    return Status::InvalidArgument(
+        "request wants: request <solver> [Q(a, b) ...]");
+  }
+  std::unique_ptr<VseSolver> solver = MakeSolver(solver_name);
+  if (solver == nullptr) {
+    std::string known;
+    for (const std::string& n : AllSolverNames()) known += " " + n;
+    return Status::NotFound("unknown solver '" + solver_name +
+                            "'; known:" + known);
+  }
+  SolveRequest request;
+  request.solver = solver_name;
+  request.objective = solver->objective();
+  std::string rest(space == std::string_view::npos
+                       ? std::string_view()
+                       : Trim(args.substr(space + 1)));
+  while (!rest.empty()) {
+    // Split at the first ')' ourselves: ParseCall anchors on the LAST ')',
+    // which would swallow every later call on the line.
+    size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("expected Q(...) syntax in '" + rest +
+                                     "'");
+    }
+    std::string call = rest.substr(0, close + 1);
+    rest = std::string(Trim(std::string_view(rest).substr(close + 1)));
+    ViewTupleId id;
+    if (Status s = LocateViewTuple(*instance_, db_, call, &id, nullptr);
+        !s.ok()) {
+      return s;
+    }
+    request.delta_v.push_back(id);
+  }
+  batch_requests_.push_back(std::move(request));
+  return Status::Ok();
+}
+
+Status ScriptSession::CmdBatchSolve(std::string_view args, std::string* out) {
+  if (Status s = EnsureInstance(); !s.ok()) return s;
+  if (batch_requests_.empty()) {
+    return Status::FailedPrecondition(
+        "no requests queued; use 'request <solver> Q(...) ...' first");
+  }
+  BatchSolveEngine::Options options;
+  std::istringstream tokens{std::string(args)};
+  std::string token;
+  while (tokens >> token) {
+    if (token == "threads") {
+      size_t threads = 0;
+      if (!(tokens >> threads) || threads == 0) {
+        return Status::InvalidArgument("threads wants a positive count");
+      }
+      options.threads = threads;
+    } else if (token == "cache") {
+      std::string mode;
+      if (!(tokens >> mode) || (mode != "on" && mode != "off")) {
+        return Status::InvalidArgument("cache wants 'on' or 'off'");
+      }
+      options.memo_cache = mode == "on";
+    } else {
+      return Status::InvalidArgument("unknown batch-solve option '" + token +
+                                     "'");
+    }
+  }
+
+  BatchSolveEngine engine(*instance_, options);
+  std::vector<RequestOutcome> outcomes = engine.SolveBatch(batch_requests_);
+  // No wall-clock or cache provenance in the rendering: the printed batch
+  // output is deterministic at any thread count (asserted by tests).
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RequestOutcome& outcome = outcomes[i];
+    *out += "request " + std::to_string(i) + " [" +
+            batch_requests_[i].solver + "]: ";
+    if (!outcome.result.ok()) {
+      *out += std::string(StatusCodeName(outcome.result.status().code())) +
+              ": " + outcome.result.status().message() + "\n";
+      continue;
+    }
+    const VseSolution& solution = *outcome.result;
+    std::ostringstream line;
+    line << "delete " << solution.deletion.size() << " source tuple(s), "
+         << "side-effect " << solution.Cost() << ", feasible "
+         << (solution.Feasible() ? "yes" : "no") << "\n";
+    *out += line.str();
+    for (const TupleRef& ref : solution.deletion.Sorted()) {
+      *out += "  - " + db_.RenderTuple(ref) + "\n";
+    }
+  }
+  // Only scheduling-independent counters may appear here: solver_runs and
+  // cache_hits vary with which worker claims a duplicate request first.
+  EngineStats stats = engine.stats();
+  *out += "batch: " + std::to_string(stats.requests) + " request(s), " +
+          std::to_string(stats.invalid_requests) + " invalid\n";
+  batch_requests_.clear();
+  return Status::Ok();
+}
+
 Status ScriptSession::Execute(std::string_view line, std::string* out) {
   std::string_view trimmed = Trim(line);
   size_t hash = trimmed.find('#');
@@ -378,6 +483,8 @@ Status ScriptSession::Execute(std::string_view line, std::string* out) {
   if (command == "describe") return CmdDescribe(out);
   if (command == "solve") return CmdSolve(args, out);
   if (command == "report") return CmdReport(out);
+  if (command == "request") return CmdRequest(args);
+  if (command == "batch-solve") return CmdBatchSolve(args, out);
   return Status::InvalidArgument("unknown command '" + std::string(command) +
                                  "'");
 }

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "dp/vse_instance.h"
+#include "engine/batch_engine.h"
 #include "relational/database.h"
 
 namespace delprop {
@@ -31,6 +32,8 @@ namespace delprop {
 ///   describe                            sizes, properties, solver advice
 ///   solve exact                         run a registry solver, print ΔD
 ///   report                              side-effect report of last solve
+///   request greedy Q3(John, XML) ...    queue a batch request (solver + ΔV)
+///   batch-solve [threads N] [cache off] run queued requests via the engine
 ///
 /// Phasing: relations/inserts must precede queries; the views are
 /// materialized on the first command that needs them (views/explain/delete/
@@ -67,11 +70,14 @@ class ScriptSession {
   Status CmdDescribe(std::string* out);
   Status CmdSolve(std::string_view args, std::string* out);
   Status CmdReport(std::string* out);
+  Status CmdRequest(std::string_view args);
+  Status CmdBatchSolve(std::string_view args, std::string* out);
 
   Database db_;
   std::vector<std::unique_ptr<ConjunctiveQuery>> queries_;
   std::unique_ptr<VseInstance> instance_;
   std::string last_solution_text_;
+  std::vector<SolveRequest> batch_requests_;
 };
 
 }  // namespace delprop

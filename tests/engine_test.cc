@@ -1,0 +1,322 @@
+// BatchSolveEngine and ScratchPool: batched results must be byte-identical
+// to direct per-request solves at any thread count and cache setting, and
+// the steady-state hot path must run entirely on reused storage (asserted
+// through the engine/pool/plan counters, the closest a test can get to
+// "allocation-free" without an allocator hook).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/batch_engine.h"
+#include "solvers/scratch_pool.h"
+#include "solvers/solver_registry.h"
+#include "workload/path_schema.h"
+
+namespace delprop {
+namespace {
+
+// Small path-schema workload: every solver family applies, builds in
+// milliseconds, and has enough view tuples (~100) for varied ΔV subsets.
+GeneratedVse MakeWorkload() {
+  Rng rng(1);
+  PathSchemaParams params;
+  params.levels = 4;
+  params.roots = 2;
+  params.fanout = 2;
+  params.deletion_fraction = 0.25;
+  Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+  EXPECT_TRUE(generated.ok());
+  return std::move(*generated);
+}
+
+std::vector<ViewTupleId> AllViewTupleIds(const VseInstance& instance) {
+  std::vector<ViewTupleId> ids;
+  for (size_t v = 0; v < instance.view_count(); ++v) {
+    for (size_t t = 0; t < instance.view(v).size(); ++t) {
+      ids.push_back(ViewTupleId{v, t});
+    }
+  }
+  return ids;
+}
+
+// Deterministic ΔV subset of `size` tuples, varying with `salt`.
+std::vector<ViewTupleId> MakeDeltaV(const std::vector<ViewTupleId>& all,
+                                    uint64_t salt, size_t size) {
+  Rng rng(DeriveTaskSeed(7, salt));
+  std::vector<ViewTupleId> dv;
+  for (size_t index : rng.SampleIndices(all.size(), size)) {
+    dv.push_back(all[index]);
+  }
+  return dv;
+}
+
+// Renders everything the determinism contract covers (and nothing the
+// scheduling-dependent RequestStats cover).
+std::string Render(const Result<VseSolution>& result) {
+  std::ostringstream out;
+  if (!result.ok()) {
+    out << StatusCodeName(result.status().code()) << ": "
+        << result.status().message();
+    return out.str();
+  }
+  out << result->solver_name << " feasible=" << result->Feasible()
+      << " cost=" << result->Cost() << " deletion=";
+  for (const TupleRef& ref : result->deletion.Sorted()) {
+    out << "(" << ref.relation << "," << ref.row << ")";
+  }
+  return out.str();
+}
+
+std::string RenderAll(const std::vector<RequestOutcome>& outcomes) {
+  std::string out;
+  for (const RequestOutcome& outcome : outcomes) {
+    out += Render(outcome.result);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<SolveRequest> MakeRequests(const VseInstance& instance,
+                                       size_t count,
+                                       const std::string& solver) {
+  std::vector<ViewTupleId> all = AllViewTupleIds(instance);
+  std::vector<SolveRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    SolveRequest request;
+    request.solver = solver;
+    request.delta_v = MakeDeltaV(all, i, 1 + i % 9);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+// --- ScratchPool -----------------------------------------------------------
+
+// Interleaves ΔV sets of very different sizes on ONE pooled tracker and
+// checks every scratch-backed solve against a fresh-tracker solve of the
+// same state: a stale counter or unswept epoch stamp from the previous,
+// larger ΔV would surface as a different deletion set or cost.
+TEST(ScratchPoolTest, InterleavedDeltaVReuseMatchesFreshTracker) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& instance = *generated.instance;
+  std::vector<ViewTupleId> all = AllViewTupleIds(instance);
+  std::unique_ptr<VseSolver> pooled_solver = MakeSolver("greedy");
+  ScratchPool pool;
+  const size_t sizes[] = {1, 23, 4, 17, 2, 31, 9, 1, 28, 5};
+  size_t rounds = 0;
+  for (size_t size : sizes) {
+    SCOPED_TRACE(rounds);
+    pool.ReleasePlans();
+    ASSERT_TRUE(instance.ResetDeletions(MakeDeltaV(all, rounds, size)).ok());
+    Result<VseSolution> with_pool = pooled_solver->SolveWith(instance, &pool);
+    Result<VseSolution> fresh = MakeSolver("greedy")->Solve(instance);
+    EXPECT_EQ(Render(with_pool), Render(fresh));
+    ++rounds;
+  }
+  const ScratchPool::Stats& stats = pool.stats();
+  EXPECT_EQ(stats.tracker_acquires, rounds);
+  EXPECT_EQ(stats.tracker_allocs, 1u);  // storage allocated exactly once
+  EXPECT_EQ(stats.tracker_reuses, rounds - 1);
+}
+
+// --- BatchSolveEngine ------------------------------------------------------
+
+TEST(BatchEngineTest, MatchesDirectPerRequestSolve) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& instance = *generated.instance;
+  std::vector<SolveRequest> requests = MakeRequests(instance, 6, "greedy");
+  requests[2].solver = "local-search";
+  requests[4].solver = "exact";
+
+  BatchSolveEngine engine(instance, {});
+  std::vector<RequestOutcome> outcomes = engine.SolveBatch(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(instance.ResetDeletions(requests[i].delta_v).ok());
+    Result<VseSolution> direct =
+        MakeSolver(requests[i].solver)->Solve(instance);
+    EXPECT_EQ(Render(outcomes[i].result), Render(direct));
+  }
+}
+
+TEST(BatchEngineTest, OutcomesIdenticalAcrossThreadCounts) {
+  GeneratedVse generated = MakeWorkload();
+  std::vector<SolveRequest> requests =
+      MakeRequests(*generated.instance, 24, "greedy");
+  for (size_t i = 0; i < requests.size(); i += 3) {
+    requests[i].solver = "local-search";
+  }
+  // Duplicates exercise the memo cache under concurrent claiming.
+  requests.push_back(requests[1]);
+  requests.push_back(requests[4]);
+
+  BatchSolveEngine::Options t1;
+  t1.threads = 1;
+  BatchSolveEngine engine1(*generated.instance, t1);
+  BatchSolveEngine::Options t4;
+  t4.threads = 4;
+  BatchSolveEngine engine4(*generated.instance, t4);
+  EXPECT_EQ(engine4.worker_count(), 4u);
+
+  std::string rendered1 = RenderAll(engine1.SolveBatch(requests));
+  std::string rendered4 = RenderAll(engine4.SolveBatch(requests));
+  EXPECT_EQ(rendered1, rendered4);
+}
+
+TEST(BatchEngineTest, MemoCacheChangesNothingButSkipsSolves) {
+  GeneratedVse generated = MakeWorkload();
+  std::vector<SolveRequest> requests =
+      MakeRequests(*generated.instance, 10, "greedy");
+  for (size_t i = 0; i < 6; ++i) requests.push_back(requests[i]);
+
+  BatchSolveEngine::Options with_cache;
+  BatchSolveEngine engine_cached(*generated.instance, with_cache);
+  BatchSolveEngine::Options without_cache;
+  without_cache.memo_cache = false;
+  BatchSolveEngine engine_plain(*generated.instance, without_cache);
+
+  std::string cached = RenderAll(engine_cached.SolveBatch(requests));
+  std::string plain = RenderAll(engine_plain.SolveBatch(requests));
+  EXPECT_EQ(cached, plain);
+
+  EXPECT_EQ(engine_cached.stats().cache_hits, 6u);
+  EXPECT_EQ(engine_cached.stats().solver_runs, 10u);
+  EXPECT_EQ(engine_plain.stats().cache_hits, 0u);
+  EXPECT_EQ(engine_plain.stats().solver_runs, 16u);
+}
+
+// The "zero steady-state allocations" contract, expressed in counters: after
+// the first request warms the worker, every further request reuses the
+// pooled tracker storage (no tracker alloc), rebuilds only the ΔV overlay
+// (no full plan build), and recycles the previous overlay's buffers.
+TEST(BatchEngineTest, SteadyStateRunsOnReusedStorage) {
+  GeneratedVse generated = MakeWorkload();
+  std::vector<SolveRequest> requests =
+      MakeRequests(*generated.instance, 20, "greedy");
+
+  BatchSolveEngine::Options options;
+  options.threads = 1;
+  options.memo_cache = false;  // cache hits would skip solves and counters
+  BatchSolveEngine engine(*generated.instance, options);
+  std::vector<RequestOutcome> outcomes = engine.SolveBatch(requests);
+  for (const RequestOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.result.ok());
+  }
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_EQ(stats.solver_runs, 20u);
+  EXPECT_EQ(stats.scratch_acquires, 20u);
+  EXPECT_EQ(stats.scratch_allocs, 1u);
+  EXPECT_EQ(stats.scratch_reuses, 19u);
+  EXPECT_EQ(stats.plan_full_builds, 0u);  // core came from the primary
+  EXPECT_EQ(stats.plan_core_rebinds, 20u);
+  // Request 1's retired plan is still shared with the primary instance, so
+  // only requests 2..20 can steal overlay buffers.
+  EXPECT_EQ(stats.plan_overlay_recycles, 19u);
+
+  // Per-request provenance tells the same story.
+  EXPECT_FALSE(outcomes[0].stats.scratch_reused);
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(outcomes[i].stats.scratch_reused);
+    EXPECT_TRUE(outcomes[i].stats.plan_core_reused);
+    EXPECT_TRUE(outcomes[i].stats.plan_overlay_recycled);
+  }
+}
+
+TEST(BatchEngineTest, InvalidRequestsFailAloneWithoutAbortingTheBatch) {
+  GeneratedVse generated = MakeWorkload();
+  std::vector<SolveRequest> requests =
+      MakeRequests(*generated.instance, 2, "greedy");
+
+  SolveRequest unknown = requests[0];
+  unknown.solver = "no-such-solver";
+  requests.push_back(unknown);
+
+  SolveRequest mismatched = requests[0];
+  mismatched.objective = Objective::kBalanced;  // greedy is kStandard
+  requests.push_back(mismatched);
+
+  SolveRequest out_of_range = requests[0];
+  out_of_range.delta_v.push_back(ViewTupleId{9999, 0});
+  requests.push_back(out_of_range);
+
+  BatchSolveEngine engine(*generated.instance, {});
+  std::vector<RequestOutcome> outcomes = engine.SolveBatch(requests);
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[0].result.ok());
+  EXPECT_TRUE(outcomes[1].result.ok());
+  EXPECT_EQ(outcomes[2].result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(outcomes[3].result.status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(outcomes[4].result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.stats().invalid_requests, 3u);
+  EXPECT_EQ(engine.stats().solver_runs, 2u);
+}
+
+// --- VseInstance batched-serving primitives --------------------------------
+
+TEST(ResetDeletionsTest, EquivalentToMarkingAndKeepsCore) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& instance = *generated.instance;
+  std::vector<ViewTupleId> all = AllViewTupleIds(instance);
+  std::vector<ViewTupleId> dv = MakeDeltaV(all, 3, 12);
+
+  GeneratedVse reference = MakeWorkload();
+  ASSERT_TRUE(reference.instance->ResetDeletions({}).ok());
+  for (const ViewTupleId& id : dv) {
+    ASSERT_TRUE(reference.instance->MarkForDeletion(id).ok());
+  }
+
+  (void)instance.compiled();  // warm the core
+  std::vector<ViewTupleId> doubled = dv;
+  doubled.insert(doubled.end(), dv.begin(), dv.end());  // duplicates collapse
+  ASSERT_TRUE(instance.ResetDeletions(doubled).ok());
+  EXPECT_EQ(instance.deletion_tuples(),
+            reference.instance->deletion_tuples());
+  EXPECT_EQ(Render(MakeSolver("greedy")->Solve(instance)),
+            Render(MakeSolver("greedy")->Solve(*reference.instance)));
+  (void)instance.compiled();
+  PlanBuildStats stats = instance.plan_stats();
+  EXPECT_EQ(stats.full_builds, 1u);
+  EXPECT_GE(stats.core_rebinds, 1u);
+}
+
+TEST(ResetDeletionsTest, OutOfRangeLeavesInstanceUnchanged) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& instance = *generated.instance;
+  std::vector<ViewTupleId> before = instance.deletion_tuples();
+  Status status = instance.ResetDeletions({ViewTupleId{0, 1u << 20}});
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(instance.deletion_tuples(), before);
+}
+
+TEST(ReplicateTest, ReplicaIsIndependentButEquivalent) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& primary = *generated.instance;
+  std::vector<ViewTupleId> primary_dv = primary.deletion_tuples();
+  (void)primary.compiled();
+
+  VseInstance replica = primary.Replicate();
+  EXPECT_EQ(replica.deletion_tuples(), primary_dv);
+  EXPECT_EQ(Render(MakeSolver("greedy")->Solve(replica)),
+            Render(MakeSolver("greedy")->Solve(primary)));
+
+  // Swapping the replica's ΔV must not leak into the primary, and the
+  // replica must not pay a full structural rebuild for it.
+  std::vector<ViewTupleId> all = AllViewTupleIds(primary);
+  ASSERT_TRUE(replica.ResetDeletions(MakeDeltaV(all, 11, 5)).ok());
+  (void)replica.compiled();
+  EXPECT_EQ(primary.deletion_tuples(), primary_dv);
+  EXPECT_EQ(replica.plan_stats().full_builds, 0u);
+  EXPECT_GE(replica.plan_stats().core_rebinds, 1u);
+}
+
+}  // namespace
+}  // namespace delprop

@@ -33,7 +33,7 @@ int RunRepl() {
   delprop::ScriptSession session;
   std::printf("delprop shell — commands: relation insert query views explain "
               "classify describe delete weight certificates plan dot save "
-              "solve report quit\n");
+              "solve report request batch-solve quit\n");
   std::string line;
   for (;;) {
     std::printf("delprop> ");
