@@ -1,0 +1,140 @@
+#include "dp/base_delta.h"
+
+namespace delprop {
+namespace internal {
+namespace {
+
+/// Backtracking enumerator for the delta matches of one query. One instance
+/// is reused across pivots; Assign always unwinds its bindings, so the
+/// valuation is all-unbound between top-level calls.
+class DeltaMatcher {
+ public:
+  DeltaMatcher(const Database& database, const ConjunctiveQuery& query,
+               const DeletionSet& mask,
+               const std::vector<uint32_t>& first_new_row,
+               std::vector<std::pair<Tuple, Witness>>* out)
+      : database_(database),
+        query_(query),
+        mask_(mask),
+        first_new_row_(first_new_row),
+        out_(out) {
+    binding_.resize(query.variable_count(), 0);
+    bound_.resize(query.variable_count(), 0);
+    witness_.reserve(query.atoms().size());
+  }
+
+  /// Enumerates every match whose earliest new-row atom is `pivot_atom`
+  /// bound to row `pivot_row`.
+  void EnumeratePivot(size_t pivot_atom, uint32_t pivot_row) {
+    pivot_atom_ = pivot_atom;
+    pivot_row_ = pivot_row;
+    Assign(0);
+  }
+
+ private:
+  void Assign(size_t atom_index) {
+    const std::vector<Atom>& atoms = query_.atoms();
+    if (atom_index == atoms.size()) {
+      Emit();
+      return;
+    }
+    const Atom& atom = atoms[atom_index];
+    const Relation& relation = database_.relation(atom.relation);
+    // The pivot atom is pinned to its new row; atoms before it see only old
+    // rows (their new-row matches are some earlier pivot's), atoms after it
+    // see everything live.
+    uint32_t begin = 0;
+    uint32_t end = static_cast<uint32_t>(relation.row_count());
+    if (atom_index == pivot_atom_) {
+      begin = pivot_row_;
+      end = pivot_row_ + 1;
+    } else if (atom_index < pivot_atom_) {
+      end = first_new_row_[atom.relation];
+    }
+    for (uint32_t r = begin; r < end; ++r) {
+      if (mask_.Contains(TupleRef{atom.relation, r})) continue;
+      size_t unwind = trail_.size();
+      if (!BindRow(atom, relation.row(r))) {
+        Unwind(unwind);
+        continue;
+      }
+      witness_.push_back(TupleRef{atom.relation, r});
+      Assign(atom_index + 1);
+      witness_.pop_back();
+      Unwind(unwind);
+    }
+  }
+
+  /// Unifies `row` with the atom's terms, recording fresh bindings on the
+  /// trail. On mismatch the caller unwinds to its saved trail mark.
+  bool BindRow(const Atom& atom, const Tuple& row) {
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      const Term& term = atom.terms[p];
+      if (term.is_constant()) {
+        if (row[p] != term.id) return false;
+      } else if (bound_[term.id]) {
+        if (row[p] != binding_[term.id]) return false;
+      } else {
+        bound_[term.id] = 1;
+        binding_[term.id] = row[p];
+        trail_.push_back(term.id);
+      }
+    }
+    return true;
+  }
+
+  void Unwind(size_t mark) {
+    while (trail_.size() > mark) {
+      bound_[trail_.back()] = 0;
+      trail_.pop_back();
+    }
+  }
+
+  void Emit() {
+    Tuple values;
+    values.reserve(query_.head().size());
+    for (const Term& term : query_.head()) {
+      values.push_back(term.is_constant() ? term.id : binding_[term.id]);
+    }
+    out_->emplace_back(std::move(values), witness_);
+  }
+
+  const Database& database_;
+  const ConjunctiveQuery& query_;
+  const DeletionSet& mask_;
+  const std::vector<uint32_t>& first_new_row_;
+  std::vector<std::pair<Tuple, Witness>>* out_;
+
+  size_t pivot_atom_ = 0;
+  uint32_t pivot_row_ = 0;
+  std::vector<ValueId> binding_;
+  std::vector<uint8_t> bound_;
+  std::vector<VarId> trail_;
+  Witness witness_;
+};
+
+}  // namespace
+
+Status CollectDeltaMatches(const Database& database,
+                           const ConjunctiveQuery& query,
+                           const DeletionSet& mask,
+                           const std::vector<uint32_t>& first_new_row,
+                           std::vector<std::pair<Tuple, Witness>>* out) {
+  if (first_new_row.size() != database.relation_count()) {
+    return Status::InvalidArgument(
+        "CollectDeltaMatches needs one first_new_row entry per relation");
+  }
+  DeltaMatcher matcher(database, query, mask, first_new_row, out);
+  const std::vector<Atom>& atoms = query.atoms();
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    const Relation& relation = database.relation(atoms[a].relation);
+    uint32_t row_count = static_cast<uint32_t>(relation.row_count());
+    for (uint32_t r = first_new_row[atoms[a].relation]; r < row_count; ++r) {
+      matcher.EnumeratePivot(a, r);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+}  // namespace delprop

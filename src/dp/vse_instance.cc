@@ -1,10 +1,85 @@
 #include "dp/vse_instance.h"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
+#include "plan/compiled_instance.h"
 #include "query/query_properties.h"
 
 namespace delprop {
+
+namespace {
+
+/// Per-view sorted lists of tuples a delta removed, plus the index shifts
+/// the compactions induce on every surviving ViewTupleId.
+class TupleRemap {
+ public:
+  explicit TupleRemap(size_t view_count) : dead_(view_count) {}
+
+  /// Tuples must be marked in ascending (view, tuple) order so the per-view
+  /// lists stay sorted for the binary searches below.
+  void MarkDead(const ViewTupleId& id) { dead_[id.view].push_back(id.tuple); }
+
+  bool any() const {
+    for (const std::vector<size_t>& d : dead_) {
+      if (!d.empty()) return true;
+    }
+    return false;
+  }
+
+  const std::vector<size_t>& dead(size_t view) const { return dead_[view]; }
+
+  bool IsDead(const ViewTupleId& id) const {
+    const std::vector<size_t>& d = dead_[id.view];
+    return std::binary_search(d.begin(), d.end(), id.tuple);
+  }
+
+  /// New id of a surviving tuple after the dead ones are compacted away.
+  ViewTupleId Shift(const ViewTupleId& id) const {
+    const std::vector<size_t>& d = dead_[id.view];
+    size_t below = static_cast<size_t>(
+        std::lower_bound(d.begin(), d.end(), id.tuple) - d.begin());
+    return ViewTupleId{id.view, id.tuple - below};
+  }
+
+ private:
+  std::vector<std::vector<size_t>> dead_;
+};
+
+/// Removes `id` from the kill row of `ref`, dropping the key once empty so
+/// the map's key set stays exactly "refs occurring in some witness".
+void EraseKillEntry(
+    std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>&
+        kill_map,
+    const TupleRef& ref, const ViewTupleId& id) {
+  auto it = kill_map.find(ref);
+  if (it == kill_map.end()) return;
+  std::vector<ViewTupleId>& list = it->second;
+  auto pos = std::lower_bound(list.begin(), list.end(), id);
+  if (pos != list.end() && *pos == id) list.erase(pos);
+  if (list.empty()) kill_map.erase(it);
+}
+
+/// Adds `id` to the kill row of `ref`, keeping the row sorted ascending and
+/// deduplicated — the invariant IndexWitnesses establishes.
+void InsertKillEntry(
+    std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>&
+        kill_map,
+    const TupleRef& ref, const ViewTupleId& id) {
+  std::vector<ViewTupleId>& list = kill_map[ref];
+  auto pos = std::lower_bound(list.begin(), list.end(), id);
+  if (pos == list.end() || !(*pos == id)) list.insert(pos, id);
+}
+
+bool WitnessHits(const Witness& witness, const DeletionSet& deleted) {
+  for (const TupleRef& ref : witness) {
+    if (deleted.Contains(ref)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<VseInstance> VseInstance::Create(
     const Database& database, std::vector<const ConjunctiveQuery*> queries,
@@ -19,10 +94,13 @@ Result<VseInstance> VseInstance::Create(
   EvalOptions eval_options;
   eval_options.mask = mask;
   eval_options.index_cache = index_cache;
+  // The mask becomes the instance's own base mask so ApplyDelta keeps
+  // honoring it; evaluation below reads the caller's copy.
+  if (mask != nullptr) instance.structure_->base_mask = *mask;
   for (const ConjunctiveQuery* query : instance.queries_) {
     Result<View> view = Evaluate(database, *query, eval_options);
     if (!view.ok()) return view.status();
-    instance.views_.push_back(std::move(*view));
+    instance.structure_->views.push_back(std::move(*view));
     instance.max_arity_ = std::max(instance.max_arity_, query->arity());
     if (!IsKeyPreserving(*query, database.schema())) {
       instance.all_key_preserving_ = false;
@@ -47,7 +125,7 @@ Result<VseInstance> VseInstance::CreateFromMaterializedViews(
         std::to_string(views.size()) + " views for " +
         std::to_string(instance.queries_.size()) + " queries");
   }
-  instance.views_ = std::move(views);
+  instance.structure_->views = std::move(views);
   instance.all_key_preserving_ = true;
   for (const ConjunctiveQuery* query : instance.queries_) {
     if (Status s = query->Validate(database.schema()); !s.ok()) return s;
@@ -67,10 +145,16 @@ Result<VseInstance> VseInstance::CreateByFiltering(
   instance.queries_ = previous.queries_;
   instance.max_arity_ = previous.max_arity_;
   instance.all_key_preserving_ = previous.all_key_preserving_;
-  instance.all_unique_witness_ = true;
 
-  for (size_t v = 0; v < previous.views_.size(); ++v) {
-    const View& old_view = previous.views_[v];
+  // The derived instance's views are Q(D \ (previous mask ∪ newly_deleted));
+  // carry the combined mask so ApplyDelta on the result stays consistent.
+  instance.structure_->base_mask = previous.structure_->base_mask;
+  for (const TupleRef& ref : newly_deleted.Sorted()) {
+    instance.structure_->base_mask.Insert(ref);
+  }
+
+  for (size_t v = 0; v < previous.view_count(); ++v) {
+    const View& old_view = previous.view(v);
     View view(&previous.query(v), previous.database_);
     for (size_t t = 0; t < old_view.size(); ++t) {
       const ViewTuple& tuple = old_view.tuple(t);
@@ -85,28 +169,29 @@ Result<VseInstance> VseInstance::CreateByFiltering(
         if (!hit) view.AddMatch(tuple.values, witness);
       }
     }
-    instance.views_.push_back(std::move(view));
+    instance.structure_->views.push_back(std::move(view));
   }
   if (Status s = instance.IndexWitnesses(); !s.ok()) return s;
   return instance;
 }
 
 Status VseInstance::IndexWitnesses() {
-  all_unique_witness_ = true;
+  internal::ViewStructure& structure = *structure_;
+  structure.multi_witness_tuples = 0;
   const Schema& schema = database_->schema();
   // Reserve for the worst case (every witness member a distinct ref) so the
   // kill-map build never rehashes mid-loop.
   size_t total_members = 0;
-  for (const View& view : views_) {
+  for (const View& view : structure.views) {
     for (size_t t = 0; t < view.size(); ++t) {
       for (const Witness& witness : view.tuple(t).witnesses) {
         total_members += witness.size();
       }
     }
   }
-  kill_map_.reserve(total_members);
-  for (size_t v = 0; v < views_.size(); ++v) {
-    const View& view = views_[v];
+  structure.kill_map.reserve(total_members);
+  for (size_t v = 0; v < structure.views.size(); ++v) {
+    const View& view = structure.views[v];
     const ConjunctiveQuery& query = *queries_[v];
     std::string where = "view " + std::to_string(v);
     for (size_t t = 0; t < view.size(); ++t) {
@@ -130,7 +215,7 @@ Status VseInstance::IndexWitnesses() {
             " has no witnesses; it could never be deleted or preserved "
             "consistently");
       }
-      if (tuple.witnesses.size() > 1) all_unique_witness_ = false;
+      if (tuple.witnesses.size() > 1) ++structure.multi_witness_tuples;
       ViewTupleId id{v, t};
       std::unordered_set<TupleRef, TupleRefHash> seen;
       for (const Witness& witness : tuple.witnesses) {
@@ -169,7 +254,7 @@ Status VseInstance::IndexWitnesses() {
                 " row(s))");
           }
           if (seen.insert(ref).second) {
-            kill_map_[ref].push_back(id);
+            structure.kill_map[ref].push_back(id);
           }
         }
       }
@@ -178,24 +263,374 @@ Status VseInstance::IndexWitnesses() {
   return Status::Ok();
 }
 
+internal::ViewStructure& VseInstance::MutableStructure() {
+  if (structure_.use_count() > 1) {
+    // Replicas still share this structure; give them their frozen snapshot
+    // and mutate a private copy.
+    structure_ = std::make_shared<internal::ViewStructure>(*structure_);
+  }
+  return *structure_;
+}
+
+Status VseInstance::ValidateDelta(const Database& database,
+                                  const BaseDelta& delta,
+                                  const ApplyDeltaOptions& options) const {
+  const Schema& schema = database.schema();
+  // Inserts: arity and key uniqueness, against both the stored rows and the
+  // earlier inserts of this same delta.
+  std::vector<std::vector<Tuple>> batch_keys(schema.relation_count());
+  for (size_t i = 0; i < delta.inserts.size(); ++i) {
+    const BaseInsert& insert = delta.inserts[i];
+    std::string who = "delta insert " + std::to_string(i);
+    if (insert.relation >= schema.relation_count()) {
+      return Status::InvalidArgument(
+          who + " names relation id " + std::to_string(insert.relation) +
+          ", which does not exist (" +
+          std::to_string(schema.relation_count()) + " relation(s))");
+    }
+    const RelationSchema& relation_schema = schema.relation(insert.relation);
+    if (insert.tuple.size() != relation_schema.arity) {
+      return Status::InvalidArgument(
+          who + " has " + std::to_string(insert.tuple.size()) +
+          " value(s) for relation '" + relation_schema.name + "' of arity " +
+          std::to_string(relation_schema.arity));
+    }
+    const Relation& relation = database.relation(insert.relation);
+    Tuple key = relation.KeyOf(insert.tuple);
+    if (std::optional<uint32_t> row = relation.FindByKey(key)) {
+      bool duplicate = relation.row(*row) == insert.tuple;
+      std::string what = duplicate ? " duplicates row "
+                                   : " collides on the key of row ";
+      std::string masked =
+          structure_->base_mask.Contains(TupleRef{insert.relation, *row})
+              ? " (logically deleted rows keep their keys occupied)"
+              : "";
+      return Status::InvalidArgument(who + what + std::to_string(*row) +
+                                     " of relation '" + relation_schema.name +
+                                     "'" + masked);
+    }
+    for (const Tuple& prior : batch_keys[insert.relation]) {
+      if (prior == key) {
+        return Status::InvalidArgument(
+            who + " repeats the key of an earlier insert in the same delta "
+                  "for relation '" +
+            relation_schema.name + "'");
+      }
+    }
+    batch_keys[insert.relation].push_back(std::move(key));
+  }
+  // Deletes: must name existing, still-live rows of the pre-delta database
+  // (a row inserted by this delta has index ≥ the pre-delta row count, so it
+  // fails the dangling check by construction).
+  for (size_t i = 0; i < delta.deletes.size(); ++i) {
+    const TupleRef& ref = delta.deletes[i];
+    std::string who = "delta delete " + std::to_string(i);
+    if (ref.relation >= schema.relation_count()) {
+      return Status::InvalidArgument(
+          who + " is dangling: relation id " + std::to_string(ref.relation) +
+          " does not exist (" + std::to_string(schema.relation_count()) +
+          " relation(s))");
+    }
+    const Relation& relation = database.relation(ref.relation);
+    const std::string& name = schema.relation(ref.relation).name;
+    if (ref.row >= relation.row_count()) {
+      return Status::InvalidArgument(
+          who + " is dangling: row " + std::to_string(ref.row) +
+          " of relation '" + name + "' does not exist (" +
+          std::to_string(relation.row_count()) + " row(s))");
+    }
+    if (structure_->base_mask.Contains(ref)) {
+      return Status::InvalidArgument(who + ": row " + std::to_string(ref.row) +
+                                     " of relation '" + name +
+                                     "' is already deleted");
+    }
+    if (options.forbid_witnessed_deletes) {
+      auto it = structure_->kill_map.find(ref);
+      if (it != structure_->kill_map.end() && !it->second.empty()) {
+        const ViewTupleId& vt = it->second.front();
+        return Status::InvalidArgument(
+            who + ": row " + std::to_string(ref.row) + " of relation '" +
+            name + "' still occurs in a witness of view " +
+            std::to_string(vt.view) + " tuple " + std::to_string(vt.tuple) +
+            " (" + RenderViewTuple(vt) + ")");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status VseInstance::ApplyDelta(Database& database, const BaseDelta& delta,
+                               const ApplyDeltaOptions& options,
+                               ApplyDeltaReport* report) {
+  if (&database != database_) {
+    return Status::InvalidArgument(
+        "ApplyDelta must be given the instance's own database");
+  }
+  if (Status s = ValidateDelta(database, delta, options); !s.ok()) return s;
+  ApplyDeltaReport out;
+  if (delta.empty()) {
+    if (report != nullptr) *report = out;
+    return Status::Ok();
+  }
+
+  // Snapshot the current core before mutating: the patch below is phrased in
+  // its (old) dense ids.
+  std::shared_ptr<const PlanCore> old_core;
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    old_core = caches_->plan_core;
+  }
+
+  internal::ViewStructure& structure = MutableStructure();
+
+  // ---- Deletes: extend the base mask, drop hit witnesses in place. -------
+  DeletionSet deleted;
+  std::vector<ViewTupleId> affected;
+  for (const TupleRef& ref : delta.deletes) {
+    if (!deleted.Insert(ref)) continue;  // duplicates collapse
+    structure.base_mask.Insert(ref);
+    auto it = structure.kill_map.find(ref);
+    if (it != structure.kill_map.end()) {
+      affected.insert(affected.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  // Which (old) witnesses each affected tuple lost — the input to the core
+  // patch — plus the per-view dead-tuple lists driving the compaction.
+  struct WitnessRemoval {
+    ViewTupleId id;  // pre-compaction id
+    std::vector<size_t> ordinals;
+    bool tuple_died = false;
+  };
+  std::vector<WitnessRemoval> removals;
+  TupleRemap remap(structure.views.size());
+  std::vector<TupleRef> removed_refs;
+  for (const ViewTupleId& id : affected) {
+    std::vector<Witness>& witnesses =
+        structure.views[id.view].MutableWitnesses(id.tuple);
+    WitnessRemoval removal;
+    removal.id = id;
+    removed_refs.clear();
+    for (size_t w = 0; w < witnesses.size(); ++w) {
+      if (!WitnessHits(witnesses[w], deleted)) continue;
+      removal.ordinals.push_back(w);
+      removed_refs.insert(removed_refs.end(), witnesses[w].begin(),
+                          witnesses[w].end());
+    }
+    std::sort(removed_refs.begin(), removed_refs.end());
+    removed_refs.erase(
+        std::unique(removed_refs.begin(), removed_refs.end()),
+        removed_refs.end());
+    out.witnesses_removed += removal.ordinals.size();
+    size_t before = witnesses.size();
+    if (removal.ordinals.size() == before) {
+      // Every witness hit: the view tuple is gone. Its kill-map rows are
+      // erased wholesale; the tuple itself is compacted away below.
+      removal.tuple_died = true;
+      remap.MarkDead(id);
+      ++out.view_tuples_removed;
+      for (const TupleRef& ref : removed_refs) {
+        EraseKillEntry(structure.kill_map, ref, id);
+      }
+    } else {
+      // Compact the surviving witnesses in order, then drop kill-map rows
+      // for refs that no longer occur in any of them.
+      size_t write = 0;
+      size_t next = 0;
+      for (size_t w = 0; w < witnesses.size(); ++w) {
+        if (next < removal.ordinals.size() && removal.ordinals[next] == w) {
+          ++next;
+          continue;
+        }
+        if (write != w) witnesses[write] = std::move(witnesses[w]);
+        ++write;
+      }
+      witnesses.resize(write);
+      for (const TupleRef& ref : removed_refs) {
+        bool still_used = false;
+        for (const Witness& witness : witnesses) {
+          for (const TupleRef& member : witness) {
+            if (member == ref) {
+              still_used = true;
+              break;
+            }
+          }
+          if (still_used) break;
+        }
+        if (!still_used) EraseKillEntry(structure.kill_map, ref, id);
+      }
+      if (before > 1 && witnesses.size() <= 1) {
+        --structure.multi_witness_tuples;
+      }
+    }
+    removals.push_back(std::move(removal));
+  }
+
+  // ---- Compact dead tuples and re-index everything keyed by tuple id. ----
+  if (remap.any()) {
+    for (size_t v = 0; v < structure.views.size(); ++v) {
+      const std::vector<size_t>& dead = remap.dead(v);
+      if (dead.empty()) continue;
+      for (size_t t : dead) {
+        if (structure.views[v].tuple(t).witnesses.size() > 1) {
+          --structure.multi_witness_tuples;
+        }
+      }
+      structure.views[v].RemoveTuples(dead);
+    }
+    // ΔV: marks on dead tuples became facts of the base data; survivors
+    // shift. Both preserve sortedness (shifts are monotone within a view).
+    size_t write = 0;
+    for (const ViewTupleId& id : deletion_tuples_) {
+      if (remap.IsDead(id)) continue;
+      deletion_tuples_[write++] = remap.Shift(id);
+    }
+    deletion_tuples_.resize(write);
+    // Weights follow the same drop-or-shift rule. The map is rebuilt from an
+    // unordered walk: insertion order does not affect lookups, so this stays
+    // deterministic.
+    std::unordered_map<ViewTupleId, double, ViewTupleIdHash> new_weights;
+    new_weights.reserve(weights_.size());
+    for (auto it = weights_.begin(); it != weights_.end(); ++it) {
+      if (remap.IsDead(it->first)) continue;
+      new_weights.emplace(remap.Shift(it->first), it->second);
+    }
+    weights_ = std::move(new_weights);
+    // Kill rows: every stored id shifts in place; the per-row ascending
+    // order survives because shifting is monotone.
+    for (auto it = structure.kill_map.begin(); it != structure.kill_map.end();
+         ++it) {
+      for (ViewTupleId& id : it->second) id = remap.Shift(id);
+    }
+  }
+
+  // ---- Inserts: append rows, join only the delta's neighborhood. ---------
+  if (!delta.inserts.empty()) {
+    std::vector<uint32_t> first_new_row(database.relation_count());
+    for (RelationId r = 0; r < database.relation_count(); ++r) {
+      first_new_row[r] =
+          static_cast<uint32_t>(database.relation(r).row_count());
+    }
+    for (const BaseInsert& insert : delta.inserts) {
+      Result<TupleRef> inserted =
+          database.Insert(insert.relation, insert.tuple);
+      if (!inserted.ok()) {
+        // Unreachable after ValidateDelta; surface loudly instead of
+        // silently diverging from the views.
+        return Status::Internal("validated insert failed: " +
+                                inserted.status().message());
+      }
+    }
+    std::vector<std::pair<Tuple, Witness>> matches;
+    std::vector<TupleRef> unique_refs;
+    for (size_t v = 0; v < structure.views.size(); ++v) {
+      matches.clear();
+      if (Status s = internal::CollectDeltaMatches(
+              database, *queries_[v], structure.base_mask, first_new_row,
+              &matches);
+          !s.ok()) {
+        return s;
+      }
+      View& view = structure.views[v];
+      for (std::pair<Tuple, Witness>& match : matches) {
+        std::optional<size_t> existing = view.Find(match.first);
+        size_t witnesses_before =
+            existing.has_value() ? view.tuple(*existing).witnesses.size() : 0;
+        size_t index = view.AddMatch(match.first, std::move(match.second));
+        size_t witnesses_after = view.tuple(index).witnesses.size();
+        if (witnesses_after == witnesses_before) continue;  // deduplicated
+        ++out.witnesses_added;
+        if (!existing.has_value()) ++out.view_tuples_added;
+        if (witnesses_before == 1 && witnesses_after == 2) {
+          ++structure.multi_witness_tuples;
+        }
+        ViewTupleId id{v, index};
+        const Witness& added = view.tuple(index).witnesses.back();
+        unique_refs.assign(added.begin(), added.end());
+        std::sort(unique_refs.begin(), unique_refs.end());
+        unique_refs.erase(
+            std::unique(unique_refs.begin(), unique_refs.end()),
+            unique_refs.end());
+        for (const TupleRef& ref : unique_refs) {
+          InsertKillEntry(structure.kill_map, ref, id);
+        }
+      }
+    }
+  }
+
+  ++structure.epoch;
+
+  // ---- Plan maintenance: patch the core, or drop it past the threshold. --
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    caches_->preserved.reset();
+    if (caches_->compiled != nullptr) {
+      caches_->retired = std::move(caches_->compiled);
+      caches_->compiled.reset();
+    }
+    if (old_core != nullptr) {
+      size_t changed = out.witnesses_removed + out.witnesses_added;
+      double budget =
+          options.patch_threshold * static_cast<double>(
+                                        old_core->witness_count());
+      if (static_cast<double>(changed) <= budget && changed > 0) {
+        CoreDelta core_delta;
+        core_delta.tuple_removed.assign(old_core->tuple_count(), 0);
+        core_delta.witness_removed.assign(old_core->witness_count(), 0);
+        for (const WitnessRemoval& removal : removals) {
+          uint32_t dense =
+              old_core->view_first[removal.id.view] +
+              static_cast<uint32_t>(removal.id.tuple);
+          uint32_t witness_base = old_core->tuple_witness_first[dense];
+          for (size_t ordinal : removal.ordinals) {
+            core_delta.witness_removed[witness_base + ordinal] = 1;
+          }
+          core_delta.removed_witness_count += removal.ordinals.size();
+          if (removal.tuple_died) {
+            core_delta.tuple_removed[dense] = 1;
+            ++core_delta.removed_tuple_count;
+          }
+        }
+        caches_->plan_core =
+            CompiledInstance::PatchCore(*old_core, *this, core_delta);
+        ++caches_->plan_stats.core_patches;
+        out.core_patched = true;
+      } else if (changed > 0) {
+        caches_->plan_core.reset();
+        caches_->retired.reset();
+        ++caches_->plan_stats.core_patch_fallbacks;
+        out.core_rebuilt = true;
+      }
+      // changed == 0 (pure base deletes outside every witness): the core is
+      // untouched by construction, keep it as-is.
+    }
+  }
+
+  if (report != nullptr) *report = out;
+  return Status::Ok();
+}
+
 Status VseInstance::MarkForDeletion(const ViewTupleId& id) {
-  if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+  if (id.view >= view_count() || id.tuple >= view(id.view).size()) {
     return Status::OutOfRange("view tuple id out of range");
   }
-  if (deletions_.insert(id).second) {
-    // The list is kept sorted; a positioned insert beats the old
-    // push_back-then-full-sort (quadratic over a long mark sequence).
-    deletion_tuples_.insert(
-        std::lower_bound(deletion_tuples_.begin(), deletion_tuples_.end(), id),
-        id);
-    InvalidateDerivedCaches(/*delta_v_only=*/true);
+  // The list is kept sorted; membership and position come from one binary
+  // search (no shadow hash set to maintain).
+  auto it =
+      std::lower_bound(deletion_tuples_.begin(), deletion_tuples_.end(), id);
+  if (it == deletion_tuples_.end() || !(*it == id)) {
+    deletion_tuples_.insert(it, id);
+    InvalidateOverlayCaches();
   }
   return Status::Ok();
 }
 
 Status VseInstance::ResetDeletions(const std::vector<ViewTupleId>& delta_v) {
   for (const ViewTupleId& id : delta_v) {
-    if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+    if (id.view >= view_count() || id.tuple >= view(id.view).size()) {
       return Status::OutOfRange("view tuple id out of range");
     }
   }
@@ -206,15 +641,13 @@ Status VseInstance::ResetDeletions(const std::vector<ViewTupleId>& delta_v) {
   deletion_tuples_.erase(
       std::unique(deletion_tuples_.begin(), deletion_tuples_.end()),
       deletion_tuples_.end());
-  deletions_.clear();
-  for (const ViewTupleId& id : deletion_tuples_) deletions_.insert(id);
-  InvalidateDerivedCaches(/*delta_v_only=*/true);
+  InvalidateOverlayCaches();
   return Status::Ok();
 }
 
 Status VseInstance::MarkForDeletionByValues(
     size_t view_index, const std::vector<std::string>& values) {
-  if (view_index >= views_.size()) {
+  if (view_index >= view_count()) {
     return Status::OutOfRange("view index out of range");
   }
   Tuple tuple;
@@ -228,7 +661,7 @@ Status VseInstance::MarkForDeletionByValues(
     }
     tuple.push_back(*id);
   }
-  std::optional<size_t> index = views_[view_index].Find(tuple);
+  std::optional<size_t> index = view(view_index).Find(tuple);
   if (!index.has_value()) {
     return Status::NotFound("no view tuple with the given values in view " +
                             std::to_string(view_index));
@@ -237,28 +670,62 @@ Status VseInstance::MarkForDeletionByValues(
 }
 
 Status VseInstance::SetWeight(const ViewTupleId& id, double weight) {
-  if (id.view >= views_.size() || id.tuple >= views_[id.view].size()) {
+  if (id.view >= view_count() || id.tuple >= view(id.view).size()) {
     return Status::OutOfRange("view tuple id out of range");
   }
   if (weight < 0.0) {
     return Status::InvalidArgument("weights must be non-negative");
   }
   weights_[id] = weight;
-  InvalidateDerivedCaches(/*delta_v_only=*/false);
+  // Weights live in the plan core; patch it instead of discarding it — a
+  // reweight on a served instance must not throw away the structure every
+  // replica shares. The ΔV overlay and the preserved list are untouched by
+  // weight changes.
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  if (caches_->plan_core == nullptr) return Status::Ok();
+  uint32_t dense =
+      caches_->plan_core->view_first[id.view] + static_cast<uint32_t>(id.tuple);
+  // Count the core references this cache itself holds; anything beyond them
+  // (replicas, in-flight solvers) must keep reading the frozen weights.
+  long internal_refs = 1;
+  if (caches_->compiled != nullptr &&
+      caches_->compiled->core() == caches_->plan_core) {
+    ++internal_refs;
+  }
+  if (caches_->retired != nullptr &&
+      caches_->retired->core() == caches_->plan_core) {
+    ++internal_refs;
+  }
+  bool sole_owner =
+      caches_->plan_core.use_count() == internal_refs &&
+      (caches_->compiled == nullptr || caches_->compiled.use_count() == 1) &&
+      (caches_->retired == nullptr || caches_->retired.use_count() == 1);
+  if (sole_owner) {
+    // Nothing outside this cache can observe the core: edit in place. The
+    // current compiled plan shares the array, so it sees the new weight too.
+    const_cast<PlanCore&>(*caches_->plan_core).weight[dense] = weight;
+    ++caches_->plan_stats.weight_patches;
+  } else {
+    auto clone = std::make_shared<PlanCore>(*caches_->plan_core);
+    clone->weight[dense] = weight;
+    caches_->plan_core = std::move(clone);
+    // The current plan still references the old core; retire it so the next
+    // compiled() recycles its overlay buffers (dimensions are unchanged).
+    if (caches_->compiled != nullptr) {
+      caches_->retired = std::move(caches_->compiled);
+      caches_->compiled.reset();
+    }
+    ++caches_->plan_stats.core_clones;
+  }
   return Status::Ok();
 }
 
-void VseInstance::InvalidateDerivedCaches(bool delta_v_only) {
+void VseInstance::InvalidateOverlayCaches() {
   std::lock_guard<std::mutex> lock(caches_->mu);
-  if (delta_v_only) {
-    // The ΔV-independent plan core survives; park the dropped plan so the
-    // next compiled() can recycle its overlay buffers.
-    if (caches_->compiled != nullptr) {
-      caches_->retired = std::move(caches_->compiled);
-    }
-  } else {
-    caches_->plan_core.reset();
-    caches_->retired.reset();
+  // The ΔV-independent plan core survives; park the dropped plan so the
+  // next compiled() can recycle its overlay buffers.
+  if (caches_->compiled != nullptr) {
+    caches_->retired = std::move(caches_->compiled);
   }
   caches_->compiled.reset();
   caches_->preserved.reset();
@@ -273,14 +740,11 @@ VseInstance VseInstance::Replicate() const {
   VseInstance replica;
   replica.database_ = database_;
   replica.queries_ = queries_;
-  replica.views_ = views_;
+  replica.structure_ = structure_;  // copy-on-write shared
   replica.all_key_preserving_ = all_key_preserving_;
-  replica.all_unique_witness_ = all_unique_witness_;
   replica.max_arity_ = max_arity_;
-  replica.deletions_ = deletions_;
   replica.deletion_tuples_ = deletion_tuples_;
   replica.weights_ = weights_;
-  replica.kill_map_ = kill_map_;
   // Seed the replica's fresh cache with the shared plan core (and current
   // plan, if built) so the replica never re-interns the structure; its
   // plan_stats start at zero, counting only the replica's own builds.
@@ -292,13 +756,14 @@ VseInstance VseInstance::Replicate() const {
 
 std::vector<const View*> VseInstance::ViewPointers() const {
   std::vector<const View*> out;
-  out.reserve(views_.size());
-  for (const View& view : views_) out.push_back(&view);
+  out.reserve(view_count());
+  for (const View& view : structure_->views) out.push_back(&view);
   return out;
 }
 
 bool VseInstance::IsMarkedForDeletion(const ViewTupleId& id) const {
-  return deletions_.count(id) > 0;
+  return std::binary_search(deletion_tuples_.begin(), deletion_tuples_.end(),
+                            id);
 }
 
 double VseInstance::weight(const ViewTupleId& id) const {
@@ -311,10 +776,16 @@ const std::vector<ViewTupleId>& VseInstance::PreservedTuples() const {
   if (caches_->preserved == nullptr) {
     auto out = std::make_shared<std::vector<ViewTupleId>>();
     out->reserve(TotalViewTuples() - deletion_tuples_.size());
-    for (size_t v = 0; v < views_.size(); ++v) {
-      for (size_t t = 0; t < views_[v].size(); ++t) {
+    // Merge scan: both the (view, tuple) sweep and ΔV are ascending.
+    auto next_deleted = deletion_tuples_.begin();
+    for (size_t v = 0; v < view_count(); ++v) {
+      for (size_t t = 0; t < view(v).size(); ++t) {
         ViewTupleId id{v, t};
-        if (deletions_.count(id) == 0) out->push_back(id);
+        if (next_deleted != deletion_tuples_.end() && *next_deleted == id) {
+          ++next_deleted;
+          continue;
+        }
+        out->push_back(id);
       }
     }
     caches_->preserved = std::move(out);
@@ -324,7 +795,7 @@ const std::vector<ViewTupleId>& VseInstance::PreservedTuples() const {
 
 size_t VseInstance::TotalViewTuples() const {
   size_t n = 0;
-  for (const View& view : views_) n += view.size();
+  for (const View& view : structure_->views) n += view.size();
   return n;
 }
 
@@ -343,8 +814,8 @@ std::vector<TupleRef> VseInstance::CandidateTuples() const {
 const std::vector<ViewTupleId>& VseInstance::KilledBy(
     const TupleRef& ref) const {
   static const std::vector<ViewTupleId> kEmpty;
-  auto it = kill_map_.find(ref);
-  return it == kill_map_.end() ? kEmpty : it->second;
+  auto it = structure_->kill_map.find(ref);
+  return it == structure_->kill_map.end() ? kEmpty : it->second;
 }
 
 }  // namespace delprop

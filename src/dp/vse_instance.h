@@ -5,11 +5,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "dp/base_delta.h"
 #include "query/evaluator.h"
 #include "query/view.h"
 #include "relational/database.h"
@@ -50,14 +50,40 @@ struct PlanBuildStats {
   size_t full_builds = 0;       // core + overlay built from scratch
   size_t core_rebinds = 0;      // overlay rebuilt over a kept core
   size_t overlay_recycles = 0;  // of those, overlay buffers recycled
+  size_t core_patches = 0;      // ApplyDelta spliced a core from the old one
+  size_t core_patch_fallbacks = 0;  // delta past threshold: core dropped
+  size_t weight_patches = 0;    // SetWeight edited the core weight in place
+  size_t core_clones = 0;       // SetWeight on a shared core: clone + patch
 };
 
 namespace internal {
 
+/// The base-data-derived half of a VseInstance: materialized views with
+/// lineage, the witness kill map, the multi-witness tally behind
+/// all_unique_witness(), and the instance's logical base-row mask. Shared
+/// (via shared_ptr, copy-on-write) between an instance and its replicas —
+/// replicas only ever diverge in ΔV and weights, so sharing makes
+/// Replicate O(1) in the view size and lets ApplyDelta refresh a whole
+/// worker fleet by mutating one structure. `epoch` counts ApplyDelta
+/// generations, letting serving layers assert replicas follow the primary.
+struct ViewStructure {
+  std::vector<View> views;
+  std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>
+      kill_map;
+  /// Number of view tuples with more than one witness; 0 ⇔
+  /// all_unique_witness(). Maintained incrementally by ApplyDelta.
+  size_t multi_witness_tuples = 0;
+  /// Rows logically deleted from the base database (rows are append-only;
+  /// see relational/relation.h). Views are always Q(D \ base_mask).
+  DeletionSet base_mask;
+  /// Bumped once per ApplyDelta on this structure.
+  uint64_t epoch = 0;
+};
+
 /// Lazily-built artifacts derived from a VseInstance, shared read-only by
 /// concurrent solvers (SolverRegistry::RunAll hands one instance to many
 /// threads). Guarded by `mu`; invalidated whenever the instance mutates
-/// (MarkForDeletion, SetWeight). Held behind a shared_ptr so VseInstance
+/// (MarkForDeletion, ApplyDelta). Held behind a shared_ptr so VseInstance
 /// stays movable.
 ///
 /// ΔV-only mutations keep `plan_core` (the ΔV-independent half of the plan)
@@ -80,7 +106,9 @@ struct VseInstanceCaches {
 ///
 /// The instance is built once (views are materialized with lineage at
 /// creation) and then deletions are marked on it; solvers treat it as
-/// read-only.
+/// read-only. Live base data is supported through ApplyDelta, which
+/// delta-updates the views, kill map, and compiled plan instead of
+/// rebuilding them.
 class VseInstance {
  public:
   /// Materializes Qi(D) for every query. The database and the queries must
@@ -88,8 +116,9 @@ class VseInstance {
   ///
   /// If `mask` is non-null, views are materialized over D \ mask — used by
   /// iterative applications (CleaningSession) that apply earlier rounds'
-  /// deletions without physically rewriting the database. The mask is only
-  /// read during construction.
+  /// deletions without physically rewriting the database. The mask is copied
+  /// into the instance's base mask, so later ApplyDelta calls keep honoring
+  /// it.
   ///
   /// If `index_cache` is non-null, the per-(relation, position) join indexes
   /// built while materializing views are taken from / published to it, so
@@ -105,7 +134,8 @@ class VseInstance {
   /// carry at least one witness and no witness may be empty — a ΔV mark on a
   /// witness-less tuple can never be honored and would otherwise surface
   /// only as an Internal error deep inside the solvers. Returns
-  /// InvalidArgument naming the offending view/tuple on violation.
+  /// InvalidArgument naming the offending view/tuple on violation. The base
+  /// mask starts empty: ApplyDelta treats every stored row as live.
   static Result<VseInstance> CreateFromMaterializedViews(
       const Database& database, std::vector<const ConjunctiveQuery*> queries,
       std::vector<View> views);
@@ -118,6 +148,35 @@ class VseInstance {
   /// Equivalent to a full Create over the combined mask; property-tested.
   static Result<VseInstance> CreateByFiltering(
       const VseInstance& previous, const DeletionSet& newly_deleted);
+
+  /// Applies a batch of live base-data changes atomically: rows in
+  /// `delta.inserts` are appended to `database` (which must be the
+  /// instance's own database — it is taken non-const here precisely because
+  /// creation only borrowed it read-only), rows in `delta.deletes` join the
+  /// instance's base mask, and the materialized views, kill map,
+  /// all_unique_witness tally, ΔV marks, weights, and compiled plan are all
+  /// delta-updated in place. Equivalent to re-creating the instance over the
+  /// mutated database (byte-identically — property-tested by the
+  /// mutate-vs-rebuild oracle in testing/mutation.h), at a cost proportional
+  /// to the delta's join neighborhood, not to ‖D‖ or ‖V‖.
+  ///
+  /// The whole delta is validated first and rejected without side effects:
+  /// inserts must match arity and respect keys (masked rows keep their keys
+  /// occupied — re-inserting a logically deleted row's key is an error),
+  /// deletes must name existing, not-yet-deleted rows of the pre-delta
+  /// database. Errors are InvalidArgument naming the offending relation/row.
+  ///
+  /// ΔV marks on view tuples that lose their last witness are dropped (the
+  /// deletion became a fact of the base data); marks on surviving tuples are
+  /// re-indexed and kept. Weights follow the same rule.
+  ///
+  /// If the instance's structure is shared (replicas), the delta detaches a
+  /// private copy first — existing replicas keep serving the old snapshot
+  /// until re-replicated. BatchSolveEngine::ApplyDelta wraps this with the
+  /// drop-replicas / re-replicate epoch handoff.
+  Status ApplyDelta(Database& database, const BaseDelta& delta,
+                    const ApplyDeltaOptions& options = {},
+                    ApplyDeltaReport* report = nullptr);
 
   /// Marks the view tuple as a member of ΔV (idempotent).
   Status MarkForDeletion(const ViewTupleId& id);
@@ -136,13 +195,25 @@ class VseInstance {
 
   /// Sets the preservation weight of a view tuple (default 1). Weights matter
   /// only for preserved tuples in the standard objective; the balanced
-  /// objective also uses weights of ΔV tuples.
+  /// objective also uses weights of ΔV tuples. The compiled plan's core is
+  /// patched in place (or cloned when replicas share it) instead of being
+  /// rebuilt — `plan_stats()` counts these as weight_patches/core_clones,
+  /// never as full_builds.
   Status SetWeight(const ViewTupleId& id, double weight);
 
   const Database& database() const { return *database_; }
   const ConjunctiveQuery& query(size_t i) const { return *queries_[i]; }
-  const View& view(size_t i) const { return views_[i]; }
-  size_t view_count() const { return views_.size(); }
+  const View& view(size_t i) const { return structure_->views[i]; }
+  size_t view_count() const { return structure_->views.size(); }
+
+  /// Rows logically deleted from the base database by earlier rounds
+  /// (Create's mask) and by ApplyDelta. Views are always Q(D \ base_mask).
+  const DeletionSet& base_mask() const { return structure_->base_mask; }
+
+  /// Number of ApplyDelta generations this instance's structure has gone
+  /// through. Replicas share the primary's structure, so equal epochs mean
+  /// byte-identical views/kill map/mask.
+  uint64_t structure_epoch() const { return structure_->epoch; }
 
   /// Pointers to all views (for DataForest::Build and diagnostics).
   std::vector<const View*> ViewPointers() const;
@@ -162,20 +233,20 @@ class VseInstance {
   /// The dense compiled plan of this instance (see plan/compiled_instance.h):
   /// integer-interned ids plus CSR incidence arrays for every solver hot
   /// path. Built lazily on first use, cached, and shared read-only across
-  /// threads; invalidated by MarkForDeletion / SetWeight.
+  /// threads; invalidated by MarkForDeletion / ApplyDelta.
   std::shared_ptr<const CompiledInstance> compiled() const;
 
   /// How this instance's compiled plans were produced so far (full builds
-  /// vs overlay-only rebinds vs buffer recycles). Snapshot under the cache
-  /// lock; counters only ever grow.
+  /// vs overlay-only rebinds vs buffer recycles vs delta patches). Snapshot
+  /// under the cache lock; counters only ever grow.
   PlanBuildStats plan_stats() const;
 
-  /// An independent instance over the same database/queries with deep
-  /// copies of the views, weights, and ΔV marks, sharing the compiled
-  /// plan's ΔV-independent core (and the current plan) with this instance.
-  /// Replicas give each engine worker private mutable ΔV state without
-  /// recompiling the structure; the database and queries must outlive the
-  /// replica just as they must outlive the original.
+  /// An independent instance over the same database/queries with its own
+  /// ΔV marks and weights, sharing this instance's view structure
+  /// (copy-on-write) and compiled plan core. Replicas give each engine
+  /// worker private mutable ΔV state without recompiling — or even copying —
+  /// the structure; the database and queries must outlive the replica just
+  /// as they must outlive the original.
   VseInstance Replicate() const;
 
   /// True if every query is key preserving w.r.t. the schema — the paper's
@@ -185,7 +256,9 @@ class VseInstance {
   /// True if every view tuple has exactly one witness (always true for
   /// key-preserving and project-free queries). The set-cover reductions are
   /// exact only under this property.
-  bool all_unique_witness() const { return all_unique_witness_; }
+  bool all_unique_witness() const {
+    return structure_->multi_witness_tuples == 0;
+  }
 
   /// The paper's l = max arity(Q) over the query set.
   size_t max_arity() const { return max_arity_; }
@@ -205,12 +278,12 @@ class VseInstance {
   const std::vector<ViewTupleId>& KilledBy(const TupleRef& ref) const;
 
   const ViewTuple& view_tuple(const ViewTupleId& id) const {
-    return views_[id.view].tuple(id.tuple);
+    return structure_->views[id.view].tuple(id.tuple);
   }
 
   /// Renders a view tuple as "Qi(a, b)".
   std::string RenderViewTuple(const ViewTupleId& id) const {
-    return views_[id.view].RenderTuple(id.tuple);
+    return structure_->views[id.view].RenderTuple(id.tuple);
   }
 
   // Move-only: copying would either share or silently drop the derived
@@ -226,28 +299,34 @@ class VseInstance {
   VseInstance() = default;
 
   /// Validates witness structure (every tuple has ≥ 1 witness, no witness is
-  /// empty) and builds the kill map plus the all_unique_witness flag. Shared
+  /// empty) and builds the kill map plus the multi-witness tally. Shared
   /// tail of all three factories.
   Status IndexWitnesses();
 
-  /// Drops lazily-built artifacts. ΔV-only mutations (MarkForDeletion,
-  /// ResetDeletions) pass true: the plan core is kept and the dropped plan
-  /// is retired for overlay recycling. Weight changes pass false — weights
-  /// live in the core, so everything goes.
-  void InvalidateDerivedCaches(bool delta_v_only);
+  /// Copy-on-write access to the view structure: detaches a private copy
+  /// when replicas still share it, so their snapshot stays frozen.
+  internal::ViewStructure& MutableStructure();
+
+  /// Validates a whole delta against the pre-delta state (no side effects).
+  Status ValidateDelta(const Database& database, const BaseDelta& delta,
+                       const ApplyDeltaOptions& options) const;
+
+  /// Drops the lazily-built ΔV overlay (compiled plan, preserved list),
+  /// keeping the ΔV-independent plan core; the dropped plan is retired for
+  /// overlay recycling.
+  void InvalidateOverlayCaches();
 
   const Database* database_ = nullptr;
   std::vector<const ConjunctiveQuery*> queries_;
-  std::vector<View> views_;
+  std::shared_ptr<internal::ViewStructure> structure_ =
+      std::make_shared<internal::ViewStructure>();
   bool all_key_preserving_ = false;
-  bool all_unique_witness_ = false;
   size_t max_arity_ = 0;
 
-  std::unordered_set<ViewTupleId, ViewTupleIdHash> deletions_;
+  // ΔV, kept sorted ascending; membership tests binary-search it, so no
+  // shadow hash set needs rebuilding on the per-request ResetDeletions path.
   std::vector<ViewTupleId> deletion_tuples_;
   std::unordered_map<ViewTupleId, double, ViewTupleIdHash> weights_;
-  std::unordered_map<TupleRef, std::vector<ViewTupleId>, TupleRefHash>
-      kill_map_;
 
   // Derived-artifact cache (see internal::VseInstanceCaches). Mutable: the
   // artifacts are logically part of the const instance, built on demand.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/hash.h"
@@ -16,9 +17,12 @@ namespace delprop {
 /// irrelevant here, but lookups are off the hot path and the key set is
 /// tiny), a ΔV normalization buffer, and its share of the engine counters.
 struct BatchSolveEngine::Worker {
-  explicit Worker(VseInstance replica_in) : replica(std::move(replica_in)) {}
+  explicit Worker(VseInstance replica_in) { replica.emplace(std::move(replica_in)); }
 
-  VseInstance replica;
+  /// Engaged except transiently inside BatchSolveEngine::ApplyDelta, which
+  /// drops every replica before mutating the primary (sole-owner in-place
+  /// mutation) and re-emplaces them from the updated primary afterwards.
+  std::optional<VseInstance> replica;
   ScratchPool scratch;
   std::map<std::string, std::unique_ptr<VseSolver>> solvers;
   std::vector<ViewTupleId> dv_buffer;
@@ -30,6 +34,11 @@ struct BatchSolveEngine::Worker {
 };
 
 size_t BatchSolveEngine::CacheKeyHash::operator()(const CacheKey& key) const {
+  return (*this)(CacheKeyView{key.solver, key.delta_v});
+}
+
+size_t BatchSolveEngine::CacheKeyHash::operator()(
+    const CacheKeyView& key) const {
   size_t seed = std::hash<std::string>()(key.solver);
   for (const ViewTupleId& id : key.delta_v) {
     HashCombine(seed, ViewTupleIdHash()(id));
@@ -37,9 +46,8 @@ size_t BatchSolveEngine::CacheKeyHash::operator()(const CacheKey& key) const {
   return seed;
 }
 
-BatchSolveEngine::BatchSolveEngine(const VseInstance& instance,
-                                   Options options)
-    : options_(options) {
+BatchSolveEngine::BatchSolveEngine(VseInstance& instance, Options options)
+    : options_(options), primary_(&instance) {
   if (options_.threads == 0) options_.threads = 1;
   // Compile the primary's plan before replicating so every replica starts
   // from the one shared core (and the current plan) instead of building its
@@ -92,9 +100,11 @@ void BatchSolveEngine::Process(Worker& worker, const SolveRequest& request,
         worker.dv_buffer.end());
 
     if (options_.memo_cache) {
-      CacheKey key{request.solver, worker.dv_buffer};
+      // Heterogeneous probe: no CacheKey (string + vector copies) is
+      // constructed on the hit path — or on the miss path; the owned key is
+      // built once, at insertion after the solve.
       std::lock_guard<std::mutex> lock(cache_mu_);
-      auto hit = cache_.find(key);
+      auto hit = cache_.find(CacheKeyView{request.solver, worker.dv_buffer});
       if (hit != cache_.end()) {
         ++worker.cache_hits;
         outcome->stats.cache_hit = true;
@@ -107,17 +117,18 @@ void BatchSolveEngine::Process(Worker& worker, const SolveRequest& request,
     // retired plan then has no outside owner, so the rebuild below recycles
     // its overlay buffers instead of allocating.
     worker.scratch.ReleasePlans();
-    if (Status s = worker.replica.ResetDeletions(worker.dv_buffer); !s.ok()) {
+    if (Status s = worker.replica->ResetDeletions(worker.dv_buffer);
+        !s.ok()) {
       ++worker.invalid_requests;
       outcome->result = std::move(s);
       break;
     }
 
-    PlanBuildStats plan_before = worker.replica.plan_stats();
+    PlanBuildStats plan_before = worker.replica->plan_stats();
     ScratchPool::Stats scratch_before = worker.scratch.stats();
-    outcome->result = solver->SolveWith(worker.replica, &worker.scratch);
+    outcome->result = solver->SolveWith(*worker.replica, &worker.scratch);
     ++worker.solver_runs;
-    PlanBuildStats plan_after = worker.replica.plan_stats();
+    PlanBuildStats plan_after = worker.replica->plan_stats();
     ScratchPool::Stats scratch_after = worker.scratch.stats();
     outcome->stats.plan_core_reused =
         plan_after.full_builds == plan_before.full_builds;
@@ -174,12 +185,43 @@ EngineStats BatchSolveEngine::stats() const {
     total.scratch_acquires += scratch.tracker_acquires;
     total.scratch_allocs += scratch.tracker_allocs;
     total.scratch_reuses += scratch.tracker_reuses;
-    PlanBuildStats plan = worker->replica.plan_stats();
+    PlanBuildStats plan = worker->replica->plan_stats();
     total.plan_full_builds += plan.full_builds;
     total.plan_core_rebinds += plan.core_rebinds;
     total.plan_overlay_recycles += plan.overlay_recycles;
   }
+  total.deltas_applied = deltas_applied_;
   return total;
+}
+
+Status BatchSolveEngine::ApplyDelta(Database& database, const BaseDelta& delta,
+                                    const ApplyDeltaOptions& delta_options,
+                                    ApplyDeltaReport* report) {
+  // Drop every replica (and its scratch's plan references) first: the
+  // primary becomes the sole owner of the shared view structure and plan
+  // core, so VseInstance::ApplyDelta mutates in place instead of detaching a
+  // copy-on-write duplicate for data no one will ever read again.
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    worker->scratch.ReleasePlans();
+    worker->replica.reset();
+  }
+  Status applied = primary_->ApplyDelta(database, delta, delta_options,
+                                        report);
+  // Recompile once on the primary (patched core + fresh overlay), then hand
+  // the result to every worker — on validation failure the primary is
+  // unchanged and this simply restores the fleet.
+  (void)primary_->compiled();
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    worker->replica.emplace(primary_->Replicate());
+  }
+  if (applied.ok()) {
+    ++core_epoch_;
+    ++deltas_applied_;
+    // Memoized results were computed against the old base data.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.clear();
+  }
+  return applied;
 }
 
 }  // namespace delprop

@@ -2,6 +2,7 @@
 #define DELPROP_ENGINE_BATCH_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dp/base_delta.h"
 #include "dp/solution.h"
 #include "dp/solver.h"
 #include "dp/vse_instance.h"
@@ -63,6 +65,8 @@ struct EngineStats {
   size_t plan_full_builds = 0;
   size_t plan_core_rebinds = 0;
   size_t plan_overlay_recycles = 0;
+  /// Base-data deltas applied through BatchSolveEngine::ApplyDelta.
+  size_t deltas_applied = 0;
 };
 
 /// Executes batches of SolveRequests against ONE instance, amortizing
@@ -85,6 +89,10 @@ struct EngineStats {
 /// byte-identical at any `threads` setting and with the cache on or off
 /// (RequestStats, which record scheduling provenance, are exempt).
 ///
+/// Live base data: ApplyDelta (below) mutates the primary instance between
+/// batches and atomically re-replicates every worker from the updated
+/// structure and plan core — the core-epoch counts these handoffs.
+///
 /// The instance, its database, and its queries must outlive the engine.
 class BatchSolveEngine {
  public:
@@ -95,7 +103,9 @@ class BatchSolveEngine {
     bool memo_cache = true;
   };
 
-  BatchSolveEngine(const VseInstance& instance, Options options);
+  /// The engine keeps a pointer to `instance` (the primary): SolveBatch only
+  /// reads it, ApplyDelta mutates it on the caller's behalf.
+  BatchSolveEngine(VseInstance& instance, Options options);
   ~BatchSolveEngine();
 
   BatchSolveEngine(const BatchSolveEngine&) = delete;
@@ -106,6 +116,26 @@ class BatchSolveEngine {
   /// yield error outcomes; they never abort the batch.
   std::vector<RequestOutcome> SolveBatch(
       const std::vector<SolveRequest>& requests);
+
+  /// Applies a base-data delta to the primary instance and re-replicates
+  /// every worker from the result, so the next batch serves the new data.
+  /// Call between batches — not concurrently with SolveBatch.
+  ///
+  /// The handoff drops every worker replica FIRST (making the primary the
+  /// sole owner of the shared view structure, so VseInstance::ApplyDelta
+  /// mutates in place instead of detaching a copy), then applies the delta,
+  /// recompiles the primary's plan once, and re-replicates. On success the
+  /// core-epoch advances and the memo cache is cleared (cached results were
+  /// computed against the old base data). On validation failure the primary
+  /// is untouched and the epoch keeps its value, but replicas are rebuilt
+  /// either way.
+  Status ApplyDelta(Database& database, const BaseDelta& delta,
+                    const ApplyDeltaOptions& delta_options = {},
+                    ApplyDeltaReport* report = nullptr);
+
+  /// Number of successful ApplyDelta handoffs; every worker replica always
+  /// serves the structure this epoch refers to.
+  uint64_t core_epoch() const { return core_epoch_; }
 
   /// Cumulative counters over every batch so far. Call between batches —
   /// not concurrently with SolveBatch.
@@ -119,24 +149,45 @@ class BatchSolveEngine {
   struct CacheKey {
     std::string solver;
     std::vector<ViewTupleId> delta_v;  // normalized: sorted, deduplicated
-
-    friend bool operator==(const CacheKey& a, const CacheKey& b) {
-      return a.solver == b.solver && a.delta_v == b.delta_v;
-    }
+  };
+  /// Borrowed-reference mirror of CacheKey: probing the memo cache with one
+  /// of these (heterogeneous lookup) costs zero allocations; an owned
+  /// CacheKey is only materialized on a miss, when the entry is inserted.
+  struct CacheKeyView {
+    const std::string& solver;
+    const std::vector<ViewTupleId>& delta_v;
   };
   struct CacheKeyHash {
+    using is_transparent = void;
     size_t operator()(const CacheKey& key) const;
+    size_t operator()(const CacheKeyView& key) const;
+  };
+  struct CacheKeyEq {
+    using is_transparent = void;
+    bool operator()(const CacheKey& a, const CacheKey& b) const {
+      return a.solver == b.solver && a.delta_v == b.delta_v;
+    }
+    bool operator()(const CacheKey& a, const CacheKeyView& b) const {
+      return a.solver == b.solver && a.delta_v == b.delta_v;
+    }
+    bool operator()(const CacheKeyView& a, const CacheKey& b) const {
+      return a.solver == b.solver && a.delta_v == b.delta_v;
+    }
   };
 
   void Process(Worker& worker, const SolveRequest& request,
                RequestOutcome* outcome);
 
   Options options_;
+  VseInstance* primary_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> pool_;
+  uint64_t core_epoch_ = 0;
+  size_t deltas_applied_ = 0;
 
   std::mutex cache_mu_;
-  std::unordered_map<CacheKey, Result<VseSolution>, CacheKeyHash> cache_;
+  std::unordered_map<CacheKey, Result<VseSolution>, CacheKeyHash, CacheKeyEq>
+      cache_;
 };
 
 }  // namespace delprop

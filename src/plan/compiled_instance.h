@@ -45,6 +45,19 @@ struct PlanCore {
   }
 };
 
+/// A view-level delta phrased in an existing core's dense ids: which old
+/// view tuples disappeared and which old witnesses were removed (a removed
+/// tuple has all of its witnesses marked). Appended tuples and witnesses are
+/// not listed — `CompiledInstance::PatchCore` reads them straight from the
+/// already-mutated views, which hold survivors first (in their old relative
+/// order) and appended tuples/witnesses last.
+struct CoreDelta {
+  std::vector<uint8_t> tuple_removed;    // by old dense tuple id
+  std::vector<uint8_t> witness_removed;  // by old witness id
+  size_t removed_tuple_count = 0;
+  size_t removed_witness_count = 0;
+};
+
 /// The dense, immutable execution plan of a VseInstance: every view tuple
 /// and every base tuple occurring in a witness is interned into a dense
 /// `uint32_t` id, and all incidence structure is materialized as CSR
@@ -88,8 +101,9 @@ class CompiledInstance {
 
   /// Compiles only the ΔV overlay over an existing `core`. `deletions` must
   /// be sorted ascending with every id in range (the VseInstance mark/reset
-  /// paths guarantee both). If `recycle` is non-null, refers to the same
-  /// core, and is the sole remaining owner of its plan, that plan's overlay
+  /// paths guarantee both). If `recycle` is non-null, has the same tuple and
+  /// base dimensions as `core` (same core, or a weight-patched clone of it),
+  /// and is the sole remaining owner of its plan, that plan's overlay
   /// buffers are stolen instead of allocated — the recycled plan must no
   /// longer be referenced by any tracker or solver (callers pass a retired
   /// plan the instance alone still holds).
@@ -97,6 +111,18 @@ class CompiledInstance {
       std::shared_ptr<const PlanCore> core,
       const std::vector<ViewTupleId>& deletions,
       std::shared_ptr<const CompiledInstance> recycle);
+
+  /// Splices a new core out of `old_core` after a base-data delta: the
+  /// removed tuples/witnesses in `delta` are dropped, appended ones are read
+  /// from `instance`'s (already mutated) views, and every derived array
+  /// (remapped ids, merged base refs, occurrence and kill rows) is rebuilt
+  /// in linear passes — no per-member hashing and no global ref sort, the
+  /// two costs that dominate a from-scratch build. The result is
+  /// byte-identical to BuildCore over the mutated instance (property-tested
+  /// by the mutate-vs-rebuild oracle).
+  static std::shared_ptr<const PlanCore> PatchCore(const PlanCore& old_core,
+                                                   const VseInstance& instance,
+                                                   const CoreDelta& delta);
 
   /// The shared ΔV-independent core this plan was compiled from.
   const std::shared_ptr<const PlanCore>& core() const { return core_; }

@@ -20,6 +20,39 @@ size_t View::AddMatch(const Tuple& values, Witness witness) {
   return index;
 }
 
+void View::RemoveTuples(const std::vector<size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  size_t next_removed = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < tuples_.size(); ++read) {
+    if (next_removed < sorted_indices.size() &&
+        sorted_indices[next_removed] == read) {
+      ++next_removed;
+      continue;
+    }
+    if (write != read) tuples_[write] = std::move(tuples_[read]);
+    ++write;
+  }
+  tuples_.resize(write);
+  // Re-point the head-value index without rehashing any tuple: a survivor's
+  // index drops by the number of removed indices below it, a removed index
+  // drops out. One pass over the map (mutation only — nothing here depends
+  // on its iteration order) beats a hash of the full value vector per
+  // survivor, which dominated ApplyDelta's delete path.
+  for (auto it = index_by_values_.begin(); it != index_by_values_.end();) {
+    size_t below = static_cast<size_t>(
+        std::lower_bound(sorted_indices.begin(), sorted_indices.end(),
+                         it->second) -
+        sorted_indices.begin());
+    if (below < sorted_indices.size() && sorted_indices[below] == it->second) {
+      it = index_by_values_.erase(it);
+      continue;
+    }
+    it->second -= below;
+    ++it;
+  }
+}
+
 std::optional<size_t> View::Find(const Tuple& values) const {
   auto it = index_by_values_.find(values);
   if (it == index_by_values_.end()) return std::nullopt;

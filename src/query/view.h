@@ -39,6 +39,20 @@ class View {
   /// Index of the view tuple with head `values`, if present.
   std::optional<size_t> Find(const Tuple& values) const;
 
+  /// In-place witness list of tuple `index` — for VseInstance::ApplyDelta's
+  /// incremental maintenance only. Callers must leave the list non-empty or
+  /// remove the emptied tuple via RemoveTuples before anything else reads
+  /// the view.
+  std::vector<Witness>& MutableWitnesses(size_t index) {
+    return tuples_[index].witnesses;
+  }
+
+  /// Removes the tuples at `sorted_indices` (ascending, distinct), compacting
+  /// the survivors in order and re-pointing the head-value index. Preserving
+  /// the survivors' relative order keeps dense-id iteration — and every
+  /// solver tie-break derived from it — deterministic across deltas.
+  void RemoveTuples(const std::vector<size_t>& sorted_indices);
+
   /// True if view tuple `index` survives deleting `deletion` from the source:
   /// some witness is disjoint from the deletion set.
   bool Survives(size_t index, const DeletionSet& deletion) const;

@@ -52,6 +52,9 @@ class ScriptSession {
   const Database& database() const { return db_; }
   /// Null until the first view-dependent command.
   const VseInstance* instance() const { return instance_.get(); }
+  /// Mutable access for callers driving the instance beyond the script
+  /// surface (engines, ApplyDelta harnesses). Same lifetime caveats.
+  VseInstance* mutable_instance() { return instance_.get(); }
 
  private:
   Status EnsureInstance();

@@ -78,7 +78,7 @@ std::vector<SolveRequest> MakeRequests(const VseInstance& instance,
   return requests;
 }
 
-void ExpectInvariant(const VseInstance& instance, uint64_t seed) {
+void ExpectInvariant(VseInstance& instance, uint64_t seed) {
   if (instance.TotalViewTuples() == 0) return;
   std::vector<SolveRequest> requests = MakeRequests(instance, seed);
 
@@ -122,7 +122,7 @@ TEST(EngineDeterminismTest, CorpusInstances) {
     std::string out;
     ASSERT_TRUE(session.Run(buffer.str(), &out).ok()) << out;
     if (session.instance() == nullptr) continue;
-    ExpectInvariant(*session.instance(), seed++);
+    ExpectInvariant(*session.mutable_instance(), seed++);
   }
 }
 

@@ -230,6 +230,40 @@ TEST(BatchEngineTest, SteadyStateRunsOnReusedStorage) {
   }
 }
 
+// Same contract with the memo cache ON: probes must not disturb the reuse
+// counters — cache-hit requests skip the solve entirely (no overlay rebuild,
+// no scratch acquire), and every miss still runs on recycled storage. The
+// heterogeneous cache probe means hits and misses alike build no owned key
+// on the lookup path; the counters pin the visible half of that contract.
+TEST(BatchEngineTest, SteadyStateRunsOnReusedStorageWithMemoCache) {
+  GeneratedVse generated = MakeWorkload();
+  std::vector<SolveRequest> requests =
+      MakeRequests(*generated.instance, 12, "greedy");
+  for (size_t i = 0; i < 8; ++i) requests.push_back(requests[i]);
+
+  BatchSolveEngine::Options options;
+  options.threads = 1;
+  options.memo_cache = true;
+  BatchSolveEngine engine(*generated.instance, options);
+  std::vector<RequestOutcome> outcomes = engine.SolveBatch(requests);
+  for (const RequestOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.result.ok());
+  }
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_EQ(stats.cache_hits, 8u);
+  EXPECT_EQ(stats.solver_runs, 12u);
+  // Only the 12 misses touch the solve path; each acquires the one pooled
+  // tracker and rebuilds only the ΔV overlay over the shared core.
+  EXPECT_EQ(stats.scratch_acquires, 12u);
+  EXPECT_EQ(stats.scratch_allocs, 1u);
+  EXPECT_EQ(stats.scratch_reuses, 11u);
+  EXPECT_EQ(stats.plan_full_builds, 0u);
+  EXPECT_EQ(stats.plan_core_rebinds, 12u);
+  EXPECT_EQ(stats.plan_overlay_recycles, 11u);
+}
+
 TEST(BatchEngineTest, InvalidRequestsFailAloneWithoutAbortingTheBatch) {
   GeneratedVse generated = MakeWorkload();
   std::vector<SolveRequest> requests =
@@ -258,6 +292,101 @@ TEST(BatchEngineTest, InvalidRequestsFailAloneWithoutAbortingTheBatch) {
   EXPECT_EQ(outcomes[4].result.status().code(), StatusCode::kOutOfRange);
   EXPECT_EQ(engine.stats().invalid_requests, 3u);
   EXPECT_EQ(engine.stats().solver_runs, 2u);
+}
+
+// --- Live base data through the engine -------------------------------------
+
+// ApplyDelta's epoch handoff: replicas are dropped, the primary mutates in
+// place (sole owner, no copy-on-write detach), and the re-replicated fleet
+// serves results identical to direct solves over the mutated primary.
+TEST(BatchEngineTest, ApplyDeltaAdvancesEpochAndServesNewData) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& primary = *generated.instance;
+  BatchSolveEngine::Options options;
+  options.threads = 2;
+  BatchSolveEngine engine(primary, options);
+  EXPECT_EQ(engine.core_epoch(), 0u);
+
+  std::vector<RequestOutcome> before =
+      engine.SolveBatch(MakeRequests(primary, 4, "greedy"));
+  for (const RequestOutcome& outcome : before) {
+    ASSERT_TRUE(outcome.result.ok());
+  }
+
+  // Delete one base row that occurs in a witness — guaranteed to change the
+  // view structure.
+  BaseDelta delta;
+  delta.deletes.push_back(primary.view_tuple(ViewTupleId{0, 0}).witnesses[0][0]);
+  ApplyDeltaReport report;
+  ASSERT_TRUE(
+      engine.ApplyDelta(*generated.database, delta, {}, &report).ok());
+  EXPECT_EQ(engine.core_epoch(), 1u);
+  EXPECT_EQ(engine.stats().deltas_applied, 1u);
+  EXPECT_EQ(primary.structure_epoch(), 1u);
+  EXPECT_GT(report.view_tuples_removed, 0u);
+
+  // Post-delta batches must match direct solves on the mutated primary.
+  std::vector<SolveRequest> requests = MakeRequests(primary, 6, "greedy");
+  std::vector<RequestOutcome> after = engine.SolveBatch(requests);
+  ASSERT_EQ(after.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(primary.ResetDeletions(requests[i].delta_v).ok());
+    EXPECT_EQ(Render(after[i].result),
+              Render(MakeSolver("greedy")->Solve(primary)));
+  }
+}
+
+// Memoized results were computed against the old base data; a delta must
+// evict them, and a repeated request must re-solve instead of replaying the
+// stale cached outcome.
+TEST(BatchEngineTest, ApplyDeltaInvalidatesTheMemoCache) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& primary = *generated.instance;
+  BatchSolveEngine engine(primary, {});
+
+  std::vector<SolveRequest> request = MakeRequests(primary, 1, "greedy");
+  (void)engine.SolveBatch(request);
+  (void)engine.SolveBatch(request);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.stats().solver_runs, 1u);
+
+  BaseDelta delta;
+  delta.deletes.push_back(primary.view_tuple(ViewTupleId{0, 0}).witnesses[0][0]);
+  ASSERT_TRUE(engine.ApplyDelta(*generated.database, delta).ok());
+
+  // ΔV ids may have shifted; re-derive a valid request and repeat it twice:
+  // the first run must be a real solve (cache was cleared), the second a hit.
+  std::vector<SolveRequest> fresh = MakeRequests(primary, 1, "greedy");
+  std::vector<RequestOutcome> first = engine.SolveBatch(fresh);
+  ASSERT_TRUE(first[0].result.ok());
+  EXPECT_FALSE(first[0].stats.cache_hit);
+  std::vector<RequestOutcome> second = engine.SolveBatch(fresh);
+  EXPECT_TRUE(second[0].stats.cache_hit);
+  ASSERT_TRUE(primary.ResetDeletions(fresh[0].delta_v).ok());
+  EXPECT_EQ(Render(first[0].result),
+            Render(MakeSolver("greedy")->Solve(primary)));
+}
+
+// A rejected delta must leave the primary untouched but still restore the
+// worker fleet, and the epoch must not advance.
+TEST(BatchEngineTest, RejectedDeltaKeepsEpochAndKeepsServing) {
+  GeneratedVse generated = MakeWorkload();
+  VseInstance& primary = *generated.instance;
+  BatchSolveEngine engine(primary, {});
+
+  BaseDelta dangling;
+  dangling.deletes.push_back(TupleRef{0, 1u << 30});
+  EXPECT_EQ(engine.ApplyDelta(*generated.database, dangling).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.core_epoch(), 0u);
+  EXPECT_EQ(engine.stats().deltas_applied, 0u);
+  EXPECT_EQ(primary.structure_epoch(), 0u);
+
+  std::vector<SolveRequest> requests = MakeRequests(primary, 3, "greedy");
+  for (const RequestOutcome& outcome : engine.SolveBatch(requests)) {
+    EXPECT_TRUE(outcome.result.ok());
+  }
 }
 
 // --- VseInstance batched-serving primitives --------------------------------

@@ -3,12 +3,15 @@
 //   delprop_fuzz --seed-start 1 --iterations 500 --threads 4
 //                [--shrink 0|1] [--out-dir fuzz-out]
 //   delprop_fuzz --replay tests/corpus/pivot_forest_minimal.delprop
+//   delprop_fuzz --mutate --iterations 500 [--steps N] [--patch-threshold F]
 //
 // Fuzz mode generates one instance per seed across the workload families,
 // runs every differential oracle, and on violation shrinks the instance to a
 // minimal repro script written under --out-dir. The summary on stdout is
 // byte-identical at any --threads value. Replay mode reruns the oracles over
-// saved repro/corpus files.
+// saved repro/corpus files. Mutate mode drives random ApplyDelta scripts
+// against live instances and checks every step against a full rebuild (the
+// mutate-vs-rebuild oracle, see docs/incremental.md).
 //
 // Exit status: 0 all oracles hold, 1 violations found, 2 usage or I/O error.
 #include <cstdio>
@@ -20,6 +23,7 @@
 
 #include "runtime/thread_pool.h"
 #include "testing/engine.h"
+#include "testing/mutation.h"
 
 namespace {
 
@@ -28,8 +32,10 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed-start N] [--iterations N] [--threads N]\n"
       "          [--shrink 0|1] [--out-dir DIR]\n"
-      "       %s --replay FILE...\n",
-      argv0, argv0);
+      "       %s --replay FILE...\n"
+      "       %s --mutate [--seed-start N] [--iterations N] [--threads N]\n"
+      "          [--steps N] [--patch-threshold F]\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -42,9 +48,11 @@ int main(int argc, char** argv) {
   using delprop::testing::OracleViolation;
 
   FuzzEngineOptions options;
+  delprop::testing::MutationFuzzOptions mutation;
   size_t threads = 1;
   std::vector<std::string> replay_files;
   bool replay_mode = false;
+  bool mutate_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -53,8 +61,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--replay") {
       replay_mode = true;
+    } else if (arg == "--mutate") {
+      mutate_mode = true;
     } else if (replay_mode && !arg.empty() && arg[0] != '-') {
       replay_files.push_back(arg);
+    } else if (arg == "--steps") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      mutation.steps_per_case = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--patch-threshold") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage(argv[0]);
+      mutation.patch_threshold = std::strtod(v, nullptr);
     } else if (arg == "--seed-start") {
       const char* v = next_value();
       if (v == nullptr) return Usage(argv[0]);
@@ -110,6 +128,17 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  if (mutate_mode) {
+    mutation.seed_start = options.seed_start;
+    mutation.iterations = options.iterations;
+    delprop::testing::MutationFuzzSummary summary =
+        delprop::testing::RunMutationFuzz(mutation, pool.get());
+    std::fputs(summary.ToString().c_str(), stdout);
+    return summary.failing_cases > 0 || summary.generation_failures > 0 ? 1
+                                                                        : 0;
+  }
+
   FuzzSummary summary = delprop::testing::RunFuzz(options, pool.get());
   std::fputs(summary.ToString().c_str(), stdout);
   return summary.failing_cases > 0 || summary.generation_failures > 0 ? 1 : 0;
