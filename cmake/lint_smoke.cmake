@@ -1,0 +1,42 @@
+# Determinism smoke test for the parallel lint Check phase: the report must
+# be byte-identical at --threads 4 and --threads 1, including exit status.
+# Invoked by the `lint_smoke` CTest as
+#   cmake -DLINT_BIN=... -DSOURCE_DIR=... -DWORK_DIR=... -P lint_smoke.cmake
+
+foreach(var LINT_BIN SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "lint_smoke: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LINT_BIN} --check --threads=4 src tools bench tests
+  WORKING_DIRECTORY ${SOURCE_DIR}
+  OUTPUT_VARIABLE out_parallel
+  ERROR_VARIABLE err_parallel
+  RESULT_VARIABLE rc_parallel)
+
+execute_process(
+  COMMAND ${LINT_BIN} --check --threads=1 src tools bench tests
+  WORKING_DIRECTORY ${SOURCE_DIR}
+  OUTPUT_VARIABLE out_serial
+  ERROR_VARIABLE err_serial
+  RESULT_VARIABLE rc_serial)
+
+if(NOT rc_parallel STREQUAL rc_serial)
+  message(FATAL_ERROR
+    "lint_smoke: exit status differs: --threads=4 -> ${rc_parallel}, "
+    "--threads=1 -> ${rc_serial}\nstderr(4): ${err_parallel}\n"
+    "stderr(1): ${err_serial}")
+endif()
+
+if(NOT out_parallel STREQUAL out_serial)
+  file(WRITE ${WORK_DIR}/lint_smoke_threads4.txt "${out_parallel}")
+  file(WRITE ${WORK_DIR}/lint_smoke_threads1.txt "${out_serial}")
+  message(FATAL_ERROR
+    "lint_smoke: output differs between --threads=4 and --threads=1; "
+    "dumps in ${WORK_DIR}/lint_smoke_threads{4,1}.txt")
+endif()
+
+message(STATUS
+  "lint_smoke: byte-identical output at --threads 4 and 1 (exit ${rc_serial})")

@@ -4,14 +4,38 @@
 # bench_output.txt) — the EXPERIMENTS.md workflow in one command.
 #
 # Set DELPROP_SKIP_SANITIZE=1 to skip the (slower) ASan/UBSan build+test pass.
+#
+# `./reproduce.sh lint-json` regenerates the committed lint baseline
+# (lint_baseline.json) from the current tree and exits. Run it from a clean
+# tree — delprop_lint stamps `git describe` into the report and refuses to
+# overwrite a tracked baseline from a dirty tree (docs/lint.md "Baseline").
 set -eu
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "lint-json" ]; then
+  cmake -B build -G Ninja
+  cmake --build build --target delprop_lint_tool
+  # Exit 1 just means the (now-baselined) findings were printed; exit 2 is a
+  # real failure (dirty-tree guard, bad paths) and the file was not written.
+  status=0
+  ./build/tools/delprop_lint --threads 4 \
+    --compile-commands=build/compile_commands.json \
+    --json=lint_baseline.json src tools bench tests || status=$?
+  if [ "$status" -ge 2 ]; then
+    exit "$status"
+  fi
+  echo "regenerated lint_baseline.json"
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build
 # Static analysis first: project invariants (Status discipline, deterministic
-# iteration, Rng/ThreadPool funnels, header guards) — see docs/lint.md.
-./build/tools/delprop_lint --check src tools bench tests
+# iteration, Rng/ThreadPool funnels, hot-path allocation and the shared-core/
+# epoch protocols) — see docs/lint.md.
+./build/tools/delprop_lint --check --threads 4 \
+  --compile-commands=build/compile_commands.json \
+  --baseline=lint_baseline.json src tools bench tests
 # Shuffle test order inside every gtest binary (fixed seed, so failures are
 # reproducible) to keep the suites free of inter-test order dependencies.
 # ctest runs each discovered case in its own process, so the shuffle only

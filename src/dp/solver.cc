@@ -4,6 +4,9 @@
 
 namespace delprop {
 
+// Result materialization: runs once per solve to evaluate and package the
+// final deletion set, after the solver's inner loops have finished.
+// delprop-hot-stop
 VseSolution MakeSolution(const VseInstance& instance, DeletionSet deletion,
                          std::string solver_name) {
   VseSolution solution;

@@ -1,0 +1,59 @@
+#include "lint/compile_commands.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "lint/json.h"
+
+namespace delprop {
+namespace lint {
+
+Result<std::vector<std::string>> ReadCompileCommands(
+    const std::string& path, const std::string& base_dir) {
+  namespace fs = std::filesystem;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> doc = ParseJson(std::move(buffer).str());
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(doc.status().message()));
+  }
+  if (doc->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(path + ": expected a top-level array");
+  }
+
+  std::error_code ec;
+  fs::path base = fs::absolute(base_dir, ec);
+  if (ec) base = fs::path(base_dir);
+  base = base.lexically_normal();
+
+  std::vector<std::string> files;
+  for (const JsonValue& entry : doc->items()) {
+    const JsonValue* file = entry.Find("file");
+    if (file == nullptr || file->kind() != JsonValue::Kind::kString) continue;
+    fs::path p(file->AsString());
+    if (p.is_relative()) {
+      // Relative entries are relative to the entry's "directory".
+      const JsonValue* dir = entry.Find("directory");
+      if (dir != nullptr && dir->kind() == JsonValue::Kind::kString) {
+        p = fs::path(dir->AsString()) / p;
+      }
+    }
+    p = p.lexically_normal();
+    fs::path rel = p.lexically_relative(base);
+    if (!rel.empty() && rel.native()[0] != '.') p = rel;
+    if (!fs::is_regular_file(base / p, ec)) continue;
+    files.push_back(p.generic_string());
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,27 @@
+#ifndef DELPROP_LINT_COMPILE_COMMANDS_H_
+#define DELPROP_LINT_COMPILE_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace delprop {
+namespace lint {
+
+/// Reads a CMake-style compile_commands.json and returns the "file" entry of
+/// every translation unit, made relative to `base_dir` when the absolute
+/// path lies under it, sorted and deduplicated. Only files that still exist
+/// are returned — the database may be stale after a source removal.
+///
+/// This is how the CLI derives its file list when --compile-commands is
+/// passed: the build system's view of the tree, instead of a directory glob
+/// that could drift from what actually compiles. Headers never appear in
+/// the database, so callers union this with a glob of the same roots.
+Result<std::vector<std::string>> ReadCompileCommands(
+    const std::string& path, const std::string& base_dir);
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_COMPILE_COMMANDS_H_

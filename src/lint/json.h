@@ -1,0 +1,71 @@
+#ifndef DELPROP_LINT_JSON_H_
+#define DELPROP_LINT_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace delprop {
+namespace lint {
+
+/// A minimal JSON document model, enough for the lint baseline and
+/// compile_commands.json. Numbers are kept as doubles (the values we read —
+/// line numbers, counts — are all small integers) and object keys are
+/// ordered, which also makes serialization deterministic.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access. Append() is only valid on arrays.
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v);
+
+  /// Object access. Returns nullptr when the key is absent (or this is not
+  /// an object). Set() is only valid on objects.
+  const JsonValue* Find(const std::string& key) const;
+  void Set(const std::string& key, JsonValue v);
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Serializes with 2-space indentation and sorted keys — stable output
+  /// for committed files.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parses a JSON document. Supports the full value grammar minus exotic
+/// escapes: \uXXXX sequences are preserved verbatim (the files we parse are
+/// ASCII paths and messages).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_JSON_H_

@@ -1,0 +1,96 @@
+#include "lint/json_report.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "lint/json.h"
+
+namespace delprop {
+namespace lint {
+
+std::string ReportToJson(const LintReport& report,
+                         const std::string& git_stamp) {
+  JsonValue root = JsonValue::Object();
+  root.Set("tool", JsonValue::Str("delprop_lint"));
+  root.Set("version", JsonValue::Number(2));
+  if (!git_stamp.empty()) root.Set("git", JsonValue::Str(git_stamp));
+  root.Set("files_checked",
+           JsonValue::Number(static_cast<double>(report.files_checked)));
+  root.Set("suppressed",
+           JsonValue::Number(static_cast<double>(report.suppressed)));
+  JsonValue findings = JsonValue::Array();
+  for (const Diagnostic& diag : report.diagnostics) {
+    JsonValue f = JsonValue::Object();
+    f.Set("file", JsonValue::Str(diag.file));
+    f.Set("line", JsonValue::Number(diag.line));
+    f.Set("rule", JsonValue::Str(diag.rule));
+    f.Set("message", JsonValue::Str(diag.message));
+    findings.Append(std::move(f));
+  }
+  root.Set("findings", std::move(findings));
+  return root.Dump();
+}
+
+Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read baseline " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> doc = ParseJson(std::move(buffer).str());
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(doc.status().message()));
+  }
+  const JsonValue* findings = doc->Find("findings");
+  if (findings == nullptr || findings->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(path +
+                                   ": missing or non-array \"findings\"");
+  }
+  std::vector<BaselineEntry> out;
+  for (const JsonValue& f : findings->items()) {
+    const JsonValue* file = f.Find("file");
+    const JsonValue* rule = f.Find("rule");
+    const JsonValue* message = f.Find("message");
+    if (file == nullptr || rule == nullptr || message == nullptr ||
+        file->kind() != JsonValue::Kind::kString ||
+        rule->kind() != JsonValue::Kind::kString ||
+        message->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument(
+          path + ": finding lacks string file/rule/message");
+    }
+    out.push_back(BaselineEntry{file->AsString(), rule->AsString(),
+                                message->AsString()});
+  }
+  return out;
+}
+
+BaselineDelta ApplyBaseline(const std::vector<Diagnostic>& diagnostics,
+                            const std::vector<BaselineEntry>& baseline) {
+  // Multiset match on (file, rule, message) — line numbers drift with
+  // unrelated edits and are deliberately ignored.
+  std::map<std::tuple<std::string, std::string, std::string>, size_t> budget;
+  for (const BaselineEntry& entry : baseline) {
+    ++budget[{entry.file, entry.rule, entry.message}];
+  }
+  BaselineDelta delta;
+  for (const Diagnostic& diag : diagnostics) {
+    auto it = budget.find({diag.file, diag.rule, diag.message});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++delta.baselined;
+    } else {
+      delta.fresh.push_back(diag);
+    }
+  }
+  for (const auto& [key, remaining] : budget) {
+    (void)key;
+    delta.stale += remaining;
+  }
+  return delta;
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -1,0 +1,52 @@
+#ifndef DELPROP_LINT_JSON_REPORT_H_
+#define DELPROP_LINT_JSON_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/linter.h"
+
+namespace delprop {
+namespace lint {
+
+/// One baseline entry: a finding accepted as known. Line numbers are
+/// recorded for the reader but ignored when matching — edits above a
+/// baselined finding must not resurrect it.
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string message;
+};
+
+/// Result of subtracting a baseline from a report.
+struct BaselineDelta {
+  std::vector<Diagnostic> fresh;  // findings not covered by the baseline
+  size_t baselined = 0;           // findings matched (and dropped)
+  size_t stale = 0;               // baseline entries that matched nothing
+};
+
+/// Renders `report` as the delprop_lint JSON schema:
+/// {"tool": "delprop_lint", "version": 2, "git": "<describe>",
+///  "files_checked": N, "suppressed": N,
+///  "findings": [{"file","line","rule","message"}...]}.
+/// Findings keep the report's (file, line, rule, message) sort, so output
+/// is byte-identical across runs and thread counts. `git_stamp` may be
+/// empty (omitted field) when no git metadata is available.
+std::string ReportToJson(const LintReport& report,
+                         const std::string& git_stamp);
+
+/// Parses a baseline file produced by `delprop_lint --json` (the `findings`
+/// array is the baseline; the envelope fields are informational).
+Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path);
+
+/// Subtracts `baseline` from `diagnostics`. Matching is by multiset of
+/// (file, rule, message): each baseline entry absorbs at most one finding,
+/// so a newly duplicated violation still surfaces.
+BaselineDelta ApplyBaseline(const std::vector<Diagnostic>& diagnostics,
+                            const std::vector<BaselineEntry>& baseline);
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_JSON_REPORT_H_

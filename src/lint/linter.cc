@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "lint/rules.h"
+#include "lint/semantic_model.h"
+#include "runtime/thread_pool.h"
 
 namespace delprop {
 namespace lint {
@@ -34,6 +38,15 @@ void Linter::AddDefaultRules(const std::vector<std::string>& only) {
   if (wanted("raw-threading")) AddRule(std::make_unique<RawThreadingRule>());
   if (wanted("hot-path-hashing")) {
     AddRule(std::make_unique<HotPathHashingRule>());
+  }
+  if (wanted("hot-path-allocation")) {
+    AddRule(std::make_unique<HotPathAllocationRule>());
+  }
+  if (wanted("shared-core-mutation")) {
+    AddRule(std::make_unique<SharedCoreMutationRule>());
+  }
+  if (wanted("epoch-protocol")) {
+    AddRule(std::make_unique<EpochProtocolRule>());
   }
   if (wanted("header-guard")) AddRule(std::make_unique<HeaderGuardRule>());
 }
@@ -64,19 +77,50 @@ LintReport Linter::Run(const std::vector<SourceFile>& files) {
   for (const auto& rule : rules_) {
     for (const SourceFile& file : files) rule->Collect(file);
   }
-  std::vector<Diagnostic> raw;
+
+  // Build the shared semantic model only when a registered rule asked for
+  // it — token-level rules keep their zero-cost path.
+  bool needs_model = false;
   for (const auto& rule : rules_) {
-    for (const SourceFile& file : files) rule->Check(file, &raw);
+    if (rule->wants_semantic_model()) needs_model = true;
+  }
+  SemanticModel model;
+  if (needs_model) {
+    for (const SourceFile& file : files) model.AddFile(file);
+    model.Finalize();
+    for (const auto& rule : rules_) {
+      if (rule->wants_semantic_model()) rule->BindModel(&model);
+    }
+  }
+
+  // Check phase: every file gets its own diagnostic slot, so the merged
+  // output is independent of which worker processed which file. The final
+  // sort makes the report byte-identical at any --threads setting.
+  std::vector<std::vector<Diagnostic>> slots(files.size());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads_ > 1 && files.size() > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads_));
+  }
+  ParallelFor(pool.get(), files.size(), [&](size_t i) {
+    for (const auto& rule : rules_) rule->Check(files[i], &slots[i]);
+  });
+  pool.reset();
+  if (needs_model) {
+    for (const auto& rule : rules_) {
+      if (rule->wants_semantic_model()) rule->BindModel(nullptr);
+    }
+  }
+
+  std::map<std::string_view, const SourceFile*> by_path;
+  for (const SourceFile& file : files) by_path.emplace(file.path(), &file);
+  std::vector<Diagnostic> raw;
+  for (std::vector<Diagnostic>& slot : slots) {
+    for (Diagnostic& diag : slot) raw.push_back(std::move(diag));
   }
   for (Diagnostic& diag : raw) {
-    const SourceFile* file = nullptr;
-    for (const SourceFile& candidate : files) {
-      if (candidate.path() == diag.file) {
-        file = &candidate;
-        break;
-      }
-    }
-    if (file != nullptr && file->IsSuppressed(diag.rule, diag.line)) {
+    auto it = by_path.find(diag.file);
+    if (it != by_path.end() &&
+        it->second->IsSuppressed(diag.rule, diag.line)) {
       ++report.suppressed;
       continue;
     }
@@ -86,12 +130,10 @@ LintReport Linter::Run(const std::vector<SourceFile>& files) {
   return report;
 }
 
-Result<LintReport> Linter::RunOnPaths(const std::vector<std::string>& paths) {
-  Result<std::vector<std::string>> files = CollectSourceFiles(paths);
-  if (!files.ok()) return files.status();
+Result<LintReport> Linter::RunOnFiles(const std::vector<std::string>& files) {
   std::vector<SourceFile> sources;
-  sources.reserve(files->size());
-  for (const std::string& path : *files) {
+  sources.reserve(files.size());
+  for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) return Status::NotFound("cannot read " + path);
     std::ostringstream buffer;
@@ -99,6 +141,12 @@ Result<LintReport> Linter::RunOnPaths(const std::vector<std::string>& paths) {
     sources.emplace_back(path, std::move(buffer).str());
   }
   return Run(sources);
+}
+
+Result<LintReport> Linter::RunOnPaths(const std::vector<std::string>& paths) {
+  Result<std::vector<std::string>> files = CollectSourceFiles(paths);
+  if (!files.ok()) return files.status();
+  return RunOnFiles(*files);
 }
 
 Result<std::vector<std::string>> CollectSourceFiles(

@@ -24,9 +24,11 @@ struct LintReport {
 /// Owns a set of rules and runs them over files. Two-phase: every file is
 /// shown to every rule's Collect() before any Check() runs, so rules can use
 /// tree-wide knowledge (Status-returning function names, container aliases).
+/// If any rule wants the SemanticModel, the Linter builds it once between
+/// the phases and binds it to every rule that opted in.
 class Linter {
  public:
-  /// Registers the five project rules (see docs/lint.md). `only` restricts
+  /// Registers the project rules (see docs/lint.md). `only` restricts
   /// to the named rules; empty means all.
   void AddDefaultRules(const std::vector<std::string>& only = {});
 
@@ -38,10 +40,21 @@ class Linter {
   /// Rule name -> description pairs for --list-rules.
   std::vector<std::pair<std::string, std::string>> RuleDescriptions() const;
 
+  /// Number of worker threads for the Check phase. 1 (the default) runs
+  /// inline; N > 1 fans files out over a runtime ThreadPool. Output is
+  /// byte-identical at any setting: each file writes into its own
+  /// pre-assigned slot and the merged list is sorted before suppression
+  /// filtering.
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  int threads() const { return threads_; }
+
   /// Lints in-memory files (also the unit-test entry point). Diagnostics on
   /// lines covered by a `// delprop-lint: <rule>-ok` comment are dropped and
   /// counted in `suppressed`.
   LintReport Run(const std::vector<SourceFile>& files);
+
+  /// Loads each file path verbatim and lints the lot.
+  Result<LintReport> RunOnFiles(const std::vector<std::string>& files);
 
   /// Loads each path (file, or directory walked recursively for C++
   /// sources) and lints the lot. Paths are reported verbatim, so run from
@@ -50,6 +63,7 @@ class Linter {
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  int threads_ = 1;
 };
 
 /// Expands `paths` to the sorted list of C++ source files under them

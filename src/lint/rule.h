@@ -10,6 +10,8 @@
 namespace delprop {
 namespace lint {
 
+class SemanticModel;
+
 /// One finding: where, which rule, and a human-readable message.
 struct Diagnostic {
   std::string file;
@@ -51,7 +53,15 @@ class Rule {
   /// Phase 1: observe a file (called once per file, before any Check()).
   virtual void Collect(const SourceFile& file) { (void)file; }
 
-  /// Phase 2: append findings for `file` to `out`.
+  /// Rules that analyze whole functions or the cross-TU call graph opt in
+  /// to the shared SemanticModel. The Linter builds the model once per run
+  /// (between the Collect and Check phases) and binds it to every rule that
+  /// wants it; the pointer is valid for the duration of the Check phase.
+  virtual bool wants_semantic_model() const { return false; }
+  virtual void BindModel(const SemanticModel* model) { (void)model; }
+
+  /// Phase 2: append findings for `file` to `out`. May run concurrently for
+  /// different files, so implementations must not mutate rule state.
   virtual void Check(const SourceFile& file,
                      std::vector<Diagnostic>* out) const = 0;
 };

@@ -1,0 +1,73 @@
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+#include "lint/semantic_model.h"
+
+namespace delprop {
+namespace lint {
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+}  // namespace
+
+void HotPathAllocationRule::Check(const SourceFile& file,
+                                  std::vector<Diagnostic>* out) const {
+  if (model_ == nullptr) return;
+  const std::vector<size_t>* indices = model_->FunctionsInFile(file.path());
+  if (indices == nullptr) return;
+  const std::vector<Token>& toks = file.tokens();
+
+  for (size_t idx : *indices) {
+    if (!model_->IsHotReachable(idx)) continue;
+    const FunctionInfo& fn = model_->functions()[idx];
+    const std::string chain = model_->HotChain(idx);
+    auto report = [&](int line, const std::string& what) {
+      out->push_back(Diagnostic{
+          file.path(), line, std::string(name()),
+          what + " in hot function '" + fn.qualified + "' (reached via " +
+              chain +
+              "); pre-size the container, hoist the allocation to setup, or "
+              "mark a sanctioned sink with // delprop-hot-stop"});
+    };
+
+    for (size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      const Token& t = toks[k];
+      if (!IsIdent(t)) continue;
+      if (t.Is("new")) {
+        // `operator new` declarations are not allocations themselves.
+        if (k > 0 && toks[k - 1].Is("operator")) continue;
+        report(t.line, "operator new");
+      } else if (t.Is("make_unique") || t.Is("make_shared")) {
+        report(t.line, "std::" + std::string(t.text));
+      } else if (t.Is("push_back") || t.Is("emplace_back")) {
+        if (k < 2 || (!toks[k - 1].Is(".") && !toks[k - 1].Is("->"))) {
+          continue;
+        }
+        if (!IsIdent(toks[k - 2])) continue;
+        std::string target(toks[k - 2].text);
+        if (model_->IsReservedName(target)) continue;
+        report(t.line, std::string(t.text) + " on un-reserved container '" +
+                           target + "'");
+      } else if (t.Is("string")) {
+        // `std::string x` local construction; `const std::string&` (next
+        // token not an identifier) reads without allocating.
+        if (k < 2 || !toks[k - 1].Is("::") || !toks[k - 2].Is("std")) {
+          continue;
+        }
+        if (k + 1 < fn.body_end && IsIdent(toks[k + 1])) {
+          report(t.line, "std::string construction");
+        }
+      } else if (t.Is("unordered_map") || t.Is("unordered_set") ||
+                 t.Is("unordered_multimap") || t.Is("unordered_multiset")) {
+        if (k + 1 < fn.body_end && toks[k + 1].Is("<")) {
+          report(t.line, "std::" + std::string(t.text) + " construction");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace delprop

@@ -141,6 +141,102 @@ class HotPathHashingRule : public Rule {
   std::vector<std::string> scoped_paths_;
 };
 
+/// hot-path-allocation: a heap allocation inside a function transitively
+/// reachable from a hot root. Roots are the scratch-aware solver entry
+/// points (`SolveWith` overrides), every `DamageTracker` method, the engine
+/// request loop (`BatchSolveEngine::Process`), and anything annotated
+/// `// delprop-hot`; `// delprop-hot-stop` marks sanctioned allocation
+/// sinks (lazy builds, result materialization) that the traversal does not
+/// enter. Flagged constructs: `new`, `make_unique`/`make_shared`,
+/// `push_back`/`emplace_back` on a container whose name is never
+/// `.reserve()`d anywhere in the tree, `std::string` locals, and
+/// `unordered_map`/`unordered_set` construction. Diagnostics carry the
+/// discovery path ("reached via A → B → C") so the offending edge is
+/// auditable. The graph is restricted to src/ — test doubles never join it.
+class HotPathAllocationRule : public Rule {
+ public:
+  std::string_view name() const override { return "hot-path-allocation"; }
+  std::string_view description() const override {
+    return "heap allocation in a function reachable from a hot root";
+  }
+  bool wants_semantic_model() const override { return true; }
+  void BindModel(const SemanticModel* model) override { model_ = model; }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  const SemanticModel* model_ = nullptr;
+};
+
+/// shared-core-mutation: a write to `PlanCore`/`CompiledInstance` state
+/// outside the sanctioned mutation points. The compiled core is shared
+/// immutably across worker replicas; every legal mutation lives in
+/// `BuildCore`/`FinishCore`/`PatchCore`/`BuildFromCore`/`Build` or the
+/// sole-owner weight patch in `SetWeight`. Tracked forms: mutable
+/// declarations (`PlanCore*`, `PlanCore&`, non-const `shared_ptr<...>`)
+/// whose variables are later assigned through or passed to mutating
+/// methods, and any `const_cast` that strips const from a core type. Also
+/// flags ThreadPool task lambdas (`Submit([&]...)`) capturing by reference
+/// outside src/runtime/ — `ParallelFor` blocks before returning, `Submit`
+/// does not, so by-reference captures outlive their frame.
+class SharedCoreMutationRule : public Rule {
+ public:
+  SharedCoreMutationRule(
+      std::vector<std::string> core_types = {"PlanCore", "CompiledInstance"},
+      std::vector<std::string> mutation_points = DefaultMutationPoints(),
+      std::vector<std::string> submit_exempt_paths = {"src/runtime/"});
+
+  static std::vector<std::string> DefaultMutationPoints();
+
+  std::string_view name() const override { return "shared-core-mutation"; }
+  std::string_view description() const override {
+    return "PlanCore/compiled-core mutation outside sanctioned points";
+  }
+  bool wants_semantic_model() const override { return true; }
+  void BindModel(const SemanticModel* model) override { model_ = model; }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  bool Allowlisted(const SourceFile& file, size_t token_index) const;
+
+  std::vector<std::string> core_types_;
+  std::vector<std::string> mutation_points_;
+  std::vector<std::string> submit_exempt_paths_;
+  const SemanticModel* model_ = nullptr;
+};
+
+/// epoch-protocol: a per-function automaton over the plan-epoch handoff.
+/// Three checks: (1) in the serving layers (src/engine/, src/solvers/), a
+/// ΔV swap (`ResetDeletions`/`ApplyDelta` call) must be preceded — after
+/// any tracker acquire — by a plan release (`ReleasePlan`/`ReleasePlans`/
+/// `plan_.reset()`), the Rebind/ReleasePlan pairing that lets retired plans
+/// recycle their overlay buffers; (2) every `VseInstance` mutator
+/// (`ApplyDelta`, `SetWeight`, `MarkForDeletion`, `MarkForDeletionByValues`,
+/// `ResetDeletions`) must invalidate or patch the compiled plan
+/// (`InvalidateOverlayCaches`/`PatchCore`/delegation/direct `plan_core`
+/// maintenance); (3) a body advancing `core_epoch_` must also clear the
+/// memo cache — stale entries must not cross the epoch.
+class EpochProtocolRule : public Rule {
+ public:
+  explicit EpochProtocolRule(
+      std::vector<std::string> serving_paths = {"src/engine/",
+                                                "src/solvers/"});
+
+  std::string_view name() const override { return "epoch-protocol"; }
+  std::string_view description() const override {
+    return "Rebind/ReleasePlan pairing, mutator invalidation, epoch cache";
+  }
+  bool wants_semantic_model() const override { return true; }
+  void BindModel(const SemanticModel* model) override { model_ = model; }
+  void Check(const SourceFile& file,
+             std::vector<Diagnostic>* out) const override;
+
+ private:
+  std::vector<std::string> serving_paths_;
+  const SemanticModel* model_ = nullptr;
+};
+
 /// header-guard: every .h file must open with
 /// `#ifndef DELPROP_<PATH>_H_` / `#define` of the same macro, where <PATH>
 /// is the file path with the leading src/ stripped, uppercased, and

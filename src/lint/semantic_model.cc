@@ -1,0 +1,413 @@
+#include "lint/semantic_model.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "lint/rule.h"
+
+namespace delprop {
+namespace lint {
+namespace {
+
+// Spellings that look like `name(` but never open a function definition or
+// name a project call target. Includes the control keywords (so `if (x) {`
+// is not a definition) and function-style casts over builtin types.
+const std::unordered_set<std::string_view>& Keywords() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "if",       "for",       "while",    "switch",   "catch",
+      "return",   "do",        "else",     "sizeof",   "alignof",
+      "alignas",  "decltype",  "noexcept", "new",      "delete",
+      "throw",    "case",      "goto",     "operator", "static_assert",
+      "assert",   "defined",   "typeid",   "co_await", "co_return",
+      "bool",     "char",      "int",      "unsigned", "signed",
+      "short",    "long",      "float",    "double",   "void",
+      "auto",     "int8_t",    "int16_t",  "int32_t",  "int64_t",
+      "uint8_t",  "uint16_t",  "uint32_t", "uint64_t", "size_t",
+      "ptrdiff_t"};
+  return kSet;
+}
+
+// Index of the token matching the opener at `open` (toks[open] must spell
+// `open_text`), or toks.size() when unbalanced.
+size_t MatchGroup(const std::vector<Token>& toks, size_t open,
+                  std::string_view open_text, std::string_view close_text) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == open_text) {
+      ++depth;
+    } else if (toks[i].text == close_text) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// Skips a template argument list starting at a `<` token; returns the index
+// just past the closing `>`. Treats `>>` as two closers (the lexer folds it
+// into one token). Bails at `;`/`{`/`}` so a stray comparison `<` cannot
+// swallow the rest of the file.
+size_t SkipAngles(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return i;
+    }
+  }
+  return toks.size();
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+}  // namespace
+
+void SemanticModel::AddFile(const SourceFile& file) {
+  // Tree-wide reserved-container names: `x.reserve(` / `x->reserve(`.
+  const std::vector<Token>& toks = file.tokens();
+  for (size_t k = 2; k + 1 < toks.size(); ++k) {
+    if (toks[k].Is("reserve") && toks[k + 1].Is("(") &&
+        (toks[k - 1].Is(".") || toks[k - 1].Is("->")) &&
+        IsIdent(toks[k - 2])) {
+      reserved_names_.insert(std::string(toks[k - 2].text));
+    }
+  }
+  ExtractFunctions(file);
+}
+
+void SemanticModel::ExtractFunctions(const SourceFile& file) {
+  const std::vector<Token>& toks = file.tokens();
+  const size_t n = toks.size();
+
+  struct Scope {
+    bool is_class = false;
+    std::string name;
+  };
+  std::vector<Scope> scopes;
+
+  auto innermost_class = [&scopes]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_class) return it->name;
+    }
+    return std::string();
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "{") {
+        scopes.push_back(Scope{});
+      } else if (t.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (!IsIdent(t)) {
+      ++i;
+      continue;
+    }
+
+    if (t.Is("template")) {
+      // Skip the parameter list so `template <class T>` never reads as a
+      // class definition.
+      if (i + 1 < n && toks[i + 1].Is("<")) {
+        i = SkipAngles(toks, i + 1);
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (t.Is("using") || t.Is("typedef")) {
+      while (i < n && !toks[i].Is(";")) ++i;
+      continue;
+    }
+    if (t.Is("namespace")) {
+      size_t j = i + 1;
+      std::string name;
+      while (j < n && IsIdent(toks[j])) {
+        name = std::string(toks[j].text);
+        ++j;
+        if (j < n && toks[j].Is("::")) ++j;  // nested namespace a::b
+      }
+      if (j < n && toks[j].Is("{")) {
+        scopes.push_back(Scope{false, name});
+        i = j + 1;
+      } else {
+        // Alias (`namespace fs = ...;`): consume the statement.
+        while (j < n && !toks[j].Is(";")) ++j;
+        i = j + 1;
+      }
+      continue;
+    }
+    if (t.Is("enum")) {
+      // Enumerator lists contain no functions; skip the whole body.
+      size_t j = i + 1;
+      while (j < n && !toks[j].Is("{") && !toks[j].Is(";")) ++j;
+      if (j < n && toks[j].Is("{")) j = MatchGroup(toks, j, "{", "}");
+      i = j + 1;
+      continue;
+    }
+    if (t.Is("class") || t.Is("struct")) {
+      // `template <class T>` is handled above; `<class` / `, class` inside
+      // an unskipped list is still possible — ignore those.
+      if (i > 0 && (toks[i - 1].Is("<") || toks[i - 1].Is(","))) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      std::string name;
+      while (j < n && IsIdent(toks[j]) && !toks[j].Is("final")) {
+        name = std::string(toks[j].text);
+        ++j;
+        if (j + 1 < n && toks[j].Is("::") && IsIdent(toks[j + 1])) {
+          ++j;  // out-of-line nested class: keep the last component
+        } else {
+          break;
+        }
+      }
+      if (j < n && toks[j].Is("final")) ++j;
+      // Base clause / nothing: scan to the body or the end of a
+      // forward/variable declaration.
+      size_t k = j;
+      int parens = 0;
+      while (k < n) {
+        if (toks[k].Is("(")) ++parens;
+        if (toks[k].Is(")")) --parens;
+        if (parens == 0 && (toks[k].Is("{") || toks[k].Is(";"))) break;
+        ++k;
+      }
+      if (k < n && toks[k].Is("{")) {
+        scopes.push_back(Scope{true, name});
+        i = k + 1;
+      } else {
+        i = k + 1;
+      }
+      continue;
+    }
+
+    // Candidate function definition: identifier followed by '('.
+    if (i + 1 < n && toks[i + 1].Is("(") &&
+        Keywords().count(t.text) == 0) {
+      size_t close = MatchGroup(toks, i + 1, "(", ")");
+      if (close >= n) {
+        ++i;
+        continue;
+      }
+      size_t j = close + 1;
+      bool viable = true;
+      // Post-parameter qualifiers.
+      while (j < n) {
+        if (toks[j].Is("const") || toks[j].Is("override") ||
+            toks[j].Is("final") || toks[j].Is("&") || toks[j].Is("&&") ||
+            toks[j].Is("mutable") || toks[j].Is("volatile")) {
+          ++j;
+        } else if (toks[j].Is("noexcept")) {
+          ++j;
+          if (j < n && toks[j].Is("(")) j = MatchGroup(toks, j, "(", ")") + 1;
+        } else {
+          break;
+        }
+      }
+      // Trailing return type.
+      if (j < n && toks[j].Is("->")) {
+        ++j;
+        while (j < n &&
+               (IsIdent(toks[j]) || toks[j].Is("::") || toks[j].Is("<") ||
+                toks[j].Is(">") || toks[j].Is("*") || toks[j].Is("&"))) {
+          ++j;
+        }
+      }
+      // Constructor initializer list.
+      if (j < n && toks[j].Is(":")) {
+        ++j;
+        while (viable && j < n) {
+          while (j < n && (IsIdent(toks[j]) || toks[j].Is("::"))) ++j;
+          if (j < n && toks[j].Is("<")) j = SkipAngles(toks, j);
+          if (j < n && toks[j].Is("(")) {
+            j = MatchGroup(toks, j, "(", ")") + 1;
+          } else if (j < n && toks[j].Is("{")) {
+            j = MatchGroup(toks, j, "{", "}") + 1;
+          } else {
+            viable = false;
+            break;
+          }
+          if (j < n && toks[j].Is(",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+      }
+      if (viable && j < n && toks[j].Is("{")) {
+        size_t body_close = MatchGroup(toks, j, "{", "}");
+        if (body_close < n) {
+          FunctionInfo fn;
+          fn.name = std::string(t.text);
+          if (i > 0 && toks[i - 1].Is("~")) fn.name = "~" + fn.name;
+          if (i >= 2 && toks[i - 1].Is("::") && IsIdent(toks[i - 2])) {
+            fn.class_name = std::string(toks[i - 2].text);
+          } else {
+            fn.class_name = innermost_class();
+          }
+          fn.qualified = fn.class_name.empty()
+                             ? fn.name
+                             : fn.class_name + "::" + fn.name;
+          fn.file = file.path();
+          fn.line = t.line;
+          fn.body_begin = j + 1;
+          fn.body_end = body_close;
+          for (int l = t.line; l <= toks[j].line; ++l) {
+            if (file.HasHotStopAnnotation(l)) fn.hot_stop = true;
+            if (file.HasHotAnnotation(l)) fn.hot_annotated = true;
+          }
+          std::unordered_set<std::string_view> seen;
+          for (size_t k = fn.body_begin; k + 1 < body_close; ++k) {
+            if (IsIdent(toks[k]) && toks[k + 1].Is("(") &&
+                Keywords().count(toks[k].text) == 0 &&
+                !(k > 0 && toks[k - 1].Is("operator")) &&
+                seen.insert(toks[k].text).second) {
+              fn.calls.emplace_back(toks[k].text);
+            }
+          }
+          size_t index = functions_.size();
+          functions_.push_back(std::move(fn));
+          by_file_[file.path()].push_back(index);
+          by_name_[functions_[index].name].push_back(index);
+          i = body_close + 1;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+}
+
+bool SemanticModel::InHotScope(const FunctionInfo& fn) const {
+  return PathHasAnyPrefix(fn.file, hot_scope_);
+}
+
+bool SemanticModel::IsBuiltinHotRoot(const FunctionInfo& fn) const {
+  if (fn.class_name == "DamageTracker") return true;
+  if (fn.name == "SolveWith" && !fn.class_name.empty() &&
+      fn.class_name != "VseSolver") {
+    return true;
+  }
+  return fn.qualified == "BatchSolveEngine::Process";
+}
+
+void SemanticModel::Finalize() {
+  auto by_position = [this](size_t a, size_t b) {
+    const FunctionInfo& fa = functions_[a];
+    const FunctionInfo& fb = functions_[b];
+    if (fa.file != fb.file) return fa.file < fb.file;
+    return fa.line < fb.line;
+  };
+  for (auto& [name, indices] : by_name_) {
+    std::sort(indices.begin(), indices.end(), by_position);
+  }
+
+  hot_reachable_.assign(functions_.size(), 0);
+  hot_parent_.assign(functions_.size(), kNoParent);
+
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionInfo& fn = functions_[i];
+    if (!InHotScope(fn) || fn.hot_stop) continue;
+    if (IsBuiltinHotRoot(fn) || fn.hot_annotated) roots.push_back(i);
+  }
+  std::sort(roots.begin(), roots.end(), [this](size_t a, size_t b) {
+    const FunctionInfo& fa = functions_[a];
+    const FunctionInfo& fb = functions_[b];
+    if (fa.qualified != fb.qualified) return fa.qualified < fb.qualified;
+    if (fa.file != fb.file) return fa.file < fb.file;
+    return fa.line < fb.line;
+  });
+
+  // Deterministic BFS: roots in sorted order, call edges in body order,
+  // same-name candidates in (file, line) order. A callee defined in the
+  // caller's own file shadows same-named definitions elsewhere — that keeps
+  // `search.Run()` resolving to the local search class instead of every
+  // `Run` in the tree.
+  std::deque<size_t> queue;
+  for (size_t root : roots) {
+    if (hot_reachable_[root]) continue;
+    hot_reachable_[root] = 1;
+    queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    size_t current = queue.front();
+    queue.pop_front();
+    const FunctionInfo& fn = functions_[current];
+    for (const std::string& callee : fn.calls) {
+      auto it = by_name_.find(callee);
+      if (it == by_name_.end()) continue;
+      bool any_same_file = false;
+      for (size_t cand : it->second) {
+        if (functions_[cand].file == fn.file) {
+          any_same_file = true;
+          break;
+        }
+      }
+      for (size_t cand : it->second) {
+        const FunctionInfo& target = functions_[cand];
+        if (any_same_file && target.file != fn.file) continue;
+        if (!InHotScope(target) || target.hot_stop) continue;
+        if (hot_reachable_[cand]) continue;
+        hot_reachable_[cand] = 1;
+        hot_parent_[cand] = current;
+        queue.push_back(cand);
+      }
+    }
+  }
+}
+
+const std::vector<size_t>* SemanticModel::FunctionsInFile(
+    const std::string& file) const {
+  auto it = by_file_.find(file);
+  return it == by_file_.end() ? nullptr : &it->second;
+}
+
+const FunctionInfo* SemanticModel::EnclosingFunction(
+    const std::string& file, size_t token_index) const {
+  const std::vector<size_t>* indices = FunctionsInFile(file);
+  if (indices == nullptr) return nullptr;
+  for (size_t idx : *indices) {
+    const FunctionInfo& fn = functions_[idx];
+    if (fn.body_begin <= token_index && token_index < fn.body_end) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+bool SemanticModel::IsHotReachable(size_t index) const {
+  return index < hot_reachable_.size() && hot_reachable_[index] != 0;
+}
+
+std::string SemanticModel::HotChain(size_t index) const {
+  if (!IsHotReachable(index)) return std::string();
+  std::vector<size_t> path;
+  for (size_t at = index; at != kNoParent; at = hot_parent_[at]) {
+    path.push_back(at);
+    if (path.size() > functions_.size()) break;  // defensive: no cycles
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out += " → ";
+    out += functions_[*it].qualified;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace delprop

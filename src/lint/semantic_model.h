@@ -1,0 +1,115 @@
+#ifndef DELPROP_LINT_SEMANTIC_MODEL_H_
+#define DELPROP_LINT_SEMANTIC_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/source_file.h"
+
+namespace delprop {
+namespace lint {
+
+/// One function definition recovered from the token stream: where it lives,
+/// what it is called (project-qualified when the enclosing class or an
+/// explicit `Class::` qualifier is known), the token range of its body, the
+/// hot-path annotations on its signature, and the names it calls.
+///
+/// This is a lexical, not a compiled, view: the extractor walks
+/// namespace/class scopes and matches `name(params) ... {` headers, so it
+/// knows spellings and nesting but not types. Call edges are therefore
+/// resolved by name (see SemanticModel::Finalize for the disambiguation
+/// policy), which over-approximates — acceptable for lint rules whose
+/// findings are suppressible.
+struct FunctionInfo {
+  std::string name;        // unqualified, e.g. "SolveWith"
+  std::string qualified;   // "GreedySolver::SolveWith" when a class is known
+  std::string class_name;  // enclosing class/struct or explicit qualifier
+  std::string file;        // path of the defining SourceFile, verbatim
+  int line = 0;            // 1-based line of the name token
+  size_t body_begin = 0;   // first token index inside the body (after '{')
+  size_t body_end = 0;     // token index of the closing '}' (exclusive)
+  bool hot_annotated = false;  // // delprop-hot on the signature
+  bool hot_stop = false;       // // delprop-hot-stop on the signature
+  // Callee names in first-occurrence body order (identifier followed by
+  // '('), keywords and duplicates removed.
+  std::vector<std::string> calls;
+};
+
+/// Tree-wide semantic facts shared by the call-graph rules. Built once per
+/// lint run by the Linter: AddFile() for every file, then Finalize().
+///
+/// Finalize() computes the hot set — functions transitively reachable from
+/// the hot roots (`VseSolver::SolveWith` overrides, `DamageTracker` methods,
+/// `BatchSolveEngine::Process`, plus `// delprop-hot` annotations), stopping
+/// at `// delprop-hot-stop` sinks. The traversal is restricted to functions
+/// defined under `hot_scope` paths (src/ by default) so test doubles never
+/// join the hot graph, and is deterministic: roots are visited in sorted
+/// order and call edges expand in body order.
+class SemanticModel {
+ public:
+  explicit SemanticModel(std::vector<std::string> hot_scope = {"src/"})
+      : hot_scope_(std::move(hot_scope)) {}
+
+  /// Extracts every function definition in `file`. Call once per file.
+  void AddFile(const SourceFile& file);
+
+  /// Resolves the call graph and computes hot reachability. Call after the
+  /// last AddFile() and before any query.
+  void Finalize();
+
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  /// Indices (into functions()) of the definitions in `file`, in body order.
+  /// Returns nullptr when the file defines no functions.
+  const std::vector<size_t>* FunctionsInFile(const std::string& file) const;
+
+  /// The innermost function of `file` whose body covers `token_index`, or
+  /// nullptr (function headers and namespace-scope tokens are outside every
+  /// body).
+  const FunctionInfo* EnclosingFunction(const std::string& file,
+                                        size_t token_index) const;
+
+  /// True if functions()[index] is in the hot set (reachable from a hot
+  /// root and not a delprop-hot-stop sink).
+  bool IsHotReachable(size_t index) const;
+
+  /// "Root::A → B::C → fn" — the discovery path of a hot-reachable
+  /// function, for per-edge diagnostics. Empty when not hot-reachable.
+  std::string HotChain(size_t index) const;
+
+  /// True if some `name.reserve(` / `name->reserve(` call exists anywhere
+  /// in the linted tree — the growth of containers with that spelling is
+  /// treated as pre-sized. Name-based (no aliasing analysis), so one
+  /// reserve() vouches for every container sharing the spelling.
+  bool IsReservedName(const std::string& name) const {
+    return reserved_names_.count(name) > 0;
+  }
+
+ private:
+  void ExtractFunctions(const SourceFile& file);
+  bool InHotScope(const FunctionInfo& fn) const;
+  bool IsBuiltinHotRoot(const FunctionInfo& fn) const;
+
+  std::vector<std::string> hot_scope_;
+  std::vector<FunctionInfo> functions_;
+  // file -> indices into functions_, ascending body_begin.
+  std::map<std::string, std::vector<size_t>> by_file_;
+  // unqualified name -> indices into functions_ (sorted in Finalize).
+  std::unordered_map<std::string, std::vector<size_t>> by_name_;
+  std::unordered_set<std::string> reserved_names_;
+  // Hot reachability, parallel to functions_: parent index in the BFS
+  // forest (kNoParent for roots / unreached).
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+  std::vector<char> hot_reachable_;
+  std::vector<size_t> hot_parent_;
+};
+
+}  // namespace lint
+}  // namespace delprop
+
+#endif  // DELPROP_LINT_SEMANTIC_MODEL_H_

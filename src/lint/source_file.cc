@@ -8,6 +8,26 @@ namespace {
 
 constexpr std::string_view kMarker = "delprop-lint:";
 constexpr std::string_view kOkSuffix = "-ok";
+constexpr std::string_view kHotMarker = "delprop-hot";
+constexpr std::string_view kHotStopMarker = "delprop-hot-stop";
+
+// True if `comment` contains `marker` as a whole word (so "delprop-hot" does
+// not also match inside "delprop-hot-stop").
+bool HasMarkerWord(std::string_view comment, std::string_view marker) {
+  size_t at = 0;
+  while ((at = comment.find(marker, at)) != std::string_view::npos) {
+    size_t end = at + marker.size();
+    bool left_ok = at == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   comment[at - 1])) &&
+                               comment[at - 1] != '-');
+    bool right_ok = end == comment.size() ||
+                    (!std::isalnum(static_cast<unsigned char>(comment[end])) &&
+                     comment[end] != '-');
+    if (left_ok && right_ok) return true;
+    at = end;
+  }
+  return false;
+}
 
 bool IsRuleNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '-';
@@ -41,6 +61,13 @@ SourceFile::SourceFile(std::string path, std::string content)
       for (std::string& rule : ParseSuppressions(token.text)) {
         suppressions_.emplace(token.line, rule);
         suppressions_.emplace(token.line + 1, std::move(rule));
+      }
+      if (HasMarkerWord(token.text, kHotStopMarker)) {
+        hot_stop_lines_.insert(token.line);
+        hot_stop_lines_.insert(token.line + 1);
+      } else if (HasMarkerWord(token.text, kHotMarker)) {
+        hot_lines_.insert(token.line);
+        hot_lines_.insert(token.line + 1);
       }
       continue;
     }

@@ -13,7 +13,8 @@ namespace delprop {
 namespace lint {
 
 /// One file prepared for linting: the token stream with comments stripped,
-/// plus the suppressions extracted from those comments.
+/// plus the suppressions and hot-path annotations extracted from those
+/// comments.
 ///
 /// A comment anywhere on a line may carry `delprop-lint: <rule>-ok`; it
 /// suppresses diagnostics of that rule on the comment's own line and on the
@@ -23,6 +24,12 @@ namespace lint {
 ///
 ///   // delprop-lint: nondeterministic-iteration-ok (order folded into a sum)
 ///   for (const auto& [k, v] : counts) total += v;
+///
+/// Two further markers drive the call-graph analysis (see docs/lint.md):
+/// `// delprop-hot` on (or one line above) a function signature makes that
+/// function an extra hot root; `// delprop-hot-stop` marks an allocation
+/// sink — the function is excluded from the hot set and the traversal does
+/// not descend through it. Both expect a justification in the comment.
 class SourceFile {
  public:
   /// Lexes `content`. `path` is kept verbatim for diagnostics and for
@@ -38,12 +45,23 @@ class SourceFile {
   /// True if `rule` is suppressed on `line` by a nearby suppression comment.
   bool IsSuppressed(std::string_view rule, int line) const;
 
+  /// True if a `// delprop-hot` comment covers `line` (the comment's own
+  /// line or the one after it).
+  bool HasHotAnnotation(int line) const { return hot_lines_.count(line) > 0; }
+
+  /// True if a `// delprop-hot-stop` comment covers `line`.
+  bool HasHotStopAnnotation(int line) const {
+    return hot_stop_lines_.count(line) > 0;
+  }
+
  private:
   std::string path_;
   std::string content_;
   std::vector<Token> tokens_;
   // (line, rule) pairs with an active suppression.
   std::set<std::pair<int, std::string>> suppressions_;
+  std::set<int> hot_lines_;
+  std::set<int> hot_stop_lines_;
 };
 
 }  // namespace lint

@@ -506,6 +506,10 @@ std::shared_ptr<const CompiledInstance> CompiledInstance::BuildFromCore(
   return plan;
 }
 
+// Lazy build: the first compiled() after an invalidation pays for the plan
+// (or overlay) construction; every later call is a cache hit. Allocation
+// here is the sanctioned cost of rebinding, not per-pick work.
+// delprop-hot-stop
 std::shared_ptr<const CompiledInstance> VseInstance::compiled() const {
   std::lock_guard<std::mutex> lock(caches_->mu);
   if (caches_->compiled == nullptr) {

@@ -30,7 +30,11 @@ Result<BalancedToPnpscMapping> ReduceBalancedToPnpsc(
     if (negative_of_tuple[dense] == CompiledInstance::kNpos) {
       negative_of_tuple[dense] =
           static_cast<uint32_t>(mapping.negative_tuples.size());
+      // Lazy first-touch interning: the negative universe is discovered
+      // during this scan, unknown until the reduction finishes.
+      // delprop-lint: hot-path-allocation-ok amortized interning, see above
       mapping.negative_tuples.push_back(plan->IdOf(dense));
+      // delprop-lint: hot-path-allocation-ok amortized interning, see above
       mapping.pnpsc.negative_weights.push_back(plan->weight(dense));
     }
     return negative_of_tuple[dense];
@@ -39,8 +43,17 @@ Result<BalancedToPnpscMapping> ReduceBalancedToPnpsc(
   mapping.pnpsc.sets.reserve(plan->candidate_bases().size());
   for (uint32_t base : plan->candidate_bases()) {
     PnpscInstance::Set set;
+    uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
-    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+    // Count first: the positive/negative lists partition the kill row and
+    // are retained in the mapping for the whole solve.
+    uint32_t positive_count = 0;
+    for (uint32_t slot = begin; slot < end; ++slot) {
+      if (plan->is_deletion(plan->kill_tuple(slot))) ++positive_count;
+    }
+    set.positives.reserve(positive_count);
+    set.negatives.reserve((end - begin) - positive_count);
+    for (uint32_t slot = begin; slot < end; ++slot) {
       uint32_t dense = plan->kill_tuple(slot);
       if (plan->is_deletion(dense)) {
         set.positives.push_back(plan->deletion_index(dense));

@@ -27,7 +27,11 @@ Result<VseToRbscMapping> ReduceVseToRbsc(const VseInstance& instance) {
   auto red_of = [&](uint32_t dense) {
     if (red_of_tuple[dense] == CompiledInstance::kNpos) {
       red_of_tuple[dense] = static_cast<uint32_t>(mapping.red_tuples.size());
+      // Lazy first-touch interning: the red universe is discovered during
+      // this scan, so its size is unknown until the reduction finishes.
+      // delprop-lint: hot-path-allocation-ok amortized interning, see above
       mapping.red_tuples.push_back(plan->IdOf(dense));
+      // delprop-lint: hot-path-allocation-ok amortized interning, see above
       mapping.rbsc.red_weights.push_back(plan->weight(dense));
     }
     return red_of_tuple[dense];
@@ -36,8 +40,17 @@ Result<VseToRbscMapping> ReduceVseToRbsc(const VseInstance& instance) {
   mapping.rbsc.sets.reserve(plan->candidate_bases().size());
   for (uint32_t base : plan->candidate_bases()) {
     RbscInstance::Set set;
+    uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
-    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+    // Count first: the set's blue/red lists partition its kill row, and
+    // both are retained in the mapping for the whole solve.
+    uint32_t blue_count = 0;
+    for (uint32_t slot = begin; slot < end; ++slot) {
+      if (plan->is_deletion(plan->kill_tuple(slot))) ++blue_count;
+    }
+    set.blues.reserve(blue_count);
+    set.reds.reserve((end - begin) - blue_count);
+    for (uint32_t slot = begin; slot < end; ++slot) {
       uint32_t dense = plan->kill_tuple(slot);
       if (plan->is_deletion(dense)) {
         set.blues.push_back(plan->deletion_index(dense));

@@ -9,6 +9,10 @@ Tuple Relation::KeyOf(const Tuple& tuple) const {
   return key;
 }
 
+// Base-data loading, not solve-path work — solvers mutate DeletionSets,
+// never relations. (The call-graph rule would otherwise pull this in
+// through the name collision with DeletionSet::Insert.)
+// delprop-hot-stop
 Result<uint32_t> Relation::Insert(Tuple tuple) {
   if (tuple.size() != schema_->arity) {
     return Status::InvalidArgument("arity mismatch inserting into relation '" +

@@ -1,5 +1,6 @@
 #include "setcover/greedy_set_cover.h"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 
@@ -98,6 +99,9 @@ Result<std::vector<size_t>> GreedySetCover(const SetCoverInstance& instance) {
   std::vector<bool> covered(instance.element_count, false);
   size_t left = instance.element_count;
   std::vector<size_t> chosen;
+  // Each pick covers at least one fresh element, so the cover never
+  // exceeds min(sets, elements).
+  chosen.reserve(std::min(instance.sets.size(), instance.element_count));
 
   // Lazy heap of (score, set). A stale score is always a lower bound on the
   // current one (fresh counts only shrink), so: pop the minimum, recompute
@@ -160,6 +164,8 @@ class SetCoverSearch {
  public:
   SetCoverSearch(const SetCoverInstance& instance, uint64_t budget)
       : instance_(instance), budget_(budget) {
+    // The branch-and-bound path holds at most one entry per set.
+    chosen_.reserve(instance.sets.size());
     sets_with_element_.resize(instance.element_count);
     for (size_t s = 0; s < instance.sets.size(); ++s) {
       for (size_t e : instance.sets[s]) sets_with_element_[e].push_back(s);

@@ -74,6 +74,7 @@ RbscInstance ReducePnpscToRbsc(const PnpscInstance& instance) {
 PnpscSolution MapRbscSolutionBack(const PnpscInstance& instance,
                                   const RbscSolution& rbsc_solution) {
   PnpscSolution solution;
+  solution.chosen.reserve(rbsc_solution.chosen.size());
   for (size_t s : rbsc_solution.chosen) {
     if (s < instance.sets.size()) solution.chosen.push_back(s);
   }

@@ -27,6 +27,9 @@ bool DamageTracker::Rebind(const VseInstance& instance) {
     dead_witnesses_.assign(plan_->tuple_count(), 0);
     deleted_stamp_.assign(plan_->base_count(), 0);
     deleted_pos_.resize(plan_->base_count());
+    // At most every candidate base can be deleted; reserving here keeps
+    // DeleteBase (the per-pick hot path) allocation-free.
+    deleted_.reserve(plan_->base_count());
     epoch_ = 1;
   }
   deleted_.clear();
@@ -67,6 +70,10 @@ double DamageTracker::Delete(const TupleRef& ref) {
     // IsDeleted/Undelete/CurrentDeletion stay consistent.
     assert(std::find(foreign_.begin(), foreign_.end(), ref) ==
            foreign_.end());
+    // Foreign refs (tuples outside every witness) never occur on the engine
+    // steady-state path — solvers only delete candidate bases; this branch
+    // serves ad-hoc script use.
+    // delprop-lint: hot-path-allocation-ok cold branch, see above
     foreign_.push_back(ref);
     return 0.0;
   }
@@ -161,6 +168,9 @@ double DamageTracker::MarginalDamageBase(uint32_t base) const {
   return damage;
 }
 
+// Result materialization: builds the final DeletionSet once, after the
+// solver's delete/undelete loops are done.
+// delprop-hot-stop
 DeletionSet DamageTracker::CurrentDeletion() const {
   DeletionSet out;
   for (uint32_t base : deleted_) out.Insert(plan_->base_ref(base));

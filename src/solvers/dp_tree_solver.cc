@@ -64,6 +64,7 @@ Result<VseSolution> DpTreeSolver::Solve(const VseInstance& instance) {
   std::vector<SuffixByTopDepth> charge(n);
   for (size_t node = 0; node < n; ++node) {
     std::vector<std::pair<size_t, double>> entries;
+    entries.reserve(structure->preserved_through[node].size());
     for (size_t p : structure->preserved_through[node]) {
       const auto& path = structure->preserved_paths[p];
       entries.emplace_back(path.top_depth, path.weight);
@@ -137,6 +138,7 @@ Result<VseSolution> DpTreeSolver::Solve(const VseInstance& instance) {
   DeletionSet deletion;
   double total = 0.0;
   std::vector<std::pair<size_t, size_t>> stack;
+  stack.reserve(n);  // every node enters the walk exactly once
   for (size_t root : rooting.roots) {
     total = SaturatingAdd(total, dp[root][0]);
     stack.emplace_back(root, 0);

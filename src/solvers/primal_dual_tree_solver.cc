@@ -28,6 +28,7 @@ Result<std::vector<size_t>> PrimalDualTreeSolver::SolveOnTree(
   std::vector<double> used(n, 0.0);
   std::vector<bool> deleted(n, false);
   std::vector<size_t> deletion_order;
+  deletion_order.reserve(n);  // each node is deleted at most once
 
   auto path_cut = [&](const TreeStructure::PathInfo& path) {
     return std::any_of(path.nodes.begin(), path.nodes.end(),
@@ -72,6 +73,7 @@ Result<std::vector<size_t>> PrimalDualTreeSolver::SolveOnTree(
   // keep every ΔV path cut.
   if (options.skip_reverse_delete) {
     std::vector<size_t> all;
+    all.reserve(deletion_order.size());
     for (size_t node = 0; node < n; ++node) {
       if (deleted[node]) all.push_back(node);
     }
@@ -99,6 +101,7 @@ Result<std::vector<size_t>> PrimalDualTreeSolver::SolveOnTree(
   }
 
   std::vector<size_t> result;
+  result.reserve(deletion_order.size());
   for (size_t node = 0; node < n; ++node) {
     if (deleted[node]) result.push_back(node);
   }

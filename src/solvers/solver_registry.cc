@@ -17,6 +17,9 @@
 
 namespace delprop {
 
+// Solver construction is once-per-request setup, not part of any solve
+// inner loop; the engine additionally memoizes solvers per worker.
+// delprop-hot-stop
 std::unique_ptr<VseSolver> MakeSolver(const std::string& name) {
   if (name == "exact") return std::make_unique<ExactSolver>();
   if (name == "exact-balanced") return std::make_unique<ExactBalancedSolver>();

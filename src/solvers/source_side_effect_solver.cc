@@ -23,9 +23,17 @@ Result<VseSolution> SourceSideEffectSolver::Solve(
   cover.element_count = instance.TotalDeletionTuples();
   cover.sets.reserve(candidates.size());
   for (uint32_t base : candidates) {
-    std::vector<size_t> elements;
+    uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
-    for (uint32_t slot = plan->kill_begin(base); slot < end; ++slot) {
+    // Count first so the per-set vector is sized exactly — these lists are
+    // retained for the whole set-cover run.
+    size_t deletions = 0;
+    for (uint32_t slot = begin; slot < end; ++slot) {
+      if (plan->is_deletion(plan->kill_tuple(slot))) ++deletions;
+    }
+    std::vector<size_t> elements;
+    elements.reserve(deletions);
+    for (uint32_t slot = begin; slot < end; ++slot) {
       uint32_t dense = plan->kill_tuple(slot);
       if (plan->is_deletion(dense)) {
         elements.push_back(plan->deletion_index(dense));

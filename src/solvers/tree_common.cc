@@ -4,6 +4,9 @@
 
 namespace delprop {
 
+// Per-solve materialization: builds the data forest, rooting, and path
+// tables once before a tree solver's DP/primal-dual loops run over them.
+// delprop-hot-stop
 Result<TreeStructure> BuildTreeStructure(const VseInstance& instance,
                                          TreeMode mode) {
   if (!instance.all_unique_witness()) {

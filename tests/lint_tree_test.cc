@@ -1,0 +1,54 @@
+// Golden tree-wide lint: runs every rule over the real repository sources
+// (DELPROP_SOURCE_DIR is baked in by CMake) and asserts the tree is clean
+// modulo the committed baseline. A failure here means a change introduced a
+// new lint finding — fix it, suppress it with an explanatory
+// `// delprop-lint: <rule>-ok` comment, or (for accepted debt) regenerate
+// lint_baseline.json via `reproduce.sh lint-json` and justify the entry in
+// the PR.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/json_report.h"
+#include "lint/linter.h"
+
+namespace delprop {
+namespace lint {
+namespace {
+
+TEST(LintTreeTest, RepositoryIsCleanModuloBaseline) {
+  const std::filesystem::path root = DELPROP_SOURCE_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(root))
+      << "DELPROP_SOURCE_DIR does not point at the repo: " << root;
+
+  // Diagnostics report paths verbatim, and the committed baseline stores
+  // them relative to the repo root — run from there.
+  const std::filesystem::path previous = std::filesystem::current_path();
+  std::filesystem::current_path(root);
+
+  Linter linter;
+  linter.AddDefaultRules();
+  Result<LintReport> report =
+      linter.RunOnPaths({"src", "tools", "bench", "tests"});
+  std::filesystem::current_path(previous);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->files_checked, 100u) << "tree walk found too few files";
+
+  std::vector<BaselineEntry> baseline;
+  Result<std::vector<BaselineEntry>> loaded =
+      LoadBaseline((root / "lint_baseline.json").string());
+  if (loaded.ok()) baseline = *std::move(loaded);
+
+  BaselineDelta delta = ApplyBaseline(report->diagnostics, baseline);
+  std::string rendered;
+  for (const Diagnostic& d : delta.fresh) rendered += d.ToString() + "\n";
+  EXPECT_TRUE(delta.fresh.empty())
+      << delta.fresh.size() << " fresh lint finding(s):\n"
+      << rendered;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace delprop

@@ -24,11 +24,13 @@ TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
+    // delprop-lint: shared-core-mutation-ok pool.Wait() below outlives capture
     pool.Submit([&counter] { counter.fetch_add(1); });
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
   // The pool is reusable after Wait().
+  // delprop-lint: shared-core-mutation-ok pool.Wait() below outlives capture
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 101);
@@ -38,6 +40,7 @@ TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.thread_count(), 1u);
   std::atomic<int> counter{0};
+  // delprop-lint: shared-core-mutation-ok pool.Wait() below outlives capture
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
@@ -48,6 +51,7 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 50; ++i) {
+      // delprop-lint: shared-core-mutation-ok dtor drains before counter dies
       pool.Submit([&counter] { counter.fetch_add(1); });
     }
     // No Wait(): the destructor must finish the queue before joining.
