@@ -51,7 +51,9 @@ int AblateRbscSubroutine() {
     Result<VseSolution> g = greedy_variant.Solve(instance);
     Result<VseSolution> l = lowdeg_variant.Solve(instance);
     Result<VseSolution> e = exact_variant.Solve(instance);
-    if (!opt.ok() || !g.ok() || !l.ok() || !e.ok()) continue;
+    if (!bench::ProvenOptimal(opt) || !g.ok() || !l.ok() || !e.ok()) {
+      continue;
+    }
     table.AddRow({"random#" + std::to_string(trial),
                   FmtDouble(opt->Cost(), 0), FmtDouble(g->Cost(), 0),
                   FmtDouble(l->Cost(), 0), FmtDouble(e->Cost(), 0)});
@@ -71,7 +73,9 @@ int AblateRbscSubroutine() {
     Result<VseSolution> g = greedy_variant.Solve(instance);
     Result<VseSolution> l = lowdeg_variant.Solve(instance);
     Result<VseSolution> e = exact_variant.Solve(instance);
-    if (!opt.ok() || !g.ok() || !l.ok() || !e.ok()) return 1;
+    if (!bench::ProvenOptimal(opt) || !g.ok() || !l.ok() || !e.ok()) {
+      return 1;
+    }
     table.AddRow({"trap k=" + std::to_string(k), FmtDouble(opt->Cost(), 0),
                   FmtDouble(g->Cost(), 0), FmtDouble(l->Cost(), 0),
                   FmtDouble(e->Cost(), 0)});
@@ -145,7 +149,7 @@ int AblateThresholdSweep() {
     Result<VseSolution> opt = exact.Solve(instance);
     Result<VseSolution> a = pd.Solve(instance);
     Result<VseSolution> b = ld.Solve(instance);
-    if (!opt.ok() || !a.ok() || !b.ok()) return 1;
+    if (!bench::ProvenOptimal(opt) || !a.ok() || !b.ok()) return 1;
     table.AddRow({std::to_string(levels), std::to_string(fanout),
                   FmtDouble(opt->Cost(), 0), FmtDouble(a->Cost(), 0),
                   FmtDouble(b->Cost(), 0)});

@@ -55,7 +55,7 @@ int Run() {
     (void)instance->MarkForDeletionByValues(0, {"John", "XML"});
     ExactSolver solver;
     Result<VseSolution> solution = solver.Solve(*instance);
-    if (!solution.ok()) return 1;
+    if (!bench::ProvenOptimal(solution)) return 1;
     std::printf("optimal deletion:\n");
     for (const TupleRef& ref : solution->deletion.Sorted()) {
       std::printf("  %s\n", g->database->RenderTuple(ref).c_str());

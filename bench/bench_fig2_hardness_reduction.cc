@@ -38,7 +38,7 @@ int Run() {
     }
     ExactSolver exact;
     Result<VseSolution> solution = exact.Solve(instance);
-    if (!solution.ok()) return 1;
+    if (!bench::ProvenOptimal(solution)) return 1;
     std::printf("optimal view side-effect: %.0f  "
                 "(= optimal RBSC cost: cover b1..b3, red r1 is hit)\n",
                 solution->Cost());
@@ -62,7 +62,7 @@ int Run() {
       Result<VseSolution> opt = exact.Solve(instance);
       Result<VseSolution> g = density.Solve(instance);
       Result<VseSolution> ld = lowdeg.Solve(instance);
-      if (!opt.ok() || !g.ok() || !ld.ok()) return 1;
+      if (!bench::ProvenOptimal(opt) || !g.ok() || !ld.ok()) return 1;
       table.AddRow({std::to_string(k),
                     std::to_string(instance.TotalViewTuples()),
                     FmtDouble(opt->Cost(), 0), FmtDouble(g->Cost(), 0),
@@ -96,7 +96,7 @@ int Run() {
       if (!rbsc_opt.ok() || !generated.ok()) return 1;
       ExactSolver exact;
       Result<VseSolution> vse_opt = exact.Solve(*generated->instance);
-      if (!vse_opt.ok()) return 1;
+      if (!bench::ProvenOptimal(vse_opt)) return 1;
       double a = RbscCost(rbsc, *rbsc_opt);
       double b = vse_opt->Cost();
       table.AddRow({std::to_string(reds), std::to_string(blues),

@@ -86,7 +86,7 @@ int Run() {
       ExactSolver exact;
       auto [f, f_ms] = bench::Timed([&] { return fast.Solve(instance); });
       auto [e, e_ms] = bench::Timed([&] { return exact.Solve(instance); });
-      if (!f.ok() || !e.ok()) return 1;
+      if (!f.ok() || !bench::ProvenOptimal(e)) return 1;
       table.AddRow({std::to_string(levels),
                     std::to_string(instance.TotalViewTuples()),
                     FmtDouble(f_ms, 3), FmtDouble(e_ms, 3),
@@ -116,11 +116,12 @@ int Run() {
       auto [a, a_ms] = bench::Timed([&] { return approx.Solve(instance); });
       Result<VseSolution> g = greedy.Solve(instance);
       if (!a.ok() || !g.ok()) return 1;
+      const bool proven = bench::ProvenOptimal(e);
       table.AddRow({std::to_string(facts),
                     std::to_string(instance.TotalDeletionTuples()),
-                    e.ok() ? FmtDouble(e_ms, 2) : "budget!",
+                    proven ? FmtDouble(e_ms, 2) : "budget!",
                     FmtDouble(a_ms, 2),
-                    e.ok() ? FmtDouble(e->Cost(), 0) : "-",
+                    proven ? FmtDouble(e->Cost(), 0) : "-",
                     FmtDouble(a->Cost(), 0), FmtDouble(g->Cost(), 0)});
     }
     table.Print();

@@ -55,7 +55,7 @@ int Run() {
       Result<VseSolution> opt = exact.Solve(instance);
       Result<VseSolution> a = lowdeg.Solve(instance);
       Result<VseSolution> g = greedy.Solve(instance);
-      if (!opt.ok() || !a.ok() || !g.ok()) return 1;
+      if (!bench::ProvenOptimal(opt) || !a.ok() || !g.ok()) return 1;
       table.AddRow({std::to_string(k),
                     std::to_string(instance.TotalViewTuples()),
                     FmtDouble(opt->BalancedCost(), 0),
@@ -97,7 +97,7 @@ int Run() {
       if (!pnpsc_opt.ok() || !generated.ok()) return 1;
       ExactBalancedSolver exact;
       Result<VseSolution> lifted = exact.Solve(*generated->instance);
-      if (!lifted.ok()) return 1;
+      if (!bench::ProvenOptimal(lifted)) return 1;
       double x = PnpscCost(pnpsc, *pnpsc_opt);
       double y = lifted->BalancedCost();
       table.AddRow({std::to_string(p), std::to_string(n), std::to_string(s),

@@ -43,7 +43,7 @@ int Run() {
       auto [pd, pd_ms] =
           bench::Timed([&] { return primal_dual.Solve(instance); });
       Result<VseSolution> g = greedy.Solve(instance);
-      if (!opt.ok() || !pd.ok() || !g.ok()) continue;
+      if (!bench::ProvenOptimal(opt) || !pd.ok() || !g.ok()) continue;
       double ratio =
           opt->Cost() > 0 ? pd->Cost() / opt->Cost() : 1.0;
       ratio_worst = std::max(ratio_worst, ratio);

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -115,6 +116,17 @@ inline bool SnapshotGuard(const std::string& git, const std::string& path) {
   return allowed;
 }
 
+/// True when `opt` carries a PROVEN optimum. The exact solvers' anytime
+/// semantics return ok() with the best unproven incumbent after budget or
+/// deadline exhaustion (gap.optimal false) — such a cost is an upper bound,
+/// not OPT, and must not anchor an "OPT" column or a ratio denominator.
+/// Template so this header needs no solver includes; `opt` is any
+/// Result<VseSolution>.
+template <typename ResultT>
+inline bool ProvenOptimal(const ResultT& opt) {
+  return opt.ok() && opt->gap.optimal;
+}
+
 /// Median over `samples` (by copy: benches keep their raw runs). Averages
 /// the two middle elements for even sizes; 0.0 when empty.
 inline double Median(std::vector<double> samples) {
@@ -166,6 +178,16 @@ struct SolverRecord {
   double cost = 0.0;
   size_t deletion_size = 0;
   double wall_ms = 0.0;
+  /// Optimality-gap certificate (VseSolution::gap), reported by the exact
+  /// and ilp solvers: `gap_optimal` means the cost is a proven optimum,
+  /// otherwise [gap_lower, gap_upper] brackets it and `gap_relative` is
+  /// (upper - lower) / upper.
+  bool has_gap = false;
+  bool gap_optimal = false;
+  double gap_lower = 0.0;
+  double gap_upper = 0.0;
+  double gap_relative = 0.0;
+  uint64_t gap_nodes = 0;
 };
 
 /// One workload family: instance sizes (the paper's ‖V‖ / ‖ΔV‖ / l) plus the
@@ -228,11 +250,19 @@ inline bool WriteBenchJson(const BenchReport& report,
       std::fprintf(out,
                    "        {\"solver\": \"%s\", \"status\": \"%s\", "
                    "\"cost\": %.6f, \"deletion_size\": %zu, "
-                   "\"wall_ms\": %.3f}%s\n",
+                   "\"wall_ms\": %.3f",
                    JsonEscape(solver.solver).c_str(),
                    JsonEscape(solver.status).c_str(), solver.cost,
-                   solver.deletion_size, solver.wall_ms,
-                   s + 1 < family.solvers.size() ? "," : "");
+                   solver.deletion_size, solver.wall_ms);
+      if (solver.has_gap) {
+        std::fprintf(out,
+                     ", \"gap\": {\"optimal\": %s, \"lower\": %.6f, "
+                     "\"upper\": %.6f, \"relative\": %.6f, \"nodes\": %llu}",
+                     solver.gap_optimal ? "true" : "false", solver.gap_lower,
+                     solver.gap_upper, solver.gap_relative,
+                     static_cast<unsigned long long>(solver.gap_nodes));
+      }
+      std::fprintf(out, "}%s\n", s + 1 < family.solvers.size() ? "," : "");
     }
     std::fprintf(out, "      ]\n");
     std::fprintf(out, "    }%s\n",

@@ -17,6 +17,13 @@ Result<std::vector<ParetoPoint>> SourceViewParetoFrontier(
       }
       return solution.status();
     }
+    if (!solution->gap.optimal) {
+      // An uncertified incumbent would poison the frontier: every point's
+      // side-effect is advertised as the optimum for its budget.
+      return Status::FailedPrecondition(
+          "bounded exact search exceeded its node budget at deletion budget " +
+          std::to_string(k));
+    }
     double cost = solution->Cost();
     if (!frontier.empty() && cost >= frontier.back().side_effect) {
       continue;  // dominated by a smaller budget

@@ -1,6 +1,8 @@
 #ifndef DELPROP_DP_SOLUTION_H_
 #define DELPROP_DP_SOLUTION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 
 #include "dp/side_effect.h"
@@ -8,12 +10,45 @@
 
 namespace delprop {
 
+/// Certified optimality accounting for anytime exact solvers (ilp, exact,
+/// bounded-exact). A solver that proves its solution optimal sets
+/// `optimal = true` with `lower_bound == upper_bound`; one stopped by a node
+/// budget or deadline returns its best feasible incumbent and the strongest
+/// lower bound it can certify for the optimum of *its own* objective (the
+/// bounded solver's bound refers to the cardinality-capped optimum).
+/// Heuristic solvers leave the struct default-constructed
+/// (`has_bound == false`): no claim either way.
+struct OptimalityGap {
+  /// `lower_bound`/`upper_bound` below are meaningful certified values.
+  bool has_bound = false;
+  /// The returned solution is proven optimal for the solver's objective.
+  bool optimal = false;
+  /// Certified lower bound on the optimal objective value.
+  double lower_bound = 0.0;
+  /// Objective value of the returned (feasible) solution.
+  double upper_bound = 0.0;
+  /// Search nodes expanded (deterministic per instance for ilp/exact).
+  uint64_t nodes = 0;
+  /// The search stopped on its wall-clock deadline / node budget.
+  bool deadline_hit = false;
+  bool budget_hit = false;
+
+  /// Relative certified gap in [0, 1]: 0 when proven optimal, 1 when the
+  /// bound says nothing (lower_bound 0 against a positive incumbent).
+  double RelativeGap() const {
+    if (upper_bound <= lower_bound) return 0.0;
+    return (upper_bound - lower_bound) / std::max(upper_bound, 1e-12);
+  }
+};
+
 /// A solver's output: the source deletion ΔD plus its full side-effect
 /// accounting and provenance of which solver produced it.
 struct VseSolution {
   DeletionSet deletion;
   SideEffectReport report;
   std::string solver_name;
+  /// Optimality certificate; default-constructed for heuristic solvers.
+  OptimalityGap gap;
 
   /// Convenience accessors for the two objectives.
   double Cost() const { return report.side_effect_weight; }

@@ -1,0 +1,124 @@
+#ifndef DELPROP_ILP_ILP_SOLVER_H_
+#define DELPROP_ILP_ILP_SOLVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dp/solver.h"
+#include "ilp/covering_model.h"
+
+namespace delprop {
+
+class DamageTracker;
+
+/// Knobs for the branch-and-bound 0/1 ILP solver.
+struct IlpOptions {
+  /// Total search-node budget across all components; exhaustion returns the
+  /// best-so-far incumbent with a certified gap (never an error — the greedy
+  /// warm start guarantees a feasible incumbent on feasible instances).
+  uint64_t node_budget = 50'000'000;
+  /// Wall-clock deadline in milliseconds, checked every 256 nodes;
+  /// infinity (the default) disables it, 0 expires immediately (the search
+  /// returns the warm-start incumbent plus root bounds). Note a finite
+  /// deadline makes node counts — though never costs or feasibility —
+  /// machine-dependent; the fuzz oracles run with the deadline disabled.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+};
+
+/// Branch-and-bound 0/1 ILP solver for both deletion-propagation objectives
+/// (ROADMAP's in-tree ILP item; the formulation-first approach of "Is
+/// Integer Linear Programming All You Need for Deletion Propagation?",
+/// arXiv 2411.17603, built without external dependencies).
+///
+/// The model (ilp/covering_model.h) decomposes the candidate bases into
+/// independent components; each is solved by depth-first branch-and-bound:
+///
+///   * warm start: a per-component damage-greedy (with reverse-delete) seeds
+///     the incumbent, so there is always a feasible best-so-far;
+///   * lower bounds: a dual-feasible witness-packing bound — pairwise
+///     member-disjoint unhit witnesses are packed greedily, each charging
+///     the union of its members' marginal-damage sets so no preserved
+///     tuple's weight is counted twice (docs/ilp.md has the argument);
+///   * branching: standard objective branches on the members of a
+///     minimum-available-size unhit witness of the first unkilled ΔV tuple,
+///     excluding tried members (exclusion strengthens later bounds);
+///     balanced branches include/exclude over the component's candidates;
+///   * determinism: all orders are fixed by dense ids, so node counts and
+///     solutions are identical across runs and thread counts (deadline
+///     aside — see IlpOptions).
+///
+/// Solutions carry a VseSolution::gap certificate: proven optimal when every
+/// component search completed, otherwise incumbent vs. the sum of completed
+/// components' optima plus interrupted components' root bounds.
+class IlpSolver : public VseSolver {
+ public:
+  explicit IlpSolver(Objective objective = Objective::kStandard,
+                     IlpOptions options = {})
+      : objective_(objective), options_(options) {}
+
+  std::string name() const override {
+    return objective_ == Objective::kBalanced ? "ilp-balanced" : "ilp";
+  }
+  Objective objective() const override { return objective_; }
+  Result<VseSolution> Solve(const VseInstance& instance) override;
+  Result<VseSolution> SolveWith(const VseInstance& instance,
+                                ScratchPool* scratch) override;
+
+ private:
+  struct CompResult {
+    double best_cost = 0.0;    // incumbent objective value of the component
+    double lower_bound = 0.0;  // certified bound on the component optimum
+    bool proven = false;       // the component search ran to completion
+  };
+
+  CompResult SolveComponent(uint32_t c, DamageTracker& tracker);
+  double WarmStart(uint32_t c, DamageTracker& tracker);
+  void DescendStandard(uint32_t c, DamageTracker& tracker);
+  void DescendBalanced(uint32_t c, uint32_t index, DamageTracker& tracker);
+  double DualBound(uint32_t c, DamageTracker& tracker);
+  double BalancedDualBound(uint32_t c, DamageTracker& tracker);
+  double MarginalWeight(uint32_t base, const DamageTracker& tracker,
+                        bool charge);
+  void SnapshotIncumbent(const DamageTracker& tracker);
+  bool CheckLimits();
+
+  bool IsExcluded(uint32_t base) const {
+    return excluded_stamp_[base] == solve_epoch_;
+  }
+
+  Objective objective_;
+  IlpOptions options_;
+  CoveringModel model_;
+
+  // Per-solve search state. All buffers are members reused across solves:
+  // after the first solve over a plan shape, SolveWith allocates nothing.
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+  bool budget_hit_ = false;
+  bool deadline_hit_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+
+  // Current component search.
+  double best_cost_ = 0.0;       // component-local incumbent objective
+  double comp_base_kpw_ = 0.0;   // killed-preserved weight at component entry
+  double comp_base_surviving_ = 0.0;  // surviving ΔV weight at entry
+  size_t comp_trail_start_ = 0;  // tracker.DeletedBases() size at entry
+  std::vector<uint32_t> comp_best_;  // incumbent deletion of the component
+
+  // Branch exclusions (node-scoped, trail-unwound); stamp == solve_epoch_.
+  uint64_t solve_epoch_ = 0;
+  std::vector<uint64_t> excluded_stamp_;
+  std::vector<uint32_t> excl_trail_;
+
+  // Witness-packing scratch (per DualBound call); stamp == pack_epoch_.
+  uint64_t pack_epoch_ = 0;
+  std::vector<uint64_t> pack_used_stamp_;     // per base: packed-witness member
+  std::vector<uint64_t> pack_charged_stamp_;  // per tuple: weight charged
+};
+
+}  // namespace delprop
+
+#endif  // DELPROP_ILP_ILP_SOLVER_H_

@@ -82,6 +82,13 @@ class DamageTracker {
   /// Deleted-member count of witness `wid` (0 = the witness is alive).
   uint32_t witness_hits(uint32_t wid) const { return witness_hits_[wid]; }
 
+  /// Dead-witness count of view tuple `dense` (== its witness count exactly
+  /// when the tuple is killed). Lets bounding code derive the number of
+  /// still-unhit witnesses without rescanning the witness row.
+  uint32_t dead_witness_count(uint32_t dense) const {
+    return dead_witnesses_[dense];
+  }
+
   /// Snapshot of the current deletion as a DeletionSet.
   DeletionSet CurrentDeletion() const;
 

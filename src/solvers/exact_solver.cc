@@ -36,6 +36,16 @@ class StandardSearch {
 
   bool found() const { return found_; }
   const DeletionSet& best_deletion() const { return best_deletion_; }
+  double best_cost() const { return best_cost_; }
+  uint64_t nodes() const { return nodes_; }
+
+  /// Certified lower bound on the optimum after an incomplete run: every
+  /// subtree abandoned by the budget cut has its root's killed-preserved
+  /// weight as a valid bound (the killed weight only grows along a branch),
+  /// and every other subtree was either explored or pruned at >= best_cost_.
+  double CertifiedLowerBound() const {
+    return std::min(best_cost_, frontier_low_);
+  }
 
  private:
   // Picks the unkilled ΔV tuple and unhit witness with the fewest raw
@@ -44,7 +54,10 @@ class StandardSearch {
   // member lists with duplicates) so node counts — and therefore budget
   // boundaries — are preserved.
   void Descend() {
-    if (++nodes_ > budget_) return;
+    if (++nodes_ > budget_) {
+      CutFrontier();
+      return;
+    }
     if (tracker_.killed_preserved_weight() >= best_cost_) return;
     const CompiledInstance& plan = tracker_.plan();
     uint32_t branch_witness = CompiledInstance::kNpos;
@@ -77,8 +90,15 @@ class StandardSearch {
       tracker_.DeleteBase(base);
       Descend();
       tracker_.UndeleteBase(base);
-      if (nodes_ > budget_) return;
+      if (nodes_ > budget_) {
+        CutFrontier();  // untried sibling subtrees root at this node's state
+        return;
+      }
     }
+  }
+
+  void CutFrontier() {
+    frontier_low_ = std::min(frontier_low_, tracker_.killed_preserved_weight());
   }
 
   const VseInstance& instance_;
@@ -88,6 +108,7 @@ class StandardSearch {
   uint64_t nodes_ = 0;
   DeletionSet best_deletion_;
   double best_cost_ = std::numeric_limits<double>::infinity();
+  double frontier_low_ = std::numeric_limits<double>::infinity();
   bool found_ = false;
 };
 
@@ -97,10 +118,30 @@ Result<VseSolution> ExactSolver::Solve(const VseInstance& instance) {
   return SolveWith(instance, nullptr);
 }
 
+namespace {
+
+/// Stamps a search's optimality certificate onto `solution`: proven-optimal
+/// bounds when the search completed, the incumbent plus the strongest
+/// certified frontier bound when the node budget cut it short.
+void StampGap(VseSolution& solution, double upper, bool complete,
+              double incomplete_lower, uint64_t nodes) {
+  solution.gap.has_bound = true;
+  solution.gap.optimal = complete;
+  solution.gap.upper_bound = upper;
+  solution.gap.lower_bound = complete ? upper
+                                      : std::min(incomplete_lower, upper);
+  solution.gap.nodes = nodes;
+  solution.gap.budget_hit = !complete;
+}
+
+}  // namespace
+
 Result<VseSolution> ExactSolver::SolveWith(const VseInstance& instance,
                                            ScratchPool* scratch) {
   if (instance.TotalDeletionTuples() == 0) {
-    return MakeSolution(instance, DeletionSet(), name());
+    VseSolution solution = MakeSolution(instance, DeletionSet(), name());
+    StampGap(solution, 0.0, /*complete=*/true, 0.0, 0);
+    return solution;
   }
   GreedySolver greedy;
   Result<VseSolution> seed = greedy.SolveWith(instance, scratch);
@@ -114,33 +155,50 @@ Result<VseSolution> ExactSolver::SolveWith(const VseInstance& instance,
   if (seed.ok() && seed->Feasible()) {
     search.Seed(seed->deletion, seed->Cost());
   }
-  if (!search.Run()) {
-    return Status::FailedPrecondition("exact search exceeded node budget");
-  }
+  bool complete = search.Run();
   if (!search.found()) {
+    if (!complete) {
+      return Status::FailedPrecondition(
+          "exact search exceeded node budget before finding any feasible "
+          "solution");
+    }
     return Status::Infeasible("no deletion eliminates all of ΔV");
   }
-  return MakeSolution(instance, search.best_deletion(), name());
+  // Budget exhaustion with an incumbent in hand is an anytime result, not a
+  // failure: return the best feasible solution found with a certified gap.
+  VseSolution solution = MakeSolution(instance, search.best_deletion(), name());
+  StampGap(solution, search.best_cost(), complete,
+           search.CertifiedLowerBound(), search.nodes());
+  return solution;
 }
 
 Result<VseSolution> BoundedExactSolver::Solve(const VseInstance& instance) {
   if (instance.TotalDeletionTuples() == 0) {
-    return MakeSolution(instance, DeletionSet(), name());
+    VseSolution solution = MakeSolution(instance, DeletionSet(), name());
+    StampGap(solution, 0.0, /*complete=*/true, 0.0, 0);
+    return solution;
   }
   DamageTracker tracker(instance);
   StandardSearch search(instance, tracker, node_budget_, max_deletions_);
   // No greedy seed: the greedy may overshoot the cardinality cap, and a
   // seed above the cap would not be a certificate of feasibility.
-  if (!search.Run()) {
-    return Status::FailedPrecondition(
-        "bounded exact search exceeded node budget");
-  }
+  bool complete = search.Run();
   if (!search.found()) {
+    if (!complete) {
+      return Status::FailedPrecondition(
+          "bounded exact search exceeded node budget before finding any "
+          "feasible solution");
+    }
     return Status::Infeasible(
         "no deletion of at most " + std::to_string(max_deletions_) +
         " tuples eliminates all of ΔV");
   }
-  return MakeSolution(instance, search.best_deletion(), name());
+  // The gap refers to the cardinality-capped optimum (the solver's own
+  // objective domain), not the unconstrained one.
+  VseSolution solution = MakeSolution(instance, search.best_deletion(), name());
+  StampGap(solution, search.best_cost(), complete,
+           search.CertifiedLowerBound(), search.nodes());
+  return solution;
 }
 
 namespace {
@@ -161,10 +219,22 @@ class BalancedSearch {
   }
 
   const DeletionSet& best_deletion() const { return best_deletion_; }
+  double best_cost() const { return best_cost_; }
+  uint64_t nodes() const { return nodes_; }
+
+  /// Certified lower bound after an incomplete run; see StandardSearch.
+  /// A subtree's balanced cost is at least its root's killed-preserved
+  /// weight (the killed weight is monotone, surviving weight nonnegative).
+  double CertifiedLowerBound() const {
+    return std::min(best_cost_, frontier_low_);
+  }
 
  private:
   void Descend(size_t index) {
-    if (++nodes_ > budget_) return;
+    if (++nodes_ > budget_) {
+      CutFrontier();
+      return;
+    }
     // Killed-preserved weight only grows along a branch.
     if (tracker_.killed_preserved_weight() >= best_cost_) return;
     double cost = tracker_.killed_preserved_weight() +
@@ -180,9 +250,16 @@ class BalancedSearch {
     tracker_.DeleteBase(candidates[index]);
     Descend(index + 1);
     tracker_.UndeleteBase(candidates[index]);
-    if (nodes_ > budget_) return;
+    if (nodes_ > budget_) {
+      CutFrontier();  // the keep-branch subtree roots at this node's state
+      return;
+    }
     // Branch: keep candidate.
     Descend(index + 1);
+  }
+
+  void CutFrontier() {
+    frontier_low_ = std::min(frontier_low_, tracker_.killed_preserved_weight());
   }
 
   const VseInstance& instance_;
@@ -191,6 +268,7 @@ class BalancedSearch {
   uint64_t nodes_ = 0;
   DeletionSet best_deletion_;
   double best_cost_ = std::numeric_limits<double>::infinity();
+  double frontier_low_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace
@@ -206,11 +284,13 @@ Result<VseSolution> ExactBalancedSolver::SolveWith(const VseInstance& instance,
   DamageTracker& tracker =
       scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
   BalancedSearch search(instance, tracker, node_budget_);
-  if (!search.Run()) {
-    return Status::FailedPrecondition(
-        "exact balanced search exceeded node budget");
-  }
-  return MakeSolution(instance, search.best_deletion(), name());
+  // The empty deletion seeds the incumbent, so there is always a feasible
+  // best-so-far to return; exhaustion downgrades `optimal`, never the result.
+  bool complete = search.Run();
+  VseSolution solution = MakeSolution(instance, search.best_deletion(), name());
+  StampGap(solution, search.best_cost(), complete,
+           search.CertifiedLowerBound(), search.nodes());
+  return solution;
 }
 
 }  // namespace delprop

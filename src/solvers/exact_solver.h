@@ -13,7 +13,11 @@ namespace delprop {
 /// Handles general CQs (multi-witness lineage) correctly. Exponential in the
 /// worst case — the paper's Theorem 1 says it must be — so it is intended
 /// for small instances in tests and the ratio benches; `node_budget` caps
-/// the search and the solver fails with FailedPrecondition on exhaustion.
+/// the search. On exhaustion with an incumbent in hand the solver returns
+/// the best feasible solution found with `VseSolution::gap` reporting a
+/// certified lower bound and `optimal == false`; exhaustion before any
+/// feasible solution still fails with FailedPrecondition. Callers that need
+/// a proven optimum must check `gap.optimal`.
 class ExactSolver : public VseSolver {
  public:
   explicit ExactSolver(uint64_t node_budget = 20'000'000)

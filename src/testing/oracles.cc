@@ -8,6 +8,7 @@
 
 #include "dp/side_effect.h"
 #include "dp/solver.h"
+#include "ilp/ilp_solver.h"
 #include "plan/compiled_instance.h"
 #include "solvers/exact_solver.h"
 #include "solvers/greedy_solver.h"
@@ -347,8 +348,10 @@ struct SolverOutcome {
 };
 
 /// Runs `solver`, folding unexpected statuses into violations. Refusals
-/// (FailedPrecondition — wrong instance shape or budget exhaustion) are
-/// expected and simply leave `ran` false.
+/// (FailedPrecondition — wrong instance shape, or budget exhaustion before
+/// any feasible incumbent existed) are expected and simply leave `ran`
+/// false. Budget exhaustion WITH an incumbent comes back ok with
+/// gap.optimal == false — callers needing a proven optimum must check it.
 SolverOutcome RunSolver(VseSolver& solver, const VseInstance& instance,
                         const OracleOptions& options,
                         std::vector<OracleViolation>* out) {
@@ -399,7 +402,8 @@ std::vector<std::string> OracleNames() {
           "report-consistency",   "cost-vs-exact",
           "dp-tree-exact",        "dp-tree-balanced-exact",
           "ratio-primal-dual",    "ratio-lowdeg",
-          "ratio-claim1",         "balanced-cost-vs-exact"};
+          "ratio-claim1",         "balanced-cost-vs-exact",
+          "ilp-vs-exact",         "ilp-bound-sandwich"};
 }
 
 std::vector<OracleViolation> CheckOracles(const VseInstance& instance,
@@ -429,7 +433,91 @@ std::vector<OracleViolation> CheckOracles(const VseInstance& instance,
   }
   ExactSolver exact(options.exact_node_budget);
   SolverOutcome optimal = RunSolver(exact, instance, options, &violations);
-  if (optimal.ran) {
+  // Budget exhaustion now returns the incumbent with gap.optimal == false;
+  // only a proven optimum may anchor the OPT-based oracles.
+  const bool have_opt = optimal.ran && optimal.solution.gap.optimal;
+
+  // The ILP runs with its deadline disabled (wall-clock aborts would make
+  // the violation set machine-dependent) and the exact solver's node budget.
+  IlpOptions ilp_options;
+  ilp_options.node_budget = options.exact_node_budget;
+  IlpSolver ilp_solver(Objective::kStandard, ilp_options);
+  SolverOutcome ilp = RunSolver(ilp_solver, instance, options, &violations);
+  if (ilp.ran) {
+    const OptimalityGap& gap = ilp.solution.gap;
+    // The certificate itself must be coherent before anything leans on it.
+    if (!gap.has_bound ||
+        gap.lower_bound > gap.upper_bound + options.cost_epsilon ||
+        std::abs(gap.upper_bound - ilp.solution.Cost()) >
+            options.cost_epsilon ||
+        (gap.optimal &&
+         gap.upper_bound - gap.lower_bound > options.cost_epsilon)) {
+      violations.push_back(
+          {"ilp-bound-sandwich:ilp",
+           "inconsistent certificate: lower " + FormatCost(gap.lower_bound) +
+               ", upper " + FormatCost(gap.upper_bound) + ", cost " +
+               FormatCost(ilp.solution.Cost()) +
+               (gap.optimal ? " (claimed optimal)" : "")});
+    }
+    if (have_opt &&
+        std::abs(ilp.solution.Cost() - optimal.solution.Cost()) >
+            options.cost_epsilon) {
+      violations.push_back(
+          {"ilp-vs-exact",
+           "ilp cost " + FormatCost(ilp.solution.Cost()) +
+               " != exact optimum " + FormatCost(optimal.solution.Cost())});
+    }
+    if (have_opt &&
+        optimal.solution.Cost() < gap.lower_bound - options.cost_epsilon) {
+      violations.push_back(
+          {"ilp-bound-sandwich:exact",
+           "exact optimum " + FormatCost(optimal.solution.Cost()) +
+               " beats the ilp lower bound " + FormatCost(gap.lower_bound)});
+    }
+    // Every feasible solution costs at least OPT >= the certified lower
+    // bound; a ratio solver additionally stays within ratio * upper (since
+    // OPT <= upper, this holds even when the optimum itself is unknown).
+    // The guarantee-vs-upper checks only run when the proven optimum is
+    // missing: with OPT in hand the ratio-primal-dual / ratio-lowdeg
+    // oracles below check the tighter bound, and duplicating them here
+    // would double-fire under the lowdeg_ratio_scale bug injection.
+    for (size_t i = 0; i < approximations.size(); ++i) {
+      if (!outcomes[i].ran) continue;
+      const std::string& name = approximations[i]->name();
+      double cost = outcomes[i].solution.Cost();
+      if (cost < gap.lower_bound - options.cost_epsilon) {
+        violations.push_back(
+            {"ilp-bound-sandwich:" + name,
+             name + " cost " + FormatCost(cost) +
+                 " beats the certified lower bound " +
+                 FormatCost(gap.lower_bound)});
+      }
+      if (have_opt) continue;
+      if (name == "primal-dual") {
+        double l = static_cast<double>(instance.max_arity());
+        if (cost > l * gap.upper_bound + options.cost_epsilon) {
+          violations.push_back(
+              {"ilp-bound-sandwich:" + name,
+               name + " cost " + FormatCost(cost) + " > l=" + FormatCost(l) +
+                   " * ilp incumbent " + FormatCost(gap.upper_bound)});
+        }
+      }
+      if (name == "lowdeg-tree") {
+        double bound =
+            options.lowdeg_ratio_scale * 2.0 *
+            std::sqrt(static_cast<double>(instance.TotalViewTuples())) *
+            std::max(gap.upper_bound, 1.0);
+        if (cost > bound + options.cost_epsilon) {
+          violations.push_back(
+              {"ilp-bound-sandwich:" + name,
+               name + " cost " + FormatCost(cost) +
+                   " > ratio bound off the ilp incumbent " +
+                   FormatCost(bound)});
+        }
+      }
+    }
+  }
+  if (have_opt) {
     double opt = optimal.solution.Cost();
     for (size_t i = 0; i < approximations.size(); ++i) {
       if (!outcomes[i].ran) continue;
@@ -489,7 +577,37 @@ std::vector<OracleViolation> CheckOracles(const VseInstance& instance,
   ExactBalancedSolver exact_balanced(options.exact_node_budget);
   SolverOutcome balanced_opt =
       RunSolver(exact_balanced, instance, options, &violations);
-  if (balanced_opt.ran) {
+  const bool have_balanced_opt =
+      balanced_opt.ran && balanced_opt.solution.gap.optimal;
+  IlpSolver ilp_balanced_solver(Objective::kBalanced, ilp_options);
+  SolverOutcome ilp_balanced =
+      RunSolver(ilp_balanced_solver, instance, options, &violations);
+  if (ilp_balanced.ran) {
+    const OptimalityGap& gap = ilp_balanced.solution.gap;
+    double cost = ilp_balanced.solution.BalancedCost();
+    if (!gap.has_bound ||
+        gap.lower_bound > gap.upper_bound + options.cost_epsilon ||
+        std::abs(gap.upper_bound - cost) > options.cost_epsilon ||
+        (gap.optimal &&
+         gap.upper_bound - gap.lower_bound > options.cost_epsilon)) {
+      violations.push_back(
+          {"ilp-bound-sandwich:ilp-balanced",
+           "inconsistent certificate: lower " + FormatCost(gap.lower_bound) +
+               ", upper " + FormatCost(gap.upper_bound) + ", cost " +
+               FormatCost(cost) +
+               (gap.optimal ? " (claimed optimal)" : "")});
+    }
+    if (have_balanced_opt &&
+        std::abs(cost - balanced_opt.solution.BalancedCost()) >
+            options.cost_epsilon) {
+      violations.push_back(
+          {"ilp-vs-exact:ilp-balanced",
+           "ilp-balanced cost " + FormatCost(cost) +
+               " != exact balanced optimum " +
+               FormatCost(balanced_opt.solution.BalancedCost())});
+    }
+  }
+  if (have_balanced_opt) {
     double opt = balanced_opt.solution.BalancedCost();
     std::unique_ptr<VseSolver> dp_balanced = MakeSolver("dp-tree-balanced");
     SolverOutcome dp = RunSolver(*dp_balanced, instance, options, &violations);

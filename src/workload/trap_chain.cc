@@ -1,0 +1,96 @@
+#include "workload/trap_chain.h"
+
+#include <optional>
+#include <string>
+
+#include "query/parser.h"
+
+namespace delprop {
+namespace {
+
+/// Sets the weight of the view tuple of `view_index` with the given head
+/// values (all constants were interned during row insertion).
+Status WeightByValues(VseInstance& instance, size_t view_index,
+                      const std::vector<std::string>& values, double weight) {
+  const ValueDictionary& dict = instance.database().dict();
+  Tuple tuple;
+  tuple.reserve(values.size());
+  for (const std::string& text : values) {
+    std::optional<ValueId> id = dict.Find(text);
+    if (!id.has_value()) {
+      return Status::NotFound("unknown constant '" + text + "'");
+    }
+    tuple.push_back(*id);
+  }
+  std::optional<size_t> index = instance.view(view_index).Find(tuple);
+  if (!index.has_value()) {
+    return Status::NotFound("no view tuple with the given values in view " +
+                            std::to_string(view_index));
+  }
+  return instance.SetWeight(ViewTupleId{view_index, *index}, weight);
+}
+
+}  // namespace
+
+Result<GeneratedVse> MakeTrapChain(size_t gadgets) {
+  GeneratedVse generated;
+  generated.database = std::make_unique<Database>();
+  Database& db = *generated.database;
+
+  Result<RelationId> u = db.AddRelationNamed("U", {"id", "p"}, {0});
+  if (!u.ok()) return u.status();
+  Result<RelationId> w = db.AddRelationNamed("W", {"id", "p"}, {0});
+  if (!w.ok()) return w.status();
+
+  for (size_t g = 0; g < gadgets; ++g) {
+    const std::string key = "k" + std::to_string(g);
+    if (Result<TupleRef> r = db.InsertText(*u, {"a" + std::to_string(g), key});
+        !r.ok()) {
+      return r.status();
+    }
+    for (const char* row : {"b", "c"}) {
+      if (Result<TupleRef> r =
+              db.InsertText(*w, {row + std::to_string(g), key});
+          !r.ok()) {
+        return r.status();
+      }
+    }
+  }
+
+  for (const char* text :
+       {"QD(u, w) :- U(u, p), W(w, p)", "QU(u, p) :- U(u, p)",
+        "QW(w, p) :- W(w, p)"}) {
+    Result<ConjunctiveQuery> query = ParseQuery(text, db.schema(), db.dict());
+    if (!query.ok()) return query.status();
+    generated.queries.push_back(
+        std::make_unique<ConjunctiveQuery>(std::move(*query)));
+  }
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  for (const auto& q : generated.queries) query_ptrs.push_back(q.get());
+  Result<VseInstance> assembled = VseInstance::Create(db, query_ptrs);
+  if (!assembled.ok()) return assembled.status();
+  generated.instance = std::make_unique<VseInstance>(std::move(*assembled));
+
+  VseInstance& instance = *generated.instance;
+  for (size_t g = 0; g < gadgets; ++g) {
+    const std::string a = "a" + std::to_string(g);
+    const std::string b = "b" + std::to_string(g);
+    const std::string c = "c" + std::to_string(g);
+    const std::string key = "k" + std::to_string(g);
+    if (Status s = instance.MarkForDeletionByValues(0, {a, b}); !s.ok()) {
+      return s;
+    }
+    if (Status s = instance.MarkForDeletionByValues(0, {a, c}); !s.ok()) {
+      return s;
+    }
+    if (Status s = WeightByValues(instance, 2, {b, key}, 0.4); !s.ok()) {
+      return s;
+    }
+    if (Status s = WeightByValues(instance, 2, {c, key}, 0.7); !s.ok()) {
+      return s;
+    }
+  }
+  return generated;
+}
+
+}  // namespace delprop

@@ -1,0 +1,32 @@
+#ifndef DELPROP_WORKLOAD_TRAP_CHAIN_H_
+#define DELPROP_WORKLOAD_TRAP_CHAIN_H_
+
+#include <cstddef>
+
+#include "reductions/rbsc_to_vse.h"
+
+namespace delprop {
+
+/// A chain of `gadgets` independent greedy-trap gadgets (the corpus case
+/// tests/corpus/greedy_trap.delprop, concatenated). Gadget g holds base rows
+/// U(a_g, k_g), W(b_g, k_g), W(c_g, k_g) under views
+///
+///   QD(u, w) :- U(u, p), W(w, p)   (ΔV: QD(a_g, b_g) and QD(a_g, c_g)),
+///   QU(u, p) :- U(u, p)            (weight 1.0),
+///   QW(w, p) :- W(w, p)            (weights 0.4 for b_g, 0.7 for c_g),
+///
+/// joined on the gadget-private key k_g, so gadgets share nothing. Per
+/// gadget the optimum deletes U(a_g, k_g) (damage 1.0) while damage-greedy
+/// deletes both W rows (0.4 + 0.7 = 1.1): OPT = 1.0 · gadgets, greedy
+/// = 1.1 · gadgets.
+///
+/// The family is the ILP solver's showcase and the exact solver's wall:
+/// branch-and-bound over the whole instance has no per-gadget bound, so its
+/// search tree is exponential in `gadgets` (the 20M-node default budget dies
+/// near 25), while component decomposition solves each gadget in a handful
+/// of nodes and certifies gap 0.
+Result<GeneratedVse> MakeTrapChain(size_t gadgets);
+
+}  // namespace delprop
+
+#endif  // DELPROP_WORKLOAD_TRAP_CHAIN_H_

@@ -55,7 +55,11 @@ TEST(ExactSolverTest, EmptyDeltaVIsFree) {
   EXPECT_DOUBLE_EQ(solution->Cost(), 0.0);
 }
 
-TEST(ExactSolverTest, BudgetExhaustionReported) {
+// Regression: budget exhaustion used to surface as a bare error even when
+// the greedy seed gave a feasible incumbent — the partial search result was
+// silently discarded. It must now come back as a feasible solution with a
+// gap certificate marking the optimum unproven.
+TEST(ExactSolverTest, BudgetExhaustionReportsIncumbentWithGap) {
   Rng rng(51);
   RandomWorkloadParams params;
   params.relations = 3;
@@ -65,7 +69,23 @@ TEST(ExactSolverTest, BudgetExhaustionReported) {
   ASSERT_TRUE(generated.ok());
   ExactSolver solver(/*node_budget=*/1);
   Result<VseSolution> solution = solver.Solve(*generated->instance);
-  EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_TRUE(solution->gap.has_bound);
+  EXPECT_FALSE(solution->gap.optimal);
+  EXPECT_TRUE(solution->gap.budget_hit);
+  EXPECT_DOUBLE_EQ(solution->gap.upper_bound, solution->Cost());
+  EXPECT_GE(solution->gap.lower_bound, 0.0);
+  EXPECT_LE(solution->gap.lower_bound, solution->gap.upper_bound);
+  // The incumbent is the greedy seed: an unbudgeted exact run must not cost
+  // more than it.
+  ExactSolver full;
+  Result<VseSolution> optimal = full.Solve(*generated->instance);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_TRUE(optimal->gap.optimal);
+  EXPECT_DOUBLE_EQ(optimal->gap.lower_bound, optimal->Cost());
+  EXPECT_LE(optimal->Cost(), solution->Cost());
+  EXPECT_GE(optimal->Cost(), solution->gap.lower_bound);
 }
 
 TEST(GreedySolverTest, AlwaysFeasibleOnFig1) {

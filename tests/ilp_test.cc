@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ilp/ilp_solver.h"
+#include "solvers/exact_solver.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/scratch_pool.h"
+#include "solvers/solver_registry.h"
+#include "workload/author_journal.h"
+#include "workload/random_workload.h"
+#include "workload/trap_chain.h"
+
+namespace delprop {
+namespace {
+
+TEST(IlpSolverTest, RegistryKnowsBothObjectives) {
+  std::unique_ptr<VseSolver> standard = MakeSolver("ilp");
+  ASSERT_NE(standard, nullptr);
+  EXPECT_EQ(standard->name(), "ilp");
+  EXPECT_EQ(standard->objective(), Objective::kStandard);
+  std::unique_ptr<VseSolver> balanced = MakeSolver("ilp-balanced");
+  ASSERT_NE(balanced, nullptr);
+  EXPECT_EQ(balanced->name(), "ilp-balanced");
+  EXPECT_EQ(balanced->objective(), Objective::kBalanced);
+}
+
+TEST(IlpSolverTest, Fig1MatchesExact) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  VseInstance& instance = *generated->instance;
+  ASSERT_TRUE(instance.MarkForDeletionByValues(0, {"John", "XML"}).ok());
+
+  IlpSolver ilp;
+  Result<VseSolution> solution = ilp.Solve(instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_TRUE(solution->gap.optimal);
+  EXPECT_DOUBLE_EQ(solution->gap.lower_bound, solution->gap.upper_bound);
+  EXPECT_DOUBLE_EQ(solution->Cost(), 4.0);  // the paper's Fig. 1 optimum
+}
+
+TEST(IlpSolverTest, EmptyDeltaVIsFree) {
+  Result<GeneratedVse> generated = BuildFig1Example();
+  ASSERT_TRUE(generated.ok());
+  IlpSolver ilp;
+  Result<VseSolution> solution = ilp.Solve(*generated->instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->deletion.size(), 0u);
+  EXPECT_TRUE(solution->gap.optimal);
+  EXPECT_DOUBLE_EQ(solution->Cost(), 0.0);
+}
+
+TEST(IlpSolverTest, RandomSweepMatchesExactBothObjectives) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    RandomWorkloadParams params;
+    params.relations = 2;
+    params.rows_per_relation = 8;
+    params.queries = 2;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    ASSERT_TRUE(generated.ok()) << "seed " << seed;
+    const VseInstance& instance = *generated->instance;
+
+    ExactSolver exact;
+    Result<VseSolution> optimal = exact.Solve(instance);
+    IlpSolver ilp;
+    Result<VseSolution> solution = ilp.Solve(instance);
+    ASSERT_EQ(optimal.ok(), solution.ok()) << "seed " << seed;
+    if (optimal.ok() && optimal->gap.optimal) {
+      ASSERT_TRUE(solution->gap.optimal) << "seed " << seed;
+      EXPECT_NEAR(solution->Cost(), optimal->Cost(), 1e-9)
+          << "seed " << seed;
+    }
+
+    ExactBalancedSolver exact_balanced;
+    Result<VseSolution> balanced_opt = exact_balanced.Solve(instance);
+    IlpSolver ilp_balanced(Objective::kBalanced);
+    Result<VseSolution> balanced = ilp_balanced.Solve(instance);
+    ASSERT_TRUE(balanced_opt.ok()) << "seed " << seed;
+    ASSERT_TRUE(balanced.ok()) << "seed " << seed;
+    if (balanced_opt->gap.optimal) {
+      ASSERT_TRUE(balanced->gap.optimal) << "seed " << seed;
+      EXPECT_NEAR(balanced->BalancedCost(), balanced_opt->BalancedCost(),
+                  1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(IlpSolverTest, TrapChainCertifiesOptimumGreedyCannotReach) {
+  const size_t kGadgets = 16;
+  Result<GeneratedVse> generated = MakeTrapChain(kGadgets);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const VseInstance& instance = *generated->instance;
+
+  GreedySolver greedy;
+  Result<VseSolution> trapped = greedy.Solve(instance);
+  ASSERT_TRUE(trapped.ok());
+  EXPECT_NEAR(trapped->Cost(), 1.1 * kGadgets, 1e-9);
+
+  IlpSolver ilp;
+  Result<VseSolution> solution = ilp.Solve(instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_TRUE(solution->gap.optimal);
+  EXPECT_NEAR(solution->Cost(), 1.0 * kGadgets, 1e-9);
+  EXPECT_DOUBLE_EQ(solution->gap.RelativeGap(), 0.0);
+  // Decomposition makes the search linear in the chain length: a handful of
+  // nodes per gadget instead of one exponential tree.
+  EXPECT_LE(solution->gap.nodes, 16 * kGadgets);
+}
+
+TEST(IlpSolverTest, TrapChainBalancedMatchesExact) {
+  Result<GeneratedVse> generated = MakeTrapChain(3);
+  ASSERT_TRUE(generated.ok());
+  const VseInstance& instance = *generated->instance;
+  ExactBalancedSolver exact;
+  Result<VseSolution> optimal = exact.Solve(instance);
+  ASSERT_TRUE(optimal.ok());
+  ASSERT_TRUE(optimal->gap.optimal);
+  IlpSolver ilp(Objective::kBalanced);
+  Result<VseSolution> solution = ilp.Solve(instance);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->gap.optimal);
+  EXPECT_NEAR(solution->BalancedCost(), optimal->BalancedCost(), 1e-9);
+  // Per gadget: deleting U pays damage 1.0 against 2.0 of surviving ΔV.
+  EXPECT_NEAR(solution->BalancedCost(), 3.0, 1e-9);
+}
+
+TEST(IlpSolverTest, NodeCountsAndSolutionsAreDeterministic) {
+  Result<GeneratedVse> generated = MakeTrapChain(8);
+  ASSERT_TRUE(generated.ok());
+  const VseInstance& instance = *generated->instance;
+  ScratchPool pool;
+  IlpSolver first;
+  Result<VseSolution> a = first.SolveWith(instance, &pool);
+  IlpSolver second;
+  Result<VseSolution> b = second.SolveWith(instance, &pool);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->gap.nodes, b->gap.nodes);
+  EXPECT_DOUBLE_EQ(a->Cost(), b->Cost());
+  EXPECT_EQ(a->deletion.Sorted(), b->deletion.Sorted());
+  // And a third run through the pooled-scratch path on a random instance.
+  Rng rng(7);
+  RandomWorkloadParams params;
+  Result<GeneratedVse> random = GenerateRandomWorkload(rng, params);
+  ASSERT_TRUE(random.ok());
+  IlpSolver third;
+  Result<VseSolution> c = third.SolveWith(*random->instance, &pool);
+  IlpSolver fourth;
+  Result<VseSolution> d = fourth.SolveWith(*random->instance, &pool);
+  ASSERT_EQ(c.ok(), d.ok());
+  if (c.ok()) {
+    EXPECT_EQ(c->gap.nodes, d->gap.nodes);
+    EXPECT_EQ(c->deletion.Sorted(), d->deletion.Sorted());
+  }
+}
+
+TEST(IlpSolverTest, ExhaustedBudgetReturnsWarmStartWithValidBound) {
+  const size_t kGadgets = 10;
+  Result<GeneratedVse> generated = MakeTrapChain(kGadgets);
+  ASSERT_TRUE(generated.ok());
+  IlpOptions options;
+  options.node_budget = 0;  // abort at the very first search node
+  IlpSolver ilp(Objective::kStandard, options);
+  Result<VseSolution> solution = ilp.Solve(*generated->instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_TRUE(solution->gap.has_bound);
+  EXPECT_FALSE(solution->gap.optimal);
+  EXPECT_TRUE(solution->gap.budget_hit);
+  // The incumbent is the greedy warm start (1.1 per gadget); the certified
+  // lower bound is the root packing bound (0.4 per gadget).
+  EXPECT_NEAR(solution->Cost(), 1.1 * kGadgets, 1e-9);
+  EXPECT_DOUBLE_EQ(solution->gap.upper_bound, solution->Cost());
+  EXPECT_NEAR(solution->gap.lower_bound, 0.4 * kGadgets, 1e-9);
+  EXPECT_GT(solution->gap.RelativeGap(), 0.0);
+}
+
+TEST(IlpSolverTest, ZeroDeadlineReturnsFeasibleBestSoFar) {
+  Result<GeneratedVse> generated = MakeTrapChain(6);
+  ASSERT_TRUE(generated.ok());
+  IlpOptions options;
+  options.deadline_ms = 0.0;  // expires before the first search node
+  IlpSolver ilp(Objective::kStandard, options);
+  Result<VseSolution> solution = ilp.Solve(*generated->instance);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(solution->Feasible());
+  EXPECT_TRUE(solution->gap.has_bound);
+  EXPECT_FALSE(solution->gap.optimal);
+  EXPECT_TRUE(solution->gap.deadline_hit);
+  EXPECT_LE(solution->gap.lower_bound, solution->gap.upper_bound);
+  EXPECT_GE(solution->gap.lower_bound, 0.0);
+  EXPECT_DOUBLE_EQ(solution->gap.upper_bound, solution->Cost());
+}
+
+}  // namespace
+}  // namespace delprop
