@@ -1,0 +1,284 @@
+// Kernel microbench: the DamageTracker operation mix A/B-timed under both
+// state representations — the scalar counter fallback and the bit-parallel
+// kill kernels (src/solvers/kill_kernels.h, docs/perf.md "Bit-parallel kill
+// kernels"). Each family runs four deterministic op scripts (delete sweep
+// with per-op marginals, delete/undelete churn, probe mix, reset cycling)
+// from a pristine tracker, pinned to one kernel via ScopedKernelOverride.
+// The scripts accumulate a floating-point fingerprint; the two paths must
+// agree on it bitwise — any divergence exits nonzero, making this bench a
+// cheap differential check as well as a timer.
+//
+// With --json <path> the run also writes a machine-readable report (rows
+// "scalar:<op>" / "bitset:<op>", cost = fingerprint, wall_ms = median over
+// --repeat runs after --warmup discarded runs).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "plan/compiled_instance.h"
+#include "solvers/damage_tracker.h"
+#include "solvers/kill_kernels.h"
+#include "workload/path_schema.h"
+#include "workload/random_workload.h"
+#include "workload/star_schema.h"
+#include "workload/trap_chain.h"
+
+namespace delprop {
+namespace {
+
+using kernels::KernelMode;
+using kernels::ScopedKernelOverride;
+
+/// One op script: runs against a pristine tracker, returns a fingerprint.
+struct OpScript {
+  const char* name;
+  std::function<double(DamageTracker&, const CompiledInstance&)> run;
+};
+
+std::vector<OpScript> Scripts() {
+  std::vector<OpScript> ops;
+  // Greedy's inner loop shape: query the marginal, then commit the delete,
+  // over every candidate in plan order.
+  ops.push_back(
+      {"sweep", [](DamageTracker& t, const CompiledInstance& plan) {
+         double fp = 0.0;
+         for (uint32_t base : plan.candidate_bases()) {
+           fp += t.MarginalDamageBase(base);
+           fp += t.DeleteBase(base);
+         }
+         return fp + t.killed_preserved_weight();
+       }});
+  // Local search's exchange shape: build the full deletion, then walk it
+  // back — undelete is the half the scalar path pays for twice (decrement
+  // plus re-check) and the bit path pays for once (masked ANDN).
+  ops.push_back(
+      {"churn", [](DamageTracker& t, const CompiledInstance& plan) {
+         const std::vector<uint32_t>& candidates = plan.candidate_bases();
+         double fp = 0.0;
+         for (uint32_t base : candidates) fp += t.DeleteBase(base);
+         for (size_t i = candidates.size(); i-- > 0;) {
+           t.UndeleteBase(candidates[i]);
+         }
+         return fp + t.killed_preserved_weight();
+       }});
+  // Read-mostly probes at a half-deleted state: the batch marginal pass and
+  // the drop scan, both pure queries against the packed state.
+  ops.push_back(
+      {"probe", [](DamageTracker& t, const CompiledInstance& plan) {
+         const std::vector<uint32_t>& candidates = plan.candidate_bases();
+         double fp = 0.0;
+         for (size_t i = 0; i < candidates.size(); i += 2) {
+           fp += t.DeleteBase(candidates[i]);
+         }
+         std::vector<double> marginals;
+         t.MarginalDamageAll(candidates, &marginals);
+         for (double m : marginals) fp += m;
+         for (size_t i = 0; i < candidates.size(); i += 2) {
+           fp += t.CanDropBase(candidates[i]) ? 1.0 : 0.0;
+         }
+         return fp;
+       }});
+  // Restart shape: small dirty region, then Reset — the sparse-rollback
+  // path when the touch log stays under its caps.
+  ops.push_back(
+      {"reset", [](DamageTracker& t, const CompiledInstance& plan) {
+         const std::vector<uint32_t>& candidates = plan.candidate_bases();
+         size_t touch = candidates.size() < 8 ? candidates.size() : 8;
+         double fp = 0.0;
+         for (int cycle = 0; cycle < 32; ++cycle) {
+           for (size_t i = 0; i < touch; ++i) {
+             fp += t.DeleteBase(candidates[i]);
+           }
+           t.Reset();
+         }
+         return fp;
+       }});
+  return ops;
+}
+
+struct OpTiming {
+  double fingerprint = 0.0;
+  double median_ms = 0.0;
+};
+
+/// Times every script under `mode`: one pinned tracker, Reset between runs
+/// (untimed), median over `repeat` after `warmup` discarded runs.
+std::vector<OpTiming> RunMode(const VseInstance& instance, KernelMode mode,
+                              size_t repeat, size_t warmup,
+                              bool* bits_active) {
+  ScopedKernelOverride pin(mode);
+  DamageTracker tracker(instance);
+  *bits_active = tracker.bit_kernels_active();
+  const CompiledInstance& plan = tracker.plan();
+  std::vector<OpTiming> out;
+  for (const OpScript& op : Scripts()) {
+    OpTiming timing;
+    std::vector<double> samples;
+    for (size_t rep = 0; rep < warmup + repeat; ++rep) {
+      tracker.Reset();
+      auto [fp, ms] = bench::Timed([&] { return op.run(tracker, plan); });
+      if (rep >= warmup) {
+        samples.push_back(ms);
+        timing.fingerprint = fp;  // all runs agree: same script, same state
+      }
+    }
+    tracker.Reset();
+    timing.median_ms = bench::Median(samples);
+    out.push_back(timing);
+  }
+  return out;
+}
+
+/// Runs one family under both pins, prints the A/B table, records JSON rows,
+/// and returns false on any fingerprint divergence.
+bool RunFamily(const char* family, const VseInstance& instance, size_t repeat,
+               size_t warmup, bench::BenchReport* report) {
+  std::shared_ptr<const CompiledInstance> plan = instance.compiled();
+  std::printf("\n-- %s: ‖V‖=%u candidates=%zu max-fan-in=%u packed=%s --\n",
+              family, plan->tuple_count(), plan->candidate_bases().size(),
+              plan->max_witnesses_per_tuple(),
+              plan->bits_supported() ? "yes" : "no (CSR fallback)");
+
+  bool scalar_bits = false;
+  bool bitset_bits = false;
+  std::vector<OpTiming> scalar =
+      RunMode(instance, KernelMode::kScalar, repeat, warmup, &scalar_bits);
+  std::vector<OpTiming> bitset =
+      RunMode(instance, KernelMode::kBitset, repeat, warmup, &bitset_bits);
+
+  bench::FamilyRecord record;
+  record.family = family;
+  record.view_tuples = plan->tuple_count();
+  record.deletion_tuples = instance.TotalDeletionTuples();
+  record.max_arity = instance.max_arity();
+
+  bool ok = true;
+  TextTable table({"op", "scalar ms", "bitset ms", "speedup", "agree"});
+  std::vector<OpScript> ops = Scripts();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    bool agree = scalar[i].fingerprint == bitset[i].fingerprint;
+    ok = ok && agree;
+    double speedup = bitset[i].median_ms > 0.0
+                         ? scalar[i].median_ms / bitset[i].median_ms
+                         : 0.0;
+    char speedup_text[32];
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", speedup);
+    table.AddRow({ops[i].name, FmtDouble(scalar[i].median_ms, 3),
+                  FmtDouble(bitset[i].median_ms, 3), speedup_text,
+                  agree ? "yes" : "DIVERGED"});
+    for (const char* mode : {"scalar", "bitset"}) {
+      const OpTiming& timing = mode[0] == 's' ? scalar[i] : bitset[i];
+      bench::SolverRecord row;
+      row.solver = std::string(mode) + ":" + ops[i].name;
+      row.status = agree ? "ok" : "DIVERGED";
+      row.cost = timing.fingerprint;
+      row.wall_ms = timing.median_ms;
+      record.solvers.push_back(std::move(row));
+      record.total_ms += timing.median_ms;
+    }
+  }
+  table.Print();
+  if (bitset_bits == scalar_bits) {
+    std::printf("note: plan not packed — both pins ran the scalar engine\n");
+  }
+  if (!ok) {
+    std::printf("FINGERPRINT DIVERGENCE in family '%s'\n", family);
+  }
+  report->families.push_back(std::move(record));
+  return ok;
+}
+
+int Run(int argc, char** argv) {
+  size_t repeat = 5;
+  size_t warmup = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      warmup = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--repeat N] [--warmup K] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (repeat == 0) repeat = 1;
+
+  bench::Header("Kill-kernel A/B: scalar counters vs bit-parallel words");
+  std::printf("repeat: %zu  warmup: %zu\n", repeat, warmup);
+  bench::BenchReport report;
+  report.bench = "kill_kernels";
+  report.threads = 1;
+  report.git = bench::GitDescribe();
+  report.repeat = repeat;
+  report.warmup = warmup;
+
+  bool ok = true;
+  {
+    // The scaling family from bench_solver_comparison — the workload where
+    // tracker inner loops dominate solver wall-clock.
+    Rng rng(5);
+    PathSchemaParams params;
+    params.levels = 6;
+    params.roots = 3;
+    params.fanout = 3;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GeneratePathSchema(rng, params);
+    if (!generated.ok()) return 2;
+    ok = RunFamily("large hypertree paths (scaling)", *generated->instance,
+                   repeat, warmup, &report) &&
+         ok;
+  }
+  {
+    Rng rng(2);
+    StarSchemaParams params;
+    params.dimensions = 3;
+    params.fact_rows = 20;
+    params.deletion_fraction = 0.25;
+    Result<GeneratedVse> generated = GenerateStarSchema(rng, params);
+    if (!generated.ok()) return 2;
+    ok = RunFamily("star joins", *generated->instance, repeat, warmup,
+                   &report) &&
+         ok;
+  }
+  {
+    Result<GeneratedVse> generated = MakeTrapChain(26);
+    if (!generated.ok()) return 2;
+    ok = RunFamily("trap chain", *generated->instance, repeat, warmup,
+                   &report) &&
+         ok;
+  }
+  {
+    Rng rng(3);
+    RandomWorkloadParams params;
+    params.relations = 3;
+    params.rows_per_relation = 10;
+    params.queries = 3;
+    Result<GeneratedVse> generated = GenerateRandomWorkload(rng, params);
+    if (!generated.ok()) return 2;
+    ok = RunFamily("random project-free multi-query", *generated->instance,
+                   repeat, warmup, &report) &&
+         ok;
+  }
+
+  if (!json_path.empty() && !bench::WriteBenchJson(report, json_path)) {
+    return 2;
+  }
+  std::printf("\nkill-kernels: %zu family(ies), fingerprints %s\n",
+              report.families.size(), ok ? "agree" : "DIVERGED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace delprop
+
+int main(int argc, char** argv) { return delprop::Run(argc, argv); }

@@ -127,14 +127,9 @@ double IlpSolver::WarmStart(uint32_t c, DamageTracker& tracker) {
   const uint32_t* tend = model_.comp_tuples_end(c);
   for (const uint32_t* t = tbegin; t != tend; ++t) {
     while (!tracker.IsKilledDense(*t)) {
-      uint32_t open = kNpos;
-      uint32_t wend = plan.tuple_witness_end(*t);
-      for (uint32_t w = plan.tuple_witness_begin(*t); w < wend; ++w) {
-        if (tracker.witness_hits(w) == 0) {
-          open = w;
-          break;
-        }
-      }
+      // First unhit witness — one ctz on the alive mask under the bit
+      // kernels, the legacy hit-counter scan otherwise.
+      uint32_t open = tracker.FirstUnhitWitness(*t);
       if (open == kNpos) break;  // unreachable: unkilled => an alive witness
       uint32_t best_base = kNpos;
       double best_damage = kInf;
@@ -240,12 +235,12 @@ void IlpSolver::DescendStandard(uint32_t c, DamageTracker& tracker) {
   double bound = cost + DualBound(c, tracker);
   if (bound >= best_cost_) return;
   // Branch on the unhit witness of the first unkilled ΔV tuple with the
-  // fewest available members (strict <, first wins: deterministic).
+  // fewest available members (strict <, first wins: deterministic). The
+  // unhit witnesses come off the alive mask (ctz walk) under the bit
+  // kernels; the availability count still needs the member scan either way.
   uint32_t branch_witness = kNpos;
   uint32_t branch_avail = std::numeric_limits<uint32_t>::max();
-  uint32_t wend = plan.tuple_witness_end(first_unkilled);
-  for (uint32_t w = plan.tuple_witness_begin(first_unkilled); w < wend; ++w) {
-    if (tracker.witness_hits(w) > 0) continue;
+  tracker.ForEachUnhitWitness(first_unkilled, [&](uint32_t w) {
     uint32_t avail = 0;
     for (uint32_t slot = plan.member_begin(w); slot < plan.member_end(w);
          ++slot) {
@@ -256,7 +251,8 @@ void IlpSolver::DescendStandard(uint32_t c, DamageTracker& tracker) {
       branch_avail = avail;
       branch_witness = w;
     }
-  }
+    return true;
+  });
   // An unkilled tuple always has an unhit witness, and the bound above
   // pruned witnesses with no available member — the branch list is nonempty.
   size_t trail_mark = excl_trail_.size();
@@ -324,9 +320,11 @@ double IlpSolver::DualBound(uint32_t c, DamageTracker& tracker) {
     uint32_t dense = *t;
     if (tracker.IsKilledDense(dense)) continue;
     uint32_t chosen = kNpos;
-    uint32_t wend = plan.tuple_witness_end(dense);
-    for (uint32_t w = plan.tuple_witness_begin(dense); w < wend; ++w) {
-      if (tracker.witness_hits(w) > 0) continue;
+    bool infeasible = false;
+    // Full scan over the unhit witnesses (alive-mask ctz walk under the bit
+    // kernels): a later witness with no available member still proves the
+    // subtree infeasible, so no early exit once `chosen` is set.
+    tracker.ForEachUnhitWitness(dense, [&](uint32_t w) {
       uint32_t avail = 0;
       bool conflict = false;
       for (uint32_t slot = plan.member_begin(w); slot < plan.member_end(w);
@@ -336,9 +334,14 @@ double IlpSolver::DualBound(uint32_t c, DamageTracker& tracker) {
         ++avail;
         if (pack_used_stamp_[b] == pack_epoch_) conflict = true;
       }
-      if (avail == 0) return kInf;  // this witness can never be hit
+      if (avail == 0) {  // this witness can never be hit
+        infeasible = true;
+        return false;
+      }
       if (!conflict && chosen == kNpos) chosen = w;
-    }
+      return true;
+    });
+    if (infeasible) return kInf;
     if (chosen == kNpos) continue;  // every witness conflicts: no claim
     double delta = kInf;
     for (uint32_t slot = plan.member_begin(chosen);
@@ -376,10 +379,7 @@ double IlpSolver::BalancedDualBound(uint32_t c, DamageTracker& tracker) {
     double survive_cost = plan.weight(dense);
     uint32_t chosen = kNpos;
     bool unkillable = false;
-    uint32_t wend = plan.tuple_witness_end(dense);
-    for (uint32_t w = plan.tuple_witness_begin(dense); !unkillable && w < wend;
-         ++w) {
-      if (tracker.witness_hits(w) > 0) continue;
+    tracker.ForEachUnhitWitness(dense, [&](uint32_t w) {
       uint32_t avail = 0;
       bool conflict = false;
       for (uint32_t slot = plan.member_begin(w); slot < plan.member_end(w);
@@ -391,10 +391,11 @@ double IlpSolver::BalancedDualBound(uint32_t c, DamageTracker& tracker) {
       }
       if (avail == 0) {
         unkillable = true;
-      } else if (!conflict && chosen == kNpos) {
-        chosen = w;
+        return false;  // survivor weight decided; stop as the legacy loop did
       }
-    }
+      if (!conflict && chosen == kNpos) chosen = w;
+      return true;
+    });
     if (unkillable) {
       lb += survive_cost;
       continue;
@@ -423,19 +424,38 @@ double IlpSolver::BalancedDualBound(uint32_t c, DamageTracker& tracker) {
 
 /// Marginal damage of `base` restricted to pack-uncharged preserved tuples
 /// (charge == false), or marks every marginal tuple of `base` as charged
-/// (charge == true). Mirrors DamageTracker::MarginalDamageBase's occurrence
-/// walk: a preserved tuple is marginal when all of its unhit witnesses
-/// contain `base`.
+/// (charge == true). Mirrors DamageTracker::MarginalDamageBase's walk: a
+/// preserved tuple is marginal when all of its unhit witnesses contain
+/// `base`. Under the bit kernels that is two word ops per kill-row entry
+/// (alive mask nonzero and covered by the row's witness-incidence mask);
+/// both paths visit marginal tuples in the same ascending-tuple order, so
+/// the pack sums are bit-identical.
 double IlpSolver::MarginalWeight(uint32_t base, const DamageTracker& tracker,
                                  bool charge) {
   const CompiledInstance& plan = tracker.plan();
   double sum = 0.0;
+  if (tracker.bit_kernels_active()) {
+    uint32_t end = plan.kill_end(base);
+    for (uint32_t slot = plan.kill_begin(base); slot < end; ++slot) {
+      uint32_t dense = plan.kill_tuple(slot);
+      if (plan.is_deletion(dense)) continue;
+      uint64_t la = tracker.AliveMaskDense(dense);
+      if (la == 0 || (la & ~plan.kill_witness_mask(slot)) != 0) continue;
+      if (charge) {
+        pack_charged_stamp_[dense] = pack_epoch_;
+      } else if (pack_charged_stamp_[dense] != pack_epoch_) {
+        sum += plan.weight(dense);
+      }
+    }
+    return sum;
+  }
   uint32_t slot = plan.occ_begin(base);
   uint32_t end = plan.occ_end(base);
   while (slot < end) {
     uint32_t dense = plan.occ_tuple(slot);
     uint32_t mine_unhit = 0;
     do {
+      // delprop-lint: scalar-kill-loop-ok scalar fallback path
       if (tracker.witness_hits(plan.occ_witness(slot)) == 0) ++mine_unhit;
       ++slot;
     } while (slot < end && plan.occ_tuple(slot) == dense);

@@ -46,11 +46,9 @@ Result<BalancedToPnpscMapping> ReduceBalancedToPnpsc(
     uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
     // Count first: the positive/negative lists partition the kill row and
-    // are retained in the mapping for the whole solve.
-    uint32_t positive_count = 0;
-    for (uint32_t slot = begin; slot < end; ++slot) {
-      if (plan->is_deletion(plan->kill_tuple(slot))) ++positive_count;
-    }
+    // are retained in the mapping for the whole solve. Branchless bit tests
+    // against the ΔV word overlay.
+    uint32_t positive_count = plan->KillRowDeletionCount(base);
     set.positives.reserve(positive_count);
     set.negatives.reserve((end - begin) - positive_count);
     for (uint32_t slot = begin; slot < end; ++slot) {

@@ -43,11 +43,9 @@ Result<VseToRbscMapping> ReduceVseToRbsc(const VseInstance& instance) {
     uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
     // Count first: the set's blue/red lists partition its kill row, and
-    // both are retained in the mapping for the whole solve.
-    uint32_t blue_count = 0;
-    for (uint32_t slot = begin; slot < end; ++slot) {
-      if (plan->is_deletion(plan->kill_tuple(slot))) ++blue_count;
-    }
+    // both are retained in the mapping for the whole solve. Branchless bit
+    // tests against the ΔV word overlay.
+    uint32_t blue_count = plan->KillRowDeletionCount(base);
     set.blues.reserve(blue_count);
     set.reds.reserve((end - begin) - blue_count);
     for (uint32_t slot = begin; slot < end; ++slot) {

@@ -1,6 +1,7 @@
 #ifndef DELPROP_SOLVERS_DAMAGE_TRACKER_H_
 #define DELPROP_SOLVERS_DAMAGE_TRACKER_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "dp/vse_instance.h"
 #include "plan/compiled_instance.h"
 #include "relational/deletion_set.h"
+#include "solvers/kill_kernels.h"
 
 namespace delprop {
 
@@ -15,14 +17,26 @@ namespace delprop {
 /// deleted, with exact multi-witness semantics: a witness is dead when it
 /// loses any member; a view tuple is killed when all of its witnesses are
 /// dead. Supports O(occurrences) delete/undelete and marginal-damage queries,
-/// shared by the greedy, exact, and local-search solvers.
+/// shared by the greedy, exact, local-search, and ILP solvers.
 ///
-/// Runs entirely on the instance's CompiledInstance plan: membership is an
-/// epoch-stamped dense array, occurrence walks are CSR-row scans — no hashing
-/// on any hot path. The TupleRef overloads stay for callers holding refs; the
-/// *Base overloads take dense base ids straight from the plan. Refs that
-/// occur in no witness ("foreign" refs, possible through the public API) are
-/// tracked on a small side list and are harmless no-ops for damage.
+/// Runs entirely on the instance's CompiledInstance plan. Two state
+/// representations back the same contract, chosen per plan at Rebind time:
+///   * scalar: per-witness hit counters + per-tuple dead-witness counters
+///     (the CSR fallback, always available);
+///   * bit-parallel (src/solvers/kill_kernels.h): word-packed member-hit
+///     bits, a witness-alive bitset, and a tuple-killed bitset, with
+///     popcount marginal queries over the kill rows' witness-incidence
+///     masks. Bound whenever `plan->bits_supported()` (witness fan-in ≤ 64
+///     per tuple) unless DELPROP_KILL_KERNELS / a ScopedKernelOverride
+///     forces the scalar path.
+/// Both paths produce bit-identical aggregates and solver decisions — the
+/// `bitset-vs-scalar` fuzz oracle holds them to that.
+///
+/// The TupleRef overloads stay for callers holding refs; the *Base overloads
+/// take dense base ids straight from the plan. Refs that occur in no witness
+/// ("foreign" refs, possible through the public API) are tracked on a small
+/// sorted side list (binary-searched, never scanned on the solver hot path)
+/// and are harmless no-ops for damage.
 class DamageTracker {
  public:
   explicit DamageTracker(const VseInstance& instance);
@@ -41,6 +55,9 @@ class DamageTracker {
   /// mutating their replica's ΔV so the retired plan becomes recyclable.
   void ReleasePlan() { plan_.reset(); }
 
+  /// True when this tracker bound the bit-parallel kill kernels.
+  bool bit_kernels_active() const { return bits_; }
+
   /// Deletes `ref` (must not be deleted already). Returns the preserved
   /// weight newly killed by this deletion.
   double Delete(const TupleRef& ref);
@@ -53,13 +70,75 @@ class DamageTracker {
   /// Preserved weight that deleting `ref` would newly kill right now.
   double MarginalDamage(const TupleRef& ref) const;
 
-  /// Dense-id variants (ids from plan(); never foreign).
-  double DeleteBase(uint32_t base);
-  void UndeleteBase(uint32_t base);
+  /// Dense-id variants (ids from plan(); never foreign). Inline — the exact
+  /// search's delete/undelete pair runs tens of millions of times per solve.
+  double DeleteBase(uint32_t base) {
+    assert(!IsDeletedBase(base));
+    deleted_pos_[base] = static_cast<uint32_t>(deleted_.size());
+    deleted_.push_back(base);
+    deleted_stamp_[base] = epoch_;
+    if (bits_) {
+      return kernels_.DeleteBase(base, &touch_, &unkilled_deletions_,
+                                 &killed_preserved_weight_,
+                                 &surviving_deletion_weight_);
+    }
+    return DeleteBaseScalar(base);
+  }
+  void UndeleteBase(uint32_t base) {
+    assert(IsDeletedBase(base));
+    uint32_t hole = deleted_pos_[base];
+    if (hole + 1 != deleted_.size()) {
+      deleted_[hole] = deleted_.back();
+      deleted_pos_[deleted_[hole]] = hole;
+    }
+    deleted_.pop_back();
+    deleted_stamp_[base] = 0;
+    if (bits_) {
+      kernels_.UndeleteBase(base, &unkilled_deletions_,
+                            &killed_preserved_weight_,
+                            &surviving_deletion_weight_);
+      return;
+    }
+    UndeleteBaseScalar(base);
+  }
   bool IsDeletedBase(uint32_t base) const {
     return deleted_stamp_[base] == epoch_;
   }
   double MarginalDamageBase(uint32_t base) const;
+
+  /// Batch marginal damage: out[i] = MarginalDamageBase(bases[i]). `out` is
+  /// resized to match.
+  void MarginalDamageAll(const std::vector<uint32_t>& bases,
+                         std::vector<double>* out) const;
+
+  /// True iff undeleting `base` (currently deleted) would not revive any
+  /// currently-killed ΔV tuple — i.e. the drop keeps feasibility. Read-only
+  /// twin of the Undelete → check → re-Delete dance.
+  bool CanDropBase(uint32_t base) const;
+
+  /// Collects the currently-unkilled ΔV tuples in `base`'s kill row
+  /// (ascending) into `out` (cleared first). After undeleting one member of
+  /// a feasible solution these are exactly the revived tuples.
+  void CollectUnkilledDeletions(uint32_t base, std::vector<uint32_t>* out) const;
+
+  /// Exchange probe: would deleting `base` kill every tuple in `revived`
+  /// (currently-unkilled ΔV tuples, ascending) and leave the killed
+  /// preserved weight strictly below `budget`? The cost accumulates from
+  /// killed_preserved_weight() in DeleteBase's addition order, so the
+  /// comparison is bit-identical to a real Delete → compare → Undelete.
+  bool SwapWouldImprove(uint32_t base, const std::vector<uint32_t>& revived,
+                        double budget) const;
+
+  /// The killed_preserved_weight() this tracker would report after
+  /// DeleteBase(base) (`base` not deleted), accumulated from the current
+  /// value in DeleteBase's own addition order (ascending newly-killed
+  /// tuple) — bit-identical to a real Delete → read → Undelete, so
+  /// branch-and-bound entry prunes can run without mutating state. Inline:
+  /// one call per exact-search node.
+  double KpwAfterDeleteBase(uint32_t base) const {
+    if (bits_) return kernels_.KpwAfterDelete(base, killed_preserved_weight_);
+    return KpwAfterDeleteBaseScalar(base);
+  }
 
   /// Number of ΔV tuples not yet killed.
   size_t unkilled_deletion_count() const { return unkilled_deletions_; }
@@ -76,17 +155,102 @@ class DamageTracker {
     return IsKilledDense(plan_->DenseOf(id));
   }
   bool IsKilledDense(uint32_t dense) const {
+    if (bits_) return kernels::TestBit(kstate_.killed_words.data(), dense);
     return dead_witnesses_[dense] == plan_->tuple_witness_count(dense);
   }
 
   /// Deleted-member count of witness `wid` (0 = the witness is alive).
-  uint32_t witness_hits(uint32_t wid) const { return witness_hits_[wid]; }
+  uint32_t witness_hits(uint32_t wid) const {
+    if (bits_) return kernels_.WitnessHits(wid);
+    return witness_hits_[wid];
+  }
 
   /// Dead-witness count of view tuple `dense` (== its witness count exactly
   /// when the tuple is killed). Lets bounding code derive the number of
   /// still-unhit witnesses without rescanning the witness row.
   uint32_t dead_witness_count(uint32_t dense) const {
+    if (bits_) return kernels_.DeadWitnessCount(dense);
     return dead_witnesses_[dense];
+  }
+
+  /// Bit path only (bit_kernels_active()): alive-witness mask of `dense`
+  /// (bit j set ⇔ witness tuple_witness_begin(dense) + j is unhit). Pairs
+  /// with the plan's kill_witness_mask for word-level marginal tests in
+  /// bounding code (ilp_solver's pack charge walk).
+  uint64_t AliveMaskDense(uint32_t dense) const {
+    return kernels_.AliveMask(dense);
+  }
+
+  /// Branch pick for the exact search: the first witness — scanning unkilled
+  /// ΔV tuples ascending, then their unhit witnesses ascending — whose raw
+  /// member count equals the minimum over that whole scan, or
+  /// CompiledInstance::kNpos when every ΔV tuple is killed. The scalar path
+  /// runs that scan literally (with the legacy static-min early stop); the
+  /// bit path answers from a per-size witness-bitmask index in a few word
+  /// ANDs (kernels::KillKernels::SelectBranchWitness — equivalence argued
+  /// there). Non-const only because the bit path builds its index lazily.
+  uint32_t SelectBranchWitness();
+
+  /// First still-unhit witness of `dense` in witness-id order, or
+  /// CompiledInstance::kNpos when every witness is dead.
+  uint32_t FirstUnhitWitness(uint32_t dense) const {
+    if (bits_) {
+      uint64_t la = kernels_.AliveMask(dense);
+      if (la == 0) return CompiledInstance::kNpos;
+      return plan_->tuple_witness_begin(dense) + kernels::Ctz64(la);
+    }
+    uint32_t end = plan_->tuple_witness_end(dense);
+    for (uint32_t w = plan_->tuple_witness_begin(dense); w < end; ++w) {
+      // delprop-lint: scalar-kill-loop-ok scalar fallback path
+      if (witness_hits_[w] == 0) return w;
+    }
+    return CompiledInstance::kNpos;
+  }
+
+  /// Calls fn(wid) for every still-unhit witness of `dense`, ascending.
+  /// fn returns false to stop early.
+  template <typename Fn>
+  void ForEachUnhitWitness(uint32_t dense, Fn&& fn) const {
+    if (bits_) {
+      uint32_t wb = plan_->tuple_witness_begin(dense);
+      uint64_t la = kernels_.AliveMask(dense);
+      while (la != 0) {
+        if (!fn(wb + kernels::Ctz64(la))) return;
+        la &= la - 1;
+      }
+      return;
+    }
+    uint32_t end = plan_->tuple_witness_end(dense);
+    for (uint32_t w = plan_->tuple_witness_begin(dense); w < end; ++w) {
+      // delprop-lint: scalar-kill-loop-ok scalar fallback path
+      if (witness_hits_[w] != 0) continue;
+      if (!fn(w)) return;
+    }
+  }
+
+  /// Calls fn(dense) for every not-yet-killed ΔV tuple, ascending (the
+  /// deletion_dense order). fn returns false to stop early. The bit path
+  /// scans deletion_words & ~killed_words one word at a time.
+  template <typename Fn>
+  void ForEachUnkilledDeletion(Fn&& fn) const {
+    if (bits_) {
+      const std::vector<uint64_t>& del = plan_->deletion_words();
+      const uint64_t* killed = kstate_.killed_words.data();
+      for (size_t i = 0; i < del.size(); ++i) {
+        uint64_t w = del[i] & ~killed[i];
+        while (w != 0) {
+          uint32_t dense =
+              static_cast<uint32_t>(i << 6) + kernels::Ctz64(w);
+          if (!fn(dense)) return;
+          w &= w - 1;
+        }
+      }
+      return;
+    }
+    for (uint32_t dense : plan_->deletion_dense()) {
+      if (IsKilledDense(dense)) continue;
+      if (!fn(dense)) return;
+    }
   }
 
   /// Snapshot of the current deletion as a DeletionSet.
@@ -95,32 +259,66 @@ class DamageTracker {
   /// Deleted interned bases, in deletion order (excludes foreign refs).
   const std::vector<uint32_t>& DeletedBases() const { return deleted_; }
 
-  /// Number of deleted base tuples (interned + foreign).
+  /// Number of deleted base tuples (interned + foreign). O(1) — two vector
+  /// sizes; never scans the foreign side list.
   size_t deleted_count() const { return deleted_.size() + foreign_.size(); }
 
-  /// Reverts to the freshly-constructed state in O(‖V‖ + witnesses): zeroes
-  /// the per-witness/per-tuple counters, restores the aggregate weights to
-  /// their exact initial values (no floating-point drift from incremental
-  /// rollback), and bumps the epoch so the deleted-stamp array clears in
-  /// O(1). Lets restart-style callers (local search) reuse one tracker.
+  /// Reverts to the freshly-constructed state: restores the aggregate
+  /// weights to their exact initial values (no floating-point drift from
+  /// incremental rollback) and bumps the epoch so the deleted-stamp array
+  /// clears in O(1). The per-witness/per-tuple state rolls back sparsely —
+  /// O(touched) — when the touch log stayed under its caps, and falls back
+  /// to the O(‖V‖ + witnesses) full zeroing otherwise. Lets restart-style
+  /// callers (local search) reuse one tracker cheaply.
   void Reset();
 
   const CompiledInstance& plan() const { return *plan_; }
 
  private:
+  /// Binds/clears whichever state representation `want_bits` selects;
+  /// returns true when array storage was reused.
+  bool PrepareState(bool want_bits);
+  /// Rolls the active representation back to pristine (sparse when the
+  /// touch log allows), clears the log, and restamps `state_core_`.
+  void ClearState();
+  double DeleteBaseScalar(uint32_t base);
+  void UndeleteBaseScalar(uint32_t base);
+  double MarginalDamageBaseScalar(uint32_t base) const;
+  double KpwAfterDeleteBaseScalar(uint32_t base) const;
+  bool CanDropBaseScalar(uint32_t base) const;
+  bool SwapWouldImproveScalar(uint32_t base, const uint32_t* revived,
+                              uint32_t n, double budget) const;
+
   std::shared_ptr<const CompiledInstance> plan_;
 
+  // Which representation is live (chosen per plan in Rebind).
+  bool bits_ = false;
+  kernels::KillKernels kernels_;
+  kernels::KernelState kstate_;
+  // Scalar fallback state.
   // Per witness: number of deleted (unique) members.
   std::vector<uint32_t> witness_hits_;
   // Per view tuple: number of dead witnesses.
   std::vector<uint32_t> dead_witnesses_;
+  // Transition log driving the sparse Reset/Rebind rollback (both paths).
+  kernels::TouchLog touch_;
+  // Core whose layout the dirty state (and touch log) was produced under;
+  // a sparse rollback is only sound against the same core.
+  const void* state_core_ = nullptr;
+  // Tuples with an empty witness row are killed from the start (scalar:
+  // dead == total == 0); the bit path must seed their killed bits after
+  // every full clear. Cached per core; empty on every real workload.
+  std::vector<uint32_t> zero_witness_tuples_;
+  const void* zero_witness_core_ = nullptr;
+
   // Per base: stamp == epoch_ iff deleted; epoch bump clears all in O(1).
   std::vector<uint32_t> deleted_stamp_;
   // Per base: position in deleted_ (valid only while stamped).
   std::vector<uint32_t> deleted_pos_;
   std::vector<uint32_t> deleted_;
   // Refs not interned in the plan (occur in no witness); rare, test-only in
-  // practice. Kept so Delete/Undelete of arbitrary refs stays harmless.
+  // practice. Kept sorted so IsDeleted/Undelete are binary searches —
+  // bounded even if a script piles up foreign refs.
   std::vector<TupleRef> foreign_;
 
   uint32_t epoch_ = 1;

@@ -48,32 +48,31 @@ class StandardSearch {
   }
 
  private:
-  // Picks the unkilled ΔV tuple and unhit witness with the fewest raw
-  // members; branches on deleting each member. Mirrors the legacy search
-  // exactly (same scan order, same strict-< first-min witness choice, raw
-  // member lists with duplicates) so node counts — and therefore budget
-  // boundaries — are preserved.
+  // Root-node entry: the legacy per-node prologue. Child entries run the
+  // same checks, hoisted into the parent's member loop (Expand) so a child
+  // that prunes at its killed-weight check is counted but never pays the
+  // delete/undelete pair.
   void Descend() {
     if (++nodes_ > budget_) {
       CutFrontier();
       return;
     }
     if (tracker_.killed_preserved_weight() >= best_cost_) return;
+    Expand();
+  }
+
+  // Node body, entry checks already passed. Picks the unkilled ΔV tuple and
+  // unhit witness with the fewest raw members; branches on deleting each
+  // member. The pick is delegated to the tracker
+  // (DamageTracker::SelectBranchWitness), which mirrors the legacy scan
+  // exactly — same scan order, same strict-< first-min witness choice, raw
+  // member lists with duplicates. Child entry checks run here in legacy
+  // order (count node, budget cut, killed-weight prune) on the tracker's
+  // bit-identical KpwAfterDeleteBase probe, so node counts, budget
+  // boundaries, prune decisions, and frontier-cut values are all unchanged.
+  void Expand() {
     const CompiledInstance& plan = tracker_.plan();
-    uint32_t branch_witness = CompiledInstance::kNpos;
-    uint32_t branch_options = std::numeric_limits<uint32_t>::max();
-    for (uint32_t dense : plan.deletion_dense()) {
-      if (tracker_.IsKilledDense(dense)) continue;
-      uint32_t wend = plan.tuple_witness_end(dense);
-      for (uint32_t w = plan.tuple_witness_begin(dense); w < wend; ++w) {
-        if (tracker_.witness_hits(w) > 0) continue;  // already hit
-        uint32_t size = plan.member_end(w) - plan.member_begin(w);
-        if (size < branch_options) {
-          branch_witness = w;
-          branch_options = size;
-        }
-      }
-    }
+    uint32_t branch_witness = tracker_.SelectBranchWitness();
     if (branch_witness == CompiledInstance::kNpos) {
       // All ΔV tuples killed: feasible leaf, strictly better by the prune.
       best_cost_ = tracker_.killed_preserved_weight();
@@ -87,8 +86,16 @@ class StandardSearch {
          ++slot) {
       uint32_t base = plan.member_base(slot);
       if (tracker_.IsDeletedBase(base)) continue;
+      if (++nodes_ > budget_) {
+        // The legacy child cut saw the post-delete state; then the parent
+        // cut saw this node's state after the undelete. Replicate both.
+        CutFrontierValue(tracker_.KpwAfterDeleteBase(base));
+        CutFrontier();
+        return;
+      }
+      if (tracker_.KpwAfterDeleteBase(base) >= best_cost_) continue;
       tracker_.DeleteBase(base);
-      Descend();
+      Expand();
       tracker_.UndeleteBase(base);
       if (nodes_ > budget_) {
         CutFrontier();  // untried sibling subtrees root at this node's state
@@ -97,8 +104,9 @@ class StandardSearch {
     }
   }
 
-  void CutFrontier() {
-    frontier_low_ = std::min(frontier_low_, tracker_.killed_preserved_weight());
+  void CutFrontier() { CutFrontierValue(tracker_.killed_preserved_weight()); }
+  void CutFrontierValue(double kpw) {
+    frontier_low_ = std::min(frontier_low_, kpw);
   }
 
   const VseInstance& instance_;

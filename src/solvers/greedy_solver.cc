@@ -36,15 +36,8 @@ Result<VseSolution> GreedySolver::SolveWith(const VseInstance& instance,
     }
     uint32_t target_tuple = targets[cursor];
     // First unhit witness of the target (a witness is hit once any member is
-    // deleted, i.e. witness_hits > 0).
-    uint32_t witness = CompiledInstance::kNpos;
-    uint32_t wend = plan.tuple_witness_end(target_tuple);
-    for (uint32_t w = plan.tuple_witness_begin(target_tuple); w < wend; ++w) {
-      if (tracker.witness_hits(w) == 0) {
-        witness = w;
-        break;
-      }
-    }
+    // deleted) — one ctz on the alive mask under the bit kernels.
+    uint32_t witness = tracker.FirstUnhitWitness(target_tuple);
     if (witness == CompiledInstance::kNpos) {
       return Status::Internal("unkilled deletion without an unhit witness");
     }
@@ -83,8 +76,10 @@ Result<VseSolution> GreedySolver::SolveWith(const VseInstance& instance,
   deleted.assign(tracker.DeletedBases().begin(), tracker.DeletedBases().end());
   std::sort(deleted.begin(), deleted.end());
   for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
-    tracker.UndeleteBase(*it);
-    if (tracker.unkilled_deletion_count() > 0) tracker.DeleteBase(*it);
+    // Read-only droppability probe instead of the Undelete → check →
+    // re-Delete dance: the solution is feasible here, so "no killed ΔV
+    // tuple revives" is exactly "unkilled stays 0".
+    if (tracker.CanDropBase(*it)) tracker.UndeleteBase(*it);
   }
 
   return MakeSolution(instance, tracker.CurrentDeletion(), name());

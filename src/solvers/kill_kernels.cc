@@ -1,0 +1,194 @@
+#include "solvers/kill_kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace delprop {
+namespace kernels {
+
+namespace {
+
+/// Process-wide mode from DELPROP_KILL_KERNELS, parsed once. Unknown values
+/// fall back to kAuto so a typo can never silently pin a path.
+KernelMode EnvKernelMode() {
+  static const KernelMode mode = [] {
+    const char* env = std::getenv("DELPROP_KILL_KERNELS");
+    if (env == nullptr) return KernelMode::kAuto;
+    if (std::strcmp(env, "scalar") == 0) return KernelMode::kScalar;
+    if (std::strcmp(env, "bitset") == 0) return KernelMode::kBitset;
+    return KernelMode::kAuto;
+  }();
+  return mode;
+}
+
+thread_local KernelMode tls_override = KernelMode::kAuto;
+thread_local bool tls_override_active = false;
+
+}  // namespace
+
+KernelMode RequestedKernelMode() {
+  if (tls_override_active) return tls_override;
+  return EnvKernelMode();
+}
+
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kBitset:
+      return "bitset";
+    default:
+      return "auto";
+  }
+}
+
+ScopedKernelOverride::ScopedKernelOverride(KernelMode mode)
+    : previous_(tls_override), had_previous_(tls_override_active) {
+  tls_override = mode;
+  tls_override_active = true;
+}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  tls_override = previous_;
+  tls_override_active = had_previous_;
+}
+
+double KillKernels::MarginalDamageBase(uint32_t base) const {
+  const CompiledInstance& plan = *plan_;
+  double damage = 0.0;
+  uint32_t end = plan.kill_end(base);
+  for (uint32_t slot = plan.kill_begin(base); slot < end; ++slot) {
+    uint32_t dense = plan.kill_tuple(slot);
+    if (plan.is_deletion(dense)) continue;
+    uint64_t la = AliveMask(dense);
+    // Newly killed ⇔ some witness is still alive and every alive witness
+    // contains the base (the kill mask covers the alive mask).
+    if (la != 0 && (la & ~plan.kill_witness_mask(slot)) == 0) {
+      damage += plan.weight(dense);
+    }
+  }
+  return damage;
+}
+
+bool KillKernels::CanDropBase(uint32_t base) const {
+  const CompiledInstance& plan = *plan_;
+  const uint64_t* hit = state_->hit_words.data();
+  uint32_t end = plan.occ_end(base);
+  uint32_t slot = plan.occ_begin(base);
+  while (slot < end) {
+    uint32_t dense = plan.occ_tuple(slot);
+    if (!plan.is_deletion(dense) || !IsKilled(dense)) {
+      // Only killed ΔV tuples can make the drop infeasible; skip the run.
+      do {
+        ++slot;
+      } while (slot < end && plan.occ_tuple(slot) == dense);
+      continue;
+    }
+    do {
+      uint32_t wid = plan.occ_witness(slot);
+      uint32_t first = plan.witness_bit_begin(wid);
+      if (RangePopCount(hit, first, plan.witness_bit_end(wid) - first) == 1) {
+        return false;  // base is this witness's only deleted member
+      }
+      ++slot;
+    } while (slot < end && plan.occ_tuple(slot) == dense);
+  }
+  return true;
+}
+
+void KillKernels::BuildBranchIndex() {
+  const CompiledInstance& plan = *plan_;
+  witness_word_count_ = (plan.witness_count() + 63) / 64;
+  branch_sizes_.clear();
+  size_t delta_witnesses = 0;
+  for (uint32_t dense : plan.deletion_dense()) {
+    delta_witnesses += plan.tuple_witness_end(dense) -
+                       plan.tuple_witness_begin(dense);
+  }
+  branch_sizes_.reserve(delta_witnesses);
+  for (uint32_t dense : plan.deletion_dense()) {
+    uint32_t wend = plan.tuple_witness_end(dense);
+    for (uint32_t w = plan.tuple_witness_begin(dense); w < wend; ++w) {
+      branch_sizes_.push_back(plan.member_end(w) - plan.member_begin(w));
+    }
+  }
+  std::sort(branch_sizes_.begin(), branch_sizes_.end());
+  branch_sizes_.erase(std::unique(branch_sizes_.begin(), branch_sizes_.end()),
+                      branch_sizes_.end());
+  branch_words_.assign(branch_sizes_.size() * witness_word_count_, 0);
+  for (uint32_t dense : plan.deletion_dense()) {
+    uint32_t wend = plan.tuple_witness_end(dense);
+    for (uint32_t w = plan.tuple_witness_begin(dense); w < wend; ++w) {
+      uint32_t size = plan.member_end(w) - plan.member_begin(w);
+      size_t bucket = static_cast<size_t>(
+          std::lower_bound(branch_sizes_.begin(), branch_sizes_.end(), size) -
+          branch_sizes_.begin());
+      SetBit(branch_words_.data() + bucket * witness_word_count_, w);
+    }
+  }
+  // Packed KpwAfterDelete probe records: for each base, the preserved tuples
+  // of its kill row in kill-row (ascending-tuple) order, each with its
+  // alive-extract parameters, kill mask, and weight inlined. Same entries,
+  // same order, same operands as the CSR walk — only the layout changes.
+  kpw_first_.assign(plan.base_count() + 1, 0);
+  kpw_entries_.clear();
+  kpw_entries_.reserve(plan.kill_begin(plan.base_count()));
+  for (uint32_t base = 0; base < plan.base_count(); ++base) {
+    kpw_first_[base] = static_cast<uint32_t>(kpw_entries_.size());
+    uint32_t end = plan.kill_end(base);
+    for (uint32_t slot = plan.kill_begin(base); slot < end; ++slot) {
+      uint32_t dense = plan.kill_tuple(slot);
+      if (plan.is_deletion(dense)) continue;
+      uint32_t wb = plan.tuple_witness_begin(dense);
+      kpw_entries_.push_back({wb, plan.tuple_witness_end(dense) - wb,
+                              plan.kill_witness_mask(slot),
+                              plan.weight(dense)});
+    }
+  }
+  kpw_first_[plan.base_count()] = static_cast<uint32_t>(kpw_entries_.size());
+}
+
+bool KillKernels::SwapWouldImprove(uint32_t base, const uint32_t* revived,
+                                   uint32_t n, double current_kpw,
+                                   double budget) const {
+  const CompiledInstance& plan = *plan_;
+  // Feasibility first: every revived ΔV tuple must be newly killed by
+  // `base`. Each check is a binary search into the base's (ascending) kill
+  // row plus one mask test — O(r log k) total, so infeasible candidates are
+  // rejected without walking their full kill row.
+  uint32_t lo = plan.kill_begin(base);
+  uint32_t end = plan.kill_end(base);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t target = revived[i];
+    uint32_t hi = end;
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (plan.kill_tuple(mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == end || plan.kill_tuple(lo) != target) return false;
+    uint64_t la = AliveMask(target);
+    if (la == 0 || (la & ~plan.kill_witness_mask(lo)) != 0) return false;
+    ++lo;  // revived ids ascend, so the next search starts past this entry
+  }
+  // Cost: accumulate the post-delete killed preserved weight in the exact
+  // order DeleteBase would (ascending tuple), so `acc < budget` is
+  // bit-identical to comparing after a real delete + undelete pair.
+  double acc = current_kpw;
+  for (uint32_t slot = plan.kill_begin(base); slot < end; ++slot) {
+    uint32_t dense = plan.kill_tuple(slot);
+    if (plan.is_deletion(dense)) continue;
+    uint64_t la = AliveMask(dense);
+    if (la != 0 && (la & ~plan.kill_witness_mask(slot)) == 0) {
+      acc += plan.weight(dense);
+    }
+  }
+  return acc < budget;
+}
+
+}  // namespace kernels
+}  // namespace delprop

@@ -26,14 +26,7 @@ void RandomizedGreedy(const CompiledInstance& plan, Rng& rng,
   rng.Shuffle(order);
   for (uint32_t id : order) {
     while (!tracker.IsKilledDense(id)) {
-      uint32_t witness = CompiledInstance::kNpos;
-      uint32_t wend = plan.tuple_witness_end(id);
-      for (uint32_t w = plan.tuple_witness_begin(id); w < wend; ++w) {
-        if (tracker.witness_hits(w) == 0) {
-          witness = w;
-          break;
-        }
-      }
+      uint32_t witness = tracker.FirstUnhitWitness(id);
       if (witness == CompiledInstance::kNpos) break;  // killed earlier
       uint32_t mbegin = plan.member_begin(witness);
       uint32_t mend = plan.member_end(witness);
@@ -56,16 +49,17 @@ void RandomizedGreedy(const CompiledInstance& plan, Rng& rng,
 }
 
 // Drops unneeded deletions (in random order); returns true on any change.
+// The droppability check is a read-only probe (the pass runs on feasible
+// states, where "no killed ΔV tuple revives" is exactly "stays feasible"),
+// so kept deletions cost one row scan instead of an Undelete/Delete pair.
 bool DropPass(Rng& rng, DamageTracker& tracker) {
   std::vector<uint32_t> deleted = tracker.DeletedBases();
   std::sort(deleted.begin(), deleted.end());
   rng.Shuffle(deleted);
   bool changed = false;
   for (uint32_t base : deleted) {
-    tracker.UndeleteBase(base);
-    if (tracker.unkilled_deletion_count() > 0) {
-      tracker.DeleteBase(base);
-    } else {
+    if (tracker.CanDropBase(base)) {
+      tracker.UndeleteBase(base);
       changed = true;
     }
   }
@@ -74,8 +68,14 @@ bool DropPass(Rng& rng, DamageTracker& tracker) {
 
 // One swap pass: replace a deleted tuple by an undeleted candidate when that
 // keeps feasibility and strictly lowers the cost. Returns true on change.
+// Candidates are evaluated with the SwapWouldImprove probe — feasibility is
+// checked against the (few) tuples the outgoing deletion revived before the
+// full damage walk runs, so rejected candidates never mutate the tracker.
+// The accept decision is bit-identical to the old Delete → compare →
+// Undelete evaluation (same accumulation order), verified by the
+// local-search oracle.
 bool SwapPass(const std::vector<uint32_t>& candidates, Rng& rng,
-              DamageTracker& tracker) {
+              DamageTracker& tracker, std::vector<uint32_t>& revived) {
   std::vector<uint32_t> deleted = tracker.DeletedBases();
   std::sort(deleted.begin(), deleted.end());
   rng.Shuffle(deleted);
@@ -88,17 +88,19 @@ bool SwapPass(const std::vector<uint32_t>& candidates, Rng& rng,
       changed = true;  // plain drop is already an improvement
       continue;
     }
+    // Every now-unkilled ΔV tuple is in `out`'s kill row (the state was
+    // feasible before the undelete), so this collects exactly the tuples a
+    // replacement must kill.
+    tracker.CollectUnkilledDeletions(out, &revived);
     bool swapped = false;
     for (uint32_t in : candidates) {
       if (tracker.IsDeletedBase(in) || in == out) continue;
-      tracker.DeleteBase(in);
-      if (tracker.unkilled_deletion_count() == 0 &&
-          tracker.killed_preserved_weight() < current) {
+      if (tracker.SwapWouldImprove(in, revived, current)) {
+        tracker.DeleteBase(in);
         swapped = true;
         changed = true;
         break;
       }
-      tracker.UndeleteBase(in);
     }
     if (!swapped) tracker.DeleteBase(out);
   }
@@ -127,6 +129,8 @@ Result<VseSolution> LocalSearchSolver::SolveWith(const VseInstance& instance,
   DamageTracker& tracker =
       scratch != nullptr ? *scratch->AcquireTracker(instance) : *local;
   const std::vector<uint32_t>& candidates = tracker.plan().candidate_bases();
+  std::vector<uint32_t> revived;
+  revived.reserve(tracker.plan().deletion_dense().size());
 
   std::optional<DeletionSet> best;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -138,7 +142,7 @@ Result<VseSolution> LocalSearchSolver::SolveWith(const VseInstance& instance,
     }
     for (size_t round = 0; round < options_.max_rounds_per_restart; ++round) {
       bool dropped = DropPass(rng, tracker);
-      bool swapped = SwapPass(candidates, rng, tracker);
+      bool swapped = SwapPass(candidates, rng, tracker, revived);
       if (!dropped && !swapped) break;
     }
     double cost = tracker.killed_preserved_weight();

@@ -26,11 +26,9 @@ Result<VseSolution> SourceSideEffectSolver::Solve(
     uint32_t begin = plan->kill_begin(base);
     uint32_t end = plan->kill_end(base);
     // Count first so the per-set vector is sized exactly — these lists are
-    // retained for the whole set-cover run.
-    size_t deletions = 0;
-    for (uint32_t slot = begin; slot < end; ++slot) {
-      if (plan->is_deletion(plan->kill_tuple(slot))) ++deletions;
-    }
+    // retained for the whole set-cover run. Branchless bit tests against
+    // the ΔV word overlay.
+    size_t deletions = plan->KillRowDeletionCount(base);
     std::vector<size_t> elements;
     elements.reserve(deletions);
     for (uint32_t slot = begin; slot < end; ++slot) {

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dp/vse_instance.h"
+#include "plan/compiled_instance.h"
+#include "query/parser.h"
+#include "relational/database.h"
+#include "solvers/damage_tracker.h"
+#include "solvers/greedy_solver.h"
+#include "solvers/kill_kernels.h"
+#include "solvers/local_search_solver.h"
+
+namespace delprop {
+namespace {
+
+using kernels::KernelMode;
+using kernels::ScopedKernelOverride;
+
+// ---------------------------------------------------------------------------
+// Word primitives across the boundaries that matter: 63/64/65/127/128.
+// ---------------------------------------------------------------------------
+
+TEST(KernelPrimitivesTest, LowMaskBoundaries) {
+  EXPECT_EQ(kernels::LowMask(0), 0u);
+  EXPECT_EQ(kernels::LowMask(1), 1u);
+  EXPECT_EQ(kernels::LowMask(63), ~0ull >> 1);
+  EXPECT_EQ(kernels::LowMask(64), ~0ull);
+}
+
+TEST(KernelPrimitivesTest, ExtractBitsStraddlesWords) {
+  // Bits 62..66 set across a 3-word array.
+  uint64_t words[3] = {0, 0, 0};
+  for (uint32_t bit : {62u, 63u, 64u, 65u, 66u}) {
+    kernels::SetBit(words, bit);
+  }
+  EXPECT_EQ(kernels::ExtractBits(words, 62, 5), 0b11111u);
+  EXPECT_EQ(kernels::ExtractBits(words, 63, 2), 0b11u);
+  EXPECT_EQ(kernels::ExtractBits(words, 64, 3), 0b111u);
+  EXPECT_EQ(kernels::ExtractBits(words, 60, 2), 0u);
+  EXPECT_EQ(kernels::ExtractBits(words, 0, 64), 1ull << 62 | 1ull << 63);
+  EXPECT_EQ(kernels::ExtractBits(words, 62, 0), 0u);
+}
+
+TEST(KernelPrimitivesTest, RangeOpsAtEveryWidth) {
+  for (uint32_t width : {63u, 64u, 65u, 127u, 128u}) {
+    for (uint32_t offset : {0u, 1u, 37u, 63u}) {
+      std::vector<uint64_t> words((offset + width + 63) / 64 + 1, 0);
+      EXPECT_TRUE(kernels::RangeIsZero(words.data(), offset, width));
+      EXPECT_EQ(kernels::RangePopCount(words.data(), offset, width), 0u);
+      // Set the first, middle, and last bit of the range.
+      kernels::SetBit(words.data(), offset);
+      kernels::SetBit(words.data(), offset + width / 2);
+      kernels::SetBit(words.data(), offset + width - 1);
+      EXPECT_FALSE(kernels::RangeIsZero(words.data(), offset, width));
+      // The three markers collapse when width makes them coincide.
+      uint32_t expected = width == 1 ? 1 : (width == 2 ? 2 : 3);
+      EXPECT_EQ(kernels::RangePopCount(words.data(), offset, width), expected)
+          << "width " << width << " offset " << offset;
+      // Clearing the exact range leaves neighbors untouched.
+      kernels::SetBit(words.data(), offset + width);  // sentinel past the end
+      kernels::ClearRange(words.data(), offset, width);
+      EXPECT_TRUE(kernels::RangeIsZero(words.data(), offset, width));
+      EXPECT_TRUE(kernels::TestBit(words.data(), offset + width));
+    }
+  }
+}
+
+TEST(KernelPrimitivesTest, ScopedOverrideNestsAndRestores) {
+  KernelMode ambient = kernels::RequestedKernelMode();
+  {
+    ScopedKernelOverride outer(KernelMode::kScalar);
+    EXPECT_EQ(kernels::RequestedKernelMode(), KernelMode::kScalar);
+    {
+      ScopedKernelOverride inner(KernelMode::kBitset);
+      EXPECT_EQ(kernels::RequestedKernelMode(), KernelMode::kBitset);
+    }
+    EXPECT_EQ(kernels::RequestedKernelMode(), KernelMode::kScalar);
+  }
+  EXPECT_EQ(kernels::RequestedKernelMode(), ambient);
+}
+
+// ---------------------------------------------------------------------------
+// Witness fan-in at the one-word boundary. Q(x) :- R(x, y), S(y) over rows
+// ("h", y_i) / ("p", y_i) / S(y_i) yields two view tuples with `n` witnesses
+// of two members each; the S rows are shared between them, so deleting S
+// damages the preserved tuple while killing the ΔV one.
+// ---------------------------------------------------------------------------
+
+struct FanInCase {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ConjunctiveQuery> query;
+  std::unique_ptr<VseInstance> instance;
+  std::vector<TupleRef> s_rows;
+  std::vector<TupleRef> r_rows;
+};
+
+FanInCase BuildFanIn(uint32_t n) {
+  FanInCase c;
+  c.db = std::make_unique<Database>();
+  EXPECT_TRUE(c.db->AddRelation("R", 2, {0, 1}).ok());
+  EXPECT_TRUE(c.db->AddRelation("S", 1, {0}).ok());
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string y = "y" + std::to_string(i);
+    Result<TupleRef> r =
+        c.db->InsertText(0, std::vector<std::string>{"h", y});
+    EXPECT_TRUE(r.ok());
+    c.r_rows.push_back(*r);
+    EXPECT_TRUE(c.db->InsertText(0, std::vector<std::string>{"p", y}).ok());
+    Result<TupleRef> s = c.db->InsertText(1, std::vector<std::string>{y});
+    EXPECT_TRUE(s.ok());
+    c.s_rows.push_back(*s);
+  }
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(x) :- R(x, y), S(y)", c.db->schema(), c.db->dict());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  c.query = std::make_unique<ConjunctiveQuery>(std::move(*q));
+  Result<VseInstance> instance =
+      VseInstance::Create(*c.db, {c.query.get()});
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  c.instance = std::make_unique<VseInstance>(std::move(*instance));
+  EXPECT_TRUE(c.instance->MarkForDeletionByValues(0, {"h"}).ok());
+  return c;
+}
+
+/// Scalar/bitset lockstep over one fan-in case: per-op bitwise comparison of
+/// marginals, deltas, aggregates, probes; both paths must agree at every
+/// step whether or not the plan supports the packed layout.
+void RunLockstep(const FanInCase& c, bool expect_bits) {
+  std::optional<DamageTracker> scalar;
+  std::optional<DamageTracker> bits;
+  {
+    ScopedKernelOverride pin(KernelMode::kScalar);
+    scalar.emplace(*c.instance);
+  }
+  {
+    ScopedKernelOverride pin(KernelMode::kBitset);
+    bits.emplace(*c.instance);
+  }
+  EXPECT_FALSE(scalar->bit_kernels_active());
+  EXPECT_EQ(bits->bit_kernels_active(), expect_bits);
+  EXPECT_EQ(c.instance->compiled()->bits_supported(), expect_bits);
+
+  auto agree = [&](const char* when) {
+    ASSERT_EQ(scalar->unkilled_deletion_count(),
+              bits->unkilled_deletion_count())
+        << when;
+    ASSERT_EQ(scalar->killed_preserved_weight(),
+              bits->killed_preserved_weight())
+        << when;
+    const CompiledInstance& plan = scalar->plan();
+    for (uint32_t w = 0; w < plan.witness_count(); ++w) {
+      ASSERT_EQ(scalar->witness_hits(w), bits->witness_hits(w))
+          << when << " witness " << w;
+    }
+    for (uint32_t d = 0; d < plan.tuple_count(); ++d) {
+      ASSERT_EQ(scalar->IsKilledDense(d), bits->IsKilledDense(d))
+          << when << " tuple " << d;
+      ASSERT_EQ(scalar->dead_witness_count(d), bits->dead_witness_count(d))
+          << when << " tuple " << d;
+      ASSERT_EQ(scalar->FirstUnhitWitness(d), bits->FirstUnhitWitness(d))
+          << when << " tuple " << d;
+    }
+  };
+  agree("initial");
+  EXPECT_EQ(scalar->unkilled_deletion_count(), 1u);
+
+  // Kill via the shared S rows: the i-th delete hits witness i of both view
+  // tuples; the final one kills both at once, with the preserved weight
+  // crossing from 0 to 1 on both paths in the same step.
+  for (size_t i = 0; i < c.s_rows.size(); ++i) {
+    ASSERT_EQ(scalar->MarginalDamage(c.s_rows[i]),
+              bits->MarginalDamage(c.s_rows[i]))
+        << "marginal before delete " << i;
+    ASSERT_EQ(scalar->Delete(c.s_rows[i]), bits->Delete(c.s_rows[i]))
+        << "delete " << i;
+  }
+  agree("all S deleted");
+  EXPECT_EQ(scalar->unkilled_deletion_count(), 0u);
+  EXPECT_EQ(scalar->killed_preserved_weight(), 1.0);
+
+  // All rows dead: every further marginal is zero, and no S row is
+  // droppable (each is the sole deleted member of its witness pair).
+  for (const TupleRef& r : c.r_rows) {
+    ASSERT_EQ(scalar->MarginalDamage(r), bits->MarginalDamage(r));
+    ASSERT_EQ(scalar->MarginalDamage(r), 0.0);
+  }
+  const CompiledInstance& plan = scalar->plan();
+  for (const TupleRef& s : c.s_rows) {
+    uint32_t base = plan.FindBase(s);
+    ASSERT_NE(base, CompiledInstance::kNpos);
+    ASSERT_EQ(scalar->CanDropBase(base), bits->CanDropBase(base));
+    EXPECT_FALSE(scalar->CanDropBase(base));
+  }
+
+  // Undelete the even rows; the re-kill path must agree too.
+  for (size_t i = 0; i < c.s_rows.size(); i += 2) {
+    scalar->Undelete(c.s_rows[i]);
+    bits->Undelete(c.s_rows[i]);
+  }
+  agree("half undeleted");
+  for (size_t i = 0; i < c.s_rows.size(); i += 2) {
+    ASSERT_EQ(scalar->Delete(c.s_rows[i]), bits->Delete(c.s_rows[i]));
+  }
+  agree("re-deleted");
+
+  scalar->Reset();
+  bits->Reset();
+  agree("after reset");
+  EXPECT_EQ(scalar->unkilled_deletion_count(), 1u);
+  EXPECT_EQ(scalar->killed_preserved_weight(), 0.0);
+}
+
+TEST(KernelFanInTest, Width63) { RunLockstep(BuildFanIn(63), true); }
+TEST(KernelFanInTest, Width64) { RunLockstep(BuildFanIn(64), true); }
+
+TEST(KernelFanInTest, Width65FallsBackToScalar) {
+  FanInCase c = BuildFanIn(65);
+  EXPECT_FALSE(c.instance->compiled()->bits_supported());
+  EXPECT_EQ(c.instance->compiled()->max_witnesses_per_tuple(), 65u);
+  // The lockstep still runs — both pins resolve to the scalar engine.
+  RunLockstep(c, false);
+}
+
+TEST(KernelFanInTest, SolversMatchAcrossKernelsAtBoundaryWidths) {
+  for (uint32_t n : {63u, 64u, 65u}) {
+    FanInCase c = BuildFanIn(n);
+    GreedySolver greedy;
+    LocalSearchSolver local_search;
+    for (VseSolver* solver :
+         std::initializer_list<VseSolver*>{&greedy, &local_search}) {
+      std::optional<VseSolution> s;
+      std::optional<VseSolution> b;
+      {
+        ScopedKernelOverride pin(KernelMode::kScalar);
+        Result<VseSolution> r = solver->Solve(*c.instance);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        s = std::move(*r);
+      }
+      {
+        ScopedKernelOverride pin(KernelMode::kBitset);
+        Result<VseSolution> r = solver->Solve(*c.instance);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        b = std::move(*r);
+      }
+      EXPECT_EQ(s->deletion.Sorted(), b->deletion.Sorted())
+          << solver->name() << " at width " << n;
+      EXPECT_EQ(s->Cost(), b->Cost()) << solver->name() << " at width " << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-member witnesses: Q(x) :- R(x, y) gives every witness exactly one
+// member, so each delete is a direct witness kill.
+// ---------------------------------------------------------------------------
+
+TEST(KernelSingleMemberTest, EachDeleteKillsExactlyOneWitness) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation("R", 2, {0, 1}).ok());
+  std::vector<TupleRef> rows;
+  for (uint32_t i = 0; i < 64; ++i) {
+    Result<TupleRef> r = db.InsertText(
+        0, std::vector<std::string>{"h", "y" + std::to_string(i)});
+    ASSERT_TRUE(r.ok());
+    rows.push_back(*r);
+  }
+  Result<ConjunctiveQuery> q =
+      ParseQuery("Q(x) :- R(x, y)", db.schema(), db.dict());
+  ASSERT_TRUE(q.ok());
+  Result<VseInstance> instance = VseInstance::Create(db, {&*q});
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(instance->MarkForDeletionByValues(0, {"h"}).ok());
+
+  ScopedKernelOverride pin(KernelMode::kBitset);
+  DamageTracker tracker(*instance);
+  ASSERT_TRUE(tracker.bit_kernels_active());
+  uint32_t dense = tracker.plan().deletion_dense()[0];
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(tracker.dead_witness_count(dense), i);
+    EXPECT_FALSE(tracker.IsKilledDense(dense));
+    tracker.Delete(rows[i]);
+    for (uint32_t w = 0; w <= i; ++w) {
+      EXPECT_EQ(tracker.witness_hits(tracker.plan().tuple_witness_begin(
+                    dense) + w),
+                1u);
+    }
+  }
+  EXPECT_TRUE(tracker.IsKilledDense(dense));
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 0u);
+  // Undeleting any single row revives the tuple (its witness comes back).
+  tracker.Undelete(rows[17]);
+  EXPECT_FALSE(tracker.IsKilledDense(dense));
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);
+  EXPECT_EQ(tracker.FirstUnhitWitness(dense),
+            tracker.plan().tuple_witness_begin(dense) + 17);
+}
+
+// ---------------------------------------------------------------------------
+// Regressions for the foreign-ref side list and the sparse reset.
+// ---------------------------------------------------------------------------
+
+TEST(KernelRegressionTest, ForeignRefsStayBoundedAndExact) {
+  FanInCase c = BuildFanIn(8);
+  DamageTracker tracker(*c.instance);
+  size_t interned = tracker.deleted_count();
+  ASSERT_EQ(interned, 0u);
+  // Rows far past the stored relation: never interned, tracked on the
+  // sorted side list. Insert out of order to exercise the sorted insert.
+  std::vector<TupleRef> foreign;
+  for (uint32_t i = 0; i < 100; ++i) {
+    foreign.push_back(TupleRef{0, 100000 + ((i * 37) % 100)});
+  }
+  for (const TupleRef& ref : foreign) {
+    EXPECT_FALSE(tracker.IsDeleted(ref));
+    EXPECT_EQ(tracker.Delete(ref), 0.0);
+    EXPECT_TRUE(tracker.IsDeleted(ref));
+  }
+  EXPECT_EQ(tracker.deleted_count(), 100u);
+  EXPECT_EQ(tracker.unkilled_deletion_count(), 1u);  // ΔV untouched
+  // Undelete in a different order; membership stays exact throughout.
+  for (uint32_t i = 0; i < 100; ++i) {
+    TupleRef ref{0, 100000 + i};
+    EXPECT_TRUE(tracker.IsDeleted(ref));
+    tracker.Undelete(ref);
+    EXPECT_FALSE(tracker.IsDeleted(ref));
+  }
+  EXPECT_EQ(tracker.deleted_count(), 0u);
+}
+
+TEST(KernelRegressionTest, ResetRestoresPristineStateSparselyAndAfterOverflow) {
+  for (KernelMode mode : {KernelMode::kScalar, KernelMode::kBitset}) {
+    FanInCase c = BuildFanIn(32);
+    ScopedKernelOverride pin(mode);
+    DamageTracker tracker(*c.instance);
+    DamageTracker fresh(*c.instance);
+    auto expect_pristine = [&](const char* when) {
+      const CompiledInstance& plan = tracker.plan();
+      ASSERT_EQ(tracker.unkilled_deletion_count(),
+                fresh.unkilled_deletion_count())
+          << when;
+      ASSERT_EQ(tracker.killed_preserved_weight(),
+                fresh.killed_preserved_weight())
+          << when;
+      ASSERT_EQ(tracker.deleted_count(), 0u) << when;
+      for (uint32_t w = 0; w < plan.witness_count(); ++w) {
+        ASSERT_EQ(tracker.witness_hits(w), 0u) << when << " witness " << w;
+      }
+      for (uint32_t d = 0; d < plan.tuple_count(); ++d) {
+        ASSERT_EQ(tracker.IsKilledDense(d), fresh.IsKilledDense(d))
+            << when << " tuple " << d;
+      }
+    };
+
+    // Sparse path: touch a handful of witnesses, well under the log caps.
+    tracker.Delete(c.s_rows[3]);
+    tracker.Delete(c.s_rows[7]);
+    tracker.Reset();
+    expect_pristine("sparse reset");
+
+    // Overflow path: hammer one base through delete/undelete cycles — every
+    // re-delete logs its witness transitions again, so the touch log
+    // overflows and Reset must fall back to the full clear.
+    for (int cycle = 0; cycle < 500; ++cycle) {
+      tracker.Delete(c.s_rows[0]);
+      tracker.Undelete(c.s_rows[0]);
+    }
+    for (const TupleRef& s : c.s_rows) tracker.Delete(s);
+    tracker.Reset();
+    expect_pristine("overflow reset");
+
+    // Back-to-back reset on an untouched tracker is a no-op.
+    tracker.Reset();
+    expect_pristine("idle reset");
+  }
+}
+
+}  // namespace
+}  // namespace delprop
